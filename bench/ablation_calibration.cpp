@@ -1,0 +1,69 @@
+// Calibration ablation (Sec. 3.3.3). In the main Table-2(b) reproduction our
+// direct 16-entry NN-LUTs already sit at baseline accuracy, leaving no gap
+// for calibration to close. This ablation creates a genuine gap — a coarse
+// 8-entry 1/SQRT LUT deployed in INT32 — and shows dataset-free calibration
+// recovering it, which is the mechanism the paper's "+C" rows rely on.
+#include <cstdio>
+#include <vector>
+
+#include "core/function_library.h"
+#include "eval/calibration_runner.h"
+
+#include "bench_util.h"
+
+int main() {
+  using namespace nnlut;
+  using transformer::ApproxSelection;
+  using transformer::LutNonlinearities;
+  using transformer::LutSet;
+  using transformer::MatmulMode;
+
+  benchutil::print_header(
+      "Ablation: dataset-free calibration closing a real approximation gap");
+
+  const auto preset =
+      benchutil::fast_mode() ? FitPreset::kFast : FitPreset::kPaper;
+
+  std::printf("  %-8s %-8s %10s %10s %10s %10s\n", "task", "entries",
+              "baseline", "direct", "+calib", "recovered");
+
+  for (const tasks::TaskId id :
+       {tasks::TaskId::kStsb, tasks::TaskId::kMrpc, tasks::TaskId::kRte}) {
+    const tasks::TaskData task = tasks::make_task(id, benchutil::task_options());
+    std::fprintf(stderr, "[ablation_calibration] training %s...\n",
+                 task.name.c_str());
+    const auto model = eval::train_model(task, benchutil::roberta_model(),
+                                         benchutil::train_options());
+    const double baseline = eval::evaluate_baseline(model, task);
+
+    for (int entries : {8, 16}) {
+      const NnlutBundle bundle = train_bundle(entries, preset, 1);
+      const LutSet luts{bundle.gelu.lut, bundle.exp.lut, bundle.reciprocal.lut,
+                        bundle.rsqrt.lut};
+      LutNonlinearities::Options lopt;
+      lopt.select = ApproxSelection::layernorm_only();
+      lopt.act = model.config().act;
+
+      auto direct = make_lut_backend(luts, LutPrecision::kInt32, lopt);
+      const double d = eval::evaluate(model, task, *direct);
+
+      auto calibrated = make_lut_backend(luts, LutPrecision::kInt32, lopt);
+      const std::span<const tasks::Example> unlabeled(task.train.data(),
+                                                      task.train.size() / 10);
+      eval::calibrate_layernorm_sites(model, *calibrated, bundle.rsqrt,
+                                      unlabeled, MatmulMode::kFp32,
+                                      LutPrecision::kInt32);
+      const double c = eval::evaluate(model, task, *calibrated);
+
+      std::printf("  %-8s %-8d %10.1f %10.1f %10.1f %+10.1f\n",
+                  task.name.c_str(), entries, baseline, d, c, c - d);
+    }
+  }
+
+  std::printf(
+      "\nExpected: with 8 entries the direct LayerNorm approximation leaves\n"
+      "a visible gap that calibration narrows; with 16 entries the direct\n"
+      "deployment already sits at baseline (as in our Table 2(b)\n"
+      "reproduction) and calibration is a no-op within noise.\n");
+  return 0;
+}

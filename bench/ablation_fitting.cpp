@@ -1,0 +1,99 @@
+// Fitting ablations: (1) training loss L1 vs L2 (the paper found L1
+// slightly better, Sec. 4.1); (2) breakpoint placement: linear-mode vs
+// exponential-mode fixed breakpoints (Sec. 3.1) vs NN-LUT's learned
+// breakpoints; (3) training-sample distribution (uniform vs log-uniform).
+#include <cmath>
+#include <cstdio>
+
+#include "approx/linear_lut.h"
+#include "core/function_library.h"
+#include "core/transform.h"
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace nnlut;
+
+double grid_l1(const PiecewiseLinear& lut, float (*f)(float), InputRange r) {
+  double s = 0.0;
+  const int n = 4096;
+  for (int i = 0; i < n; ++i) {
+    const float x = r.lo + (r.hi - r.lo) * (static_cast<float>(i) + 0.5f) / n;
+    s += std::abs(static_cast<double>(lut(x)) - f(x));
+  }
+  return s / n;
+}
+
+double log_grid_l1(const PiecewiseLinear& lut, float (*f)(float), InputRange r) {
+  double s = 0.0;
+  const int n = 4096;
+  const float llo = std::log(r.lo), lhi = std::log(r.hi);
+  for (int i = 0; i < n; ++i) {
+    const float x = std::exp(llo + (lhi - llo) * (static_cast<float>(i) + 0.5f) / n);
+    s += std::abs(static_cast<double>(lut(x)) - f(x));
+  }
+  return s / n;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::print_header("Ablation: fitting choices");
+  const auto preset =
+      benchutil::fast_mode() ? FitPreset::kFast : FitPreset::kPaper;
+
+  // (1) L1 vs L2 training loss on GELU and 1/SQRT.
+  std::printf("\n(1) training loss (16 entries)\n");
+  std::printf("  %-8s %12s %12s\n", "function", "L1 loss", "L2 loss");
+  for (TargetFn id : {TargetFn::kGelu, TargetFn::kRsqrt}) {
+    const FnSpec& spec = fn_spec(id);
+    TrainConfig l1 = recipe(id, 16, preset, 21);
+    TrainConfig l2 = l1;
+    l2.loss = LossKind::kL2;
+    const TrainResult r1 = fit_approx_net(spec.fn, l1);
+    const TrainResult r2 = fit_approx_net(spec.fn, l2);
+    std::printf("  %-8s %12.6f %12.6f\n", spec.name, r1.validation_l1,
+                r2.validation_l1);
+  }
+
+  // (2) breakpoint placement on 1/SQRT, the paper's hardest function.
+  std::printf("\n(2) breakpoint placement on 1/SQRT (0.1, 1024), 16 entries\n");
+  const FnSpec& rs = fn_spec(TargetFn::kRsqrt);
+  const PiecewiseLinear lin = fit_fixed_breakpoint_lut(
+      rs.fn, rs.range, 16, BreakpointMode::kLinear);
+  const PiecewiseLinear expo = fit_fixed_breakpoint_lut(
+      rs.fn, rs.range, 16, BreakpointMode::kExponential);
+  const FittedLut learned = fit_lut(TargetFn::kRsqrt, 16, preset, 22);
+  std::printf("  %-22s %14s %14s\n", "mode", "uniform-grid L1", "log-grid L1");
+  std::printf("  %-22s %14.6f %14.6f\n", "linear (fixed)",
+              grid_l1(lin, rs.fn, rs.range), log_grid_l1(lin, rs.fn, rs.range));
+  std::printf("  %-22s %14.6f %14.6f\n", "exponential (fixed)",
+              grid_l1(expo, rs.fn, rs.range), log_grid_l1(expo, rs.fn, rs.range));
+  std::printf("  %-22s %14.6f %14.6f\n", "NN-LUT (learned)",
+              grid_l1(learned.lut, rs.fn, rs.range),
+              log_grid_l1(learned.lut, rs.fn, rs.range));
+
+  // (3) sampling distribution for the NN-LUT trainer on DIV.
+  std::printf("\n(3) trainer sampling distribution on DIV (1, 1024)\n");
+  const FnSpec& dv = fn_spec(TargetFn::kReciprocal);
+  TrainConfig uni = recipe(TargetFn::kReciprocal, 16, preset, 23);
+  uni.sampling = SampleDist::kUniform;
+  TrainConfig logu = recipe(TargetFn::kReciprocal, 16, preset, 23);
+  logu.sampling = SampleDist::kLogUniform;
+  const PiecewiseLinear lut_uni = nn_to_lut(fit_approx_net(dv.fn, uni).net);
+  const PiecewiseLinear lut_log = nn_to_lut(fit_approx_net(dv.fn, logu).net);
+  std::printf("  %-22s %14.6f %14.6f\n", "uniform sampling",
+              grid_l1(lut_uni, dv.fn, dv.range), log_grid_l1(lut_uni, dv.fn, dv.range));
+  std::printf("  %-22s %14.6f %14.6f\n", "log-uniform sampling",
+              grid_l1(lut_log, dv.fn, dv.range), log_grid_l1(lut_log, dv.fn, dv.range));
+
+  std::printf(
+      "\nExpected: L1 ~ L2 on these smooth targets; learned breakpoints beat\n"
+      "the linear mode by orders of magnitude on 1/SQRT (the paper's\n"
+      "comparison) and are competitive with the exponential mode — which is\n"
+      "near-optimal for pure power laws but, unlike NN-LUT, is not\n"
+      "function-agnostic (Sec. 3.1). Log-uniform sampling markedly improves\n"
+      "the low-range fit of 1/x-like functions.\n");
+  return 0;
+}

@@ -1,0 +1,174 @@
+// google-benchmark microbenchmarks of the scalar kernels backing Sec. 5's
+// efficiency claims: exact FP32 math vs LUT evaluation (FP32/FP16/INT32) vs
+// I-BERT integer sequences, on softmax-sized activation streams.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/function_library.h"
+#include "core/nnlut_ops.h"
+#include "core/quantized_lut.h"
+#include "core/transform.h"
+#include "ibert/ibert_kernels.h"
+#include "numerics/rng.h"
+
+namespace {
+
+using namespace nnlut;
+
+const NnlutBundle& bundle() {
+  static const NnlutBundle b = train_bundle(16, FitPreset::kFast, 77);
+  return b;
+}
+
+std::vector<float> activation_stream(std::size_t n, float lo, float hi) {
+  Rng rng(5);
+  std::vector<float> v(n);
+  for (float& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+void BM_GeluExact(benchmark::State& state) {
+  auto xs = activation_stream(4096, -5.0f, 5.0f);
+  for (auto _ : state) {
+    float acc = 0;
+    for (float x : xs) acc += gelu_exact(x);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(xs.size()));
+}
+BENCHMARK(BM_GeluExact);
+
+void BM_GeluNnlutFp32(benchmark::State& state) {
+  auto xs = activation_stream(4096, -5.0f, 5.0f);
+  const PiecewiseLinear& lut = bundle().gelu.lut;
+  for (auto _ : state) {
+    float acc = 0;
+    for (float x : xs) acc += lut(x);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(xs.size()));
+}
+BENCHMARK(BM_GeluNnlutFp32);
+
+void BM_GeluNnlutFp16(benchmark::State& state) {
+  auto xs = activation_stream(4096, -5.0f, 5.0f);
+  const LutFp16 lut(bundle().gelu.lut);
+  for (auto _ : state) {
+    float acc = 0;
+    for (float x : xs) acc += lut.eval(x);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(xs.size()));
+}
+BENCHMARK(BM_GeluNnlutFp16);
+
+void BM_GeluNnlutInt32(benchmark::State& state) {
+  auto xs = activation_stream(4096, -5.0f, 5.0f);
+  const LutInt32 lut(bundle().gelu.lut, 5.0f);
+  for (auto _ : state) {
+    float acc = 0;
+    for (float x : xs) acc += lut.eval(x);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(xs.size()));
+}
+BENCHMARK(BM_GeluNnlutInt32);
+
+void BM_GeluIbert(benchmark::State& state) {
+  auto xs = activation_stream(4096, -5.0f, 5.0f);
+  std::vector<float> buf = xs;
+  for (auto _ : state) {
+    buf = xs;
+    ibert::gelu_row(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(xs.size()));
+}
+BENCHMARK(BM_GeluIbert);
+
+void BM_SoftmaxExact(benchmark::State& state) {
+  auto xs = activation_stream(static_cast<std::size_t>(state.range(0)), -6, 6);
+  std::vector<float> buf = xs;
+  for (auto _ : state) {
+    buf = xs;
+    softmax_exact(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SoftmaxExact)->Arg(128)->Arg(1024);
+
+void BM_SoftmaxNnlut(benchmark::State& state) {
+  auto xs = activation_stream(static_cast<std::size_t>(state.range(0)), -6, 6);
+  const LutFp32 e(bundle().exp.lut), r(bundle().reciprocal.lut);
+  const SoftmaxApprox sm(e, r);
+  std::vector<float> buf = xs;
+  for (auto _ : state) {
+    buf = xs;
+    sm(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SoftmaxNnlut)->Arg(128)->Arg(1024);
+
+void BM_SoftmaxIbert(benchmark::State& state) {
+  auto xs = activation_stream(static_cast<std::size_t>(state.range(0)), -6, 6);
+  std::vector<float> buf = xs;
+  for (auto _ : state) {
+    buf = xs;
+    ibert::softmax_row(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SoftmaxIbert)->Arg(128)->Arg(1024);
+
+void BM_LayerNormExact(benchmark::State& state) {
+  auto xs = activation_stream(768, -2, 2);
+  std::vector<float> out(xs.size());
+  for (auto _ : state) {
+    layer_norm_exact(xs, out, {}, {});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 768);
+}
+BENCHMARK(BM_LayerNormExact);
+
+void BM_LayerNormNnlut(benchmark::State& state) {
+  auto xs = activation_stream(768, -2, 2);
+  const LutFp32 rs(bundle().rsqrt.lut);
+  const LayerNormApprox ln(rs);
+  std::vector<float> out(xs.size());
+  for (auto _ : state) {
+    ln(xs, out, {}, {});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 768);
+}
+BENCHMARK(BM_LayerNormNnlut);
+
+void BM_LayerNormIbert(benchmark::State& state) {
+  auto xs = activation_stream(768, -2, 2);
+  std::vector<float> out(xs.size());
+  for (auto _ : state) {
+    ibert::layernorm_row(xs, out, {}, {});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 768);
+}
+BENCHMARK(BM_LayerNormIbert);
+
+void BM_NnToLutTransform(benchmark::State& state) {
+  const ApproxNet& net = bundle().gelu.net;
+  for (auto _ : state) {
+    PiecewiseLinear lut = nn_to_lut(net);
+    benchmark::DoNotOptimize(lut.entries());
+  }
+}
+BENCHMARK(BM_NnToLutTransform);
+
+}  // namespace
+
+BENCHMARK_MAIN();

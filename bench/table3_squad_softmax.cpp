@@ -1,0 +1,77 @@
+// Table 3 of the paper: direct approximation of Softmax on a
+// MobileBERT-style model (NoNorm + ReLU: Softmax is the only transcendental
+// non-linearity in its transformer layer) for the SQuAD-style span task,
+// with MatMul computed in FP16. Compares Linear-LUT and NN-LUT at FP32 and
+// FP16 LUT precision against the exact baseline (F1).
+#include <cstdio>
+
+#include "approx/linear_lut.h"
+#include "core/function_library.h"
+#include "numerics/math.h"
+
+#include "bench_util.h"
+
+int main() {
+  using namespace nnlut;
+  using transformer::ApproxSelection;
+  using transformer::LutNonlinearities;
+  using transformer::LutSet;
+  using transformer::MatmulMode;
+
+  benchutil::print_header(
+      "Table 3: Softmax direct approximation, MobileBERT-like model on "
+      "SQuAD-style span task (MatMul in FP16)");
+
+  const auto preset =
+      benchutil::fast_mode() ? FitPreset::kFast : FitPreset::kPaper;
+
+  const tasks::TaskData task =
+      tasks::make_task(tasks::TaskId::kSquad, benchutil::task_options());
+  std::fprintf(stderr, "[table3] training MobileBERT-like span model...\n");
+  const auto model = eval::train_model(task, benchutil::mobilebert_model(),
+                                       benchutil::mobilebert_train_options());
+
+  transformer::ExactNonlinearities exact(model.config().act);
+  const double baseline =
+      eval::evaluate(model, task, exact, MatmulMode::kFp16);
+
+  const NnlutBundle bundle = train_bundle(16, preset, 1);
+  const LutSet nn_luts{bundle.gelu.lut, bundle.exp.lut, bundle.reciprocal.lut,
+                       bundle.rsqrt.lut};
+  const LutSet lin_luts{fit_linear_lut(gelu_exact, kGeluRange, 16),
+                        fit_linear_lut(exp_exact, kExpRange, 16),
+                        fit_linear_lut(reciprocal_exact, kDivideRange, 16),
+                        fit_linear_lut(rsqrt_exact, kRsqrtRange, 16)};
+
+  LutNonlinearities::Options opt;
+  opt.select = ApproxSelection::softmax_only();
+  opt.act = model.config().act;
+
+  auto eval_at = [&](const LutSet& luts, LutPrecision prec) {
+    auto backend = make_lut_backend(luts, prec, opt);
+    return eval::evaluate(model, task, *backend, MatmulMode::kFp16);
+  };
+
+  const double lin32 = eval_at(lin_luts, LutPrecision::kFp32);
+  const double lin16 = eval_at(lin_luts, LutPrecision::kFp16);
+  const double nn32 = eval_at(nn_luts, LutPrecision::kFp32);
+  const double nn16 = eval_at(nn_luts, LutPrecision::kFp16);
+
+  std::printf("\n  %-24s %-12s %10s %10s\n", "Approx. Type", "Softmax Prec",
+              "F1", "(loss)");
+  std::printf("  %-24s %-12s %10.1f %10s\n", "Baseline", "FP32", baseline, "-");
+  std::printf("  %-24s %-12s %10.1f %+10.1f\n", "Linear-LUT", "FP32", lin32,
+              lin32 - baseline);
+  std::printf("  %-24s %-12s %10.1f %+10.1f\n", "Linear-LUT", "FP16", lin16,
+              lin16 - baseline);
+  std::printf("  %-24s %-12s %10.1f %+10.1f\n", "NN-LUT", "FP32", nn32,
+              nn32 - baseline);
+  std::printf("  %-24s %-12s %10.1f %+10.1f\n", "NN-LUT", "FP16", nn16,
+              nn16 - baseline);
+
+  std::printf(
+      "\nPaper's shape (Table 3): NN-LUT matches the baseline exactly at\n"
+      "both precisions (89.3 / 89.3); Linear-LUT loses ~1.5 F1 at both\n"
+      "(87.8 / 87.7).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Table 4 of the paper: performance comparison of arithmetic units for the
+// approximation of non-linear operations (7-nm synthesis). Reproduced with
+// the gate-level cost model in src/hwmodel; measured numbers are printed
+// next to the paper's reference values.
+#include <cstdio>
+
+#include "hwmodel/units.h"
+
+#include "bench_util.h"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double area, power, delay;
+};
+
+void print_row(const nnlut::hw::UnitReport& r, const PaperRow& paper) {
+  std::printf("  %-14s | %8.2f %8.2f | %8.4f %8.4f | %6.2f %6.2f\n", paper.name,
+              r.area_um2, paper.area, r.power_mw, paper.power, r.delay_ns,
+              paper.delay);
+}
+
+}  // namespace
+
+int main() {
+  using namespace nnlut::hw;
+  nnlut::benchutil::print_header(
+      "Table 4: arithmetic units for non-linear approximation");
+
+  const CellLibrary lib;
+  const Table4 t = make_table4(lib, /*frequency_ghz=*/1.0);
+
+  std::printf("  %-14s | %8s %8s | %8s %8s | %6s %6s\n", "unit", "area",
+              "(paper)", "power", "(paper)", "delay", "(papr)");
+  std::printf("  %-14s | %17s | %17s | %13s\n", "", "um^2", "mW", "ns");
+  print_row(t.ibert_int32, {"I-BERT INT32", 2654.32, 2.1421, 2.67});
+  print_row(t.nnlut_int32, {"NN-LUT INT32", 1008.92, 0.0591, 0.68});
+  print_row(t.nnlut_fp16, {"NN-LUT FP16", 498.38, 0.0250, 1.36});
+  print_row(t.nnlut_fp32, {"NN-LUT FP32", 1133.60, 0.0437, 1.60});
+
+  std::printf("\n  Latency (cycles):\n");
+  std::printf("    I-BERT : I-GELU %d, I-EXP %d, I-SQRT %d  (paper: 3, 4, 5)\n",
+              t.ibert_int32.latency_cycles.at("GELU"),
+              t.ibert_int32.latency_cycles.at("EXP"),
+              t.ibert_int32.latency_cycles.at("1/SQRT"));
+  std::printf("    NN-LUT : GELU/EXP/DIV/1-SQRT all %d cycles (paper: 2)\n",
+              t.nnlut_int32.latency_cycles.at("GELU"));
+
+  const double area_r = t.ibert_int32.area_um2 / t.nnlut_int32.area_um2;
+  const double power_r = t.ibert_int32.power_mw / t.nnlut_int32.power_mw;
+  const double delay_r = t.ibert_int32.delay_ns / t.nnlut_int32.delay_ns;
+  std::printf(
+      "\n  Headline ratios (I-BERT / NN-LUT INT32):\n"
+      "    area  %0.2fx   (paper 2.63x)\n"
+      "    power %0.1fx   (paper 36.4x)\n"
+      "    delay %0.2fx   (paper 3.93x)\n",
+      area_r, power_r, delay_r);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Design-space exploration with the hardware cost model: sweep LUT entry
+// count and deployment precision, reporting area/power/delay next to the
+// approximation error each configuration achieves — the accuracy/cost
+// trade-off that motivates the paper's 16-entry choice.
+#include <cmath>
+#include <cstdio>
+
+#include "core/function_library.h"
+#include "hwmodel/units.h"
+
+int main() {
+  using namespace nnlut;
+  using namespace nnlut::hw;
+
+  std::printf("NN-LUT design space: entries x precision\n\n");
+  const CellLibrary lib;
+
+  std::printf("%8s %8s | %10s %10s %8s | %12s\n", "entries", "prec", "area um2",
+              "power mW", "delay ns", "GELU L1 err");
+  for (int entries : {4, 8, 16, 32, 64}) {
+    const FittedLut fit = fit_lut(TargetFn::kGelu, entries, FitPreset::kFast,
+                                  static_cast<std::uint64_t>(entries));
+    double l1 = 0.0;
+    for (int i = 0; i < 2048; ++i) {
+      const float x = -5.0f + 10.0f * (static_cast<float>(i) + 0.5f) / 2048;
+      l1 += std::abs(fit.lut(x) - gelu_exact(x));
+    }
+    l1 /= 2048;
+
+    for (UnitPrecision prec :
+         {UnitPrecision::kInt32, UnitPrecision::kFp16, UnitPrecision::kFp32}) {
+      const UnitReport r = build_nnlut_unit(lib, prec, entries).report(1.0);
+      std::printf("%8d %8s | %10.1f %10.4f %8.2f | %12.6f\n", entries,
+                  precision_name(prec), r.area_um2, r.power_mw, r.delay_ns, l1);
+    }
+  }
+
+  const UnitReport ibert = build_ibert_unit(lib).report(1.0);
+  std::printf("\nReference: I-BERT INT32 unit: %.1f um2, %.4f mW, %.2f ns\n",
+              ibert.area_um2, ibert.power_mw, ibert.delay_ns);
+  std::printf(
+      "\nThe error column saturates around 16 entries while area keeps\n"
+      "growing - the paper's chosen operating point.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "accel/simulator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nnlut::accel {
+
+SfuTiming nnlut_sfu_timing() {
+  SfuTiming t;
+  t.name = "NN-LUT";
+  // One shared LUT unit type, fully pipelined: II = 1 for every function.
+  t.gelu_ii = 1.0;
+  t.exp_ii = 1.0;
+  // The per-element multiply by the row reciprocal fuses into the LUT
+  // unit's own MAC (the unit computes s*x + t; streaming the elements with
+  // s preloaded to the reciprocal performs the scaling in the same pass).
+  t.softmax_scale_ii = 0.0;
+  t.recip_per_row = 2.0;  // 2-cycle LUT latency, once per row
+  t.reduce_ii = 0.75;     // vector adder tree handles accumulations
+  t.norm_scale_ii = 0.85; // (x-mu)*inv_std is exactly the LUT unit's MAC
+  t.rsqrt_per_row = 2.0;
+  t.etc_ii = 0.5;
+  t.pipeline_latency = 2;
+  return t;
+}
+
+SfuTiming ibert_sfu_timing() {
+  SfuTiming t;
+  t.name = "I-BERT";
+  // Multi-step integer sequences, partially pipelined (II = latency / 2):
+  // i-GELU 3 cycles, i-EXP 4 cycles, i-SQRT 5 cycles.
+  t.gelu_ii = 1.5;
+  t.exp_ii = 2.0;
+  t.softmax_scale_ii = 0.5;   // factor multiply + shift per element
+  t.recip_per_row = 32.0;     // integer divide for the row reciprocal
+  t.reduce_ii = 0.75;         // same vector adders as NN-LUT
+  t.norm_scale_ii = 2.7;      // factor mult (II 2) + shift, not a fused MAC
+  t.rsqrt_per_row = 5.0;      // i-sqrt Newton iterations
+  t.etc_ii = 0.5;
+  t.pipeline_latency = 4;
+  return t;
+}
+
+double CycleSimulator::op_cycles(const Op& op) const {
+  const double lanes = static_cast<double>(cfg_.sfu_lanes);
+  switch (op.kind) {
+    case OpKind::kMatMul: {
+      // Each engine: 64 dot products of `dot_width`-dim vectors per cycle.
+      const double dot_segments =
+          static_cast<double>(op.m) * static_cast<double>(op.n) *
+          std::ceil(static_cast<double>(op.k) / cfg_.dot_width);
+      const double dots_per_cycle =
+          static_cast<double>(cfg_.engines) *
+          (static_cast<double>(cfg_.macs_per_engine_per_cycle) / cfg_.dot_width);
+      return std::ceil(dot_segments / dots_per_cycle);
+    }
+    case OpKind::kGelu: {
+      const double elems = static_cast<double>(op.rows) * op.row_len;
+      return std::ceil(elems / lanes * sfu_.gelu_ii) + sfu_.pipeline_latency;
+    }
+    case OpKind::kSoftmax: {
+      const double elems = static_cast<double>(op.rows) * op.row_len;
+      const double exp_c = elems / lanes * sfu_.exp_ii;
+      const double recip_c =
+          static_cast<double>(op.rows) / lanes * sfu_.recip_per_row;
+      const double scale_c = elems / lanes * sfu_.softmax_scale_ii;
+      return std::ceil(exp_c + recip_c + scale_c) + sfu_.pipeline_latency;
+    }
+    case OpKind::kLayerNorm: {
+      const double elems = static_cast<double>(op.rows) * op.row_len;
+      const double reduce_c = 2.0 * elems / lanes * sfu_.reduce_ii;  // mu, var
+      const double rsqrt_c =
+          static_cast<double>(op.rows) / lanes * sfu_.rsqrt_per_row;
+      const double scale_c = elems / lanes * sfu_.norm_scale_ii;
+      return std::ceil(reduce_c + rsqrt_c + scale_c) + sfu_.pipeline_latency;
+    }
+    case OpKind::kEtc: {
+      const double elems = static_cast<double>(op.rows) * op.row_len;
+      return std::ceil(elems / lanes * sfu_.etc_ii) + 1.0;
+    }
+  }
+  throw std::invalid_argument("unknown OpKind");
+}
+
+Breakdown CycleSimulator::run(const std::vector<Op>& ops) const {
+  Breakdown b;
+  for (const Op& op : ops) {
+    const double c = op_cycles(op);
+    switch (op.kind) {
+      case OpKind::kMatMul:
+        b.matmul += c;
+        break;
+      case OpKind::kGelu:
+        b.gelu += c;
+        break;
+      case OpKind::kLayerNorm:
+        b.layernorm += c;
+        break;
+      case OpKind::kSoftmax:
+        b.softmax += c;
+        break;
+      case OpKind::kEtc:
+        b.etc += c;
+        break;
+    }
+  }
+  return b;
+}
+
+SystemComparison compare_at_seq(const BertShape& shape, std::size_t seq,
+                                const AcceleratorConfig& cfg) {
+  const std::vector<Op> ops = build_roberta_ops(shape, seq);
+  const CycleSimulator sim_i(cfg, ibert_sfu_timing());
+  const CycleSimulator sim_n(cfg, nnlut_sfu_timing());
+
+  SystemComparison out;
+  out.seq = seq;
+  out.ibert = sim_i.run(ops);
+  out.nnlut = sim_n.run(ops);
+  out.speedup = out.nnlut.total() > 0 ? out.ibert.total() / out.nnlut.total()
+                                      : 0.0;
+  return out;
+}
+
+}  // namespace nnlut::accel

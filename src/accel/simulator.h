@@ -1,0 +1,99 @@
+// Cycle-level simulator of the accelerator core in Fig. 3(c): a control
+// unit, a 1 MB scratchpad, two compute engines (32x32 MAC arrays, i.e. 64
+// dot-products of 16-dim vectors per cycle each) and a vector of special
+// function units. Swapping the SFU timing model between the NN-LUT unit and
+// the I-BERT unit reproduces Table 5's relative-cycle breakdown and speedup.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "accel/workload.h"
+
+namespace nnlut::accel {
+
+/// Per-element / per-row timing of one SFU flavour. All values are in
+/// cycles; `ii` values are per element *per lane*, so the simulator divides
+/// element counts by the lane count.
+struct SfuTiming {
+  std::string name;
+
+  double gelu_ii = 1.0;       // activation, per element
+  double exp_ii = 1.0;        // softmax numerator, per element
+  double softmax_scale_ii = 1.0;   // multiply by the reciprocal, per element
+  double recip_per_row = 2.0;      // softmax denominator lookup, per row
+
+  double reduce_ii = 1.0;     // mean/variance/sum accumulate, per element
+  double norm_scale_ii = 1.0; // (x - mu) * inv_std fused MAC, per element
+  double rsqrt_per_row = 2.0; // 1/sqrt evaluation, per row
+
+  double etc_ii = 0.5;        // residual adds etc. on the wide vector unit
+
+  int pipeline_latency = 2;   // fill cycles per op launch
+};
+
+/// NN-LUT SFU: every scalar function is the same pipelined 2-cycle LUT unit
+/// (II = 1), and normalization fuses into the LUT's multiply-add.
+SfuTiming nnlut_sfu_timing();
+
+/// I-BERT SFU: per-function iterative integer sequences (i-GELU 3, i-EXP 4,
+/// i-SQRT 5 cycles, partially pipelined), a true integer divide per softmax
+/// row, and a separate factor-multiply + shift normalization epilogue.
+SfuTiming ibert_sfu_timing();
+
+struct AcceleratorConfig {
+  int engines = 2;
+  int macs_per_engine_per_cycle = 1024;  // 64 x 16-dim dot products
+  int dot_width = 16;                    // K-dimension granularity
+  int sfu_lanes = 16;
+  double frequency_ghz = 1.0;
+};
+
+/// Cycle totals per operation category (the paper's Table 5 rows).
+struct Breakdown {
+  double gelu = 0.0;
+  double layernorm = 0.0;
+  double softmax = 0.0;
+  double matmul = 0.0;
+  double etc = 0.0;
+
+  double total() const { return gelu + layernorm + softmax + matmul + etc; }
+  double percent(double part) const {
+    const double t = total();
+    return t > 0 ? 100.0 * part / t : 0.0;
+  }
+};
+
+class CycleSimulator {
+ public:
+  CycleSimulator(AcceleratorConfig cfg, SfuTiming sfu)
+      : cfg_(cfg), sfu_(std::move(sfu)) {}
+
+  /// Cycles for one op on its resource.
+  double op_cycles(const Op& op) const;
+
+  /// Serial schedule over the op list (layer ops are dependency-chained; the
+  /// paper's breakdown likewise attributes 100% of time across categories).
+  Breakdown run(const std::vector<Op>& ops) const;
+
+  const AcceleratorConfig& config() const { return cfg_; }
+  const SfuTiming& sfu() const { return sfu_; }
+
+ private:
+  AcceleratorConfig cfg_;
+  SfuTiming sfu_;
+};
+
+/// One row pair of Table 5: both backends at a sequence length.
+struct SystemComparison {
+  std::size_t seq = 0;
+  Breakdown ibert;
+  Breakdown nnlut;
+  double speedup = 0.0;  // total_ibert / total_nnlut
+};
+
+SystemComparison compare_at_seq(const BertShape& shape, std::size_t seq,
+                                const AcceleratorConfig& cfg);
+
+}  // namespace nnlut::accel

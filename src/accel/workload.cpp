@@ -1,0 +1,69 @@
+#include "accel/workload.h"
+
+namespace nnlut::accel {
+
+Op Op::matmul(std::string name, std::size_t m, std::size_t k, std::size_t n) {
+  Op op;
+  op.kind = OpKind::kMatMul;
+  op.name = std::move(name);
+  op.m = m;
+  op.k = k;
+  op.n = n;
+  return op;
+}
+
+Op Op::elementwise(OpKind kind, std::string name, std::size_t rows,
+                   std::size_t row_len) {
+  Op op;
+  op.kind = kind;
+  op.name = std::move(name);
+  op.rows = rows;
+  op.row_len = row_len;
+  return op;
+}
+
+std::vector<Op> build_roberta_ops(const BertShape& sh, std::size_t seq) {
+  std::vector<Op> ops;
+  const std::size_t S = seq, H = sh.hidden, F = sh.ffn, A = sh.heads;
+  const std::size_t hd = H / A;
+
+  // Embedding sum + embedding LayerNorm.
+  ops.push_back(Op::elementwise(OpKind::kEtc, "emb-add", S, H));
+  ops.push_back(Op::elementwise(OpKind::kLayerNorm, "emb-ln", S, H));
+
+  for (std::size_t l = 0; l < sh.layers; ++l) {
+    const std::string p = "L" + std::to_string(l) + ".";
+    // QKV projections.
+    ops.push_back(Op::matmul(p + "q", S, H, H));
+    ops.push_back(Op::matmul(p + "k", S, H, H));
+    ops.push_back(Op::matmul(p + "v", S, H, H));
+    // Attention scores and context, per head: [S, hd] x [hd, S], [S,S]x[S,hd].
+    ops.push_back(Op::matmul(p + "scores", A * S, hd, S));
+    ops.push_back(Op::elementwise(OpKind::kSoftmax, p + "softmax", A * S, S));
+    ops.push_back(Op::matmul(p + "context", A * S, S, hd));
+    ops.push_back(Op::matmul(p + "attn-out", S, H, H));
+    ops.push_back(Op::elementwise(OpKind::kEtc, p + "residual1", S, H));
+    ops.push_back(Op::elementwise(OpKind::kLayerNorm, p + "ln1", S, H));
+    // Feed-forward.
+    ops.push_back(Op::matmul(p + "ff1", S, H, F));
+    ops.push_back(Op::elementwise(OpKind::kGelu, p + "gelu", S, F));
+    ops.push_back(Op::matmul(p + "ff2", S, F, H));
+    ops.push_back(Op::elementwise(OpKind::kEtc, p + "residual2", S, H));
+    ops.push_back(Op::elementwise(OpKind::kLayerNorm, p + "ln2", S, H));
+  }
+
+  // Pooler / classifier glue.
+  ops.push_back(Op::matmul("pooler", 1, H, H));
+  ops.push_back(Op::elementwise(OpKind::kEtc, "pooler-act", 1, H));
+  return ops;
+}
+
+double total_macs(const std::vector<Op>& ops) {
+  double macs = 0.0;
+  for (const Op& op : ops)
+    if (op.kind == OpKind::kMatMul)
+      macs += static_cast<double>(op.m) * op.k * op.n;
+  return macs;
+}
+
+}  // namespace nnlut::accel

@@ -1,0 +1,53 @@
+// Transformer inference workload expressed as a sequence of accelerator
+// operations with exact shape-derived work counts. This feeds the cycle
+// simulator (Fig. 3(c) of the paper: control unit, scratchpad, two MAC
+// engines, vector special-function unit).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nnlut::accel {
+
+/// RoBERTa-base dimensions (the paper's Table 5 subject).
+struct BertShape {
+  std::size_t layers = 12;
+  std::size_t hidden = 768;
+  std::size_t heads = 12;
+  std::size_t ffn = 3072;
+
+  static BertShape roberta_base() { return {}; }
+};
+
+enum class OpKind {
+  kMatMul,     // MAC-array work
+  kGelu,       // elementwise activation on the SFU
+  kLayerNorm,  // reductions + 1/sqrt + normalization
+  kSoftmax,    // exp per element + reciprocal per row + scale per element
+  kEtc,        // residual adds, embeddings, pooler glue
+};
+
+struct Op {
+  OpKind kind{};
+  std::string name;
+  // MatMul: C[m,n] += A[m,k] * B[k,n].
+  std::size_t m = 0, k = 0, n = 0;
+  // SFU ops: element/row structure.
+  std::size_t rows = 0;
+  std::size_t row_len = 0;
+
+  static Op matmul(std::string name, std::size_t m, std::size_t k,
+                   std::size_t n);
+  static Op elementwise(OpKind kind, std::string name, std::size_t rows,
+                        std::size_t row_len);
+};
+
+/// The full encoder forward pass at sequence length `seq` (one batch item;
+/// relative cycle shares are batch-invariant in this serial model).
+std::vector<Op> build_roberta_ops(const BertShape& shape, std::size_t seq);
+
+/// Total MAC count of all matmuls (sanity checks / utilization reports).
+double total_macs(const std::vector<Op>& ops);
+
+}  // namespace nnlut::accel

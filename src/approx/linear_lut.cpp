@@ -1,0 +1,125 @@
+#include "approx/linear_lut.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace nnlut {
+
+std::vector<float> make_breakpoints(InputRange range, int entries,
+                                    BreakpointMode mode) {
+  if (entries < 2) throw std::invalid_argument("LUT needs at least 2 entries");
+  if (!(range.lo < range.hi)) throw std::invalid_argument("invalid range");
+
+  const int n_bp = entries - 1;
+  std::vector<float> bps;
+  bps.reserve(static_cast<std::size_t>(n_bp));
+
+  if (mode == BreakpointMode::kLinear) {
+    for (int i = 1; i <= n_bp; ++i)
+      bps.push_back(range.lo + (range.hi - range.lo) * static_cast<float>(i) /
+                                   static_cast<float>(entries));
+    return bps;
+  }
+
+  // Exponential mode.
+  if (range.lo > 0.0f) {
+    const float ratio = range.hi / range.lo;
+    for (int i = 1; i <= n_bp; ++i)
+      bps.push_back(range.lo *
+                    std::pow(ratio, static_cast<float>(i) / entries));
+  } else if (range.hi <= 0.0f) {
+    // Mirror of the positive case.
+    const float lo = -range.hi, hi = -range.lo;
+    const float safe_lo = std::max(lo, hi * 1e-6f);
+    const float ratio = hi / safe_lo;
+    for (int i = 1; i <= n_bp; ++i)
+      bps.push_back(-safe_lo *
+                    std::pow(ratio, static_cast<float>(n_bp - i + 1) / entries));
+  } else {
+    // Range spans zero: symmetric geometric spacing by magnitude with half
+    // the breakpoints on each side and one at zero for odd counts.
+    const float hi = std::max(std::abs(range.lo), std::abs(range.hi));
+    const float lo = hi / std::pow(2.0f, static_cast<float>((n_bp + 1) / 2));
+    const int per_side = n_bp / 2;
+    for (int i = per_side; i >= 1; --i)
+      bps.push_back(-lo * std::pow(hi / lo, static_cast<float>(i) / per_side));
+    if (n_bp % 2) bps.push_back(0.0f);
+    for (int i = 1; i <= per_side; ++i)
+      bps.push_back(lo * std::pow(hi / lo, static_cast<float>(i) / per_side));
+  }
+  std::sort(bps.begin(), bps.end());
+  bps.erase(std::unique(bps.begin(), bps.end()), bps.end());
+  return bps;
+}
+
+namespace {
+
+/// Least-squares straight line through samples of f on [a, b].
+void fit_segment_ls(const std::function<float(float)>& f, float a, float b,
+                    int samples, float& slope, float& intercept) {
+  // Degenerate interval: constant function.
+  if (!(a < b)) {
+    slope = 0.0f;
+    intercept = f(a);
+    return;
+  }
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (int i = 0; i < samples; ++i) {
+    const double x = a + (b - a) * (i + 0.5) / samples;
+    const double y = f(static_cast<float>(x));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double n = samples;
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-30) {
+    slope = 0.0f;
+    intercept = static_cast<float>(sy / n);
+    return;
+  }
+  slope = static_cast<float>((n * sxy - sx * sy) / denom);
+  intercept = static_cast<float>((sy - slope * sx) / n);
+}
+
+void fit_segment_interp(const std::function<float(float)>& f, float a, float b,
+                        float& slope, float& intercept) {
+  if (!(a < b)) {
+    slope = 0.0f;
+    intercept = f(a);
+    return;
+  }
+  const float fa = f(a), fb = f(b);
+  slope = (fb - fa) / (b - a);
+  intercept = fa - slope * a;
+}
+
+}  // namespace
+
+PiecewiseLinear fit_fixed_breakpoint_lut(const std::function<float(float)>& f,
+                                         InputRange range, int entries,
+                                         BreakpointMode mode, SegmentFit fit,
+                                         int samples_per_segment) {
+  const std::vector<float> bps = make_breakpoints(range, entries, mode);
+  const std::size_t segments = bps.size() + 1;
+  std::vector<float> slopes(segments), intercepts(segments);
+
+  for (std::size_t seg = 0; seg < segments; ++seg) {
+    // Edge segments are fitted over their in-range portion; outside the
+    // range the LUT extrapolates that line, same as NN-LUT does.
+    const float a = (seg == 0) ? range.lo : bps[seg - 1];
+    const float b = (seg == segments - 1) ? range.hi : bps[seg];
+    if (fit == SegmentFit::kLeastSquares) {
+      fit_segment_ls(f, a, b, samples_per_segment, slopes[seg],
+                     intercepts[seg]);
+    } else {
+      fit_segment_interp(f, a, b, slopes[seg], intercepts[seg]);
+    }
+  }
+  return PiecewiseLinear(bps, std::move(slopes), std::move(intercepts));
+}
+
+}  // namespace nnlut

@@ -1,0 +1,47 @@
+// Baseline LUT constructions with *fixed* breakpoints (Sec. 3.1 of the
+// paper): Linear-mode (equally spaced) and Exponential-mode (geometric
+// spacing, dense near the low end). Segment parameters come from classic
+// curve fitting — per-segment least squares on the first-order polynomial —
+// or from endpoint interpolation. Unlike NN-LUT these cannot move their
+// breakpoints, which is exactly the weakness Table 2(a) exposes.
+#pragma once
+
+#include <functional>
+
+#include "core/piecewise_linear.h"
+#include "numerics/math.h"
+
+namespace nnlut {
+
+enum class BreakpointMode {
+  kLinear,       // equally spaced over the range
+  kExponential,  // geometric spacing: short intervals at low values
+};
+
+enum class SegmentFit {
+  kLeastSquares,   // first-order polynomial fit per segment (paper's choice)
+  kInterpolation,  // straight line through the segment endpoints
+};
+
+/// Place `entries - 1` breakpoints over `range` in the given mode.
+/// Exponential mode requires a positive lower bound for pure geometric
+/// spacing; ranges spanning zero use symmetric geometric spacing by
+/// magnitude (the NVDLA-style layout).
+std::vector<float> make_breakpoints(InputRange range, int entries,
+                                    BreakpointMode mode);
+
+/// Build a baseline LUT for `f` on `range`.
+PiecewiseLinear fit_fixed_breakpoint_lut(
+    const std::function<float(float)>& f, InputRange range, int entries,
+    BreakpointMode mode = BreakpointMode::kLinear,
+    SegmentFit fit = SegmentFit::kLeastSquares, int samples_per_segment = 64);
+
+/// Convenience: the paper's "Linear-LUT" baseline (linear breakpoints,
+/// first-order least-squares curve fitting).
+inline PiecewiseLinear fit_linear_lut(const std::function<float(float)>& f,
+                                      InputRange range, int entries = 16) {
+  return fit_fixed_breakpoint_lut(f, range, entries, BreakpointMode::kLinear,
+                                  SegmentFit::kLeastSquares);
+}
+
+}  // namespace nnlut

@@ -1,0 +1,15 @@
+#include "core/approx_net.h"
+
+namespace nnlut {
+
+float ApproxNet::operator()(float x) const {
+  float acc = c;
+  const std::size_t h = n.size();
+  for (std::size_t i = 0; i < h; ++i) {
+    const float pre = n[i] * x + b[i];
+    if (pre > 0.0f) acc += m[i] * pre;
+  }
+  return acc;
+}
+
+}  // namespace nnlut

@@ -1,0 +1,31 @@
+// One-hidden-layer ReLU approximation network (Eq. 5 of the paper):
+//
+//   NN(x) = sum_i m_i * relu(n_i * x + b_i) + c
+//
+// with H = N-1 hidden neurons for an N-entry LUT. The paper's Eq. 5 omits
+// the output bias c; we keep it (it folds into every LUT intercept and makes
+// training markedly easier for functions with a non-zero asymptote).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nnlut {
+
+struct ApproxNet {
+  std::vector<float> n;  // first-layer weights
+  std::vector<float> b;  // first-layer biases
+  std::vector<float> m;  // second-layer weights
+  float c = 0.0f;        // output bias
+
+  std::size_t hidden_size() const { return n.size(); }
+
+  /// NN(x) per Eq. 5.
+  float operator()(float x) const;
+
+  /// Breakpoint implied by neuron i: d_i = -b_i / n_i.
+  /// Neurons with |n_i| below `dead_eps` have no kink (constant contribution).
+  static constexpr float kDeadEps = 1e-12f;
+};
+
+}  // namespace nnlut

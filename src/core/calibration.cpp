@@ -1,0 +1,77 @@
+#include "core/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/trainer.h"
+#include "core/transform.h"
+#include "numerics/rng.h"
+
+namespace nnlut {
+
+namespace {
+double mean_abs_error_on(const ApproxNet& net, std::span<const float> xs,
+                         const std::function<float(float)>& reference) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (float x : xs) s += std::abs(static_cast<double>(net(x)) - reference(x));
+  return s / static_cast<double>(xs.size());
+}
+}  // namespace
+
+CalibrationResult calibrate(const ApproxNet& start,
+                            std::span<const float> captured_inputs,
+                            const std::function<float(float)>& reference,
+                            const CalibrationConfig& cfg) {
+  if (captured_inputs.empty())
+    throw std::invalid_argument("calibrate: empty capture buffer");
+
+  Rng rng(cfg.seed);
+
+  // Subsample the capture buffer if it exceeds the budget.
+  std::vector<float> xs(captured_inputs.begin(), captured_inputs.end());
+  if (static_cast<int>(xs.size()) > cfg.max_samples) {
+    std::shuffle(xs.begin(), xs.end(), rng.engine());
+    xs.resize(static_cast<std::size_t>(cfg.max_samples));
+  }
+  std::vector<float> ys(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) ys[i] = reference(xs[i]);
+
+  CalibrationResult out;
+  out.error_before = mean_abs_error_on(start, xs, reference);
+
+  // Continue Adam/L1 training from the deployed parameters, on the captured
+  // distribution, with a small constant learning rate.
+  ApproxNet net = start;
+  TrainConfig tc;
+  tc.hidden = static_cast<int>(start.hidden_size());
+  tc.epochs = cfg.epochs;
+  tc.batch_size = cfg.batch_size;
+  tc.lr = cfg.lr;
+  tc.decay_at_frac1 = 2.0f;  // no decay within 5 epochs
+  tc.decay_at_frac2 = 2.0f;
+  tc.loss = LossKind::kL1;
+  train_adam(net, xs, ys, tc, rng);
+
+  // Closed-form output refit on the captured data is cheap and safe.
+  ApproxNet refit = net;
+  if (refit_output_layer(refit, xs, ys) &&
+      mean_abs_error_on(refit, xs, reference) <
+          mean_abs_error_on(net, xs, reference)) {
+    net = std::move(refit);
+  }
+
+  out.error_after = mean_abs_error_on(net, xs, reference);
+  out.improved = out.error_after < out.error_before;
+  if (!out.improved) {
+    net = start;  // never deploy a worse approximator
+    out.error_after = out.error_before;
+  }
+  out.lut = nn_to_lut(net);
+  out.net = std::move(net);
+  return out;
+}
+
+}  // namespace nnlut

@@ -1,0 +1,41 @@
+// Dataset-free calibration of NN-LUT parameters (Sec. 3.3.3 of the paper):
+// with all transformer parameters frozen, the inputs actually reaching a
+// non-linear operation are captured on a small unlabeled set, the originating
+// approximation network is regressed against the full-precision reference on
+// that captured distribution, and the result is re-transformed into a LUT.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "core/approx_net.h"
+#include "core/piecewise_linear.h"
+
+namespace nnlut {
+
+struct CalibrationConfig {
+  int epochs = 5;  // paper: five epochs over the capture set
+  float lr = 2e-4f;
+  int batch_size = 256;
+  int max_samples = 50'000;  // subsample large capture buffers
+  std::uint64_t seed = 99;
+};
+
+struct CalibrationResult {
+  ApproxNet net;
+  PiecewiseLinear lut;
+  double error_before = 0.0;  // mean |approx - ref| on the captured inputs
+  double error_after = 0.0;
+  bool improved = false;
+};
+
+/// Calibrate `start` against `reference` on the captured input distribution.
+/// If continued training does not improve the captured-distribution error,
+/// the original network is kept (calibration can never hurt).
+CalibrationResult calibrate(const ApproxNet& start,
+                            std::span<const float> captured_inputs,
+                            const std::function<float(float)>& reference,
+                            const CalibrationConfig& cfg = {});
+
+}  // namespace nnlut

@@ -1,0 +1,126 @@
+#include "core/function_library.h"
+
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/transform.h"
+
+namespace nnlut {
+
+namespace {
+
+float swish_fn(float x) { return x / (1.0f + std::exp(-x)); }
+float hswish_fn(float x) {
+  const float r6 = std::min(std::max(x + 3.0f, 0.0f), 6.0f);
+  return x * r6 / 6.0f;
+}
+float tanh_fn(float x) { return std::tanh(x); }
+float sigmoid_fn(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+// Table 1 of the paper, plus the extra Fig. 3(a) activation functions.
+constexpr FnSpec kSpecs[] = {
+    {TargetFn::kGelu, "GELU", &gelu_exact, kGeluRange, SignInit::kAny,
+     SignInit::kAny},
+    {TargetFn::kExp, "EXP", &exp_exact, kExpRange, SignInit::kPositive,
+     SignInit::kPositive},
+    {TargetFn::kReciprocal, "DIV", &reciprocal_exact, kDivideRange,
+     SignInit::kNegative, SignInit::kPositive},
+    {TargetFn::kRsqrt, "1/SQRT", &rsqrt_exact, kRsqrtRange,
+     SignInit::kNegative, SignInit::kPositive},
+    {TargetFn::kSwish, "Swish", &swish_fn, {-6.0f, 6.0f}, SignInit::kAny,
+     SignInit::kAny},
+    {TargetFn::kHswish, "HSwish", &hswish_fn, {-6.0f, 6.0f}, SignInit::kAny,
+     SignInit::kAny},
+    {TargetFn::kTanh, "Tanh", &tanh_fn, {-4.0f, 4.0f}, SignInit::kAny,
+     SignInit::kAny},
+    {TargetFn::kSigmoid, "Sigmoid", &sigmoid_fn, {-8.0f, 8.0f}, SignInit::kAny,
+     SignInit::kAny},
+};
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  return true;
+}
+
+}  // namespace
+
+const FnSpec& fn_spec(TargetFn id) {
+  for (const FnSpec& s : kSpecs)
+    if (s.id == id) return s;
+  throw std::invalid_argument("unknown TargetFn");
+}
+
+const FnSpec* fn_spec_by_name(std::string_view name) {
+  for (const FnSpec& s : kSpecs)
+    if (iequals(s.name, name)) return &s;
+  // Friendly aliases.
+  if (iequals(name, "reciprocal") || iequals(name, "divide"))
+    return &fn_spec(TargetFn::kReciprocal);
+  if (iequals(name, "rsqrt") || iequals(name, "isqrt"))
+    return &fn_spec(TargetFn::kRsqrt);
+  return nullptr;
+}
+
+std::span<const FnSpec> all_fn_specs() { return kSpecs; }
+
+TrainConfig recipe(TargetFn id, int entries, FitPreset preset,
+                   std::uint64_t seed) {
+  if (entries < 2) throw std::invalid_argument("LUT needs at least 2 entries");
+  const FnSpec& spec = fn_spec(id);
+
+  TrainConfig cfg;
+  cfg.hidden = entries - 1;
+  cfg.range = spec.range;
+  cfg.weight_sign = spec.weight_sign;
+  cfg.bias_sign = spec.bias_sign;
+  cfg.seed = seed + static_cast<std::uint64_t>(id) * 1000003u;
+
+  if (preset == FitPreset::kPaper) {
+    cfg.dataset_size = 100'000;
+    cfg.epochs = 100;
+    cfg.restarts = 3;
+  } else {
+    cfg.dataset_size = 20'000;
+    cfg.epochs = 50;
+    cfg.restarts = 3;
+  }
+
+  // Functions with all their curvature in one corner of a wide range need
+  // the sampler (and therefore the kink initialization) concentrated there:
+  // 1/x-like functions near the low end of (1, 1024), exp near zero on
+  // (-256, 0]. The covered range stays exactly Table 1's; only the density
+  // changes (see the ablation_fitting bench for uniform-vs-log evidence).
+  if (id == TargetFn::kReciprocal || id == TargetFn::kRsqrt)
+    cfg.sampling = SampleDist::kLogUniform;
+  if (id == TargetFn::kExp) cfg.sampling = SampleDist::kLogMagnitude;
+
+  return cfg;
+}
+
+FittedLut fit_lut(TargetFn id, int entries, FitPreset preset,
+                  std::uint64_t seed) {
+  const FnSpec& spec = fn_spec(id);
+  const TrainConfig cfg = recipe(id, entries, preset, seed);
+  TrainResult r = fit_approx_net(spec.fn, cfg);
+  FittedLut out;
+  out.lut = nn_to_lut(r.net);
+  out.net = std::move(r.net);
+  out.validation_l1 = r.validation_l1;
+  return out;
+}
+
+NnlutBundle train_bundle(int entries, FitPreset preset, std::uint64_t seed) {
+  NnlutBundle b;
+  b.gelu = fit_lut(TargetFn::kGelu, entries, preset, seed);
+  b.exp = fit_lut(TargetFn::kExp, entries, preset, seed);
+  b.reciprocal = fit_lut(TargetFn::kReciprocal, entries, preset, seed);
+  b.rsqrt = fit_lut(TargetFn::kRsqrt, entries, preset, seed);
+  return b;
+}
+
+}  // namespace nnlut

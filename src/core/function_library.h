@@ -1,0 +1,80 @@
+// The paper's Table 1: the four scalar functions that cover every non-linear
+// operation of a BERT-style transformer, with their training input ranges and
+// initialization recipes, plus a convenience "bundle" that trains all four
+// NN-LUTs at once.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "core/piecewise_linear.h"
+#include "core/trainer.h"
+#include "numerics/math.h"
+
+namespace nnlut {
+
+enum class TargetFn {
+  // The paper's Table-1 functions (cover GELU, Softmax and LayerNorm):
+  kGelu,        // GELU activation,          range (-5, 5)
+  kExp,         // Softmax numerator,        range (-256, 0)
+  kReciprocal,  // Softmax "Divide",         range (1, 1024)
+  kRsqrt,       // LayerNorm 1/SQRT,         range (0.1, 1024)
+  // Additional activation functions the NN-LUT unit serves by swapping
+  // table contents (listed in the paper's Fig. 3a):
+  kSwish,       // x * sigmoid(x),           range (-6, 6)
+  kHswish,      // x * relu6(x + 3) / 6,     range (-6, 6)
+  kTanh,        //                           range (-4, 4)
+  kSigmoid,     //                           range (-8, 8)
+};
+
+struct FnSpec {
+  TargetFn id;
+  const char* name;
+  float (*fn)(float);
+  InputRange range;
+  SignInit weight_sign;  // Table 1 "Weight Init"
+  SignInit bias_sign;    // Table 1 "Bias Init"
+};
+
+/// Lookup of the Table-1 recipe for a target function.
+const FnSpec& fn_spec(TargetFn id);
+
+/// Lookup by name ("gelu", "exp", "div", "1/sqrt", "swish", "hswish",
+/// "tanh", "sigmoid"); returns nullptr for unknown names.
+const FnSpec* fn_spec_by_name(std::string_view name);
+
+/// All registered target functions.
+std::span<const FnSpec> all_fn_specs();
+
+/// Effort presets for training the approximators. kPaper mirrors the paper's
+/// setup (100K samples); kFast trades a little fidelity for bench runtime.
+enum class FitPreset { kFast, kPaper };
+
+/// The paper's default training configuration for one target function with
+/// an `entries`-entry LUT (hidden size = entries - 1).
+TrainConfig recipe(TargetFn id, int entries = 16,
+                   FitPreset preset = FitPreset::kPaper,
+                   std::uint64_t seed = 1);
+
+/// Train the network for `id` and return both the net and its LUT form.
+struct FittedLut {
+  ApproxNet net;
+  PiecewiseLinear lut;
+  double validation_l1 = 0.0;
+};
+FittedLut fit_lut(TargetFn id, int entries = 16,
+                  FitPreset preset = FitPreset::kPaper, std::uint64_t seed = 1);
+
+/// All four NN-LUTs needed to replace GELU, Softmax and LayerNorm.
+struct NnlutBundle {
+  FittedLut gelu;
+  FittedLut exp;
+  FittedLut reciprocal;
+  FittedLut rsqrt;
+};
+
+NnlutBundle train_bundle(int entries = 16, FitPreset preset = FitPreset::kPaper,
+                         std::uint64_t seed = 1);
+
+}  // namespace nnlut

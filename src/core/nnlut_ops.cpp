@@ -1,0 +1,60 @@
+#include "core/nnlut_ops.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nnlut {
+
+void SoftmaxApprox::operator()(std::span<float> row) const {
+  if (row.empty()) return;
+  const float mx = *std::max_element(row.begin(), row.end());
+  float sum = 0.0f;
+  for (float& v : row) {
+    const float shifted = std::clamp(v - mx, exp_clip_.lo, exp_clip_.hi);
+    v = exp_fn_->eval(shifted);
+    sum += v;
+  }
+  // The normalizer lies in [1, row_size] because the max element maps to
+  // exp(0) = 1; Table 1 trains the Divide LUT on (1, 1024) for exactly this.
+  const float inv = recip_fn_->eval(sum);
+  for (float& v : row) v *= inv;
+}
+
+float LayerNormApprox::inv_std(float v) const {
+  if (opt_.input_scaling && v < 1.0f) {
+    // v*S stays within the trained range (0.1, 1024) for v > S^-1; smaller
+    // variances saturate at the LUT boundary, which is the intended
+    // behaviour of the power-of-two pre-scaler.
+    return rsqrt_fn_->eval(v * opt_.scale) * std::sqrt(opt_.scale);
+  }
+  return rsqrt_fn_->eval(v);
+}
+
+void LayerNormApprox::operator()(std::span<const float> x, std::span<float> y,
+                                 std::span<const float> gamma,
+                                 std::span<const float> beta) const {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  if (n == 0) return;
+
+  double mean = 0.0;
+  for (float v : x) mean += v;
+  mean /= static_cast<double>(n);
+
+  double var = 0.0;
+  for (float v : x) {
+    const double d = v - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(n);
+
+  const float inv = inv_std(static_cast<float>(var) + opt_.eps);
+  for (std::size_t i = 0; i < n; ++i) {
+    float v = (x[i] - static_cast<float>(mean)) * inv;
+    if (!gamma.empty()) v *= gamma[i];
+    if (!beta.empty()) v += beta[i];
+    y[i] = v;
+  }
+}
+
+}  // namespace nnlut

@@ -1,0 +1,83 @@
+// Drop-in replacements for the transformer's non-linear operations, composed
+// from scalar approximators exactly as the paper deploys them:
+//   GELU      -> one LUT on (-5, 5)
+//   Softmax   -> EXP LUT on (x - max) plus a reciprocal ("Divide") LUT on the
+//                normalizer (Sec. 3.3.1, Table 1)
+//   LayerNorm -> exact mean/variance (MAC-array work) plus a 1/SQRT LUT with
+//                power-of-two input scaling for small variances (Sec. 3.3.2)
+#pragma once
+
+#include <cmath>
+#include <optional>
+#include <span>
+
+#include "core/scalar_fn.h"
+#include "numerics/math.h"
+
+namespace nnlut {
+
+/// Element-wise GELU replacement.
+class GeluApprox {
+ public:
+  explicit GeluApprox(const ScalarFn& fn) : fn_(&fn) {}
+  void operator()(std::span<float> row) const { fn_->eval_inplace(row); }
+  float eval(float x) const { return fn_->eval(x); }
+
+ private:
+  const ScalarFn* fn_;
+};
+
+/// Softmax replacement: y_i = explut(x_i - max) * reciplut(sum_j explut(...)).
+///
+/// Inputs to the EXP LUT are clipped to `exp_clip` (default: the Table-1
+/// training range). The paper's hardware assumes inputs pre-scaled to the
+/// unit's covered range (Sec. 5.1); exp(-256) underflows FP32 anyway, so the
+/// clip changes nothing mathematically but keeps linear extrapolation of the
+/// leftmost segment from injecting garbage for extreme logits.
+class SoftmaxApprox {
+ public:
+  SoftmaxApprox(const ScalarFn& exp_fn, const ScalarFn& recip_fn,
+                InputRange exp_clip = kExpRange)
+      : exp_fn_(&exp_fn), recip_fn_(&recip_fn), exp_clip_(exp_clip) {}
+
+  void operator()(std::span<float> row) const;
+
+ private:
+  const ScalarFn* exp_fn_;
+  const ScalarFn* recip_fn_;
+  InputRange exp_clip_;
+};
+
+/// LayerNorm replacement. Mean/variance stay exact (they are dot products the
+/// MAC array computes); only 1/sqrt(var + eps) goes through the LUT.
+///
+/// Input scaling (Sec. 3.3.2): the LUT is trained on (0.1, 1024). When the
+/// variance v < 1, evaluate lut(v * S) * sqrt(S) with S = 2^10 so the LUT
+/// only ever sees its well-trained monotonous range; S power-of-two makes
+/// the scaling a bit-shift in hardware.
+class LayerNormApprox {
+ public:
+  struct Options {
+    bool input_scaling = true;
+    float scale = 1024.0f;  // S = 2^10
+    float eps = 1e-5f;
+  };
+
+  explicit LayerNormApprox(const ScalarFn& rsqrt_fn)
+      : rsqrt_fn_(&rsqrt_fn), opt_() {}
+  LayerNormApprox(const ScalarFn& rsqrt_fn, Options opt)
+      : rsqrt_fn_(&rsqrt_fn), opt_(opt) {}
+
+  void operator()(std::span<const float> x, std::span<float> y,
+                  std::span<const float> gamma,
+                  std::span<const float> beta) const;
+
+  /// The (possibly input-scaled) 1/sqrt evaluation on variance v.
+  float inv_std(float v) const;
+
+ private:
+  const ScalarFn* rsqrt_fn_;
+  Options opt_;
+};
+
+}  // namespace nnlut

@@ -1,0 +1,66 @@
+// Reduced-precision LUT deployments (Sec. 4.1, footnote 3 of the paper):
+//  - FP16: breakpoints and parameters rounded to binary16, and the
+//    multiply/add computed in binary16 arithmetic;
+//  - INT32: breakpoints and parameters quantized with I-BERT-style scaling
+//    factors; the lookup compares integer inputs and the MAC runs in integer
+//    arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/piecewise_linear.h"
+#include "core/scalar_fn.h"
+#include "numerics/half.h"
+
+namespace nnlut {
+
+/// FP16 LUT: every stored constant is binary16 and every arithmetic result
+/// is rounded through binary16, emulating a genuine half-precision datapath.
+class LutFp16 final : public ScalarFn {
+ public:
+  explicit LutFp16(const PiecewiseLinear& lut);
+  float eval(float x) const override;
+
+ private:
+  std::vector<std::uint16_t> breakpoints_;
+  std::vector<std::uint16_t> slopes_;
+  std::vector<std::uint16_t> intercepts_;
+};
+
+/// INT32 LUT following I-BERT's scaling-factor quantization: a value v is
+/// represented as integer q with real value q * S. The input arrives with
+/// scale Sx (computed from the covered range), slopes use scale Ss, and
+/// intercepts share the product scale Ss*Sx so the integer MAC
+/// q_out = q_s * q_x + q_t needs no alignment. Magnitudes are budgeted so
+/// q_s*q_x fits comfortably in 32 bits (|q| <= 2^15 on both sides).
+class LutInt32 final : public ScalarFn {
+ public:
+  /// `input_max_abs` bounds |x| of the pre-scaled integer input (I-BERT
+  /// assumes inputs pre-scaled by the previous layer; we derive Sx from it).
+  LutInt32(const PiecewiseLinear& lut, float input_max_abs);
+
+  float eval(float x) const override;
+
+  float input_scale() const { return sx_; }
+  float output_scale() const { return ss_ * sx_; }
+
+ private:
+  std::vector<std::int32_t> breakpoints_;
+  std::vector<std::int32_t> slopes_;
+  std::vector<std::int32_t> intercepts_;
+  float sx_ = 1.0f;  // input scale
+  float ss_ = 1.0f;  // slope scale
+};
+
+/// Precision of a deployed LUT, used by benches and the transformer backends.
+enum class LutPrecision { kFp32, kFp16, kInt32 };
+
+/// Factory: wrap `lut` at the requested precision. For kInt32 the input
+/// range must be supplied via `input_max_abs`.
+std::unique_ptr<ScalarFn> make_lut_fn(const PiecewiseLinear& lut,
+                                      LutPrecision precision,
+                                      float input_max_abs = 1024.0f);
+
+}  // namespace nnlut

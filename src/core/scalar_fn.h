@@ -1,0 +1,64 @@
+// Scalar-function evaluation interface shared by every approximation backend
+// (exact reference, FP32/FP16/INT32 LUTs, I-BERT integer kernels) plus the
+// capture decorator used by dataset-free calibration (Sec. 3.3.3).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/piecewise_linear.h"
+
+namespace nnlut {
+
+/// A scalar function y = f(x), the unit of approximation in this library.
+class ScalarFn {
+ public:
+  virtual ~ScalarFn() = default;
+  virtual float eval(float x) const = 0;
+
+  /// Batch evaluation, in place. Overridable for vectorized backends.
+  virtual void eval_inplace(std::span<float> xs) const {
+    for (float& x : xs) x = eval(x);
+  }
+};
+
+/// Exact reference implementation wrapping any callable.
+class ExactFn final : public ScalarFn {
+ public:
+  explicit ExactFn(std::function<float(float)> fn) : fn_(std::move(fn)) {}
+  float eval(float x) const override { return fn_(x); }
+
+ private:
+  std::function<float(float)> fn_;
+};
+
+/// FP32 LUT evaluation (the plain NN-LUT / Linear-LUT deployment).
+class LutFp32 final : public ScalarFn {
+ public:
+  explicit LutFp32(PiecewiseLinear lut) : lut_(std::move(lut)) {}
+  float eval(float x) const override { return lut_(x); }
+  const PiecewiseLinear& lut() const { return lut_; }
+
+ private:
+  PiecewiseLinear lut_;
+};
+
+/// Decorator that records every input it sees before delegating; the
+/// recorded distribution drives NN-LUT calibration. The sink outlives the
+/// decorator and is owned by the caller.
+class CapturingFn final : public ScalarFn {
+ public:
+  CapturingFn(const ScalarFn& base, std::vector<float>& sink)
+      : base_(&base), sink_(&sink) {}
+  float eval(float x) const override {
+    sink_->push_back(x);
+    return base_->eval(x);
+  }
+
+ private:
+  const ScalarFn* base_;
+  std::vector<float>* sink_;
+};
+
+}  // namespace nnlut

@@ -1,0 +1,38 @@
+// Plain-text serialization of trained approximators and their LUTs, so a
+// table trained once (the paper: "two minutes on one V100, a one-time cost")
+// can be shipped to deployments. Format is a line-oriented text format with
+// full float round-trip precision (hex floats).
+//
+//   nnlut-lut v1
+//   entries <N>
+//   breakpoints <d_1> ... <d_{N-1}>
+//   slopes <s_1> ... <s_N>
+//   intercepts <t_1> ... <t_N>
+//
+//   nnlut-net v1
+//   hidden <H>
+//   n <...> / b <...> / m <...> / c <...>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/approx_net.h"
+#include "core/piecewise_linear.h"
+
+namespace nnlut {
+
+void write_lut(std::ostream& os, const PiecewiseLinear& lut);
+/// Throws std::runtime_error on malformed input.
+PiecewiseLinear read_lut(std::istream& is);
+
+void write_net(std::ostream& os, const ApproxNet& net);
+ApproxNet read_net(std::istream& is);
+
+/// Convenience file wrappers (throw std::runtime_error on I/O failure).
+void save_lut(const std::string& path, const PiecewiseLinear& lut);
+PiecewiseLinear load_lut(const std::string& path);
+void save_net(const std::string& path, const ApproxNet& net);
+ApproxNet load_net(const std::string& path);
+
+}  // namespace nnlut

@@ -1,0 +1,86 @@
+// Training of the approximation network (Sec. 3.3.1 / Table 1 of the paper):
+// uniform samples of the target function, ADAM optimizer, L1 loss,
+// learning rate 1e-3 with multi-step decay, and per-function sign recipes
+// for the first-layer weight/bias initialization.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/approx_net.h"
+#include "numerics/math.h"
+#include "numerics/rng.h"
+
+namespace nnlut {
+
+/// Sign constraint used when initializing first-layer parameters (Table 1):
+/// GELU uses unconstrained ("Random") init; EXP uses positive weights;
+/// Divide and 1/SQRT use negative weights with positive biases.
+enum class SignInit { kAny, kPositive, kNegative };
+
+enum class LossKind { kL1, kL2 };
+
+enum class SampleDist {
+  kUniform,       // the paper's choice: uniform over [lo, hi]
+  kLogUniform,    // denser near lo for 1/x-like functions (positive ranges)
+  kLogMagnitude,  // |x| log-uniform, sign of the range; concentrates samples
+                  // near zero for exp on (-256, 0] where all variation lives
+};
+
+struct TrainConfig {
+  int hidden = 15;  // H = N-1 neurons -> 16-entry LUT (the paper's setting)
+  InputRange range{-1.0f, 1.0f};
+  SignInit weight_sign = SignInit::kAny;
+  SignInit bias_sign = SignInit::kAny;
+
+  int dataset_size = 100'000;  // paper: "dataset size of 100K was enough"
+  int epochs = 60;
+  int batch_size = 512;
+  float lr = 1e-3f;  // paper: 0.001 with multi-step decay
+  // Multi-step schedule: lr *= 0.1 when reaching these fractions of epochs.
+  float decay_at_frac1 = 0.6f;
+  float decay_at_frac2 = 0.85f;
+
+  LossKind loss = LossKind::kL1;  // paper: L1 slightly outperforms
+  SampleDist sampling = SampleDist::kUniform;
+
+  int restarts = 3;  // train several seeds, keep the best validation L1
+  // Closed-form least-squares refit of the output layer (m, c) after Adam,
+  // kept only if it improves validation L1. Cheap and strictly beneficial.
+  bool refit_output = true;
+
+  std::uint64_t seed = 1;
+};
+
+struct TrainResult {
+  ApproxNet net;
+  double validation_l1 = 0.0;   // mean |NN - f| on a dense held-out grid
+  double validation_max = 0.0;  // max  |NN - f| on that grid
+};
+
+/// Fit an approximation network to `target` following `cfg`.
+TrainResult fit_approx_net(const std::function<float(float)>& target,
+                           const TrainConfig& cfg);
+
+/// Initialize a network per the Table-1 recipe: kinks spread uniformly over
+/// the input range, weight/bias signs per the recipe, small random output
+/// layer. Exposed for tests and ablations.
+ApproxNet init_approx_net(const TrainConfig& cfg, Rng& rng,
+                          const std::function<float(float)>& target);
+
+/// One Adam training run (no restarts / refit). Exposed for calibration,
+/// which continues training an existing net on captured activations.
+void train_adam(ApproxNet& net, std::span<const float> xs,
+                std::span<const float> ys, const TrainConfig& cfg, Rng& rng);
+
+/// Mean |net - target| over a dense uniform grid on cfg.range.
+double grid_l1_error(const ApproxNet& net,
+                     const std::function<float(float)>& target,
+                     InputRange range, int points = 4096);
+
+/// Least-squares refit of (m, c) with first layer frozen; returns false when
+/// the normal equations are singular (net left unchanged).
+bool refit_output_layer(ApproxNet& net, std::span<const float> xs,
+                        std::span<const float> ys);
+
+}  // namespace nnlut

@@ -1,0 +1,70 @@
+#include "core/transform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace nnlut {
+
+PiecewiseLinear nn_to_lut(const ApproxNet& net, float merge_eps) {
+  const std::size_t h = net.hidden_size();
+
+  // Constant contribution of dead neurons (|n| ~ 0): active iff bias > 0.
+  float const_offset = net.c;
+  std::vector<float> kinks;
+  kinks.reserve(h);
+  for (std::size_t i = 0; i < h; ++i) {
+    if (std::abs(net.n[i]) <= ApproxNet::kDeadEps) {
+      if (net.b[i] > 0.0f) const_offset += net.m[i] * net.b[i];
+    } else {
+      kinks.push_back(-net.b[i] / net.n[i]);
+    }
+  }
+  std::sort(kinks.begin(), kinks.end());
+
+  // Merge kinks that coincide (or nearly so, when merge_eps > 0).
+  std::vector<float> bps;
+  bps.reserve(kinks.size());
+  for (float d : kinks) {
+    if (!std::isfinite(d)) continue;
+    if (!bps.empty()) {
+      const float scale = std::max({1.0f, std::abs(bps.back()), std::abs(d)});
+      if (d - bps.back() <= merge_eps * scale || d <= bps.back()) continue;
+    }
+    bps.push_back(d);
+  }
+
+  const std::size_t segments = bps.size() + 1;
+  std::vector<float> slopes(segments, 0.0f);
+  std::vector<float> intercepts(segments, const_offset);
+
+  // Representative point of each interval; the active set is constant inside.
+  auto representative = [&](std::size_t seg) -> float {
+    if (bps.empty()) return 0.0f;
+    if (seg == 0) return bps.front() - 1.0f;
+    if (seg == segments - 1) return bps.back() + 1.0f;
+    return 0.5f * (bps[seg - 1] + bps[seg]);
+  };
+
+  for (std::size_t seg = 0; seg < segments; ++seg) {
+    const float x = representative(seg);
+    float s = 0.0f;
+    float t = 0.0f;
+    for (std::size_t j = 0; j < h; ++j) {
+      if (std::abs(net.n[j]) <= ApproxNet::kDeadEps) continue;
+      // Active test at the representative point. On the open interval the
+      // sign of n_j*x + b_j never changes, so this decides the whole segment.
+      if (net.n[j] * x + net.b[j] > 0.0f) {
+        s += net.m[j] * net.n[j];
+        t += net.m[j] * net.b[j];
+      }
+    }
+    slopes[seg] = s;
+    intercepts[seg] += t;
+  }
+
+  return PiecewiseLinear(std::move(bps), std::move(slopes), std::move(intercepts));
+}
+
+}  // namespace nnlut

@@ -1,0 +1,25 @@
+// The paper's core result (Sec. 3.2, Eq. 6-7): a trained one-hidden-layer
+// ReLU network is *exactly* equivalent to a first-order LUT whose
+// breakpoints are the neuron kinks d_i = -b_i/n_i and whose per-interval
+// slope/intercept are the sums of active-neuron contributions.
+#pragma once
+
+#include "core/approx_net.h"
+#include "core/piecewise_linear.h"
+
+namespace nnlut {
+
+/// Transform a trained approximation network into its equivalent LUT.
+///
+/// For every interval between consecutive sorted kinks, the set of active
+/// neurons is constant, so NN(x) restricted to the interval is the line
+///   z_i(x) = [sum_{j active} m_j n_j] x + [c + sum_{j active} m_j b_j].
+///
+/// The returned LUT satisfies LUT(x) == NN(x) for all x (bit-identical up to
+/// float summation order). Neurons with |n_i| <= ApproxNet::kDeadEps act as
+/// constant offsets (active iff b_i > 0) and produce no breakpoint. Kinks
+/// closer than `merge_eps` (relative) are merged to keep breakpoints strictly
+/// ascending.
+PiecewiseLinear nn_to_lut(const ApproxNet& net, float merge_eps = 0.0f);
+
+}  // namespace nnlut

@@ -1,0 +1,49 @@
+#include "eval/calibration_runner.h"
+
+#include "eval/pipeline.h"
+#include "numerics/math.h"
+
+namespace nnlut::eval {
+
+ModelCalibrationReport calibrate_layernorm_sites(
+    const transformer::TaskModel& model,
+    transformer::LutNonlinearities& backend, const FittedLut& rsqrt_base,
+    std::span<const tasks::Example> unlabeled, transformer::MatmulMode mode,
+    LutPrecision precision, const CalibrationConfig& cfg) {
+  ModelCalibrationReport report;
+
+  // Pass 1: run the frozen model over the unlabeled set with capture on.
+  backend.enable_rsqrt_capture();
+  transformer::InferenceModel infer(model, backend, mode);
+  for (std::size_t pos = 0; pos < unlabeled.size(); pos += 64) {
+    const std::size_t count = std::min<std::size_t>(64, unlabeled.size() - pos);
+    const transformer::BatchInput in = to_batch(unlabeled, pos, count);
+    (void)infer.encode(in);
+  }
+
+  // Pass 2: per-site regression against the exact reference, then install
+  // the re-transformed LUT at the deployment precision.
+  const int num_sites =
+      static_cast<int>(2 * model.encoder.layers.size()) + 1;  // + embedding LN
+  for (int site = 0; site < num_sites; ++site) {
+    const std::vector<float>& captured = backend.captured_rsqrt_inputs(site);
+    if (captured.empty()) continue;
+
+    const CalibrationResult r =
+        calibrate(rsqrt_base.net, captured, rsqrt_exact, cfg);
+
+    SiteCalibration sc;
+    sc.site = site;
+    sc.samples = captured.size();
+    sc.error_before = r.error_before;
+    sc.error_after = r.error_after;
+    report.sites.push_back(sc);
+
+    backend.set_site_rsqrt(site, make_lut_fn(r.lut, precision, 1024.0f));
+  }
+
+  backend.disable_rsqrt_capture();
+  return report;
+}
+
+}  // namespace nnlut::eval

@@ -1,0 +1,44 @@
+// Model-level calibration (Sec. 3.3.3 of the paper): with all transformer
+// parameters frozen, capture the inputs reaching every LayerNorm's 1/sqrt on
+// a small unlabeled set, regress each site's approximation network against
+// the full-precision reference on its captured distribution, and install the
+// calibrated LUTs back into the backend.
+#pragma once
+
+#include <span>
+
+#include "core/calibration.h"
+#include "core/function_library.h"
+#include "tasks/tasks.h"
+#include "transformer/backends.h"
+#include "transformer/infer.h"
+#include "transformer/model.h"
+
+namespace nnlut::eval {
+
+struct SiteCalibration {
+  int site = 0;
+  std::size_t samples = 0;
+  double error_before = 0.0;
+  double error_after = 0.0;
+};
+
+struct ModelCalibrationReport {
+  std::vector<SiteCalibration> sites;
+};
+
+/// Calibrate every LayerNorm site of `backend` for `model`.
+///
+/// `unlabeled` is the calibration set (the paper uses one tenth of the
+/// training data, without labels). `rsqrt_base` is the offline-trained
+/// approximator to start from; `precision` decides how the calibrated LUTs
+/// are deployed (FP32 or INT32, matching Table 2b's +C rows).
+ModelCalibrationReport calibrate_layernorm_sites(
+    const transformer::TaskModel& model,
+    transformer::LutNonlinearities& backend, const FittedLut& rsqrt_base,
+    std::span<const tasks::Example> unlabeled,
+    transformer::MatmulMode mode = transformer::MatmulMode::kFp32,
+    LutPrecision precision = LutPrecision::kFp32,
+    const CalibrationConfig& cfg = {});
+
+}  // namespace nnlut::eval

@@ -1,0 +1,35 @@
+#include "eval/finetune.h"
+
+namespace nnlut::eval {
+
+void finetune_with_luts(transformer::TaskModel& model,
+                        const tasks::TaskData& task,
+                        const PiecewiseLinear* gelu_lut,
+                        const PiecewiseLinear* rsqrt_lut,
+                        const FinetuneOptions& opt) {
+  // Install the approximations into the training graph.
+  for (auto& layer : model.encoder.layers) {
+    layer.install_lut_activation(gelu_lut);
+    layer.norm1.install_lut_rsqrt(rsqrt_lut);
+    layer.norm2.install_lut_rsqrt(rsqrt_lut);
+  }
+  model.encoder.emb_norm.install_lut_rsqrt(rsqrt_lut);
+
+  TrainOptions topt;
+  topt.epochs = opt.epochs;
+  topt.batch_size = opt.batch_size;
+  topt.lr = opt.lr;
+  topt.lr_decay_at = 2.0f;  // constant LR for the short fine-tune
+  topt.seed = opt.seed;
+  run_training(model, task, topt);
+
+  // Restore the exact graph; the adapted weights remain.
+  for (auto& layer : model.encoder.layers) {
+    layer.install_lut_activation(nullptr);
+    layer.norm1.install_lut_rsqrt(nullptr);
+    layer.norm2.install_lut_rsqrt(nullptr);
+  }
+  model.encoder.emb_norm.install_lut_rsqrt(nullptr);
+}
+
+}  // namespace nnlut::eval

@@ -1,0 +1,36 @@
+// Approximation-aware fine-tuning (extension; the alternative the paper's
+// rivals require, Sec. 1). Installs LUTs for GELU and LayerNorm *inside the
+// training graph* of an already-trained model and continues training, so the
+// transformer weights compensate for the approximation error. Softmax stays
+// exact in the fine-tuning graph (its LUT replacement happens at inference);
+// this mirrors the dominant cost structure — LayerNorm is the most sensitive
+// op (paper Table 2a) and GELU the most frequent.
+//
+// Contrast with core/calibration.h: calibration adjusts only the tiny
+// 1-D approximator on unlabeled data (cheap); fine-tuning adjusts the whole
+// transformer on labeled data (expensive) — which is exactly the trade-off
+// the paper argues NN-LUT avoids.
+#pragma once
+
+#include "eval/pipeline.h"
+
+namespace nnlut::eval {
+
+struct FinetuneOptions {
+  int epochs = 3;
+  int batch_size = 32;
+  float lr = 2e-4f;  // gentler than initial training
+  std::uint64_t seed = 17;
+};
+
+/// Continue training `model` with `gelu_lut` / `rsqrt_lut` live in the
+/// graph (either may be nullptr to keep that op exact). The LUTs must
+/// outlive the call; they are uninstalled before returning, leaving the
+/// model's weights adapted but its graph exact again.
+void finetune_with_luts(transformer::TaskModel& model,
+                        const tasks::TaskData& task,
+                        const PiecewiseLinear* gelu_lut,
+                        const PiecewiseLinear* rsqrt_lut,
+                        const FinetuneOptions& opt = {});
+
+}  // namespace nnlut::eval

@@ -1,0 +1,189 @@
+#include "eval/pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <numeric>
+
+#include "nn/losses.h"
+#include "nn/optimizer.h"
+
+namespace nnlut::eval {
+
+using tasks::Example;
+using tasks::TaskData;
+using transformer::BatchInput;
+using transformer::HeadKind;
+using transformer::InferenceModel;
+using transformer::TaskModel;
+
+transformer::BatchInput to_batch(std::span<const Example> examples,
+                                 std::size_t begin, std::size_t count) {
+  assert(begin + count <= examples.size());
+  assert(count > 0);
+  const std::size_t seq = examples[begin].tokens.size();
+  BatchInput in;
+  in.batch = count;
+  in.seq = seq;
+  in.token_ids.reserve(count * seq);
+  in.type_ids.reserve(count * seq);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Example& e = examples[begin + i];
+    assert(e.tokens.size() == seq);
+    in.token_ids.insert(in.token_ids.end(), e.tokens.begin(), e.tokens.end());
+    in.type_ids.insert(in.type_ids.end(), e.type_ids.begin(),
+                       e.type_ids.end());
+  }
+  return in;
+}
+
+namespace {
+
+HeadKind head_for(const TaskData& task) {
+  if (task.is_span) return HeadKind::kSpan;
+  if (task.is_regression) return HeadKind::kRegress;
+  return HeadKind::kClassify;
+}
+
+/// Span losses need the [B*S, 2] logits reshaped to per-batch position
+/// distributions; this computes the summed start+end cross-entropy and the
+/// gradient in the original layout.
+nn::LossResult span_loss(const Tensor& logits, std::span<const Example> batch,
+                         std::size_t seq) {
+  const std::size_t bsz = batch.size();
+  Tensor start_logits({bsz, seq}), end_logits({bsz, seq});
+  for (std::size_t b = 0; b < bsz; ++b)
+    for (std::size_t s = 0; s < seq; ++s) {
+      start_logits.at(b, s) = logits.at(b * seq + s, 0);
+      end_logits.at(b, s) = logits.at(b * seq + s, 1);
+    }
+  std::vector<int> starts(bsz), ends(bsz);
+  for (std::size_t b = 0; b < bsz; ++b) {
+    starts[b] = batch[b].span_start;
+    ends[b] = batch[b].span_end;
+  }
+  const nn::LossResult ls = nn::cross_entropy(start_logits, starts);
+  const nn::LossResult le = nn::cross_entropy(end_logits, ends);
+
+  nn::LossResult out;
+  out.loss = 0.5 * (ls.loss + le.loss);
+  out.dlogits = Tensor({bsz * seq, 2});
+  for (std::size_t b = 0; b < bsz; ++b)
+    for (std::size_t s = 0; s < seq; ++s) {
+      out.dlogits.at(b * seq + s, 0) = 0.5f * ls.dlogits.at(b, s);
+      out.dlogits.at(b * seq + s, 1) = 0.5f * le.dlogits.at(b, s);
+    }
+  return out;
+}
+
+}  // namespace
+
+TaskModel train_model(const TaskData& task, const transformer::ModelConfig& cfg,
+                      const TrainOptions& opt) {
+  Rng rng(opt.seed);
+  const std::size_t outputs = task.is_span          ? 2
+                              : task.is_regression  ? 1
+                                                    : static_cast<std::size_t>(
+                                                          task.num_labels);
+  TaskModel model(cfg, head_for(task), outputs, rng);
+  run_training(model, task, opt);
+  return model;
+}
+
+void run_training(TaskModel& model, const TaskData& task,
+                  const TrainOptions& opt) {
+  Rng rng(opt.seed + 0x9e37u);
+
+  nn::Adam::Options aopt;
+  aopt.lr = opt.lr;
+  nn::Adam adam(model.params(), aopt);
+
+  std::vector<std::size_t> order(task.train.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  const int decay_epoch =
+      static_cast<int>(opt.lr_decay_at * static_cast<float>(opt.epochs));
+
+  std::vector<Example> batch_examples(
+      static_cast<std::size_t>(opt.batch_size));
+
+  for (int epoch = 0; epoch < opt.epochs; ++epoch) {
+    if (epoch == decay_epoch) adam.set_lr(opt.lr * 0.1f);
+    std::shuffle(order.begin(), order.end(), rng.engine());
+
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t pos = 0; pos + static_cast<std::size_t>(opt.batch_size) <=
+                              task.train.size();
+         pos += static_cast<std::size_t>(opt.batch_size)) {
+      for (std::size_t i = 0; i < batch_examples.size(); ++i)
+        batch_examples[i] = task.train[order[pos + i]];
+
+      const BatchInput in = to_batch(batch_examples, 0, batch_examples.size());
+      adam.zero_grad();
+      const Tensor logits = model.forward(in);
+
+      nn::LossResult loss;
+      if (task.is_span) {
+        loss = span_loss(logits, batch_examples, in.seq);
+      } else if (task.is_regression) {
+        std::vector<float> targets(batch_examples.size());
+        for (std::size_t i = 0; i < targets.size(); ++i)
+          targets[i] = batch_examples[i].target;
+        loss = nn::mse(logits, targets);
+      } else {
+        std::vector<int> labels(batch_examples.size());
+        for (std::size_t i = 0; i < labels.size(); ++i)
+          labels[i] = batch_examples[i].label;
+        loss = nn::cross_entropy(logits, labels);
+      }
+
+      model.backward(loss.dlogits);
+      adam.step();
+      epoch_loss += loss.loss;
+      ++batches;
+    }
+    if (opt.verbose && batches) {
+      std::printf("  [%s] epoch %d loss %.4f\n", task.name.c_str(), epoch,
+                  epoch_loss / static_cast<double>(batches));
+    }
+  }
+}
+
+tasks::Predictions predict(InferenceModel& infer, const TaskData& task,
+                           std::span<const Example> examples,
+                           std::size_t batch_size) {
+  tasks::Predictions pred;
+  for (std::size_t pos = 0; pos < examples.size(); pos += batch_size) {
+    const std::size_t count = std::min(batch_size, examples.size() - pos);
+    const BatchInput in = to_batch(examples, pos, count);
+    const Tensor logits = infer.logits(in);
+
+    if (task.is_span) {
+      const auto spans = transformer::decode_spans(logits, count, in.seq);
+      pred.spans.insert(pred.spans.end(), spans.begin(), spans.end());
+    } else if (task.is_regression) {
+      for (std::size_t b = 0; b < count; ++b)
+        pred.scores.push_back(logits.at(b, 0));
+    } else {
+      const auto labels = nn::argmax_rows(logits);
+      pred.labels.insert(pred.labels.end(), labels.begin(), labels.end());
+    }
+  }
+  return pred;
+}
+
+double evaluate(const TaskModel& model, const TaskData& task,
+                transformer::NonlinearitySet& nl, transformer::MatmulMode mode,
+                std::size_t batch_size) {
+  InferenceModel infer(model, nl, mode);
+  const tasks::Predictions pred = predict(infer, task, task.dev, batch_size);
+  return tasks::compute_metric(task, task.dev, pred);
+}
+
+double evaluate_baseline(const TaskModel& model, const TaskData& task) {
+  transformer::ExactNonlinearities exact(model.config().act);
+  return evaluate(model, task, exact);
+}
+
+}  // namespace nnlut::eval

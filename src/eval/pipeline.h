@@ -1,0 +1,57 @@
+// End-to-end pipelines tying tasks, training and approximate inference
+// together. These functions implement the experimental procedure of the
+// paper's Sec. 4: fine-tune a model in full precision, swap non-linear
+// operations for approximations, and measure the task metric — *without*
+// approximation-aware fine-tuning (direct approximation).
+#pragma once
+
+#include <cstdint>
+
+#include "tasks/metrics.h"
+#include "tasks/tasks.h"
+#include "transformer/infer.h"
+#include "transformer/model.h"
+
+namespace nnlut::eval {
+
+struct TrainOptions {
+  int epochs = 6;
+  int batch_size = 32;
+  float lr = 5e-4f;
+  float lr_decay_at = 0.7f;  // multiply lr by 0.1 at this fraction of epochs
+  std::uint64_t seed = 1;
+  bool verbose = false;
+};
+
+/// Assemble a fixed-length batch from examples [begin, begin+count).
+transformer::BatchInput to_batch(std::span<const tasks::Example> examples,
+                                 std::size_t begin, std::size_t count);
+
+/// Train a TaskModel on the task's train split (FP32, exact nonlinearities).
+transformer::TaskModel train_model(const tasks::TaskData& task,
+                                   const transformer::ModelConfig& cfg,
+                                   const TrainOptions& opt);
+
+/// The mini-batch training loop behind train_model, usable on an existing
+/// model (continued training / approximation-aware fine-tuning).
+void run_training(transformer::TaskModel& model, const tasks::TaskData& task,
+                  const TrainOptions& opt);
+
+/// Run the approximate-inference engine over examples and decode outputs.
+tasks::Predictions predict(transformer::InferenceModel& infer,
+                           const tasks::TaskData& task,
+                           std::span<const tasks::Example> examples,
+                           std::size_t batch_size = 64);
+
+/// Metric of `model` on the dev split under the given backend and matmul
+/// precision. This is a row of Table 2/3.
+double evaluate(const transformer::TaskModel& model,
+                const tasks::TaskData& task, transformer::NonlinearitySet& nl,
+                transformer::MatmulMode mode = transformer::MatmulMode::kFp32,
+                std::size_t batch_size = 64);
+
+/// Convenience: FP32 exact baseline metric.
+double evaluate_baseline(const transformer::TaskModel& model,
+                         const tasks::TaskData& task);
+
+}  // namespace nnlut::eval

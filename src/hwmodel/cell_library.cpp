@@ -1,0 +1,120 @@
+#include "hwmodel/cell_library.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nnlut::hw {
+
+namespace {
+double log2i(int v) { return std::log2(static_cast<double>(std::max(v, 2))); }
+}  // namespace
+
+CellCost CellLibrary::from_gates(double gates, double levels) const {
+  CellCost c;
+  c.area_um2 = gates * tech_.area_per_gate_um2;
+  c.leakage_mw = gates * tech_.leakage_per_gate_mw;
+  c.energy_pj = gates * tech_.energy_per_gate_pj;
+  c.delay_ns = levels * tech_.delay_per_level_ns;
+  return c;
+}
+
+CellCost CellLibrary::adder(int bits) const {
+  // Carry-select: ~7 gate-eq per bit; delay ~ sqrt-ish, model as
+  // 4 + log2(bits) levels.
+  return from_gates(7.0 * bits, 4.0 + log2i(bits));
+}
+
+CellCost CellLibrary::multiplier(int a_bits, int b_bits) const {
+  // Wallace tree: partial products a*b AND gates + ~5 gate-eq per FA, FAs
+  // roughly a*b; delay ~ CSA tree levels plus the final carry-propagate
+  // adder over the double-width product.
+  const double gates = 6.0 * a_bits * b_bits;
+  const double levels = 8.0 + 2.8 * log2i(std::max(a_bits, b_bits));
+  return from_gates(gates, levels);
+}
+
+CellCost CellLibrary::divider(int bits) const {
+  // Restoring array divider: bits stages x (subtractor + mux) -> ~9 gate-eq
+  // per bit per stage; combinational delay grows linearly with width, which
+  // is why dividers dominate datapath critical paths.
+  const double gates = 9.0 * bits * bits;
+  const double levels = 3.5 * bits;
+  return from_gates(gates, levels);
+}
+
+CellCost CellLibrary::shifter(int bits) const {
+  // Barrel shifter: log2(bits) mux stages, 3 gate-eq per bit per stage.
+  const double stages = log2i(bits);
+  return from_gates(3.0 * bits * stages, 1.5 * stages);
+}
+
+CellCost CellLibrary::mux(int bits, int ways) const {
+  // (ways-1) 2:1 muxes per bit, ~3 gate-eq each, tree depth log2(ways).
+  return from_gates(3.0 * bits * std::max(ways - 1, 1), 1.2 * log2i(ways));
+}
+
+CellCost CellLibrary::comparator(int bits) const {
+  return from_gates(3.5 * bits, 2.0 + log2i(bits));
+}
+
+CellCost CellLibrary::reg(int bits) const {
+  // DFF ~ 4.5 gate-eq; clk-to-q delay one level.
+  return from_gates(4.5 * bits, 1.0);
+}
+
+CellCost CellLibrary::table(int entries, int bits_per_entry) const {
+  // Register-file storage (latch-based): ~1.8 gate-eq per bit plus a read
+  // mux tree across entries.
+  const double storage = 1.8 * entries * bits_per_entry;
+  const CellCost rd = mux(bits_per_entry, entries);
+  CellCost c = from_gates(storage, 1.0);
+  c.area_um2 += rd.area_um2;
+  c.leakage_mw += rd.leakage_mw;
+  c.energy_pj += rd.energy_pj;
+  c.delay_ns += rd.delay_ns;
+  return c;
+}
+
+CellCost CellLibrary::fp_multiplier(int mant_bits, int exp_bits) const {
+  // Significand multiplier + exponent adder + normalize/round/flag logic.
+  // The rounding + special-case handling of synthesized FP units adds
+  // substantial gate count and depth beyond the bare significand multiply.
+  CellCost c = multiplier(mant_bits, mant_bits);
+  const CellCost e = adder(exp_bits);
+  const CellCost norm = shifter(mant_bits);
+  const double extra_gates = 60.0 * mant_bits;  // round/sticky/denorm/flags
+  c.area_um2 += e.area_um2 + norm.area_um2 + extra_gates * tech_.area_per_gate_um2;
+  c.leakage_mw +=
+      e.leakage_mw + norm.leakage_mw + extra_gates * tech_.leakage_per_gate_mw;
+  c.energy_pj +=
+      e.energy_pj + norm.energy_pj + extra_gates * tech_.energy_per_gate_pj;
+  c.delay_ns += norm.delay_ns + 10.0 * tech_.delay_per_level_ns;
+  return c;
+}
+
+CellCost CellLibrary::fp_adder(int mant_bits, int exp_bits) const {
+  // Align (shifter) + add + leading-zero detect + normalize + round; FP
+  // adders are famously larger and slower than integer adders.
+  CellCost c = adder(mant_bits + 1);
+  const CellCost align = shifter(mant_bits);
+  const CellCost norm = shifter(mant_bits);
+  const CellCost e = adder(exp_bits);
+  const double extra_gates = 50.0 * mant_bits;  // LZD/round/flags
+  for (const CellCost* part : {&align, &norm, &e}) {
+    c.area_um2 += part->area_um2;
+    c.leakage_mw += part->leakage_mw;
+    c.energy_pj += part->energy_pj;
+  }
+  c.area_um2 += extra_gates * tech_.area_per_gate_um2;
+  c.leakage_mw += extra_gates * tech_.leakage_per_gate_mw;
+  c.energy_pj += extra_gates * tech_.energy_per_gate_pj;
+  c.delay_ns +=
+      align.delay_ns + norm.delay_ns + 10.0 * tech_.delay_per_level_ns;
+  return c;
+}
+
+CellCost CellLibrary::fp_comparator(int mant_bits, int exp_bits) const {
+  return comparator(mant_bits + exp_bits + 1);
+}
+
+}  // namespace nnlut::hw

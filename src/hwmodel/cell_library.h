@@ -1,0 +1,82 @@
+// Gate-level cost model standing in for commercial 7-nm synthesis (the paper
+// synthesizes its arithmetic units with a commercial 7-nm library; no PDK is
+// available offline, see DESIGN.md substitution table).
+//
+// Every datapath cell is reduced to NAND2-equivalent gate counts with
+// technology constants for area, leakage, switching energy and stage delay.
+// Gate counts follow standard structural estimates (ripple/carry-select
+// adders, Wallace-tree multipliers, restoring array dividers, barrel
+// shifters). The technology constants are calibrated once against the
+// I-BERT INT32 column of the paper's Table 4 and then held fixed for every
+// other unit, so all *ratios* are genuine model outputs.
+#pragma once
+
+#include <string>
+
+namespace nnlut::hw {
+
+/// Cost of one cell instance.
+struct CellCost {
+  double area_um2 = 0.0;
+  double leakage_mw = 0.0;
+  double energy_pj = 0.0;  // dynamic energy per activation
+  double delay_ns = 0.0;   // input-to-output critical path
+
+  CellCost& operator+=(const CellCost& o) {
+    area_um2 += o.area_um2;
+    leakage_mw += o.leakage_mw;
+    energy_pj += o.energy_pj;
+    // Delay does not add here; path delay is handled by Datapath stages.
+    return *this;
+  }
+};
+
+/// Technology constants (per NAND2-equivalent gate). Calibrated once against
+/// the I-BERT INT32 column of the paper's Table 4; see EXPERIMENTS.md.
+struct Technology {
+  std::string name = "generic-7nm-class";
+  double area_per_gate_um2 = 0.055;
+  double leakage_per_gate_mw = 1.2e-6;
+  double energy_per_gate_pj = 2.4e-4;
+  double delay_per_level_ns = 0.016;  // one logic level (FO4-ish)
+
+  static Technology generic_7nm() { return {}; }
+};
+
+class CellLibrary {
+ public:
+  explicit CellLibrary(Technology tech = Technology::generic_7nm())
+      : tech_(tech) {}
+
+  const Technology& technology() const { return tech_; }
+
+  /// Carry-select adder, `bits` wide.
+  CellCost adder(int bits) const;
+  /// Wallace-tree multiplier, a_bits x b_bits.
+  CellCost multiplier(int a_bits, int b_bits) const;
+  /// Restoring array divider, `bits` wide (combinational; delay ~ bits).
+  CellCost divider(int bits) const;
+  /// Barrel shifter, `bits` wide.
+  CellCost shifter(int bits) const;
+  /// ways:1 multiplexer, `bits` wide.
+  CellCost mux(int bits, int ways) const;
+  /// Magnitude comparator, `bits` wide.
+  CellCost comparator(int bits) const;
+  /// DFF register bank, `bits` wide.
+  CellCost reg(int bits) const;
+  /// Register-file LUT storage: `entries` x `bits_per_entry`.
+  CellCost table(int entries, int bits_per_entry) const;
+
+  /// Floating-point multiplier / adder with the given mantissa+exponent
+  /// split (FP16: 11-bit significand, 5-bit exponent; FP32: 24 / 8).
+  CellCost fp_multiplier(int mant_bits, int exp_bits) const;
+  CellCost fp_adder(int mant_bits, int exp_bits) const;
+  /// FP magnitude comparator (sign/exp/mant compare).
+  CellCost fp_comparator(int mant_bits, int exp_bits) const;
+
+ private:
+  CellCost from_gates(double gates, double levels) const;
+  Technology tech_;
+};
+
+}  // namespace nnlut::hw

@@ -1,0 +1,80 @@
+#include "hwmodel/datapath.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nnlut::hw {
+
+void Datapath::add(const std::string& instance_name, const CellCost& cost) {
+  instances_.push_back({instance_name, cost});
+}
+
+const Instance* Datapath::find(const std::string& instance_name) const {
+  for (const Instance& inst : instances_)
+    if (inst.name == instance_name) return &inst;
+  return nullptr;
+}
+
+void Datapath::add_stage(const std::vector<std::string>& instance_names) {
+  double delay = 0.0;
+  for (const std::string& n : instance_names) {
+    const Instance* inst = find(n);
+    if (inst == nullptr)
+      throw std::invalid_argument("Datapath stage references unknown instance: " + n);
+    delay += inst->cost.delay_ns;
+  }
+  stage_delays_.push_back(delay);
+}
+
+void Datapath::add_schedule(OpSchedule schedule) {
+  schedules_.push_back(std::move(schedule));
+}
+
+double Datapath::total_area() const {
+  double a = 0.0;
+  for (const Instance& i : instances_) a += i.cost.area_um2;
+  return a;
+}
+
+double Datapath::total_leakage_mw() const {
+  double l = 0.0;
+  for (const Instance& i : instances_) l += i.cost.leakage_mw;
+  return l;
+}
+
+double Datapath::total_energy_pj() const {
+  double e = 0.0;
+  for (const Instance& i : instances_) e += i.cost.energy_pj;
+  return e;
+}
+
+double Datapath::critical_path_ns() const {
+  if (stage_delays_.empty()) return 0.0;
+  return *std::max_element(stage_delays_.begin(), stage_delays_.end());
+}
+
+UnitReport Datapath::report(double frequency_ghz) const {
+  UnitReport r;
+  r.unit_name = name_;
+  r.area_um2 = total_area();
+  r.delay_ns = critical_path_ns();
+
+  // Dynamic power: energy-per-cycle x frequency, with the unit busy on a
+  // steady stream of operations (throughput mode, as in an NPU SFU).
+  // energy/cycle = total switching energy x mean schedule activity.
+  double mean_activity = 0.0;
+  for (const OpSchedule& s : schedules_) {
+    mean_activity += s.activity;
+    r.latency_cycles[s.op_name] = s.latency_cycles;
+    r.initiation_interval[s.op_name] = s.initiation_interval;
+  }
+  if (!schedules_.empty())
+    mean_activity /= static_cast<double>(schedules_.size());
+
+  const double dynamic_mw =
+      total_energy_pj() * mean_activity * frequency_ghz;  // pJ * GHz == mW
+  r.power_mw = total_leakage_mw() + dynamic_mw;
+  return r;
+}
+
+}  // namespace nnlut::hw

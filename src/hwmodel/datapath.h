@@ -1,0 +1,76 @@
+// A Datapath is a named bag of cell instances plus pipeline-stage structure
+// and per-operation activity schedules. From it we derive the quantities the
+// paper's Table 4 reports: area, power at a target frequency, critical-path
+// delay and per-function cycle latency.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hwmodel/cell_library.h"
+
+namespace nnlut::hw {
+
+struct Instance {
+  std::string name;
+  CellCost cost;
+  /// Fraction of cycles this cell toggles while the unit executes (0..1),
+  /// set per operation schedule below for dynamic power.
+};
+
+/// How one non-linear function uses the datapath: how many cycles it takes
+/// and which fraction of the datapath's switching capacitance is active per
+/// cycle (iterative ops keep their cells toggling every cycle of the loop).
+struct OpSchedule {
+  std::string op_name;
+  int latency_cycles = 1;
+  /// Initiation interval: a new element can enter every `ii` cycles.
+  double initiation_interval = 1.0;
+  /// Average fraction of the unit's total switching energy dissipated per
+  /// active cycle (pipelined lookup units touch a small slice; iterative
+  /// integer pipelines re-toggle most of the datapath each cycle).
+  double activity = 0.3;
+};
+
+struct UnitReport {
+  std::string unit_name;
+  double area_um2 = 0.0;
+  double power_mw = 0.0;   // leakage + dynamic at the target frequency
+  double delay_ns = 0.0;   // critical path (max stage delay)
+  std::map<std::string, int> latency_cycles;  // per non-linear function
+  std::map<std::string, double> initiation_interval;
+};
+
+class Datapath {
+ public:
+  explicit Datapath(std::string name) : name_(std::move(name)) {}
+
+  void add(const std::string& instance_name, const CellCost& cost);
+  /// Declare a pipeline stage whose combinational path is the sum of the
+  /// given instances' delays (instances must have been added).
+  void add_stage(const std::vector<std::string>& instance_names);
+  void add_schedule(OpSchedule schedule);
+
+  double total_area() const;
+  double total_leakage_mw() const;
+  double total_energy_pj() const;
+  /// Max combinational stage delay.
+  double critical_path_ns() const;
+
+  /// Full report at `frequency_ghz`, averaging dynamic power over the
+  /// schedules (duty-weighted mean activity across the listed ops).
+  UnitReport report(double frequency_ghz = 1.0) const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  const Instance* find(const std::string& instance_name) const;
+
+  std::string name_;
+  std::vector<Instance> instances_;
+  std::vector<double> stage_delays_;
+  std::vector<OpSchedule> schedules_;
+};
+
+}  // namespace nnlut::hw

@@ -1,0 +1,138 @@
+#include "hwmodel/units.h"
+
+namespace nnlut::hw {
+
+const char* precision_name(UnitPrecision p) {
+  switch (p) {
+    case UnitPrecision::kInt32:
+      return "INT32";
+    case UnitPrecision::kFp16:
+      return "FP16";
+    case UnitPrecision::kFp32:
+      return "FP32";
+  }
+  return "?";
+}
+
+namespace {
+struct WidthSpec {
+  int word;       // stored word width
+  int mant, exp;  // FP split (unused for INT32)
+  bool is_fp;
+};
+
+WidthSpec width_of(UnitPrecision p) {
+  switch (p) {
+    case UnitPrecision::kInt32:
+      return {32, 0, 0, false};
+    case UnitPrecision::kFp16:
+      return {16, 11, 5, true};
+    case UnitPrecision::kFp32:
+      return {32, 24, 8, true};
+  }
+  return {32, 0, 0, false};
+}
+}  // namespace
+
+Datapath build_nnlut_unit(const CellLibrary& lib, UnitPrecision precision,
+                          int entries) {
+  const WidthSpec w = width_of(precision);
+  Datapath dp(std::string("NN-LUT(") + precision_name(precision) + ")");
+
+  // Fig. 3(a): input register -> comparator bank over breakpoints + table
+  // read of (s, t) -> multiplier -> adder -> output register.
+  dp.add("reg_in", lib.reg(w.word));
+  const int n_cmp = entries - 1;
+  for (int i = 0; i < n_cmp; ++i) {
+    dp.add("cmp" + std::to_string(i),
+           w.is_fp ? lib.fp_comparator(w.mant, w.exp) : lib.comparator(w.word));
+  }
+  dp.add("bp_table", lib.table(n_cmp, w.word));
+  dp.add("st_table", lib.table(entries, 2 * w.word));
+  dp.add("reg_s", lib.reg(w.word));
+  dp.add("reg_t", lib.reg(w.word));
+  dp.add("mult0",
+         w.is_fp ? lib.fp_multiplier(w.mant, w.exp) : lib.multiplier(w.word, w.word));
+  dp.add("add0", w.is_fp ? lib.fp_adder(w.mant, w.exp) : lib.adder(w.word));
+  dp.add("reg_out", lib.reg(w.word));
+
+  // Two pipeline stages: (compare + table read) and (multiply + add).
+  // The comparator bank is parallel, so one comparator delay + the read.
+  dp.add_stage({"reg_in", "cmp0", "st_table"});
+  dp.add_stage({"reg_s", "mult0", "add0"});
+
+  // All four functions share the identical 2-cycle schedule; the effective
+  // toggle rate per lookup is low (one comparator column resolves, one table
+  // row is read, one MAC fires against mostly-static operands). The 0.012
+  // activity factor is the power-calibration knob documented in
+  // EXPERIMENTS.md.
+  for (const char* op : {"GELU", "EXP", "DIV", "1/SQRT"}) {
+    OpSchedule s;
+    s.op_name = op;
+    s.latency_cycles = 2;
+    s.initiation_interval = 1.0;
+    s.activity = 0.010;
+    dp.add_schedule(s);
+  }
+  return dp;
+}
+
+Datapath build_ibert_unit(const CellLibrary& lib) {
+  Datapath dp("I-BERT(INT32)");
+
+  // Fig. 3(b): two multipliers, five adders, three shifters, one divider,
+  // muxed feedback paths and a deep register file to sequence the i-GELU /
+  // i-EXP / i-SQRT loops, plus constant registers (q_ln2, q_b, q_c, q_1).
+  //
+  // Although inputs are INT32, the intermediate values of the I-BERT
+  // algorithms are wider: i_poly squares (q + q_b) before adding q_c, so the
+  // accumulate/shift/divide paths carry ~64-bit operands (our own software
+  // kernels require int64 for exactly these steps). The datapath widths
+  // reflect that.
+  dp.add("mult0", lib.multiplier(32, 32));
+  dp.add("mult1", lib.multiplier(32, 32));
+  for (int i = 0; i < 5; ++i)
+    dp.add("add" + std::to_string(i), lib.adder(64));
+  for (int i = 0; i < 3; ++i)
+    dp.add("shft" + std::to_string(i), lib.shifter(64));
+  dp.add("div0", lib.divider(44));  // i-sqrt / softmax reciprocal divide
+  for (int i = 0; i < 8; ++i)
+    dp.add("mux" + std::to_string(i), lib.mux(64, 2));
+  dp.add("demux0", lib.mux(64, 2));
+  for (int i = 0; i < 11; ++i)
+    dp.add("reg" + std::to_string(i), lib.reg(64));
+  dp.add("const_regs", lib.reg(4 * 32));
+  dp.add("ctrl", lib.reg(48));  // loop counters / FSM state
+
+  // Stage structure per the figure: the divider path dominates the critical
+  // path (q / x_k inside the i-sqrt Newton iteration).
+  dp.add_stage({"reg0", "mux0", "add0"});
+  dp.add_stage({"reg1", "mult0", "add1"});
+  dp.add_stage({"reg2", "mux1", "div0"});
+  dp.add_stage({"reg3", "shft0", "mux2", "add2"});
+
+  // Latencies from the paper's pipeline mapping: i-GELU 3, i-EXP 4,
+  // i-SQRT 5 cycles; loops keep most of the datapath toggling every cycle,
+  // hence the high activity (power-calibration knob, see EXPERIMENTS.md).
+  OpSchedule gelu{"GELU", 3, 1.5, 0.22};
+  OpSchedule exp{"EXP", 4, 2.0, 0.22};
+  OpSchedule sqrt{"1/SQRT", 5, 2.5, 0.22};
+  dp.add_schedule(gelu);
+  dp.add_schedule(exp);
+  dp.add_schedule(sqrt);
+  return dp;
+}
+
+Table4 make_table4(const CellLibrary& lib, double frequency_ghz, int entries) {
+  Table4 t;
+  t.ibert_int32 = build_ibert_unit(lib).report(frequency_ghz);
+  t.nnlut_int32 =
+      build_nnlut_unit(lib, UnitPrecision::kInt32, entries).report(frequency_ghz);
+  t.nnlut_fp16 =
+      build_nnlut_unit(lib, UnitPrecision::kFp16, entries).report(frequency_ghz);
+  t.nnlut_fp32 =
+      build_nnlut_unit(lib, UnitPrecision::kFp32, entries).report(frequency_ghz);
+  return t;
+}
+
+}  // namespace nnlut::hw

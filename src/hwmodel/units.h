@@ -1,0 +1,41 @@
+// Datapath netlists of the two arithmetic units compared in Table 4:
+//
+//  - build_nnlut_unit: Fig. 3(a) — comparator bank + LUT storage feeding a
+//    single multiply-add; two pipeline stages, so every non-linear function
+//    (GELU, EXP, DIV, 1/SQRT) takes 2 cycles with II = 1.
+//
+//  - build_ibert_unit: Fig. 3(b) — the multiplier/adder/shifter/divider
+//    ensemble required by I-BERT's integer GELU/EXP/SQRT sequences, with
+//    muxed multi-cycle loops (i-GELU 3, i-EXP 4, i-SQRT 5 cycles).
+//
+// Area, delay and latency are structural predictions of the cell model; the
+// per-schedule switching-activity factors are calibrated against the power
+// column of Table 4 (see EXPERIMENTS.md for the calibration discussion).
+#pragma once
+
+#include "hwmodel/datapath.h"
+
+namespace nnlut::hw {
+
+enum class UnitPrecision { kInt32, kFp16, kFp32 };
+
+const char* precision_name(UnitPrecision p);
+
+/// NN-LUT approximation unit with `entries` table entries.
+Datapath build_nnlut_unit(const CellLibrary& lib, UnitPrecision precision,
+                          int entries = 16);
+
+/// I-BERT integer arithmetic unit (INT32, per the paper's comparison).
+Datapath build_ibert_unit(const CellLibrary& lib);
+
+/// The full Table-4 row set at a given frequency.
+struct Table4 {
+  UnitReport ibert_int32;
+  UnitReport nnlut_int32;
+  UnitReport nnlut_fp16;
+  UnitReport nnlut_fp32;
+};
+Table4 make_table4(const CellLibrary& lib, double frequency_ghz = 1.0,
+                   int entries = 16);
+
+}  // namespace nnlut::hw

@@ -1,0 +1,198 @@
+#include "ibert/ibert_kernels.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace nnlut::ibert {
+
+QValue i_poly(QValue in, float a, float b, float c) {
+  const std::int64_t qb = static_cast<std::int64_t>(std::floor(b / in.s));
+  const float s_out = a * in.s * in.s;
+  const std::int64_t qc = static_cast<std::int64_t>(std::floor(c / s_out));
+  const std::int64_t base = in.q + qb;
+  QValue out;
+  out.q = base * base + qc;
+  out.s = s_out;
+  return out;
+}
+
+QValue i_erf(QValue in) {
+  constexpr float a = -0.2888f;
+  constexpr float b = -1.769f;
+  constexpr float c = 1.0f;
+
+  const std::int64_t sgn = in.q >= 0 ? 1 : -1;
+  const std::int64_t q_abs = std::abs(in.q);
+  // Clip |x| at -b = 1.769 where the polynomial reaches erf's plateau.
+  const std::int64_t q_clip_max =
+      static_cast<std::int64_t>(std::floor(-b / in.s));
+  QValue clipped;
+  clipped.q = std::min(q_abs, q_clip_max);
+  clipped.s = in.s;
+
+  QValue l = i_poly(clipped, a, b, c);
+  l.q *= sgn;
+  return l;
+}
+
+QValue i_gelu(QValue in) {
+  QValue x_for_erf;
+  x_for_erf.q = in.q;
+  x_for_erf.s = in.s / static_cast<float>(M_SQRT2);
+  const QValue erf = i_erf(x_for_erf);
+
+  const std::int64_t q_one =
+      static_cast<std::int64_t>(std::floor(1.0f / erf.s));
+  QValue out;
+  out.q = in.q * (erf.q + q_one);
+  out.s = in.s * erf.s / 2.0f;
+  return out;
+}
+
+QValue i_exp(QValue in) {
+  constexpr float a = 0.3585f;
+  constexpr float b = 1.353f;
+  constexpr float c = 0.344f;
+  constexpr float kLn2 = 0.69314718056f;
+
+  if (in.q > 0) in.q = 0;  // softmax always feeds x - max <= 0
+
+  const std::int64_t q_ln2 =
+      static_cast<std::int64_t>(std::floor(kLn2 / in.s));
+  assert(q_ln2 > 0 && "input scale too coarse for i_exp");
+
+  const std::int64_t z = (-in.q) / q_ln2;  // floor for non-negative operands
+  QValue p;
+  p.q = in.q + z * q_ln2;  // p in (-ln2, 0]
+  p.s = in.s;
+
+  QValue l = i_poly(p, a, b, c);
+  l.q = l.q >> std::min<std::int64_t>(z, 62);
+  return l;
+}
+
+std::int64_t i_sqrt(std::int64_t n, int max_iter) {
+  if (n <= 0) return 0;
+  // Initial guess 2^ceil(bits/2) >= sqrt(n) guarantees monotone descent.
+  int bits = 0;
+  while ((n >> bits) != 0) ++bits;
+  std::int64_t x = std::int64_t{1} << ((bits + 1) / 2);
+  for (int i = 0; i < max_iter; ++i) {
+    const std::int64_t next = (x + n / x) >> 1;
+    if (next >= x) break;  // converged (floor-sqrt reached)
+    x = next;
+  }
+  return x;
+}
+
+int i_sqrt_iterations(std::int64_t n, int max_iter) {
+  if (n <= 0) return 0;
+  int bits = 0;
+  while ((n >> bits) != 0) ++bits;
+  std::int64_t x = std::int64_t{1} << ((bits + 1) / 2);
+  for (int i = 0; i < max_iter; ++i) {
+    const std::int64_t next = (x + n / x) >> 1;
+    if (next >= x) return i;
+    x = next;
+  }
+  return max_iter;
+}
+
+namespace {
+/// Symmetric scale so that max|row| maps to 2^bits - 1.
+float row_scale(std::span<const float> row, int bits) {
+  float mx = 0.0f;
+  for (float v : row) mx = std::max(mx, std::abs(v));
+  if (mx == 0.0f) mx = 1.0f;
+  return mx / static_cast<float>((1 << bits) - 1);
+}
+
+std::int64_t quantize(float v, float s) {
+  return static_cast<std::int64_t>(std::llround(v / s));
+}
+}  // namespace
+
+void softmax_row(std::span<float> row, int input_bits, int out_bits) {
+  if (row.empty()) return;
+  const float s = row_scale(row, input_bits);
+
+  std::int64_t qmax = std::numeric_limits<std::int64_t>::min();
+  for (float v : row) qmax = std::max(qmax, quantize(v, s));
+
+  // i_exp of the shifted entries; all share one output scale.
+  std::vector<std::int64_t> qe(row.size());
+  std::int64_t qsum = 0;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    QValue in{quantize(row[i], s) - qmax, s};
+    const QValue e = i_exp(in);
+    qe[i] = e.q;
+    qsum += e.q;
+  }
+  if (qsum <= 0) qsum = 1;
+
+  // Fixed-point reciprocal of the integer sum. A 64-bit dividend keeps the
+  // quotient fine-grained; the final right shift lands on 2^-out_bits scale.
+  const int recip_bits = 62;
+  const std::int64_t factor = (std::int64_t{1} << recip_bits) / qsum;
+  const int shift = recip_bits - out_bits;
+  const float s_out = 1.0f / static_cast<float>(std::int64_t{1} << out_bits);
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const std::int64_t q = (qe[i] * factor) >> shift;
+    row[i] = static_cast<float>(q) * s_out;
+  }
+}
+
+void gelu_row(std::span<float> row, int input_bits) {
+  if (row.empty()) return;
+  const float s = row_scale(row, input_bits);
+  for (float& v : row) {
+    const QValue out = i_gelu({quantize(v, s), s});
+    v = out.value();
+  }
+}
+
+void layernorm_row(std::span<const float> x, std::span<float> y,
+                   std::span<const float> gamma, std::span<const float> beta,
+                   int input_bits) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  if (n == 0) return;
+
+  const float s = row_scale(x, input_bits);
+  std::vector<std::int64_t> q(n);
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    q[i] = quantize(x[i], s);
+    sum += q[i];
+  }
+  const std::int64_t mean =
+      (sum >= 0 ? sum + static_cast<std::int64_t>(n) / 2
+                : sum - static_cast<std::int64_t>(n) / 2) /
+      static_cast<std::int64_t>(n);
+
+  std::int64_t var_sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    q[i] -= mean;
+    var_sum += q[i] * q[i];
+  }
+  // std_q = sqrt(sum (q - mu)^2) = sqrt(n) * sigma_q, via integer Newton.
+  std::int64_t std_q = i_sqrt(var_sum);
+  if (std_q == 0) std_q = 1;
+
+  // Fixed-point reciprocal multiply: (q_i / std_q) * sqrt(n) normalizes.
+  const std::int64_t factor = (std::int64_t{1} << 31) / std_q;
+  const float s_out =
+      std::sqrt(static_cast<float>(n)) / static_cast<float>(std::int64_t{1} << 31);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t qo = q[i] * factor;
+    float v = static_cast<float>(qo) * s_out;
+    if (!gamma.empty()) v *= gamma[i];
+    if (!beta.empty()) v += beta[i];
+    y[i] = v;
+  }
+}
+
+}  // namespace nnlut::ibert

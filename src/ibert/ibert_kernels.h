@@ -1,0 +1,71 @@
+// Reimplementation of I-BERT's integer-only approximations of non-linear
+// operations (Kim et al., "I-BERT: Integer-only BERT Quantization",
+// ICML 2021 — Algorithms 2-4), used by the paper as the state-of-the-art
+// baseline for both accuracy (Table 2b) and hardware cost (Table 4).
+//
+// Quantized values are (q, S) pairs with real value q * S. All arithmetic on
+// q is integer; scales are tracked on the side exactly as in I-BERT.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace nnlut::ibert {
+
+/// A quantized scalar: real value = q * s. The integer field is 64 bits wide
+/// because intermediate products of the I-BERT pipelines (e.g. x * (erf + 1))
+/// legitimately exceed 32 bits before the final requantization step; the
+/// hardware datapath sizes those stages accordingly (cf. Fig. 3b).
+struct QValue {
+  std::int64_t q = 0;
+  float s = 1.0f;
+  float value() const { return static_cast<float>(q) * s; }
+};
+
+/// Integer-only second-order polynomial a*(x+b)^2 + c (I-BERT Alg. 1):
+/// q_out = (q + q_b)^2 + q_c with q_b = floor(b/S), q_c = floor(c/(a S^2)),
+/// S_out = a * S^2.
+QValue i_poly(QValue in, float a, float b, float c);
+
+/// Integer erf via the sign-symmetric clipped polynomial (I-BERT Alg. 2):
+/// a = -0.2888, b = -1.769, c = 1; |x| clipped to -b.
+QValue i_erf(QValue in);
+
+/// Integer GELU: x/2 * (1 + i_erf(x / sqrt(2))) (I-BERT Alg. 2).
+QValue i_gelu(QValue in);
+
+/// Integer exponential for non-positive inputs (I-BERT Alg. 3):
+/// x = -z ln2 + p with p in (-ln2, 0]; exp(x) = i_poly(p) >> z.
+/// Inputs with q > 0 are clamped to 0 (softmax always feeds x - max <= 0).
+QValue i_exp(QValue in);
+
+/// Integer square root by Newton iteration (I-BERT Alg. 4):
+/// x_{k+1} = floor((x_k + floor(n / x_k)) / 2), run to convergence
+/// (at most `max_iter`). Returns floor(sqrt(n)).
+std::int64_t i_sqrt(std::int64_t n, int max_iter = 20);
+
+/// Number of Newton iterations i_sqrt needed for n (for latency analysis).
+int i_sqrt_iterations(std::int64_t n, int max_iter = 20);
+
+// ---------------------------------------------------------------------------
+// Row-level operations used when swapping I-BERT kernels into a transformer.
+// Inputs/outputs are float tensors; each function quantizes its input with a
+// symmetric per-row scale (I-BERT pre-scales inputs in the same spirit),
+// runs the integer pipeline, and dequantizes the result.
+// ---------------------------------------------------------------------------
+
+/// Integer softmax (I-BERT Alg. 3): subtract integer max, i_exp each entry,
+/// normalize by the integer sum with a 2^bits fixed-point reciprocal.
+void softmax_row(std::span<float> row, int input_bits = 15, int out_bits = 30);
+
+/// Integer GELU over a row with a shared symmetric scale.
+void gelu_row(std::span<float> row, int input_bits = 15);
+
+/// Integer LayerNorm: integer mean/variance, i_sqrt for the standard
+/// deviation, fixed-point reciprocal multiply; gamma/beta folded in after
+/// dequantization (they are channelwise affine constants).
+void layernorm_row(std::span<const float> x, std::span<float> y,
+                   std::span<const float> gamma, std::span<const float> beta,
+                   int input_bits = 15);
+
+}  // namespace nnlut::ibert

@@ -1,0 +1,34 @@
+#include "ibert/quantization.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numerics/half.h"
+
+namespace nnlut::ibert {
+
+float symmetric_scale(std::span<const float> values, int bits) {
+  float mx = 0.0f;
+  for (float v : values) mx = std::max(mx, std::abs(v));
+  if (mx == 0.0f) return 1.0f;
+  return mx / static_cast<float>((1 << (bits - 1)) - 1);
+}
+
+void fake_quantize_with_scale(std::span<float> values, float scale, int bits) {
+  const float qmax = static_cast<float>((1 << (bits - 1)) - 1);
+  for (float& v : values) {
+    float q = std::round(v / scale);
+    q = std::clamp(q, -qmax, qmax);
+    v = q * scale;
+  }
+}
+
+void fake_quantize(std::span<float> values, int bits) {
+  fake_quantize_with_scale(values, symmetric_scale(values, bits), bits);
+}
+
+void fake_quantize_fp16(std::span<float> values) {
+  for (float& v : values) v = round_to_half(v);
+}
+
+}  // namespace nnlut::ibert

@@ -1,0 +1,26 @@
+// Symmetric linear quantization utilities used to emulate the INT8
+// matrix-multiplication setting of Table 2(b) ("the model is fine-tuned with
+// INT8 matrix multiplication and FP32 non-linear operations") and the FP16
+// MatMul setting of Table 3.
+#pragma once
+
+#include <span>
+
+namespace nnlut::ibert {
+
+/// Symmetric per-tensor scale mapping max|v| to the signed b-bit maximum.
+float symmetric_scale(std::span<const float> values, int bits);
+
+/// Fake-quantize in place: round(v / s) clamped to b-bit signed range, then
+/// dequantize. This is the standard simulation of integer matmul inputs.
+void fake_quantize(std::span<float> values, int bits);
+
+/// Fake-quantize with an externally chosen scale (e.g. a weight scale fixed
+/// at load time).
+void fake_quantize_with_scale(std::span<float> values, float scale, int bits);
+
+/// Round every value through IEEE binary16 (Table 3's "MatMul computed in
+/// FP16" setting).
+void fake_quantize_fp16(std::span<float> values);
+
+}  // namespace nnlut::ibert

@@ -1,0 +1,160 @@
+#include "nn/attention.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "numerics/math.h"
+#include "tensor/ops.h"
+
+namespace nnlut::nn {
+
+MultiHeadAttention::MultiHeadAttention(std::size_t hidden, std::size_t heads_n,
+                                       Rng& rng)
+    : wq(hidden, hidden, rng),
+      wk(hidden, hidden, rng),
+      wv(hidden, hidden, rng),
+      wo(hidden, hidden, rng),
+      heads(heads_n) {
+  assert(hidden % heads_n == 0);
+}
+
+std::vector<Param*> MultiHeadAttention::params() {
+  std::vector<Param*> ps;
+  for (Linear* l : {&wq, &wk, &wv, &wo})
+    for (Param* p : l->params()) ps.push_back(p);
+  return ps;
+}
+
+namespace {
+/// Index of the (b, h, s) row in head layout [batch*heads*seq, head_dim].
+inline std::size_t head_row(std::size_t b, std::size_t h, std::size_t s,
+                            std::size_t heads, std::size_t seq) {
+  return (b * heads + h) * seq + s;
+}
+}  // namespace
+
+Tensor MultiHeadAttention::forward(const Tensor& x, std::size_t batch,
+                                   std::size_t seq) {
+  const std::size_t hidden = x.dim(1);
+  assert(x.dim(0) == batch * seq);
+  batch_ = batch;
+  seq_ = seq;
+  head_dim_ = hidden / heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  const Tensor q_flat = wq.forward(x);  // [B*S, H]
+  const Tensor k_flat = wk.forward(x);
+  const Tensor v_flat = wv.forward(x);
+
+  // Rearrange into head layout for cache (contiguous per (b,h)).
+  q_ = Tensor({batch * heads * seq, head_dim_});
+  k_ = Tensor({batch * heads * seq, head_dim_});
+  v_ = Tensor({batch * heads * seq, head_dim_});
+  for (std::size_t b = 0; b < batch; ++b)
+    for (std::size_t s = 0; s < seq; ++s)
+      for (std::size_t h = 0; h < heads; ++h) {
+        const std::size_t src = b * seq + s;
+        const std::size_t dst = head_row(b, h, s, heads, seq);
+        for (std::size_t j = 0; j < head_dim_; ++j) {
+          q_.at(dst, j) = q_flat.at(src, h * head_dim_ + j);
+          k_.at(dst, j) = k_flat.at(src, h * head_dim_ + j);
+          v_.at(dst, j) = v_flat.at(src, h * head_dim_ + j);
+        }
+      }
+
+  probs_ = Tensor({batch * heads, seq, seq});
+  Tensor context({batch * seq, hidden});
+
+  for (std::size_t bh = 0; bh < batch * heads; ++bh) {
+    const std::size_t base = bh * seq;
+    // Scores, then row-wise softmax.
+    for (std::size_t i = 0; i < seq; ++i) {
+      float* prow = probs_.data() + (bh * seq + i) * seq;
+      for (std::size_t j = 0; j < seq; ++j) {
+        float acc = 0.0f;
+        const float* qi = q_.data() + (base + i) * head_dim_;
+        const float* kj = k_.data() + (base + j) * head_dim_;
+        for (std::size_t d = 0; d < head_dim_; ++d) acc += qi[d] * kj[d];
+        prow[j] = acc * scale;
+      }
+      softmax_exact({prow, seq});
+    }
+    // Context = P V, scattered back to [B*S, H] layout.
+    const std::size_t b = bh / heads;
+    const std::size_t h = bh % heads;
+    for (std::size_t i = 0; i < seq; ++i) {
+      const float* prow = probs_.data() + (bh * seq + i) * seq;
+      float* out = context.data() + (b * seq + i) * hidden + h * head_dim_;
+      for (std::size_t d = 0; d < head_dim_; ++d) {
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < seq; ++j)
+          acc += prow[j] * v_.at(base + j, d);
+        out[d] = acc;
+      }
+    }
+  }
+
+  return wo.forward(context);
+}
+
+Tensor MultiHeadAttention::backward(const Tensor& dy) {
+  const std::size_t hidden = heads * head_dim_;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  const Tensor dcontext = wo.backward(dy);  // [B*S, H]
+
+  Tensor dq_flat({batch_ * seq_, hidden});
+  Tensor dk_flat({batch_ * seq_, hidden});
+  Tensor dv_flat({batch_ * seq_, hidden});
+
+  std::vector<float> dscores(seq_);
+
+  for (std::size_t bh = 0; bh < batch_ * heads; ++bh) {
+    const std::size_t base = bh * seq_;
+    const std::size_t b = bh / heads;
+    const std::size_t h = bh % heads;
+
+    // dV[j] += sum_i P[i,j] * dC[i] ; dP[i,j] = dC[i] . V[j].
+    for (std::size_t i = 0; i < seq_; ++i) {
+      const float* prow = probs_.data() + (bh * seq_ + i) * seq_;
+      const float* dc = dcontext.data() + (b * seq_ + i) * hidden + h * head_dim_;
+
+      // Softmax backward on the fly: ds[j] = P[j] * (dP[j] - sum_k P[k] dP[k]).
+      double dot = 0.0;
+      for (std::size_t j = 0; j < seq_; ++j) {
+        float dp = 0.0f;
+        const float* vj = v_.data() + (base + j) * head_dim_;
+        for (std::size_t d = 0; d < head_dim_; ++d) dp += dc[d] * vj[d];
+        dscores[j] = dp;
+        dot += static_cast<double>(prow[j]) * dp;
+      }
+      for (std::size_t j = 0; j < seq_; ++j)
+        dscores[j] = prow[j] * (dscores[j] - static_cast<float>(dot));
+
+      // Accumulate dV, dQ, dK from this row.
+      const float* qi = q_.data() + (base + i) * head_dim_;
+      float* dqi =
+          dq_flat.data() + (b * seq_ + i) * hidden + h * head_dim_;
+      for (std::size_t j = 0; j < seq_; ++j) {
+        const float* kj = k_.data() + (base + j) * head_dim_;
+        float* dvj =
+            dv_flat.data() + (b * seq_ + j) * hidden + h * head_dim_;
+        float* dkj =
+            dk_flat.data() + (b * seq_ + j) * hidden + h * head_dim_;
+        const float ds = dscores[j] * scale;
+        for (std::size_t d = 0; d < head_dim_; ++d) {
+          dvj[d] += prow[j] * dc[d];
+          dqi[d] += ds * kj[d];
+          dkj[d] += ds * qi[d];
+        }
+      }
+    }
+  }
+
+  Tensor dx = wq.backward(dq_flat);
+  add_inplace(dx, wk.backward(dk_flat));
+  add_inplace(dx, wv.backward(dv_flat));
+  return dx;
+}
+
+}  // namespace nnlut::nn

@@ -1,0 +1,34 @@
+// Multi-head self-attention with hand-written backward pass.
+// Activations are [batch*seq, hidden]; the layer reshapes internally.
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace nnlut::nn {
+
+class MultiHeadAttention {
+ public:
+  MultiHeadAttention() = default;
+  MultiHeadAttention(std::size_t hidden, std::size_t heads, Rng& rng);
+
+  /// x: [batch*seq, hidden]. Full (unmasked) bidirectional attention, the
+  /// BERT-encoder setting.
+  Tensor forward(const Tensor& x, std::size_t batch, std::size_t seq);
+  Tensor backward(const Tensor& dy);
+
+  std::vector<Param*> params();
+
+  Linear wq, wk, wv, wo;
+  std::size_t heads = 1;
+
+ private:
+  std::size_t batch_ = 0, seq_ = 0, head_dim_ = 0;
+  // Caches from forward (per batch*head, flattened): Q, K, V in head layout
+  // [batch*heads*seq, head_dim], attention probabilities [batch*heads, seq, seq].
+  Tensor q_, k_, v_;
+  Tensor probs_;
+};
+
+}  // namespace nnlut::nn

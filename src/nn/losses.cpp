@@ -1,0 +1,70 @@
+#include "nn/losses.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "numerics/math.h"
+
+namespace nnlut::nn {
+
+LossResult cross_entropy(const Tensor& logits, std::span<const int> labels) {
+  assert(logits.rank() == 2 && logits.dim(0) == labels.size());
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+
+  LossResult out;
+  out.dlogits = Tensor({n, c});
+  std::size_t counted = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (labels[r] < 0) continue;  // ignored row
+    ++counted;
+  }
+  if (counted == 0) return out;
+  const float inv = 1.0f / static_cast<float>(counted);
+
+  std::vector<float> probs(c);
+  for (std::size_t r = 0; r < n; ++r) {
+    if (labels[r] < 0) continue;
+    const auto row = logits.row(r);
+    std::copy(row.begin(), row.end(), probs.begin());
+    softmax_exact(probs);
+    const auto y = static_cast<std::size_t>(labels[r]);
+    assert(y < c);
+    out.loss -= std::log(std::max(probs[y], 1e-12f)) * inv;
+    auto d = out.dlogits.row(r);
+    for (std::size_t j = 0; j < c; ++j) d[j] = probs[j] * inv;
+    d[y] -= inv;
+  }
+  return out;
+}
+
+LossResult mse(const Tensor& logits, std::span<const float> targets) {
+  assert(logits.rank() == 2 && logits.dim(1) == 1);
+  assert(logits.dim(0) == targets.size());
+  const std::size_t n = logits.dim(0);
+
+  LossResult out;
+  out.dlogits = Tensor({n, 1});
+  if (n == 0) return out;
+  const float inv = 1.0f / static_cast<float>(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const float e = logits.at(r, 0) - targets[r];
+    out.loss += 0.5 * static_cast<double>(e) * e * inv;
+    out.dlogits.at(r, 0) = e * inv;
+  }
+  return out;
+}
+
+std::vector<int> argmax_rows(const Tensor& logits) {
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  std::vector<int> out(n, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = logits.row(r);
+    out[r] = static_cast<int>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+    (void)c;
+  }
+  return out;
+}
+
+}  // namespace nnlut::nn

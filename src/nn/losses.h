@@ -1,0 +1,26 @@
+// Training losses: softmax cross-entropy (classification, span extraction)
+// and mean-squared error (STS-B-style regression).
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace nnlut::nn {
+
+struct LossResult {
+  double loss = 0.0;
+  Tensor dlogits;  // gradient w.r.t. the logits, already averaged over rows
+};
+
+/// Softmax cross-entropy over rows of logits [n, classes] with integer
+/// labels. Ignores rows whose label is negative (used for padding).
+LossResult cross_entropy(const Tensor& logits, std::span<const int> labels);
+
+/// Mean squared error for single-output regression: logits [n, 1].
+LossResult mse(const Tensor& logits, std::span<const float> targets);
+
+/// Row-wise argmax of logits [n, classes].
+std::vector<int> argmax_rows(const Tensor& logits);
+
+}  // namespace nnlut::nn

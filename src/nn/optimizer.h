@@ -1,0 +1,36 @@
+// Adam optimizer over a flat list of Params (the transformer fine-tuning
+// optimizer; the 1-D approximator has its own dedicated loop in core/).
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace nnlut::nn {
+
+class Adam {
+ public:
+  struct Options {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;
+    float grad_clip = 1.0f;  // global-norm clip; <= 0 disables
+  };
+
+  Adam(std::vector<Param*> params, Options opt);
+
+  void step();
+  void zero_grad();
+  void set_lr(float lr) { opt_.lr = lr; }
+  float lr() const { return opt_.lr; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> m1_, m2_;
+  Options opt_;
+  long t_ = 0;
+};
+
+}  // namespace nnlut::nn

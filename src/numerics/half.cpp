@@ -1,0 +1,89 @@
+#include "numerics/half.h"
+
+#include <bit>
+#include <cstring>
+
+namespace nnlut {
+
+namespace {
+constexpr std::uint32_t kF32SignMask = 0x8000'0000u;
+constexpr int kF32ExpBias = 127;
+constexpr int kF16ExpBias = 15;
+}  // namespace
+
+std::uint16_t float_to_half_bits(float f) {
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  const std::uint16_t sign = static_cast<std::uint16_t>((x & kF32SignMask) >> 16);
+  const std::uint32_t abs = x & 0x7fff'ffffu;
+
+  if (abs >= 0x7f80'0000u) {
+    // Inf or NaN. Preserve NaN-ness with a quiet NaN payload.
+    if (abs > 0x7f80'0000u) return static_cast<std::uint16_t>(sign | 0x7e00u);
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+
+  const int exp32 = static_cast<int>(abs >> 23);
+  const std::uint32_t mant32 = abs & 0x007f'ffffu;
+  int exp16 = exp32 - kF32ExpBias + kF16ExpBias;
+
+  if (exp16 >= 0x1f) {
+    // Overflow: round to infinity.
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+
+  if (exp16 <= 0) {
+    // Subnormal (or zero) in half precision.
+    if (exp16 < -10) return sign;  // Rounds to zero.
+    // Add the implicit leading 1 then shift into subnormal position.
+    std::uint32_t mant = mant32 | 0x0080'0000u;
+    const int shift = 14 - exp16;  // 14..24
+    const std::uint32_t rounded = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    std::uint16_t out = static_cast<std::uint16_t>(rounded);
+    if (rem > halfway || (rem == halfway && (out & 1u))) ++out;
+    return static_cast<std::uint16_t>(sign | out);
+  }
+
+  // Normal number: keep 10 mantissa bits with round-to-nearest-even.
+  std::uint16_t out =
+      static_cast<std::uint16_t>((exp16 << 10) | (mant32 >> 13));
+  const std::uint32_t rem = mant32 & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (out & 1u))) ++out;  // May carry into exp: correct.
+  return static_cast<std::uint16_t>(sign | out);
+}
+
+float half_bits_to_float(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const int exp16 = (h >> 10) & 0x1f;
+  const std::uint32_t mant16 = h & 0x3ffu;
+
+  std::uint32_t out;
+  if (exp16 == 0) {
+    if (mant16 == 0) {
+      out = sign;  // Signed zero.
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      std::uint32_t m = mant16;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      const std::uint32_t exp32 =
+          static_cast<std::uint32_t>(kF32ExpBias - kF16ExpBias - e);
+      out = sign | (exp32 << 23) | ((m & 0x3ffu) << 13);
+    }
+  } else if (exp16 == 0x1f) {
+    out = sign | 0x7f80'0000u | (mant16 << 13);  // Inf / NaN.
+  } else {
+    const std::uint32_t exp32 =
+        static_cast<std::uint32_t>(exp16 - kF16ExpBias + kF32ExpBias);
+    out = sign | (exp32 << 23) | (mant16 << 13);
+  }
+  return std::bit_cast<float>(out);
+}
+
+float round_to_half(float f) { return half_bits_to_float(float_to_half_bits(f)); }
+
+}  // namespace nnlut

@@ -1,0 +1,52 @@
+// IEEE 754 binary16 ("half") emulation.
+//
+// The paper evaluates FP16 variants of the LUT (Table 3, Table 4). The host
+// has no native half type, so we provide bit-exact conversion with
+// round-to-nearest-even, plus a small value type that models "compute in
+// FP16": every arithmetic result is rounded back through binary16.
+#pragma once
+
+#include <cstdint>
+
+namespace nnlut {
+
+/// Convert an FP32 value to the nearest binary16 bit pattern
+/// (round-to-nearest-even, with proper handling of subnormals, infinities
+/// and NaN).
+std::uint16_t float_to_half_bits(float f);
+
+/// Convert a binary16 bit pattern to FP32 (exact).
+float half_bits_to_float(std::uint16_t h);
+
+/// Round an FP32 value through binary16 and back. This is the primitive used
+/// to emulate FP16 datapaths: `fp16(x) == half_bits_to_float(float_to_half_bits(x))`.
+float round_to_half(float f);
+
+/// A value that lives in binary16. All arithmetic rounds through binary16,
+/// so chains of operations behave like a genuine FP16 datapath.
+class Half {
+ public:
+  Half() = default;
+  explicit Half(float f) : bits_(float_to_half_bits(f)) {}
+
+  static Half from_bits(std::uint16_t bits) {
+    Half h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  float to_float() const { return half_bits_to_float(bits_); }
+  std::uint16_t bits() const { return bits_; }
+
+  friend Half operator+(Half a, Half b) { return Half(a.to_float() + b.to_float()); }
+  friend Half operator-(Half a, Half b) { return Half(a.to_float() - b.to_float()); }
+  friend Half operator*(Half a, Half b) { return Half(a.to_float() * b.to_float()); }
+  friend Half operator/(Half a, Half b) { return Half(a.to_float() / b.to_float()); }
+  friend bool operator==(Half a, Half b) { return a.to_float() == b.to_float(); }
+  friend bool operator<(Half a, Half b) { return a.to_float() < b.to_float(); }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+}  // namespace nnlut

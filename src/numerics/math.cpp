@@ -1,0 +1,47 @@
+#include "numerics/math.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nnlut {
+
+void softmax_exact(std::span<float> row) {
+  if (row.empty()) return;
+  const float mx = *std::max_element(row.begin(), row.end());
+  float sum = 0.0f;
+  for (float& v : row) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  const float inv = 1.0f / sum;
+  for (float& v : row) v *= inv;
+}
+
+void layer_norm_exact(std::span<const float> x, std::span<float> y,
+                      std::span<const float> gamma, std::span<const float> beta,
+                      float eps) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  if (n == 0) return;
+
+  double mean = 0.0;
+  for (float v : x) mean += v;
+  mean /= static_cast<double>(n);
+
+  double var = 0.0;
+  for (float v : x) {
+    const double d = v - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(n);
+
+  const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+  for (std::size_t i = 0; i < n; ++i) {
+    float v = (x[i] - static_cast<float>(mean)) * inv_std;
+    if (!gamma.empty()) v *= gamma[i];
+    if (!beta.empty()) v += beta[i];
+    y[i] = v;
+  }
+}
+
+}  // namespace nnlut

@@ -1,0 +1,43 @@
+// Reference (full-precision) implementations of the non-linear functions the
+// paper approximates, plus the input ranges from Table 1 of the paper.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+namespace nnlut {
+
+/// Exact GELU: x/2 * (1 + erf(x / sqrt(2))).
+inline float gelu_exact(float x) {
+  return 0.5f * x * (1.0f + std::erf(x * static_cast<float>(M_SQRT1_2)));
+}
+
+inline float exp_exact(float x) { return std::exp(x); }
+
+/// "Divide" in the paper is the reciprocal used for Softmax normalization.
+inline float reciprocal_exact(float x) { return 1.0f / x; }
+
+/// 1/sqrt used by LayerNorm.
+inline float rsqrt_exact(float x) { return 1.0f / std::sqrt(x); }
+
+/// Numerically-stable exact softmax over a row, in place.
+void softmax_exact(std::span<float> row);
+
+/// Exact LayerNorm over a row: y = (x - mean) / sqrt(var + eps) * gamma + beta.
+/// gamma/beta may be empty (treated as 1 / 0).
+void layer_norm_exact(std::span<const float> x, std::span<float> y,
+                      std::span<const float> gamma, std::span<const float> beta,
+                      float eps = 1e-5f);
+
+/// Table 1 of the paper: training input range per target function.
+struct InputRange {
+  float lo;
+  float hi;
+};
+
+inline constexpr InputRange kGeluRange{-5.0f, 5.0f};
+inline constexpr InputRange kExpRange{-256.0f, 0.0f};
+inline constexpr InputRange kDivideRange{1.0f, 1024.0f};
+inline constexpr InputRange kRsqrtRange{0.1f, 1024.0f};
+
+}  // namespace nnlut

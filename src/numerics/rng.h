@@ -1,0 +1,45 @@
+// Deterministic random number generation. Every stochastic component in the
+// library (approximator init, dataset synthesis, model init) takes an
+// explicit Rng so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace nnlut {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed'c0de'1234'5678ull) : engine_(seed) {}
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) {
+    std::uniform_real_distribution<float> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Standard normal scaled by stddev.
+  float normal(float mean = 0.0f, float stddev = 1.0f) {
+    std::normal_distribution<float> d(mean, stddev);
+    return d(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    std::uniform_int_distribution<int> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool coin(double p = 0.5) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace nnlut

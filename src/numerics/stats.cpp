@@ -1,0 +1,137 @@
+#include "numerics/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace nnlut {
+
+double accuracy(std::span<const int> pred, std::span<const int> label) {
+  assert(pred.size() == label.size());
+  if (pred.empty()) return 0.0;
+  std::size_t hit = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    if (pred[i] == label[i]) ++hit;
+  return static_cast<double>(hit) / static_cast<double>(pred.size());
+}
+
+namespace {
+struct Confusion {
+  double tp = 0, fp = 0, tn = 0, fn = 0;
+};
+
+Confusion confusion(std::span<const int> pred, std::span<const int> label) {
+  assert(pred.size() == label.size());
+  Confusion c;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (label[i] == 1) {
+      (pred[i] == 1 ? c.tp : c.fn) += 1;
+    } else {
+      (pred[i] == 1 ? c.fp : c.tn) += 1;
+    }
+  }
+  return c;
+}
+}  // namespace
+
+double f1_binary(std::span<const int> pred, std::span<const int> label) {
+  const Confusion c = confusion(pred, label);
+  const double denom = 2 * c.tp + c.fp + c.fn;
+  if (denom == 0) return 0.0;
+  return 2 * c.tp / denom;
+}
+
+double matthews_corrcoef(std::span<const int> pred, std::span<const int> label) {
+  const Confusion c = confusion(pred, label);
+  const double denom = std::sqrt((c.tp + c.fp) * (c.tp + c.fn) * (c.tn + c.fp) *
+                                 (c.tn + c.fn));
+  if (denom == 0) return 0.0;
+  return (c.tp * c.tn - c.fp * c.fn) / denom;
+}
+
+double pearson(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  const std::size_t n = a.size();
+  if (n == 0) return 0.0;
+  double ma = 0, mb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0, va = 0, vb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va == 0 || vb == 0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+std::vector<double> fractional_ranks(std::span<const float> v) {
+  const std::size_t n = v.size();
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::sort(idx.begin(), idx.end(),
+            [&](std::size_t i, std::size_t j) { return v[i] < v[j]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && v[idx[j + 1]] == v[idx[i]]) ++j;
+    // Average 1-based rank over the tie group [i, j].
+    const double r = 0.5 * (static_cast<double>(i + 1) + static_cast<double>(j + 1));
+    for (std::size_t k = i; k <= j; ++k) ranks[idx[k]] = r;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  const std::vector<double> ra = fractional_ranks(a);
+  const std::vector<double> rb = fractional_ranks(b);
+  std::vector<float> fa(ra.begin(), ra.end());
+  std::vector<float> fb(rb.begin(), rb.end());
+  return pearson(fa, fb);
+}
+
+double span_f1(int pred_start, int pred_end, int gold_start, int gold_end) {
+  if (pred_end < pred_start || gold_end < gold_start) return 0.0;
+  const int lo = std::max(pred_start, gold_start);
+  const int hi = std::min(pred_end, gold_end);
+  const int overlap = std::max(0, hi - lo + 1);
+  if (overlap == 0) return 0.0;
+  const double precision =
+      static_cast<double>(overlap) / static_cast<double>(pred_end - pred_start + 1);
+  const double recall =
+      static_cast<double>(overlap) / static_cast<double>(gold_end - gold_start + 1);
+  return 2 * precision * recall / (precision + recall);
+}
+
+bool span_exact_match(int pred_start, int pred_end, int gold_start, int gold_end) {
+  return pred_start == gold_start && pred_end == gold_end;
+}
+
+double mean_abs_error(std::span<const float> a, std::span<const float> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n == 0) return 0.0;
+  double s = 0;
+  for (std::size_t i = 0; i < n; ++i) s += std::abs(static_cast<double>(a[i]) - b[i]);
+  return s / static_cast<double>(n);
+}
+
+double max_abs_error(std::span<const float> a, std::span<const float> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  double m = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    m = std::max(m, std::abs(static_cast<double>(a[i]) - b[i]));
+  return m;
+}
+
+}  // namespace nnlut

@@ -1,0 +1,44 @@
+// Evaluation statistics used by the GLUE / SQuAD benchmarks of the paper:
+// accuracy, binary F1 (MRPC/QQP), Matthews correlation (CoLA),
+// Pearson/Spearman correlation (STS-B), and token-overlap F1 (SQuAD).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace nnlut {
+
+/// Fraction of positions where pred == label. Empty input -> 0.
+double accuracy(std::span<const int> pred, std::span<const int> label);
+
+/// Binary F1 with positive class = 1.
+double f1_binary(std::span<const int> pred, std::span<const int> label);
+
+/// Matthews correlation coefficient for binary labels {0,1}.
+/// Returns 0 when undefined (degenerate confusion matrix).
+double matthews_corrcoef(std::span<const int> pred, std::span<const int> label);
+
+/// Pearson correlation. Returns 0 when either side has zero variance.
+double pearson(std::span<const float> a, std::span<const float> b);
+
+/// Spearman rank correlation (average ranks for ties).
+double spearman(std::span<const float> a, std::span<const float> b);
+
+/// SQuAD-style span F1: token-overlap F1 between predicted span
+/// [pred_start, pred_end] and gold span [gold_start, gold_end] (inclusive
+/// token indices), averaged over examples by the caller.
+double span_f1(int pred_start, int pred_end, int gold_start, int gold_end);
+
+/// SQuAD-style exact match for a single example.
+bool span_exact_match(int pred_start, int pred_end, int gold_start, int gold_end);
+
+/// Mean of |a - b| over the common length.
+double mean_abs_error(std::span<const float> a, std::span<const float> b);
+
+/// Max of |a - b| over the common length.
+double max_abs_error(std::span<const float> a, std::span<const float> b);
+
+/// Assign fractional ranks (1-based, ties averaged).
+std::vector<double> fractional_ranks(std::span<const float> v);
+
+}  // namespace nnlut

@@ -1,0 +1,49 @@
+#include "tasks/metrics.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "numerics/stats.h"
+
+namespace nnlut::tasks {
+
+double compute_metric(const TaskData& task, std::span<const Example> examples,
+                      const Predictions& pred) {
+  const std::size_t n = examples.size();
+
+  if (task.is_span) {
+    if (pred.spans.size() != n)
+      throw std::invalid_argument("span predictions size mismatch");
+    double f1 = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      f1 += span_f1(pred.spans[i].first, pred.spans[i].second,
+                    examples[i].span_start, examples[i].span_end);
+    return n ? 100.0 * f1 / static_cast<double>(n) : 0.0;
+  }
+
+  if (task.is_regression) {
+    if (pred.scores.size() != n)
+      throw std::invalid_argument("regression predictions size mismatch");
+    std::vector<float> gold(n);
+    for (std::size_t i = 0; i < n; ++i) gold[i] = examples[i].target;
+    return 100.0 * spearman(pred.scores, gold);
+  }
+
+  if (pred.labels.size() != n)
+    throw std::invalid_argument("label predictions size mismatch");
+  std::vector<int> gold(n);
+  for (std::size_t i = 0; i < n; ++i) gold[i] = examples[i].label;
+
+  switch (task.metric) {
+    case MetricKind::kAccuracy:
+      return 100.0 * accuracy(pred.labels, gold);
+    case MetricKind::kF1:
+      return 100.0 * f1_binary(pred.labels, gold);
+    case MetricKind::kMatthews:
+      return 100.0 * matthews_corrcoef(pred.labels, gold);
+    default:
+      throw std::invalid_argument("metric/task mismatch");
+  }
+}
+
+}  // namespace nnlut::tasks

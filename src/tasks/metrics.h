@@ -1,0 +1,25 @@
+// Task-level metric computation over model outputs.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "tasks/tasks.h"
+
+namespace nnlut::tasks {
+
+/// Model outputs for a dataset, in example order. Only the member matching
+/// the task kind is read.
+struct Predictions {
+  std::vector<int> labels;                     // classification
+  std::vector<float> scores;                   // regression
+  std::vector<std::pair<int, int>> spans;      // span extraction
+};
+
+/// Compute the task's headline metric (the number reported in the paper's
+/// tables) over the dev split. Scale: [0, 100] like GLUE conventions.
+double compute_metric(const TaskData& task, std::span<const Example> examples,
+                      const Predictions& pred);
+
+}  // namespace nnlut::tasks

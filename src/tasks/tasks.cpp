@@ -1,0 +1,452 @@
+#include "tasks/tasks.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace nnlut::tasks {
+
+namespace {
+
+int content_range(const TaskGenOptions& opt) {
+  return static_cast<int>(opt.vocab) - kFirstContent;
+}
+
+int random_content(Rng& rng, const TaskGenOptions& opt) {
+  return kFirstContent + rng.uniform_int(0, content_range(opt) - 1);
+}
+
+/// Assemble "[CLS] a... [SEP]" padded with filler to seq_len (single segment).
+Example single_segment(const std::vector<int>& a, const TaskGenOptions& opt) {
+  Example e;
+  e.tokens.assign(opt.seq_len, kFiller);
+  e.type_ids.assign(opt.seq_len, 0);
+  e.tokens[0] = kCls;
+  std::size_t pos = 1;
+  for (int t : a) {
+    if (pos + 1 >= opt.seq_len) break;
+    e.tokens[pos++] = t;
+  }
+  if (pos < opt.seq_len) e.tokens[pos] = kSep;
+  return e;
+}
+
+/// Assemble "[CLS] a... [SEP] b... [SEP]" with type ids 0/1.
+Example pair_segments(const std::vector<int>& a, const std::vector<int>& b,
+                      const TaskGenOptions& opt) {
+  Example e;
+  e.tokens.assign(opt.seq_len, kFiller);
+  e.type_ids.assign(opt.seq_len, 1);
+  e.tokens[0] = kCls;
+  e.type_ids[0] = 0;
+  std::size_t pos = 1;
+  for (int t : a) {
+    if (pos + 2 >= opt.seq_len) break;
+    e.tokens[pos] = t;
+    e.type_ids[pos] = 0;
+    ++pos;
+  }
+  e.tokens[pos] = kSep;
+  e.type_ids[pos] = 0;
+  ++pos;
+  for (int t : b) {
+    if (pos + 1 >= opt.seq_len) break;
+    e.tokens[pos] = t;
+    e.type_ids[pos] = 1;
+    ++pos;
+  }
+  if (pos < opt.seq_len) e.tokens[pos] = kSep;
+  return e;
+}
+
+std::vector<int> random_tokens(std::size_t n, Rng& rng,
+                               const TaskGenOptions& opt) {
+  std::vector<int> v(n);
+  for (int& t : v) t = random_content(rng, opt);
+  return v;
+}
+
+std::vector<int> distinct_tokens(std::size_t n, Rng& rng,
+                                 const TaskGenOptions& opt) {
+  std::set<int> s;
+  while (s.size() < n) s.insert(random_content(rng, opt));
+  return {s.begin(), s.end()};
+}
+
+// --------------------------------------------------------- generators -----
+
+/// MRPC-style: B is a shuffled copy of A (positive) or a shuffled copy with
+/// half the tokens replaced (negative). Set-overlap decides the label.
+/// QQP-style (`positional = true`): B keeps A's word order; positives
+/// replace at most one position, negatives at least half — the positional
+/// analogue, testable with aligned attention like STS-B.
+Example gen_paraphrase(Rng& rng, const TaskGenOptions& opt, bool positional) {
+  const std::size_t len = (opt.seq_len - 3) / 2;
+  std::vector<int> a = random_tokens(len, rng, opt);
+  std::vector<int> b = a;
+  const bool positive = rng.coin();
+
+  const int replacements =
+      positive ? rng.uniform_int(0, 1)
+               : rng.uniform_int(static_cast<int>(len) / 2,
+                                 static_cast<int>(len) - 1);
+  for (int k = 0; k < replacements; ++k) {
+    const std::size_t i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(len) - 1));
+    int t;
+    do {
+      t = random_content(rng, opt);
+    } while (std::find(a.begin(), a.end(), t) != a.end());
+    b[i] = t;
+  }
+  if (!positional) std::shuffle(b.begin(), b.end(), rng.engine());
+
+  Example e = pair_segments(a, b, opt);
+  e.label = positive ? 1 : 0;
+  return e;
+}
+
+/// RTE-style: entail iff every hypothesis token appears in the premise.
+/// Negatives replace two of the three hypothesis tokens with tokens absent
+/// from the premise (presence fraction 1 vs 1/3 — a margin a small model
+/// can detect reliably).
+Example gen_entailment(Rng& rng, const TaskGenOptions& opt) {
+  const std::size_t prem_len = opt.seq_len - 8;
+  const std::vector<int> premise = distinct_tokens(prem_len, rng, opt);
+  std::vector<int> hyp(3);
+  const bool entail = rng.coin();
+  for (int k = 0; k < 3; ++k)
+    hyp[static_cast<std::size_t>(k)] =
+        premise[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<int>(premise.size()) - 1))];
+  if (!entail) {
+    auto not_in_premise = [&] {
+      int t;
+      do {
+        t = random_content(rng, opt);
+      } while (std::find(premise.begin(), premise.end(), t) != premise.end());
+      return t;
+    };
+    const int keep = rng.uniform_int(0, 2);
+    for (int k = 0; k < 3; ++k)
+      if (k != keep) hyp[static_cast<std::size_t>(k)] = not_in_premise();
+  }
+  Example e = pair_segments(premise, hyp, opt);
+  e.label = entail ? 1 : 0;
+  return e;
+}
+
+/// CoLA-style: token classes c(t) = (t - first) mod 4; acceptable sequences
+/// follow the cyclic class order c_{i+1} = (c_i + 1) mod 4. Corrupted
+/// sequences are full shuffles: the token multiset is unchanged, so only a
+/// positional bigram circuit (not a bag-of-tokens shortcut) separates the
+/// labels — the essence of grammaticality judgement.
+Example gen_acceptability(Rng& rng, const TaskGenOptions& opt) {
+  const std::size_t len = opt.seq_len - 3;
+  std::vector<int> a(len);
+  int cls = rng.uniform_int(0, 3);
+  for (std::size_t i = 0; i < len; ++i) {
+    // Random token of class `cls`.
+    int t;
+    do {
+      t = random_content(rng, opt);
+    } while ((t - kFirstContent) % 4 != cls);
+    a[i] = t;
+    cls = (cls + 1) % 4;
+  }
+  const bool acceptable = rng.coin();
+  if (!acceptable) {
+    // Shuffle the whole sequence: the token multiset is preserved (so a
+    // bag-of-tokens shortcut cannot separate the classes) but ~3/4 of the
+    // class bigrams are broken — dense positional evidence.
+    std::shuffle(a.begin(), a.end(), rng.engine());
+  }
+  Example e = single_segment(a, opt);
+  e.label = acceptable ? 1 : 0;
+  return e;
+}
+
+/// SST-2-style: valence(t) = +1 for the upper half of the content range,
+/// -1 for the lower half; label = sign of the valence sum (resampled until
+/// non-zero so labels are unambiguous).
+Example gen_sentiment(Rng& rng, const TaskGenOptions& opt) {
+  const std::size_t len = opt.seq_len - 3;
+  const int cr = content_range(opt);
+  std::vector<int> a;
+  int sum = 0;
+  do {
+    a = random_tokens(len, rng, opt);
+    sum = 0;
+    for (int t : a) sum += ((t - kFirstContent) < cr / 2) ? -1 : 1;
+  } while (sum == 0);
+  Example e = single_segment(a, opt);
+  e.label = sum > 0 ? 1 : 0;
+  return e;
+}
+
+/// STS-B-style: B is a copy of A with k positions replaced; the similarity
+/// target is 5 * (1 - k/len). Positional overlap (rather than set overlap)
+/// keeps the regression learnable by a small model: each B position attends
+/// to its aligned A position and tests equality.
+Example gen_similarity(Rng& rng, const TaskGenOptions& opt) {
+  const std::size_t len = (opt.seq_len - 3) / 2;
+  const std::vector<int> a = distinct_tokens(len, rng, opt);
+  std::vector<int> b = a;
+  const int k = rng.uniform_int(0, static_cast<int>(len));
+  // Replace k distinct positions with tokens not present in A.
+  std::vector<std::size_t> idx(len);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::shuffle(idx.begin(), idx.end(), rng.engine());
+  for (int r = 0; r < k; ++r) {
+    int t;
+    do {
+      t = random_content(rng, opt);
+    } while (std::find(a.begin(), a.end(), t) != a.end());
+    b[idx[static_cast<std::size_t>(r)]] = t;
+  }
+
+  Example e = pair_segments(a, b, opt);
+  e.target =
+      5.0f * (1.0f - static_cast<float>(k) / static_cast<float>(len));
+  return e;
+}
+
+/// MNLI-style 3-way: hypothesis subset of premise -> entailment (0);
+/// disjoint -> contradiction (2); partial overlap -> neutral (1).
+Example gen_nli3(Rng& rng, const TaskGenOptions& opt) {
+  const std::size_t prem_len = opt.seq_len - 9;
+  const std::vector<int> premise = distinct_tokens(prem_len, rng, opt);
+  const int label = rng.uniform_int(0, 2);
+  std::vector<int> hyp;
+  auto not_in_premise = [&] {
+    int t;
+    do {
+      t = random_content(rng, opt);
+    } while (std::find(premise.begin(), premise.end(), t) != premise.end());
+    return t;
+  };
+  auto in_premise = [&] {
+    return premise[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(premise.size()) - 1))];
+  };
+  switch (label) {
+    case 0:  // entail: all 4 from premise
+      for (int k = 0; k < 4; ++k) hyp.push_back(in_premise());
+      break;
+    case 2:  // contradiction: none from premise
+      for (int k = 0; k < 4; ++k) hyp.push_back(not_in_premise());
+      break;
+    default:  // neutral: exactly half overlap
+      hyp.push_back(in_premise());
+      hyp.push_back(in_premise());
+      hyp.push_back(not_in_premise());
+      hyp.push_back(not_in_premise());
+      std::shuffle(hyp.begin(), hyp.end(), rng.engine());
+      break;
+  }
+  Example e = pair_segments(premise, hyp, opt);
+  e.label = label;
+  return e;
+}
+
+/// QNLI-style: entail iff the question token itself occurs in the passage
+/// (the lexical-overlap core of question answerability). The question is
+/// repeated in segment A and, when answerable, occurs at three passage
+/// positions — the graded-overlap signal a small model can aggregate.
+Example gen_qnli(Rng& rng, const TaskGenOptions& opt) {
+  const int cr = content_range(opt);
+  const int q = random_content(rng, opt);
+
+  const std::size_t pass_len = opt.seq_len - 9;
+  std::vector<int> passage = random_tokens(pass_len, rng, opt);
+  // Scrub accidental occurrences, then plant per label.
+  for (int& t : passage)
+    if (t == q) t = kFirstContent + ((q - kFirstContent) + 1) % cr;
+  const bool entail = rng.coin();
+  if (entail) {
+    for (int k = 0; k < 3; ++k) {
+      const std::size_t slot = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(pass_len) - 1));
+      passage[slot] = q;
+    }
+  }
+
+  Example e = pair_segments({q, q, q}, passage, opt);
+  e.label = entail ? 1 : 0;
+  return e;
+}
+
+/// SQuAD-style: sequence is "[CLS] q [SEP] passage... [SEP]". Two question
+/// types (tokens q0, q1) select between two marker tokens (m0, m1); both
+/// markers appear in every passage, and the answer is the two tokens after
+/// the marker matching the question. The model must condition its span
+/// search on the question — a question-answering pattern a small model can
+/// learn — while decoys rule out question-independent shortcuts.
+Example gen_squad(Rng& rng, const TaskGenOptions& opt) {
+  // Fixed task vocabulary roles (within the content range).
+  const int q0 = kFirstContent, q1 = kFirstContent + 1;
+  const int m0 = kFirstContent + 2, m1 = kFirstContent + 3;
+
+  const bool which = rng.coin();
+  const int q = which ? q1 : q0;
+  const int true_marker = which ? m1 : m0;
+  const int decoy_marker = which ? m0 : m1;
+
+  const std::size_t pass_start = 3;  // [CLS] q [SEP]
+  const std::size_t pass_len = opt.seq_len - pass_start - 1;
+
+  // Passage of tokens that are neither markers nor question tokens.
+  std::vector<int> passage(pass_len);
+  for (int& t : passage) {
+    do {
+      t = random_content(rng, opt);
+    } while (t == q0 || t == q1 || t == m0 || t == m1);
+  }
+
+  // Place both markers, each with room for a 2-token answer after it and no
+  // overlap between the two marker neighbourhoods.
+  const int half = static_cast<int>(pass_len) / 2;
+  std::size_t pos_a = static_cast<std::size_t>(rng.uniform_int(0, half - 4));
+  std::size_t pos_b =
+      static_cast<std::size_t>(rng.uniform_int(half, static_cast<int>(pass_len) - 4));
+  if (rng.coin()) std::swap(pos_a, pos_b);
+  passage[pos_a] = true_marker;
+  passage[pos_b] = decoy_marker;
+
+  Example e;
+  e.tokens.assign(opt.seq_len, kFiller);
+  e.type_ids.assign(opt.seq_len, 1);
+  e.tokens[0] = kCls;
+  e.type_ids[0] = 0;
+  e.tokens[1] = q;
+  e.type_ids[1] = 0;
+  e.tokens[2] = kSep;
+  e.type_ids[2] = 0;
+  for (std::size_t i = 0; i < pass_len; ++i) e.tokens[pass_start + i] = passage[i];
+  e.tokens[opt.seq_len - 1] = kSep;
+
+  e.span_start = static_cast<int>(pass_start + pos_a + 1);
+  e.span_end = static_cast<int>(pass_start + pos_a + 2);
+  return e;
+}
+
+Example generate(TaskId id, Rng& rng, const TaskGenOptions& opt) {
+  switch (id) {
+    case TaskId::kMrpc:
+      return gen_paraphrase(rng, opt, /*positional=*/false);
+    case TaskId::kQqp:
+      return gen_paraphrase(rng, opt, /*positional=*/true);
+    case TaskId::kRte:
+      return gen_entailment(rng, opt);
+    case TaskId::kCola:
+      return gen_acceptability(rng, opt);
+    case TaskId::kSst2:
+      return gen_sentiment(rng, opt);
+    case TaskId::kStsb:
+      return gen_similarity(rng, opt);
+    case TaskId::kMnli:
+      return gen_nli3(rng, opt);
+    case TaskId::kQnli:
+      return gen_qnli(rng, opt);
+    case TaskId::kSquad:
+      return gen_squad(rng, opt);
+  }
+  throw std::invalid_argument("unknown TaskId");
+}
+
+}  // namespace
+
+const char* task_name(TaskId id) {
+  switch (id) {
+    case TaskId::kMrpc:
+      return "MRPC";
+    case TaskId::kRte:
+      return "RTE";
+    case TaskId::kCola:
+      return "CoLA";
+    case TaskId::kSst2:
+      return "SST-2";
+    case TaskId::kStsb:
+      return "STS-B";
+    case TaskId::kQqp:
+      return "QQP";
+    case TaskId::kMnli:
+      return "MNLI";
+    case TaskId::kQnli:
+      return "QNLI";
+    case TaskId::kSquad:
+      return "SQuAD";
+  }
+  return "?";
+}
+
+const char* metric_name(MetricKind m) {
+  switch (m) {
+    case MetricKind::kAccuracy:
+      return "acc";
+    case MetricKind::kF1:
+      return "F1";
+    case MetricKind::kMatthews:
+      return "mcc";
+    case MetricKind::kSpearman:
+      return "spearman";
+    case MetricKind::kSpanF1:
+      return "span-F1";
+  }
+  return "?";
+}
+
+std::vector<TaskId> glue_suite() {
+  return {TaskId::kMrpc, TaskId::kRte,  TaskId::kCola, TaskId::kSst2,
+          TaskId::kStsb, TaskId::kQqp,  TaskId::kMnli, TaskId::kQnli};
+}
+
+TaskData make_task(TaskId id, const TaskGenOptions& opt) {
+  if (opt.vocab < 16 || opt.seq_len < 12)
+    throw std::invalid_argument("task needs vocab >= 16 and seq_len >= 12");
+
+  TaskData d;
+  d.id = id;
+  d.name = task_name(id);
+  d.seq_len = opt.seq_len;
+  d.vocab = opt.vocab;
+
+  switch (id) {
+    case TaskId::kCola:
+      d.metric = MetricKind::kMatthews;
+      break;
+    case TaskId::kQqp:
+      d.metric = MetricKind::kF1;
+      break;
+    case TaskId::kStsb:
+      d.metric = MetricKind::kSpearman;
+      d.num_labels = 1;
+      d.is_regression = true;
+      break;
+    case TaskId::kMnli:
+      d.metric = MetricKind::kAccuracy;
+      d.num_labels = 3;
+      break;
+    case TaskId::kSquad:
+      d.metric = MetricKind::kSpanF1;
+      d.num_labels = 2;
+      d.is_span = true;
+      break;
+    default:
+      d.metric = MetricKind::kAccuracy;
+      break;
+  }
+
+  Rng rng(opt.seed * 1000003u + static_cast<std::uint64_t>(id) * 7919u);
+  d.train.reserve(opt.n_train);
+  for (std::size_t i = 0; i < opt.n_train; ++i)
+    d.train.push_back(generate(id, rng, opt));
+  d.dev.reserve(opt.n_dev);
+  for (std::size_t i = 0; i < opt.n_dev; ++i)
+    d.dev.push_back(generate(id, rng, opt));
+  return d;
+}
+
+}  // namespace nnlut::tasks

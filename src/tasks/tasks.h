@@ -1,0 +1,81 @@
+// Synthetic stand-ins for the paper's evaluation datasets (GLUE tasks and
+// SQuAD v1.1). Each generator mirrors the *shape* of its GLUE counterpart:
+// input format (single sentence vs sentence pair), label space (2/3-way
+// classification, regression, span) and evaluation metric. The linguistic
+// content is synthetic — token-level structures a small transformer must use
+// attention to solve — because the real datasets are not available offline.
+// DESIGN.md documents this substitution.
+//
+// Token conventions: 0 = [PAD] (unused; sequences are generated at full
+// length), 1 = [CLS], 2 = [SEP], 3 = filler, content tokens are 4..vocab-1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "numerics/rng.h"
+
+namespace nnlut::tasks {
+
+enum class TaskId {
+  kMrpc,   // paraphrase pair, accuracy (shuffled copy vs corrupted copy)
+  kRte,    // entailment pair, accuracy (hypothesis tokens subset of premise)
+  kCola,   // acceptability, Matthews corr (cyclic token-class grammar)
+  kSst2,   // sentiment, accuracy (signed token valence sum)
+  kStsb,   // similarity regression, Spearman (Jaccard overlap * 5)
+  kQqp,    // duplicate pair, F1 (shuffle + one synonym swap)
+  kMnli,   // 3-way entailment, accuracy (subset / disjoint / partial)
+  kQnli,   // question-passage entailment, accuracy (answer token present)
+  kSquad,  // span extraction, F1 (marker-introduced answer span)
+};
+
+enum class MetricKind { kAccuracy, kF1, kMatthews, kSpearman, kSpanF1 };
+
+struct Example {
+  std::vector<int> tokens;    // length = seq_len, [CLS] at position 0
+  std::vector<int> type_ids;  // 0 for segment A / single, 1 for segment B
+  int label = 0;              // classification tasks
+  float target = 0.0f;        // regression tasks
+  int span_start = 0;         // span tasks (inclusive token indices)
+  int span_end = 0;
+};
+
+struct TaskData {
+  TaskId id{};
+  std::string name;
+  MetricKind metric{};
+  int num_labels = 2;   // 1 for regression, 2 for span (start/end logits)
+  bool is_regression = false;
+  bool is_span = false;
+  std::size_t seq_len = 24;
+  std::size_t vocab = 64;
+  std::vector<Example> train;
+  std::vector<Example> dev;
+};
+
+struct TaskGenOptions {
+  std::size_t n_train = 4096;
+  std::size_t n_dev = 512;
+  std::size_t seq_len = 24;
+  std::size_t vocab = 64;
+  std::uint64_t seed = 1;
+};
+
+/// Generate the dataset for one task.
+TaskData make_task(TaskId id, const TaskGenOptions& opt = {});
+
+/// Table-2 column order of the paper.
+std::vector<TaskId> glue_suite();
+
+const char* task_name(TaskId id);
+const char* metric_name(MetricKind m);
+
+/// Special token ids.
+inline constexpr int kPad = 0;
+inline constexpr int kCls = 1;
+inline constexpr int kSep = 2;
+inline constexpr int kFiller = 3;
+inline constexpr int kFirstContent = 4;
+
+}  // namespace nnlut::tasks

@@ -1,0 +1,123 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace nnlut {
+
+namespace {
+void check_2d(const Tensor& t) {
+  assert(t.rank() == 2);
+  (void)t;
+}
+}  // namespace
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& c) {
+  check_2d(a);
+  check_2d(b);
+  check_2d(c);
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  assert(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
+  c.zero();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // i-k-j order: streams B rows, vectorizes the inner j loop.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void matmul_bt(const Tensor& a, const Tensor& b, Tensor& c) {
+  check_2d(a);
+  check_2d(b);
+  check_2d(c);
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  assert(b.dim(1) == k && c.dim(0) == m && c.dim(1) == n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      pc[i * n + j] = acc;
+    }
+  }
+}
+
+void matmul_at(const Tensor& a, const Tensor& b, Tensor& c) {
+  c.zero();
+  matmul_at_accumulate(a, b, c);
+}
+
+void matmul_at_accumulate(const Tensor& a, const Tensor& b, Tensor& c) {
+  check_2d(a);
+  check_2d(b);
+  check_2d(c);
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  assert(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void add_inplace(Tensor& y, const Tensor& x) {
+  assert(y.size() == x.size());
+  float* py = y.data();
+  const float* px = x.data();
+  for (std::size_t i = 0; i < y.size(); ++i) py[i] += px[i];
+}
+
+void add_row_bias(Tensor& y, std::span<const float> b) {
+  check_2d(y);
+  assert(y.dim(1) == b.size());
+  const std::size_t m = y.dim(0), n = y.dim(1);
+  float* p = y.data();
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) p[i * n + j] += b[j];
+}
+
+void scale_inplace(Tensor& y, float alpha) {
+  for (float& v : y.flat()) v *= alpha;
+}
+
+void col_sum_accumulate(const Tensor& x, std::span<float> out) {
+  check_2d(x);
+  assert(x.dim(1) == out.size());
+  const std::size_t m = x.dim(0), n = x.dim(1);
+  const float* p = x.data();
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) out[j] += p[i * n + j];
+}
+
+void apply(Tensor& t, const std::function<float(float)>& f) {
+  for (float& v : t.flat()) v = f(v);
+}
+
+float abs_max(const Tensor& t) {
+  float m = 0.0f;
+  for (float v : t.flat()) m = std::max(m, std::abs(v));
+  return m;
+}
+
+}  // namespace nnlut

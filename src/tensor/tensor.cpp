@@ -1,0 +1,44 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace nnlut {
+
+std::size_t shape_numel(std::span<const std::size_t> shape) {
+  return std::accumulate(shape.begin(), shape.end(), std::size_t{1},
+                         std::multiplies<>());
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor Tensor::full(std::initializer_list<std::size_t> shape, float value) {
+  Tensor t(shape);
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  assert(shape_numel(new_shape) == size());
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace nnlut

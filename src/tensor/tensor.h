@@ -1,0 +1,102 @@
+// Minimal dense row-major float tensor. This is the substrate for the
+// from-scratch transformer (src/nn, src/transformer); it intentionally keeps
+// a small surface: shapes, element access, views as spans, and a handful of
+// structural helpers. Math lives in tensor/ops.h.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nnlut {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Construct zero-filled tensor with the given shape.
+  explicit Tensor(std::vector<std::size_t> shape);
+  Tensor(std::initializer_list<std::size_t> shape)
+      : Tensor(std::vector<std::size_t>(shape)) {}
+
+  static Tensor zeros(std::initializer_list<std::size_t> shape) {
+    return Tensor(shape);
+  }
+  static Tensor full(std::initializer_list<std::size_t> shape, float value);
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t dim(std::size_t i) const {
+    assert(i < shape_.size());
+    return shape_[i];
+  }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](std::size_t i) {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    assert(i < data_.size());
+    return data_[i];
+  }
+
+  /// 2-D accessors (most of the transformer works on [rows, cols] views).
+  float& at(std::size_t r, std::size_t c) {
+    assert(rank() == 2 && r < shape_[0] && c < shape_[1]);
+    return data_[r * shape_[1] + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    assert(rank() == 2 && r < shape_[0] && c < shape_[1]);
+    return data_[r * shape_[1] + c];
+  }
+
+  /// 3-D accessor for [batch, rows, cols] tensors.
+  float& at(std::size_t b, std::size_t r, std::size_t c) {
+    assert(rank() == 3);
+    return data_[(b * shape_[1] + r) * shape_[2] + c];
+  }
+  float at(std::size_t b, std::size_t r, std::size_t c) const {
+    assert(rank() == 3);
+    return data_[(b * shape_[1] + r) * shape_[2] + c];
+  }
+
+  /// Mutable view of row r of a 2-D tensor.
+  std::span<float> row(std::size_t r) {
+    assert(rank() == 2 && r < shape_[0]);
+    return {data_.data() + r * shape_[1], shape_[1]};
+  }
+  std::span<const float> row(std::size_t r) const {
+    assert(rank() == 2 && r < shape_[0]);
+    return {data_.data() + r * shape_[1], shape_[1]};
+  }
+
+  /// Reinterpret with a new shape of identical element count.
+  Tensor reshaped(std::vector<std::size_t> new_shape) const;
+
+  /// Set all elements to v.
+  void fill(float v);
+
+  /// Set all elements to 0 (used for gradient reset).
+  void zero() { fill(0.0f); }
+
+  std::string shape_string() const;
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Total element count implied by a shape.
+std::size_t shape_numel(std::span<const std::size_t> shape);
+
+}  // namespace nnlut

@@ -1,0 +1,162 @@
+#include "transformer/backends.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ibert/ibert_kernels.h"
+#include "numerics/math.h"
+
+namespace nnlut::transformer {
+
+// ------------------------------------------------- ExactNonlinearities ----
+
+void ExactNonlinearities::activation(std::span<float> xs, int /*site*/) {
+  if (act_ == ActKind::kGelu) {
+    for (float& v : xs) v = gelu_exact(v);
+  } else {
+    for (float& v : xs)
+      if (v < 0.0f) v = 0.0f;
+  }
+}
+
+void ExactNonlinearities::softmax(std::span<float> row, int /*site*/) {
+  softmax_exact(row);
+}
+
+void ExactNonlinearities::layer_norm(std::span<const float> x,
+                                     std::span<float> y,
+                                     std::span<const float> gamma,
+                                     std::span<const float> beta,
+                                     int /*site*/) {
+  layer_norm_exact(x, y, gamma, beta);
+}
+
+// --------------------------------------------------- LutNonlinearities ----
+
+LutNonlinearities::LutNonlinearities(std::unique_ptr<ScalarFn> gelu,
+                                     std::unique_ptr<ScalarFn> exp,
+                                     std::unique_ptr<ScalarFn> recip,
+                                     std::unique_ptr<ScalarFn> rsqrt,
+                                     Options opt)
+    : gelu_fn_(std::move(gelu)),
+      exp_fn_(std::move(exp)),
+      recip_fn_(std::move(recip)),
+      rsqrt_fn_(std::move(rsqrt)),
+      opt_(opt) {}
+
+void LutNonlinearities::activation(std::span<float> xs, int /*site*/) {
+  if (opt_.select.gelu && opt_.act == ActKind::kGelu) {
+    gelu_fn_->eval_inplace(xs);
+    return;
+  }
+  // Exact fallback (including ReLU models: ReLU is not approximated).
+  if (opt_.act == ActKind::kGelu) {
+    for (float& v : xs) v = gelu_exact(v);
+  } else {
+    for (float& v : xs)
+      if (v < 0.0f) v = 0.0f;
+  }
+}
+
+void LutNonlinearities::softmax(std::span<float> row, int /*site*/) {
+  if (!opt_.select.softmax) {
+    softmax_exact(row);
+    return;
+  }
+  const SoftmaxApprox sm(*exp_fn_, *recip_fn_);
+  sm(row);
+}
+
+const ScalarFn& LutNonlinearities::rsqrt_for_site(int site) const {
+  if (site >= 0 && static_cast<std::size_t>(site) < site_rsqrt_.size() &&
+      site_rsqrt_[static_cast<std::size_t>(site)]) {
+    return *site_rsqrt_[static_cast<std::size_t>(site)];
+  }
+  return *rsqrt_fn_;
+}
+
+void LutNonlinearities::layer_norm(std::span<const float> x,
+                                   std::span<float> y,
+                                   std::span<const float> gamma,
+                                   std::span<const float> beta, int site) {
+  if (!opt_.select.layer_norm) {
+    layer_norm_exact(x, y, gamma, beta);
+    return;
+  }
+
+  LayerNormApprox::Options lopt;
+  lopt.input_scaling = opt_.input_scaling;
+
+  if (capture_) {
+    if (capture_buffers_.size() <= static_cast<std::size_t>(site))
+      capture_buffers_.resize(static_cast<std::size_t>(site) + 1);
+    const CapturingFn cap(rsqrt_for_site(site),
+                          capture_buffers_[static_cast<std::size_t>(site)]);
+    const LayerNormApprox ln(cap, lopt);
+    ln(x, y, gamma, beta);
+    return;
+  }
+
+  const LayerNormApprox ln(rsqrt_for_site(site), lopt);
+  ln(x, y, gamma, beta);
+}
+
+void LutNonlinearities::set_site_rsqrt(int site, std::unique_ptr<ScalarFn> fn) {
+  if (site < 0) throw std::invalid_argument("site must be non-negative");
+  if (site_rsqrt_.size() <= static_cast<std::size_t>(site))
+    site_rsqrt_.resize(static_cast<std::size_t>(site) + 1);
+  site_rsqrt_[static_cast<std::size_t>(site)] = std::move(fn);
+}
+
+void LutNonlinearities::enable_rsqrt_capture() { capture_ = true; }
+
+void LutNonlinearities::disable_rsqrt_capture() { capture_ = false; }
+
+const std::vector<float>& LutNonlinearities::captured_rsqrt_inputs(
+    int site) const {
+  static const std::vector<float> kEmpty;
+  if (site < 0 || static_cast<std::size_t>(site) >= capture_buffers_.size())
+    return kEmpty;
+  return capture_buffers_[static_cast<std::size_t>(site)];
+}
+
+// ------------------------------------------------- IBertNonlinearities ----
+
+void IBertNonlinearities::activation(std::span<float> xs, int /*site*/) {
+  if (act_ == ActKind::kGelu) {
+    ibert::gelu_row(xs);
+  } else {
+    for (float& v : xs)
+      if (v < 0.0f) v = 0.0f;
+  }
+}
+
+void IBertNonlinearities::softmax(std::span<float> row, int /*site*/) {
+  ibert::softmax_row(row);
+}
+
+void IBertNonlinearities::layer_norm(std::span<const float> x,
+                                     std::span<float> y,
+                                     std::span<const float> gamma,
+                                     std::span<const float> beta,
+                                     int /*site*/) {
+  ibert::layernorm_row(x, y, gamma, beta);
+}
+
+// ------------------------------------------------------------ factories ---
+
+std::unique_ptr<LutNonlinearities> make_lut_backend(
+    const LutSet& luts, LutPrecision precision,
+    LutNonlinearities::Options opt) {
+  // Input magnitude bounds for INT32 quantization, from the Table-1 training
+  // ranges (the paper pre-scales unit inputs to the covered range).
+  auto gelu = make_lut_fn(luts.gelu, precision, 5.0f);
+  auto exp = make_lut_fn(luts.exp, precision, 256.0f);
+  auto recip = make_lut_fn(luts.reciprocal, precision, 1024.0f);
+  auto rsqrt = make_lut_fn(luts.rsqrt, precision, 1024.0f);
+  return std::make_unique<LutNonlinearities>(std::move(gelu), std::move(exp),
+                                             std::move(recip), std::move(rsqrt),
+                                             opt);
+}
+
+}  // namespace nnlut::transformer

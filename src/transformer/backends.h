@@ -1,0 +1,140 @@
+// Nonlinearity backends for approximate inference. The inference engine
+// calls these instead of the exact ops; swapping the backend realizes the
+// paper's experiments:
+//   ExactNonlinearities    - FP32 reference (Table 2 "Baseline")
+//   LutNonlinearities      - NN-LUT or Linear-LUT at FP32/FP16/INT32, with
+//                            per-op selection (Table 2a rows) and per-site
+//                            LUTs + capture for calibration (Table 2b "+C")
+//   IBertNonlinearities    - I-BERT integer kernels (Table 2b baseline)
+//
+// `site` identifies the op instance (layer number baked in by the inference
+// engine) so calibration can specialize LUTs per layer.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/nnlut_ops.h"
+#include "core/quantized_lut.h"
+#include "core/scalar_fn.h"
+#include "transformer/config.h"
+
+namespace nnlut::transformer {
+
+class NonlinearitySet {
+ public:
+  virtual ~NonlinearitySet() = default;
+
+  /// Elementwise activation (GELU or ReLU depending on the model).
+  virtual void activation(std::span<float> xs, int site) = 0;
+  /// In-place softmax over one attention row.
+  virtual void softmax(std::span<float> row, int site) = 0;
+  /// LayerNorm with affine params.
+  virtual void layer_norm(std::span<const float> x, std::span<float> y,
+                          std::span<const float> gamma,
+                          std::span<const float> beta, int site) = 0;
+};
+
+/// Exact FP32 reference implementations.
+class ExactNonlinearities final : public NonlinearitySet {
+ public:
+  explicit ExactNonlinearities(ActKind act = ActKind::kGelu) : act_(act) {}
+  void activation(std::span<float> xs, int site) override;
+  void softmax(std::span<float> row, int site) override;
+  void layer_norm(std::span<const float> x, std::span<float> y,
+                  std::span<const float> gamma, std::span<const float> beta,
+                  int site) override;
+
+ private:
+  ActKind act_;
+};
+
+/// Which operations are replaced by LUTs (the others stay exact) — the row
+/// structure of Table 2(a).
+struct ApproxSelection {
+  bool gelu = true;
+  bool softmax = true;
+  bool layer_norm = true;
+
+  static ApproxSelection all() { return {}; }
+  static ApproxSelection gelu_only() { return {true, false, false}; }
+  static ApproxSelection softmax_only() { return {false, true, false}; }
+  static ApproxSelection layernorm_only() { return {false, false, true}; }
+};
+
+/// LUT-backed nonlinearities. Owns the ScalarFn evaluators. The four base
+/// functions are shared across sites by default; `set_site_rsqrt` installs a
+/// calibrated per-site replacement (Sec. 3.3.3). Capture mode records the
+/// inputs reaching each LayerNorm's 1/sqrt so calibration can regress on
+/// them.
+class LutNonlinearities final : public NonlinearitySet {
+ public:
+  struct Options {
+    ApproxSelection select;
+    ActKind act = ActKind::kGelu;  // exact fallback when gelu not selected
+    bool input_scaling = true;     // Sec. 3.3.2, applied to LayerNorm
+  };
+
+  /// The ScalarFns must outlive this object if supplied externally; the
+  /// factory functions below create owning instances.
+  LutNonlinearities(std::unique_ptr<ScalarFn> gelu, std::unique_ptr<ScalarFn> exp,
+                    std::unique_ptr<ScalarFn> recip,
+                    std::unique_ptr<ScalarFn> rsqrt, Options opt);
+
+  void activation(std::span<float> xs, int site) override;
+  void softmax(std::span<float> row, int site) override;
+  void layer_norm(std::span<const float> x, std::span<float> y,
+                  std::span<const float> gamma, std::span<const float> beta,
+                  int site) override;
+
+  /// Install a calibrated rsqrt evaluator for one LayerNorm site.
+  void set_site_rsqrt(int site, std::unique_ptr<ScalarFn> fn);
+
+  /// Enable capture: inputs to each site's rsqrt are recorded (post input
+  /// scaling, i.e. exactly what the LUT sees).
+  void enable_rsqrt_capture();
+  void disable_rsqrt_capture();
+  const std::vector<float>& captured_rsqrt_inputs(int site) const;
+
+ private:
+  const ScalarFn& rsqrt_for_site(int site) const;
+
+  std::unique_ptr<ScalarFn> gelu_fn_, exp_fn_, recip_fn_, rsqrt_fn_;
+  std::vector<std::unique_ptr<ScalarFn>> site_rsqrt_;  // index = site
+  Options opt_;
+
+  bool capture_ = false;
+  mutable std::vector<std::vector<float>> capture_buffers_;
+};
+
+/// I-BERT integer kernels for all three ops (ReLU models keep ReLU exact —
+/// it is not a transcendental op).
+class IBertNonlinearities final : public NonlinearitySet {
+ public:
+  explicit IBertNonlinearities(ActKind act = ActKind::kGelu) : act_(act) {}
+  void activation(std::span<float> xs, int site) override;
+  void softmax(std::span<float> row, int site) override;
+  void layer_norm(std::span<const float> x, std::span<float> y,
+                  std::span<const float> gamma, std::span<const float> beta,
+                  int site) override;
+
+ private:
+  ActKind act_;
+};
+
+// ------------------------------------------------------------ factories ---
+
+/// The trained (or fitted) LUTs for the four base functions.
+struct LutSet {
+  PiecewiseLinear gelu;
+  PiecewiseLinear exp;
+  PiecewiseLinear reciprocal;
+  PiecewiseLinear rsqrt;
+};
+
+/// Build a LUT backend from tables at the requested deployed precision.
+std::unique_ptr<LutNonlinearities> make_lut_backend(
+    const LutSet& luts, LutPrecision precision, LutNonlinearities::Options opt);
+
+}  // namespace nnlut::transformer

@@ -1,0 +1,45 @@
+// Model configurations. Two presets mirror the paper's evaluation subjects:
+//  - roberta_like(): LayerNorm + GELU encoder (RoBERTa structure), so GELU,
+//    Softmax and LayerNorm all appear in every layer;
+//  - mobilebert_like(): NoNorm (element-wise affine) + ReLU, the MobileBERT
+//    design where "Softmax is the only non-linear operation involved in the
+//    transformer layer" (paper Sec. 4.3, Table 3).
+// Dimensions are scaled down so the models train from scratch in seconds on
+// synthetic tasks; the *structure* (which nonlinearities appear where) is
+// what the accuracy experiments depend on.
+#pragma once
+
+#include <cstddef>
+
+namespace nnlut::transformer {
+
+enum class NormKind { kLayerNorm, kNoNorm };
+enum class ActKind { kGelu, kRelu };
+
+struct ModelConfig {
+  std::size_t vocab = 64;
+  std::size_t hidden = 64;
+  std::size_t layers = 2;
+  std::size_t heads = 4;
+  std::size_t ffn = 192;
+  std::size_t max_seq = 32;
+  std::size_t type_vocab = 2;
+  NormKind norm = NormKind::kLayerNorm;
+  ActKind act = ActKind::kGelu;
+
+  static ModelConfig roberta_like() {
+    ModelConfig c;
+    c.norm = NormKind::kLayerNorm;
+    c.act = ActKind::kGelu;
+    return c;
+  }
+
+  static ModelConfig mobilebert_like() {
+    ModelConfig c;
+    c.norm = NormKind::kNoNorm;
+    c.act = ActKind::kRelu;
+    return c;
+  }
+};
+
+}  // namespace nnlut::transformer

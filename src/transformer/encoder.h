@@ -1,0 +1,101 @@
+// Trainable BERT-style encoder built from src/nn layers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/approx_training.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "transformer/config.h"
+
+namespace nnlut::transformer {
+
+/// Normalization slot that is either LayerNorm or NoNorm per ModelConfig.
+/// For approximation-aware fine-tuning, a LayerNorm slot can be switched to
+/// run its 1/sqrt through a LUT inside the training graph
+/// (install_lut_rsqrt); the affine parameters are shared, so switching back
+/// and forth preserves training state.
+class NormSlot {
+ public:
+  NormSlot() = default;
+  NormSlot(NormKind kind, std::size_t dim);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& dy);
+  std::vector<nn::Param*> params();
+
+  NormKind kind() const { return kind_; }
+  /// Affine parameters (shared accessor for the inference engine).
+  const nn::Param& gamma() const;
+  const nn::Param& beta() const;
+
+  /// Route this LayerNorm through `lut` during training (nullptr restores
+  /// the exact op). No-op for NoNorm slots. The LUT must outlive the model.
+  void install_lut_rsqrt(const PiecewiseLinear* lut, bool input_scaling = true);
+
+ private:
+  NormKind kind_ = NormKind::kLayerNorm;
+  nn::LayerNorm ln_;
+  nn::NoNorm nonorm_;
+  nn::LutLayerNorm lut_ln_;
+  const PiecewiseLinear* lut_rsqrt_ = nullptr;
+};
+
+/// One post-norm transformer encoder layer:
+///   x1 = Norm(x + Attention(x)) ; x2 = Norm(x1 + FF2(Act(FF1(x1)))).
+class EncoderLayer {
+ public:
+  EncoderLayer() = default;
+  EncoderLayer(const ModelConfig& cfg, Rng& rng);
+
+  Tensor forward(const Tensor& x, std::size_t batch, std::size_t seq);
+  Tensor backward(const Tensor& dy);
+  std::vector<nn::Param*> params();
+
+  /// Route the activation through `lut` during training (nullptr restores
+  /// the exact op). The LUT must outlive the model.
+  void install_lut_activation(const PiecewiseLinear* lut);
+
+  nn::MultiHeadAttention attn;
+  NormSlot norm1, norm2;
+  nn::Linear ff1, ff2;
+
+ private:
+  ActKind act_ = ActKind::kGelu;
+  nn::GeluAct gelu_;
+  nn::ReluAct relu_;
+  nn::LutAct lut_act_;
+  bool use_lut_act_ = false;
+};
+
+/// Input ids for a batch of fixed-length sequences.
+struct BatchInput {
+  std::size_t batch = 0;
+  std::size_t seq = 0;
+  std::vector<int> token_ids;  // batch * seq
+  std::vector<int> type_ids;   // batch * seq (segment A/B)
+};
+
+class Encoder {
+ public:
+  Encoder() = default;
+  Encoder(const ModelConfig& cfg, Rng& rng);
+
+  /// Returns hidden states [batch*seq, hidden].
+  Tensor forward(const BatchInput& in);
+  void backward(const Tensor& dhidden);
+  std::vector<nn::Param*> params();
+
+  const ModelConfig& config() const { return cfg_; }
+
+  nn::Embedding tok_emb, pos_emb, type_emb;
+  NormSlot emb_norm;
+  std::vector<EncoderLayer> layers;
+
+ private:
+  ModelConfig cfg_;
+  std::size_t batch_ = 0, seq_ = 0;
+};
+
+}  // namespace nnlut::transformer

@@ -1,0 +1,187 @@
+#include "transformer/infer.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "ibert/quantization.h"
+#include "tensor/ops.h"
+
+namespace nnlut::transformer {
+
+namespace {
+
+/// Project a tensor to the matmul operand precision, in place.
+void project(Tensor& t, MatmulMode mode) {
+  switch (mode) {
+    case MatmulMode::kFp32:
+      return;
+    case MatmulMode::kFp16:
+      ibert::fake_quantize_fp16(t.flat());
+      return;
+    case MatmulMode::kInt8:
+      ibert::fake_quantize(t.flat(), 8);
+      return;
+  }
+}
+
+Tensor prepared_weight(const Tensor& w, MatmulMode mode) {
+  Tensor copy = w;
+  project(copy, mode);
+  return copy;
+}
+
+}  // namespace
+
+Tensor InferenceModel::PreparedLinear::apply(const Tensor& x,
+                                             MatmulMode mode) const {
+  Tensor xin = x;
+  project(xin, mode);
+  Tensor y({x.dim(0), w.dim(1)});
+  matmul(xin, w, y);
+  add_row_bias(y, b.flat());
+  if (mode == MatmulMode::kFp16) ibert::fake_quantize_fp16(y.flat());
+  return y;
+}
+
+InferenceModel::InferenceModel(const TaskModel& model, NonlinearitySet& nl,
+                               MatmulMode mode)
+    : model_(&model), nl_(&nl), mode_(mode) {
+  layers_.reserve(model.encoder.layers.size());
+  for (const EncoderLayer& l : model.encoder.layers) {
+    LayerWeights lw;
+    lw.wq = {prepared_weight(l.attn.wq.w.value, mode), l.attn.wq.b.value};
+    lw.wk = {prepared_weight(l.attn.wk.w.value, mode), l.attn.wk.b.value};
+    lw.wv = {prepared_weight(l.attn.wv.w.value, mode), l.attn.wv.b.value};
+    lw.wo = {prepared_weight(l.attn.wo.w.value, mode), l.attn.wo.b.value};
+    lw.ff1 = {prepared_weight(l.ff1.w.value, mode), l.ff1.b.value};
+    lw.ff2 = {prepared_weight(l.ff2.w.value, mode), l.ff2.b.value};
+    layers_.push_back(std::move(lw));
+  }
+  // The classification head stays FP32 (it is a tiny readout; the paper's
+  // experiments quantize the transformer body).
+  head_ = {model.head_lin.w.value, model.head_lin.b.value};
+}
+
+int InferenceModel::embedding_norm_site() const {
+  return static_cast<int>(2 * model_->encoder.layers.size());
+}
+
+void InferenceModel::norm_rows(const Tensor& x, Tensor& y,
+                               const NormSlot& slot, int site) {
+  const std::size_t rows = x.dim(0), dim = x.dim(1);
+  const auto gamma = slot.gamma().value.flat();
+  const auto beta = slot.beta().value.flat();
+  if (slot.kind() == NormKind::kLayerNorm) {
+    for (std::size_t r = 0; r < rows; ++r)
+      nl_->layer_norm(x.row(r), y.row(r), gamma, beta, site);
+  } else {
+    // NoNorm: element-wise affine; no non-linearity to approximate.
+    for (std::size_t r = 0; r < rows; ++r) {
+      const auto xin = x.row(r);
+      auto yo = y.row(r);
+      for (std::size_t j = 0; j < dim; ++j)
+        yo[j] = xin[j] * gamma[j] + beta[j];
+    }
+  }
+}
+
+Tensor InferenceModel::encode(const BatchInput& in) {
+  const Encoder& enc = model_->encoder;
+  const ModelConfig& cfg = enc.config();
+  if (in.token_ids.size() != in.batch * in.seq)
+    throw std::invalid_argument("InferenceModel::encode: bad batch shape");
+
+  const std::size_t rows = in.batch * in.seq;
+  const std::size_t hidden = cfg.hidden;
+
+  // Embeddings (kept FP32; they are table reads, not matmuls).
+  Tensor x({rows, hidden});
+  for (std::size_t r = 0; r < rows; ++r) {
+    const int tok = in.token_ids[r];
+    const int typ = in.type_ids.empty() ? 0 : in.type_ids[r];
+    const int pos = static_cast<int>(r % in.seq);
+    const auto te = enc.tok_emb.table.value.row(static_cast<std::size_t>(tok));
+    const auto pe = enc.pos_emb.table.value.row(static_cast<std::size_t>(pos));
+    const auto ye = enc.type_emb.table.value.row(static_cast<std::size_t>(typ));
+    auto dst = x.row(r);
+    for (std::size_t j = 0; j < hidden; ++j) dst[j] = te[j] + pe[j] + ye[j];
+  }
+
+  Tensor xn({rows, hidden});
+  norm_rows(x, xn, enc.emb_norm, embedding_norm_site());
+  x = std::move(xn);
+
+  const std::size_t heads = cfg.heads;
+  const std::size_t hd = hidden / heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+
+  for (std::size_t li = 0; li < enc.layers.size(); ++li) {
+    const LayerWeights& lw = layers_[li];
+    const int site = static_cast<int>(li);
+
+    Tensor q = lw.wq.apply(x, mode_);
+    Tensor k = lw.wk.apply(x, mode_);
+    Tensor v = lw.wv.apply(x, mode_);
+    // Attention-score matmuls run at the same precision as the projections.
+    project(q, mode_);
+    project(k, mode_);
+    project(v, mode_);
+
+    Tensor context({rows, hidden});
+    std::vector<float> prow(in.seq);
+    for (std::size_t b = 0; b < in.batch; ++b) {
+      for (std::size_t h = 0; h < heads; ++h) {
+        for (std::size_t i = 0; i < in.seq; ++i) {
+          const float* qi = q.data() + (b * in.seq + i) * hidden + h * hd;
+          for (std::size_t j = 0; j < in.seq; ++j) {
+            const float* kj = k.data() + (b * in.seq + j) * hidden + h * hd;
+            float acc = 0.0f;
+            for (std::size_t d = 0; d < hd; ++d) acc += qi[d] * kj[d];
+            prow[j] = acc * scale;
+          }
+          if (mode_ == MatmulMode::kFp16) ibert::fake_quantize_fp16(prow);
+          nl_->softmax(prow, site);
+
+          float* out = context.data() + (b * in.seq + i) * hidden + h * hd;
+          for (std::size_t d = 0; d < hd; ++d) {
+            float acc = 0.0f;
+            for (std::size_t j = 0; j < in.seq; ++j)
+              acc += prow[j] * v.at(b * in.seq + j, d + h * hd);
+            out[d] = acc;
+          }
+        }
+      }
+    }
+
+    Tensor attn_out = lw.wo.apply(context, mode_);
+    add_inplace(attn_out, x);  // residual
+    Tensor x1({rows, hidden});
+    norm_rows(attn_out, x1, enc.layers[li].norm1, 2 * site);
+
+    Tensor hmid = lw.ff1.apply(x1, mode_);
+    for (std::size_t r = 0; r < rows; ++r) nl_->activation(hmid.row(r), site);
+    Tensor f = lw.ff2.apply(hmid, mode_);
+    add_inplace(f, x1);  // residual
+    Tensor x2({rows, hidden});
+    norm_rows(f, x2, enc.layers[li].norm2, 2 * site + 1);
+    x = std::move(x2);
+  }
+  return x;
+}
+
+Tensor InferenceModel::logits(const BatchInput& in) {
+  const Tensor hidden = encode(in);
+  if (model_->head() == HeadKind::kSpan) {
+    return head_.apply(hidden, MatmulMode::kFp32);
+  }
+  Tensor cls({in.batch, model_->config().hidden});
+  for (std::size_t b = 0; b < in.batch; ++b) {
+    const auto src = hidden.row(b * in.seq);
+    auto dst = cls.row(b);
+    for (std::size_t j = 0; j < dst.size(); ++j) dst[j] = src[j];
+  }
+  return head_.apply(cls, MatmulMode::kFp32);
+}
+
+}  // namespace nnlut::transformer

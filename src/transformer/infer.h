@@ -1,0 +1,64 @@
+// Forward-only inference engine with approximated nonlinearities and
+// reduced-precision matrix multiplication. This is the vehicle for the
+// paper's accuracy experiments: train a TaskModel in FP32, then run
+// inference with
+//   - a NonlinearitySet backend (exact / Linear-LUT / NN-LUT / I-BERT), and
+//   - a MatmulMode (FP32 / FP16 / INT8-simulated)
+// and measure the task metric.
+//
+// Site numbering (for per-instance calibration): for layer l,
+//   activation and softmax sites = l;
+//   LayerNorm sites = 2l (post-attention) and 2l+1 (post-FFN);
+//   the embedding LayerNorm is site 2*layers.
+#pragma once
+
+#include "transformer/backends.h"
+#include "transformer/model.h"
+
+namespace nnlut::transformer {
+
+enum class MatmulMode {
+  kFp32,  // reference
+  kFp16,  // weights & every matmul operand/result rounded through binary16
+  kInt8,  // weights & matmul operands symmetric-fake-quantized to 8 bits
+          // (accumulation in FP32 stands in for the INT32 accumulator;
+          // see DESIGN.md substitution table)
+};
+
+class InferenceModel {
+ public:
+  /// Borrows the trained model and the backend; both must outlive this.
+  InferenceModel(const TaskModel& model, NonlinearitySet& nl,
+                 MatmulMode mode = MatmulMode::kFp32);
+
+  /// Hidden states [batch*seq, hidden] after the encoder stack.
+  Tensor encode(const BatchInput& in);
+
+  /// Task logits with the same shapes as TaskModel::forward.
+  Tensor logits(const BatchInput& in);
+
+  /// Site id of the embedding LayerNorm.
+  int embedding_norm_site() const;
+
+ private:
+  struct PreparedLinear {
+    Tensor w;  // weight copy, projected to the matmul precision
+    Tensor b;
+    Tensor apply(const Tensor& x, MatmulMode mode) const;
+  };
+
+  void norm_rows(const Tensor& x, Tensor& y, const NormSlot& slot, int site);
+
+  const TaskModel* model_;
+  NonlinearitySet* nl_;
+  MatmulMode mode_;
+
+  // Pre-projected copies of all weights (layout mirrors the encoder).
+  struct LayerWeights {
+    PreparedLinear wq, wk, wv, wo, ff1, ff2;
+  };
+  std::vector<LayerWeights> layers_;
+  PreparedLinear head_;
+};
+
+}  // namespace nnlut::transformer

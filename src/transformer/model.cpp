@@ -1,0 +1,85 @@
+#include "transformer/model.h"
+
+#include <cassert>
+
+namespace nnlut::transformer {
+
+TaskModel::TaskModel(const ModelConfig& cfg, HeadKind head,
+                     std::size_t num_outputs, Rng& rng)
+    : encoder(cfg, rng),
+      head_lin(cfg.hidden, num_outputs, rng),
+      head_(head) {}
+
+Tensor TaskModel::forward(const BatchInput& in) {
+  batch_ = in.batch;
+  seq_ = in.seq;
+  const Tensor hidden = encoder.forward(in);  // [B*S, H]
+
+  if (head_ == HeadKind::kSpan) {
+    return head_lin.forward(hidden);  // [B*S, 2]
+  }
+
+  // Pool the [CLS] position (row b*seq) of each sequence.
+  Tensor cls({in.batch, encoder.config().hidden});
+  for (std::size_t b = 0; b < in.batch; ++b) {
+    const auto src = hidden.row(b * in.seq);
+    auto dst = cls.row(b);
+    for (std::size_t j = 0; j < dst.size(); ++j) dst[j] = src[j];
+  }
+  return head_lin.forward(cls);
+}
+
+void TaskModel::backward(const Tensor& dlogits) {
+  if (head_ == HeadKind::kSpan) {
+    const Tensor dhidden = head_lin.backward(dlogits);
+    encoder.backward(dhidden);
+    return;
+  }
+
+  const Tensor dcls = head_lin.backward(dlogits);  // [B, H]
+  Tensor dhidden({batch_ * seq_, encoder.config().hidden});
+  for (std::size_t b = 0; b < batch_; ++b) {
+    const auto src = dcls.row(b);
+    auto dst = dhidden.row(b * seq_);
+    for (std::size_t j = 0; j < dst.size(); ++j) dst[j] = src[j];
+  }
+  encoder.backward(dhidden);
+}
+
+std::vector<nn::Param*> TaskModel::params() {
+  std::vector<nn::Param*> ps = encoder.params();
+  for (auto* p : head_lin.params()) ps.push_back(p);
+  return ps;
+}
+
+std::vector<std::pair<int, int>> decode_spans(const Tensor& span_logits,
+                                              std::size_t batch,
+                                              std::size_t seq) {
+  assert(span_logits.dim(0) == batch * seq && span_logits.dim(1) == 2);
+  std::vector<std::pair<int, int>> out;
+  out.reserve(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    int best_start = 0;
+    float best_sv = span_logits.at(b * seq, 0);
+    for (std::size_t s = 1; s < seq; ++s) {
+      const float v = span_logits.at(b * seq + s, 0);
+      if (v > best_sv) {
+        best_sv = v;
+        best_start = static_cast<int>(s);
+      }
+    }
+    int best_end = best_start;
+    float best_ev = span_logits.at(b * seq + static_cast<std::size_t>(best_start), 1);
+    for (std::size_t s = static_cast<std::size_t>(best_start); s < seq; ++s) {
+      const float v = span_logits.at(b * seq + s, 1);
+      if (v > best_ev) {
+        best_ev = v;
+        best_end = static_cast<int>(s);
+      }
+    }
+    out.emplace_back(best_start, best_end);
+  }
+  return out;
+}
+
+}  // namespace nnlut::transformer

@@ -1,0 +1,46 @@
+// TaskModel = encoder + task head. Supports sequence classification
+// (GLUE-style, via the [CLS] position), regression (STS-B-style) and span
+// extraction (SQuAD-style start/end logits).
+#pragma once
+
+#include <span>
+
+#include "transformer/encoder.h"
+
+namespace nnlut::transformer {
+
+enum class HeadKind { kClassify, kRegress, kSpan };
+
+class TaskModel {
+ public:
+  TaskModel() = default;
+  /// num_outputs: classes for kClassify, 1 for kRegress, 2 for kSpan.
+  TaskModel(const ModelConfig& cfg, HeadKind head, std::size_t num_outputs,
+            Rng& rng);
+
+  /// Classification / regression: logits [batch, num_outputs] from [CLS].
+  /// Span: logits [batch*seq, 2] (start/end scores per token).
+  Tensor forward(const BatchInput& in);
+  void backward(const Tensor& dlogits);
+
+  std::vector<nn::Param*> params();
+
+  HeadKind head() const { return head_; }
+  std::size_t num_outputs() const { return head_lin.out_features(); }
+  const ModelConfig& config() const { return encoder.config(); }
+
+  Encoder encoder;
+  nn::Linear head_lin;
+
+ private:
+  HeadKind head_ = HeadKind::kClassify;
+  std::size_t batch_ = 0, seq_ = 0;
+};
+
+/// Extract start/end span predictions from span logits [batch*seq, 2]:
+/// argmax over positions for start and (>= start) for end.
+std::vector<std::pair<int, int>> decode_spans(const Tensor& span_logits,
+                                              std::size_t batch,
+                                              std::size_t seq);
+
+}  // namespace nnlut::transformer

@@ -1,0 +1,110 @@
+// Property tests of the cycle simulator: scaling laws that must hold for any
+// sane accelerator model, independent of the calibrated constants.
+#include <gtest/gtest.h>
+
+#include "accel/simulator.h"
+
+namespace nnlut::accel {
+namespace {
+
+AcceleratorConfig base_cfg() { return {}; }
+
+TEST(SimulatorScaling, DoubleEnginesHalvesMatmul) {
+  const Op mm = Op::matmul("m", 256, 768, 768);
+  AcceleratorConfig one = base_cfg();
+  AcceleratorConfig two = base_cfg();
+  two.engines = 4;  // 2 -> 4
+  const CycleSimulator s1(one, nnlut_sfu_timing());
+  const CycleSimulator s2(two, nnlut_sfu_timing());
+  EXPECT_NEAR(s1.op_cycles(mm) / s2.op_cycles(mm), 2.0, 0.01);
+}
+
+TEST(SimulatorScaling, DoubleLanesHalvesSfuOps) {
+  const Op g = Op::elementwise(OpKind::kGelu, "g", 128, 3072);
+  AcceleratorConfig narrow = base_cfg();
+  AcceleratorConfig wide = base_cfg();
+  wide.sfu_lanes = 32;
+  const CycleSimulator s1(narrow, ibert_sfu_timing());
+  const CycleSimulator s2(wide, ibert_sfu_timing());
+  EXPECT_NEAR(s1.op_cycles(g) / s2.op_cycles(g), 2.0, 0.05);
+}
+
+TEST(SimulatorScaling, MatmulLinearInEveryDim) {
+  const CycleSimulator sim(base_cfg(), nnlut_sfu_timing());
+  const double c1 = sim.op_cycles(Op::matmul("a", 64, 768, 768));
+  const double c2 = sim.op_cycles(Op::matmul("b", 128, 768, 768));
+  EXPECT_NEAR(c2 / c1, 2.0, 0.01);
+  const double c3 = sim.op_cycles(Op::matmul("c", 64, 1536, 768));
+  EXPECT_NEAR(c3 / c1, 2.0, 0.01);
+}
+
+TEST(SimulatorScaling, SoftmaxQuadraticInSeq) {
+  const CycleSimulator sim(base_cfg(), nnlut_sfu_timing());
+  const double c1 =
+      sim.op_cycles(Op::elementwise(OpKind::kSoftmax, "s", 12 * 128, 128));
+  const double c2 =
+      sim.op_cycles(Op::elementwise(OpKind::kSoftmax, "s", 12 * 256, 256));
+  EXPECT_NEAR(c2 / c1, 4.0, 0.1);  // rows and row length both double
+}
+
+TEST(SimulatorScaling, TotalCyclesMonotoneInSeq) {
+  const BertShape sh = BertShape::roberta_base();
+  const AcceleratorConfig cfg = base_cfg();
+  double prev = 0.0;
+  for (std::size_t s : {16u, 32u, 64u, 128u, 256u, 512u}) {
+    const SystemComparison c = compare_at_seq(sh, s, cfg);
+    EXPECT_GT(c.nnlut.total(), prev) << s;
+    prev = c.nnlut.total();
+  }
+}
+
+TEST(SimulatorScaling, UtilizationBoundedByPeak) {
+  // MAC cycles can never beat the peak-throughput bound.
+  const BertShape sh = BertShape::roberta_base();
+  const AcceleratorConfig cfg = base_cfg();
+  for (std::size_t s : {16u, 128u, 1024u}) {
+    const auto ops = build_roberta_ops(sh, s);
+    const CycleSimulator sim(cfg, nnlut_sfu_timing());
+    const Breakdown b = sim.run(ops);
+    const double peak = static_cast<double>(cfg.engines) *
+                        cfg.macs_per_engine_per_cycle;
+    EXPECT_GE(b.matmul, total_macs(ops) / peak - 1.0) << s;
+  }
+}
+
+TEST(SimulatorScaling, SpeedupBoundedByAmdahl) {
+  // NN-LUT only accelerates the non-matmul share; the speedup can never
+  // exceed 1 / matmul-share of the I-BERT run.
+  const BertShape sh = BertShape::roberta_base();
+  const AcceleratorConfig cfg = base_cfg();
+  for (std::size_t s : {16u, 256u, 1024u}) {
+    const SystemComparison c = compare_at_seq(sh, s, cfg);
+    const double matmul_share = c.ibert.matmul / c.ibert.total();
+    EXPECT_LT(c.speedup, 1.0 / matmul_share) << s;
+  }
+}
+
+TEST(SfuTimings, IbertSlowerOrEqualEverywhere) {
+  const SfuTiming ib = ibert_sfu_timing();
+  const SfuTiming nn = nnlut_sfu_timing();
+  EXPECT_GE(ib.gelu_ii, nn.gelu_ii);
+  EXPECT_GE(ib.exp_ii, nn.exp_ii);
+  EXPECT_GE(ib.softmax_scale_ii, nn.softmax_scale_ii);
+  EXPECT_GE(ib.recip_per_row, nn.recip_per_row);
+  EXPECT_GE(ib.norm_scale_ii, nn.norm_scale_ii);
+  EXPECT_GE(ib.rsqrt_per_row, nn.rsqrt_per_row);
+  // The shared resources are identical.
+  EXPECT_EQ(ib.reduce_ii, nn.reduce_ii);
+  EXPECT_EQ(ib.etc_ii, nn.etc_ii);
+}
+
+TEST(Workload, EtcOpsPresentButSmall) {
+  const auto ops = build_roberta_ops(BertShape::roberta_base(), 128);
+  const CycleSimulator sim(AcceleratorConfig{}, nnlut_sfu_timing());
+  const Breakdown b = sim.run(ops);
+  EXPECT_GT(b.etc, 0.0);
+  EXPECT_LT(b.percent(b.etc), 3.0);  // paper: 0.3-1.2%
+}
+
+}  // namespace
+}  // namespace nnlut::accel

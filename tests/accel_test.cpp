@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "accel/simulator.h"
+#include "accel/workload.h"
+
+namespace nnlut::accel {
+namespace {
+
+TEST(Workload, RobertaOpCounts) {
+  const BertShape sh = BertShape::roberta_base();
+  const auto ops = build_roberta_ops(sh, 128);
+  // 2 embedding ops + 12 layers x 14 ops + 2 pooler ops.
+  EXPECT_EQ(ops.size(), 2u + 12u * 14u + 2u);
+}
+
+TEST(Workload, MacCountMatchesAnalyticFormula) {
+  const BertShape sh = BertShape::roberta_base();
+  const std::size_t S = 64;
+  const auto ops = build_roberta_ops(sh, S);
+  // Per layer: 4 * S*H*H + 2 * S*S*H + 2 * S*H*F ; plus pooler H*H.
+  const double H = 768, F = 3072, L = 12;
+  const double per_layer = 4 * S * H * H + 2.0 * S * S * H + 2 * S * H * F;
+  EXPECT_NEAR(total_macs(ops), L * per_layer + H * H, 1.0);
+}
+
+TEST(Simulator, MatmulCyclesMatchThroughput) {
+  AcceleratorConfig cfg;
+  const CycleSimulator sim(cfg, nnlut_sfu_timing());
+  // 2048 MACs/cycle total; a [64, 768] x [768, 768] matmul:
+  const Op op = Op::matmul("m", 64, 768, 768);
+  const double macs = 64.0 * 768 * 768;
+  EXPECT_NEAR(sim.op_cycles(op), macs / 2048.0, 2.0);
+}
+
+TEST(Simulator, MatmulCeilsPartialTiles) {
+  AcceleratorConfig cfg;
+  const CycleSimulator sim(cfg, nnlut_sfu_timing());
+  // K = 8 still costs a full 16-wide dot slot.
+  const Op small = Op::matmul("m", 1, 8, 1);
+  EXPECT_GE(sim.op_cycles(small), 1.0);
+}
+
+TEST(Simulator, NnlutSoftmaxFasterThanIbert) {
+  AcceleratorConfig cfg;
+  const CycleSimulator ib(cfg, ibert_sfu_timing());
+  const CycleSimulator nn(cfg, nnlut_sfu_timing());
+  const Op sm = Op::elementwise(OpKind::kSoftmax, "sm", 12 * 128, 128);
+  EXPECT_GT(ib.op_cycles(sm), nn.op_cycles(sm) * 1.5);
+}
+
+TEST(Simulator, BreakdownSumsToTotal) {
+  AcceleratorConfig cfg;
+  const CycleSimulator sim(cfg, nnlut_sfu_timing());
+  const auto ops = build_roberta_ops(BertShape::roberta_base(), 64);
+  const Breakdown b = sim.run(ops);
+  EXPECT_GT(b.matmul, 0.0);
+  EXPECT_GT(b.gelu, 0.0);
+  EXPECT_GT(b.layernorm, 0.0);
+  EXPECT_GT(b.softmax, 0.0);
+  EXPECT_GT(b.etc, 0.0);
+  const double pct = b.percent(b.gelu) + b.percent(b.layernorm) +
+                     b.percent(b.softmax) + b.percent(b.matmul) +
+                     b.percent(b.etc);
+  EXPECT_NEAR(pct, 100.0, 1e-6);
+}
+
+TEST(SystemComparison, SpeedupGrowsWithSequenceLength) {
+  // Paper Table 5: speedup rises from 1.08 (SL=16) to 1.26 (SL=1024).
+  AcceleratorConfig cfg;
+  const BertShape sh = BertShape::roberta_base();
+  double prev = 1.0;
+  for (std::size_t seq : {16u, 64u, 256u, 1024u}) {
+    const SystemComparison c = compare_at_seq(sh, seq, cfg);
+    EXPECT_GT(c.speedup, 1.0) << seq;
+    EXPECT_GE(c.speedup, prev - 1e-6) << seq;
+    prev = c.speedup;
+  }
+}
+
+TEST(SystemComparison, SpeedupInPaperNeighbourhood) {
+  AcceleratorConfig cfg;
+  const BertShape sh = BertShape::roberta_base();
+  const SystemComparison s16 = compare_at_seq(sh, 16, cfg);
+  EXPECT_NEAR(s16.speedup, 1.08, 0.06);
+  const SystemComparison s1024 = compare_at_seq(sh, 1024, cfg);
+  EXPECT_NEAR(s1024.speedup, 1.26, 0.12);
+}
+
+TEST(SystemComparison, SoftmaxShareGrowsQuadratically) {
+  // Softmax work is O(S^2) vs matmul O(S) at small S: its share must grow
+  // with sequence length for both backends (paper: 1.36% -> 27.49% for
+  // I-BERT, 0.59% -> 13.85% for NN-LUT).
+  AcceleratorConfig cfg;
+  const BertShape sh = BertShape::roberta_base();
+  const SystemComparison s16 = compare_at_seq(sh, 16, cfg);
+  const SystemComparison s1024 = compare_at_seq(sh, 1024, cfg);
+
+  EXPECT_GT(s1024.ibert.percent(s1024.ibert.softmax),
+            5.0 * s16.ibert.percent(s16.ibert.softmax));
+  EXPECT_GT(s1024.nnlut.percent(s1024.nnlut.softmax),
+            5.0 * s16.nnlut.percent(s16.nnlut.softmax));
+  // And I-BERT's softmax share exceeds NN-LUT's at every length.
+  EXPECT_GT(s1024.ibert.percent(s1024.ibert.softmax),
+            s1024.nnlut.percent(s1024.nnlut.softmax));
+}
+
+TEST(SystemComparison, NonlinearShareLowerForNnlut) {
+  AcceleratorConfig cfg;
+  const BertShape sh = BertShape::roberta_base();
+  for (std::size_t seq : {16u, 128u, 1024u}) {
+    const SystemComparison c = compare_at_seq(sh, seq, cfg);
+    const double nl_i = c.ibert.gelu + c.ibert.layernorm + c.ibert.softmax;
+    const double nl_n = c.nnlut.gelu + c.nnlut.layernorm + c.nnlut.softmax;
+    EXPECT_GT(nl_i, nl_n) << seq;
+  }
+}
+
+TEST(SystemComparison, MatmulCyclesIdenticalAcrossBackends) {
+  // The MAC-array work does not depend on the SFU flavour.
+  AcceleratorConfig cfg;
+  const SystemComparison c =
+      compare_at_seq(BertShape::roberta_base(), 128, cfg);
+  EXPECT_NEAR(c.ibert.matmul, c.nnlut.matmul, 1.0);
+}
+
+}  // namespace
+}  // namespace nnlut::accel

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/linear_lut.h"
+#include "numerics/math.h"
+
+namespace nnlut {
+namespace {
+
+TEST(Breakpoints, LinearModeEquallySpaced) {
+  const auto bps = make_breakpoints({0.0f, 16.0f}, 16, BreakpointMode::kLinear);
+  ASSERT_EQ(bps.size(), 15u);
+  for (std::size_t i = 0; i < bps.size(); ++i)
+    EXPECT_NEAR(bps[i], static_cast<float>(i + 1), 1e-5f);
+}
+
+TEST(Breakpoints, ExponentialModeDenseAtLowEnd) {
+  const auto bps =
+      make_breakpoints({1.0f, 1024.0f}, 16, BreakpointMode::kExponential);
+  ASSERT_EQ(bps.size(), 15u);
+  // Geometric spacing: interval lengths must grow monotonically.
+  for (std::size_t i = 2; i < bps.size(); ++i)
+    EXPECT_GT(bps[i] - bps[i - 1], bps[i - 1] - bps[i - 2]);
+}
+
+TEST(Breakpoints, ExponentialModeSpanningZeroIsSortedAndSymmetric) {
+  const auto bps =
+      make_breakpoints({-5.0f, 5.0f}, 16, BreakpointMode::kExponential);
+  for (std::size_t i = 1; i < bps.size(); ++i) EXPECT_LT(bps[i - 1], bps[i]);
+  // Symmetric by magnitude around zero.
+  EXPECT_NEAR(bps.front(), -bps.back(), 1e-4f);
+}
+
+TEST(Breakpoints, NegativeRangeExponential) {
+  const auto bps =
+      make_breakpoints({-256.0f, 0.0f}, 8, BreakpointMode::kExponential);
+  for (std::size_t i = 1; i < bps.size(); ++i) EXPECT_LT(bps[i - 1], bps[i]);
+  EXPECT_LT(bps.front(), -1.0f);
+}
+
+TEST(Breakpoints, RejectsBadArguments) {
+  EXPECT_THROW(make_breakpoints({0.0f, 1.0f}, 1, BreakpointMode::kLinear),
+               std::invalid_argument);
+  EXPECT_THROW(make_breakpoints({1.0f, 0.0f}, 4, BreakpointMode::kLinear),
+               std::invalid_argument);
+}
+
+TEST(LinearLut, FitsStraightLineExactly) {
+  const auto line = [](float x) { return 3.0f * x - 2.0f; };
+  const PiecewiseLinear lut = fit_linear_lut(line, {-4.0f, 4.0f}, 8);
+  for (float x = -4.0f; x <= 4.0f; x += 0.1f)
+    EXPECT_NEAR(lut(x), line(x), 1e-4f);
+}
+
+TEST(LinearLut, InterpolationPassesThroughSegmentEndpoints) {
+  const PiecewiseLinear lut = fit_fixed_breakpoint_lut(
+      gelu_exact, kGeluRange, 16, BreakpointMode::kLinear,
+      SegmentFit::kInterpolation);
+  // Each breakpoint is an endpoint of both adjacent segments: LUT hits f.
+  for (float d : lut.breakpoints())
+    EXPECT_NEAR(lut(d), gelu_exact(d), 1e-4f) << d;
+}
+
+TEST(LinearLut, GeluErrorSmall) {
+  // Fig. 2(a): Linear-LUT handles the monotonous GELU well.
+  const PiecewiseLinear lut = fit_linear_lut(gelu_exact, kGeluRange, 16);
+  double mean_err = 0;
+  int count = 0;
+  for (float x = -5.0f; x <= 5.0f; x += 0.01f, ++count)
+    mean_err += std::abs(lut(x) - gelu_exact(x));
+  EXPECT_LT(mean_err / count, 0.02);
+}
+
+TEST(LinearLut, RsqrtErrorLargeOnWideRange) {
+  // Fig. 2(c): fixed uniform breakpoints fail on 1/sqrt over (0.1, 1024) —
+  // the first segment spans (0.1, 64) where the function falls off a cliff.
+  const PiecewiseLinear lut = fit_linear_lut(rsqrt_exact, kRsqrtRange, 16);
+  double worst = 0;
+  for (float x = 0.1f; x <= 2.0f; x += 0.01f)
+    worst = std::max(worst, std::abs(static_cast<double>(lut(x)) - rsqrt_exact(x)));
+  EXPECT_GT(worst, 0.5);  // demonstrably bad exactly where LayerNorm needs it
+}
+
+TEST(LinearLut, ExponentialBreakpointsHelpRsqrt) {
+  const PiecewiseLinear lin = fit_linear_lut(rsqrt_exact, kRsqrtRange, 16);
+  const PiecewiseLinear expo = fit_fixed_breakpoint_lut(
+      rsqrt_exact, kRsqrtRange, 16, BreakpointMode::kExponential);
+  double err_lin = 0, err_exp = 0;
+  for (float x = 0.1f; x <= 1024.0f; x += 0.25f) {
+    err_lin += std::abs(lin(x) - rsqrt_exact(x));
+    err_exp += std::abs(expo(x) - rsqrt_exact(x));
+  }
+  EXPECT_LT(err_exp, err_lin);
+}
+
+// Error must decrease monotonically-ish with entry count.
+class EntrySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EntrySweep, MoreEntriesNeverWorse) {
+  const int entries = GetParam();
+  const PiecewiseLinear coarse = fit_linear_lut(gelu_exact, kGeluRange, entries);
+  const PiecewiseLinear fine =
+      fit_linear_lut(gelu_exact, kGeluRange, entries * 2);
+  double err_coarse = 0, err_fine = 0;
+  for (float x = -5.0f; x <= 5.0f; x += 0.01f) {
+    err_coarse += std::abs(coarse(x) - gelu_exact(x));
+    err_fine += std::abs(fine(x) - gelu_exact(x));
+  }
+  EXPECT_LE(err_fine, err_coarse * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Entries, EntrySweep, ::testing::Values(4, 8, 16, 32));
+
+}  // namespace
+}  // namespace nnlut

@@ -1,0 +1,238 @@
+// Tests for the approximation-aware fine-tuning layers: gradient checks of
+// LutAct / LutLayerNorm against finite differences, consistency with the
+// exact layers when the LUT is dense, and an end-to-end fine-tuning
+// integration test showing a coarse approximation's accuracy being recovered.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/linear_lut.h"
+#include "core/function_library.h"
+#include "eval/finetune.h"
+#include "nn/approx_training.h"
+#include "numerics/rng.h"
+
+namespace nnlut {
+namespace {
+
+using nn::LutAct;
+using nn::LutLayerNorm;
+
+Tensor random_tensor(std::initializer_list<std::size_t> shape, Rng& rng,
+                     float scale = 1.0f) {
+  Tensor t(shape);
+  for (float& v : t.flat()) v = rng.uniform(-scale, scale);
+  return t;
+}
+
+double weighted_sum(const Tensor& y, const Tensor& w) {
+  double s = 0;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    s += static_cast<double>(y[i]) * w[i];
+  return s;
+}
+
+TEST(LutActLayer, ForwardMatchesLut) {
+  const FittedLut fit = fit_lut(TargetFn::kGelu, 16, FitPreset::kFast, 3);
+  LutAct act(&fit.lut);
+  Rng rng(1);
+  const Tensor x = random_tensor({4, 8}, rng, 4.0f);
+  const Tensor y = act.forward(x);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_EQ(y[i], fit.lut(x[i]));
+}
+
+TEST(LutActLayer, BackwardIsSegmentSlope) {
+  // A LUT we know the slopes of: y = -x for x<0, y = 2x for x>=0.
+  const PiecewiseLinear lut({0.0f}, {-1.0f, 2.0f}, {0.0f, 0.0f});
+  LutAct act(&lut);
+  Tensor x({1, 2});
+  x[0] = -3.0f;
+  x[1] = 4.0f;
+  (void)act.forward(x);
+  Tensor dy({1, 2});
+  dy.fill(1.0f);
+  const Tensor dx = act.backward(dy);
+  EXPECT_EQ(dx[0], -1.0f);
+  EXPECT_EQ(dx[1], 2.0f);
+}
+
+TEST(LutActLayer, GradientMatchesFiniteDifference) {
+  const FittedLut fit = fit_lut(TargetFn::kGelu, 16, FitPreset::kFast, 4);
+  LutAct act(&fit.lut);
+  Rng rng(2);
+  const Tensor x = random_tensor({3, 6}, rng, 3.0f);
+  const Tensor w = random_tensor({3, 6}, rng);
+  (void)act.forward(x);
+  const Tensor dx = act.backward(w);
+
+  const float eps = 1e-3f;
+  for (std::size_t i : {std::size_t{0}, std::size_t{7}, std::size_t{17}}) {
+    Tensor x2 = x;
+    x2[i] += eps;
+    const double up = weighted_sum(act.forward(x2), w);
+    x2[i] -= 2 * eps;
+    const double dn = weighted_sum(act.forward(x2), w);
+    // Piecewise-linear: FD equals the slope unless the probe straddles a
+    // breakpoint; allow for that with a generous tolerance.
+    EXPECT_NEAR(dx[i], (up - dn) / (2 * eps), 0.2) << i;
+  }
+}
+
+TEST(LutActLayer, ThrowsWithoutLut) {
+  LutAct act;
+  Tensor x({1, 1});
+  EXPECT_THROW(act.forward(x), std::logic_error);
+}
+
+TEST(LutLayerNormLayer, MatchesExactWithDenseLut) {
+  // A dense fixed-breakpoint rsqrt LUT makes LutLayerNorm ~= exact LayerNorm.
+  const PiecewiseLinear rsqrt_lut = fit_fixed_breakpoint_lut(
+      rsqrt_exact, {0.01f, 64.0f}, 512, BreakpointMode::kExponential);
+  LutLayerNorm lut_ln(8, &rsqrt_lut, /*input_scaling=*/false);
+  nn::LayerNorm exact_ln(8);
+
+  Rng rng(5);
+  const Tensor x = random_tensor({4, 8}, rng, 2.0f);
+  const Tensor a = lut_ln.forward(x);
+  const Tensor b = exact_ln.forward(x);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 5e-3f);
+}
+
+TEST(LutLayerNormLayer, GradientMatchesFiniteDifference) {
+  const FittedLut fit = fit_lut(TargetFn::kRsqrt, 16, FitPreset::kFast, 6);
+  LutLayerNorm ln(6, &fit.lut, /*input_scaling=*/true);
+  Rng rng(7);
+  for (float& v : ln.gamma.value.flat()) v = rng.uniform(0.5f, 1.5f);
+
+  const Tensor x = random_tensor({3, 6}, rng, 2.0f);
+  const Tensor w = random_tensor({3, 6}, rng);
+  ln.gamma.zero_grad();
+  ln.beta.zero_grad();
+  (void)ln.forward(x);
+  const Tensor dx = ln.backward(w);
+
+  const float eps = 1e-3f;
+  for (std::size_t i : {std::size_t{1}, std::size_t{8}, std::size_t{16}}) {
+    Tensor x2 = x;
+    x2[i] += eps;
+    const double up = weighted_sum(ln.forward(x2), w);
+    x2[i] -= 2 * eps;
+    const double dn = weighted_sum(ln.forward(x2), w);
+    EXPECT_NEAR(dx[i], (up - dn) / (2 * eps), 0.05) << i;
+  }
+}
+
+TEST(LutLayerNormLayer, ParamGradients) {
+  const FittedLut fit = fit_lut(TargetFn::kRsqrt, 16, FitPreset::kFast, 8);
+  LutLayerNorm ln(4, &fit.lut);
+  Rng rng(9);
+  const Tensor x = random_tensor({2, 4}, rng, 2.0f);
+  const Tensor w = random_tensor({2, 4}, rng);
+  ln.gamma.zero_grad();
+  ln.beta.zero_grad();
+  (void)ln.forward(x);
+  (void)ln.backward(w);
+
+  const float eps = 1e-3f;
+  for (std::size_t j = 0; j < 4; ++j) {
+    ln.gamma.value[j] += eps;
+    const double up = weighted_sum(ln.forward(x), w);
+    ln.gamma.value[j] -= 2 * eps;
+    const double dn = weighted_sum(ln.forward(x), w);
+    ln.gamma.value[j] += eps;
+    EXPECT_NEAR(ln.gamma.grad[j], (up - dn) / (2 * eps), 1e-2) << j;
+  }
+}
+
+// --- End-to-end: fine-tuning rescues a coarse approximation. ---------------
+
+TEST(Finetune, RecoversLinearLutLayerNormAccuracy) {
+  using namespace eval;
+  using transformer::ApproxSelection;
+  using transformer::LutNonlinearities;
+  using transformer::LutSet;
+
+  tasks::TaskGenOptions o;
+  o.n_train = 1024;
+  o.n_dev = 256;
+  o.seq_len = 20;
+  o.seed = 31;
+  const tasks::TaskData d = tasks::make_task(tasks::TaskId::kStsb, o);
+
+  transformer::ModelConfig c = transformer::ModelConfig::roberta_like();
+  c.vocab = 64;
+  c.hidden = 32;
+  c.layers = 2;
+  c.heads = 2;
+  c.ffn = 64;
+  c.max_seq = 20;
+
+  TrainOptions t;
+  t.epochs = 8;
+  t.batch_size = 32;
+  t.lr = 1e-3f;
+  t.seed = 3;
+  auto model = train_model(d, c, t);
+  const double baseline = evaluate_baseline(model, d);
+  ASSERT_GT(baseline, 60.0);
+
+  // Approximate LayerNorm with the coarse fixed-breakpoint baseline.
+  const LutSet luts{fit_linear_lut(gelu_exact, kGeluRange, 16),
+                    fit_linear_lut(exp_exact, kExpRange, 16),
+                    fit_linear_lut(reciprocal_exact, kDivideRange, 16),
+                    fit_linear_lut(rsqrt_exact, kRsqrtRange, 16)};
+  LutNonlinearities::Options lopt;
+  lopt.select = ApproxSelection::layernorm_only();
+  auto backend = make_lut_backend(luts, LutPrecision::kFp32, lopt);
+  const double direct = evaluate(model, d, *backend);
+
+  // Approximation-aware fine-tuning with that same LUT in the graph.
+  FinetuneOptions fopt;
+  fopt.epochs = 4;
+  finetune_with_luts(model, d, /*gelu_lut=*/nullptr, &luts.rsqrt, fopt);
+  const double finetuned = evaluate(model, d, *backend);
+
+  // Fine-tuning must recover a meaningful part of the lost accuracy.
+  EXPECT_GT(finetuned, direct);
+  EXPECT_GT(finetuned, baseline - 8.0);
+}
+
+TEST(Finetune, LutsUninstalledAfterReturn) {
+  tasks::TaskGenOptions o;
+  o.n_train = 256;
+  o.n_dev = 64;
+  o.seq_len = 16;
+  const tasks::TaskData d = tasks::make_task(tasks::TaskId::kSst2, o);
+
+  transformer::ModelConfig c = transformer::ModelConfig::roberta_like();
+  c.vocab = 64;
+  c.hidden = 16;
+  c.layers = 1;
+  c.heads = 2;
+  c.ffn = 32;
+  c.max_seq = 16;
+
+  eval::TrainOptions t;
+  t.epochs = 1;
+  auto model = eval::train_model(d, c, t);
+
+  const FittedLut gelu_fit = fit_lut(TargetFn::kGelu, 16, FitPreset::kFast, 2);
+  const FittedLut rsqrt_fit = fit_lut(TargetFn::kRsqrt, 16, FitPreset::kFast, 2);
+  eval::FinetuneOptions fopt;
+  fopt.epochs = 1;
+  eval::finetune_with_luts(model, d, &gelu_fit.lut, &rsqrt_fit.lut, fopt);
+
+  // After fine-tuning the training graph is exact again: the training
+  // forward must agree with the exact-backend inference engine.
+  const auto in = eval::to_batch(d.dev, 0, 4);
+  const Tensor train_logits = model.forward(in);
+  transformer::ExactNonlinearities exact(model.config().act);
+  transformer::InferenceModel infer(model, exact);
+  const Tensor infer_logits = infer.logits(in);
+  for (std::size_t i = 0; i < train_logits.size(); ++i)
+    EXPECT_NEAR(train_logits[i], infer_logits[i], 1e-4f);
+}
+
+}  // namespace
+}  // namespace nnlut

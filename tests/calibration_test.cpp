@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/calibration.h"
+#include "core/function_library.h"
+#include "core/trainer.h"
+#include "numerics/math.h"
+#include "numerics/rng.h"
+
+namespace nnlut {
+namespace {
+
+std::vector<float> gaussian_inputs(float mean, float stddev, int count,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> xs(static_cast<std::size_t>(count));
+  for (float& x : xs) x = rng.normal(mean, stddev);
+  return xs;
+}
+
+TEST(Calibration, ImprovesOnShiftedDistribution) {
+  // Train on the Table-1 uniform range, then calibrate for a concentrated
+  // activation distribution, as a downstream layer would produce.
+  const FittedLut fit = fit_lut(TargetFn::kGelu, 16, FitPreset::kFast, 21);
+
+  const std::vector<float> captured = gaussian_inputs(1.5f, 0.4f, 20000, 77);
+  CalibrationConfig cfg;
+  cfg.epochs = 5;
+  const CalibrationResult r = calibrate(fit.net, captured, gelu_exact, cfg);
+
+  EXPECT_LE(r.error_after, r.error_before);
+  EXPECT_LT(r.error_after, 0.02);
+}
+
+TEST(Calibration, NeverDeploysWorseNet) {
+  const FittedLut fit = fit_lut(TargetFn::kGelu, 16, FitPreset::kFast, 22);
+  const std::vector<float> captured = gaussian_inputs(0.0f, 1.0f, 5000, 5);
+
+  CalibrationConfig cfg;
+  cfg.epochs = 1;
+  cfg.lr = 10.0f;  // pathological learning rate would wreck the net
+  const CalibrationResult r = calibrate(fit.net, captured, gelu_exact, cfg);
+  EXPECT_LE(r.error_after, r.error_before + 1e-9);
+}
+
+TEST(Calibration, LutMatchesCalibratedNet) {
+  const FittedLut fit = fit_lut(TargetFn::kRsqrt, 16, FitPreset::kFast, 23);
+  const std::vector<float> captured = gaussian_inputs(4.0f, 1.0f, 8000, 6);
+  const CalibrationResult r = calibrate(fit.net, captured, rsqrt_exact);
+  for (float x = 1.0f; x < 10.0f; x += 0.1f)
+    EXPECT_NEAR(r.lut(x), r.net(x), 1e-4f) << x;
+}
+
+TEST(Calibration, RejectsEmptyCapture) {
+  const FittedLut fit = fit_lut(TargetFn::kGelu, 8, FitPreset::kFast, 24);
+  EXPECT_THROW(calibrate(fit.net, {}, gelu_exact), std::invalid_argument);
+}
+
+TEST(Calibration, SubsamplesLargeCaptureBuffers) {
+  const FittedLut fit = fit_lut(TargetFn::kGelu, 8, FitPreset::kFast, 25);
+  const std::vector<float> captured = gaussian_inputs(0.5f, 0.5f, 100000, 8);
+  CalibrationConfig cfg;
+  cfg.max_samples = 2000;  // must complete quickly on the subsample
+  const CalibrationResult r = calibrate(fit.net, captured, gelu_exact, cfg);
+  EXPECT_LE(r.error_after, r.error_before);
+}
+
+}  // namespace
+}  // namespace nnlut

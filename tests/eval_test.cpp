@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "approx/linear_lut.h"
+#include "eval/calibration_runner.h"
+#include "eval/pipeline.h"
+
+namespace nnlut::eval {
+namespace {
+
+using tasks::TaskData;
+using tasks::TaskGenOptions;
+using tasks::TaskId;
+using transformer::ModelConfig;
+
+TaskGenOptions quick_data() {
+  TaskGenOptions o;
+  o.n_train = 1024;
+  o.n_dev = 256;
+  o.seq_len = 20;
+  o.seed = 7;
+  return o;
+}
+
+ModelConfig quick_model() {
+  ModelConfig c = ModelConfig::roberta_like();
+  c.vocab = 64;
+  c.hidden = 32;
+  c.layers = 2;
+  c.heads = 2;
+  c.ffn = 64;
+  c.max_seq = 20;
+  return c;
+}
+
+TrainOptions quick_train() {
+  TrainOptions t;
+  t.epochs = 5;
+  t.batch_size = 32;
+  t.lr = 1e-3f;
+  t.seed = 3;
+  return t;
+}
+
+TEST(Pipeline, ToBatchLaysOutRows) {
+  const TaskData d = tasks::make_task(TaskId::kSst2, quick_data());
+  const auto in = to_batch(d.train, 2, 3);
+  EXPECT_EQ(in.batch, 3u);
+  EXPECT_EQ(in.seq, d.seq_len);
+  EXPECT_EQ(in.token_ids.size(), 3 * d.seq_len);
+  EXPECT_EQ(in.token_ids[0], d.train[2].tokens[0]);
+  EXPECT_EQ(in.token_ids[d.seq_len], d.train[3].tokens[0]);
+}
+
+TEST(Pipeline, TrainingLearnsSentiment) {
+  const TaskData d = tasks::make_task(TaskId::kSst2, quick_data());
+  const auto model = train_model(d, quick_model(), quick_train());
+  const double metric = evaluate_baseline(model, d);
+  // The synthetic sentiment task is learnable; random chance is 50.
+  EXPECT_GT(metric, 85.0);
+}
+
+TEST(Pipeline, TrainingLearnsRegression) {
+  const TaskData d = tasks::make_task(TaskId::kStsb, quick_data());
+  TrainOptions t = quick_train();
+  t.epochs = 6;
+  const auto model = train_model(d, quick_model(), t);
+  const double metric = evaluate_baseline(model, d);  // 100 * spearman
+  EXPECT_GT(metric, 70.0);
+}
+
+TEST(Pipeline, TrainingLearnsSpans) {
+  tasks::TaskGenOptions o = quick_data();
+  const TaskData d = tasks::make_task(TaskId::kSquad, o);
+  // The span task needs a little more width than the other quick tests.
+  ModelConfig c = quick_model();
+  c.hidden = 48;
+  c.heads = 4;
+  c.ffn = 96;
+  TrainOptions t = quick_train();
+  t.epochs = 8;
+  const auto model = train_model(d, c, t);
+  const double metric = evaluate_baseline(model, d);
+  EXPECT_GT(metric, 80.0);  // span-F1; random is ~ a few percent
+}
+
+TEST(Pipeline, ExactBackendReproducesBaseline) {
+  const TaskData d = tasks::make_task(TaskId::kSst2, quick_data());
+  const auto model = train_model(d, quick_model(), quick_train());
+  transformer::ExactNonlinearities exact(model.config().act);
+  const double a = evaluate(model, d, exact);
+  const double b = evaluate_baseline(model, d);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Pipeline, PredictionsSizedToDataset) {
+  const TaskData d = tasks::make_task(TaskId::kMnli, quick_data());
+  const auto model = train_model(d, quick_model(), quick_train());
+  transformer::ExactNonlinearities exact(model.config().act);
+  transformer::InferenceModel infer(model, exact);
+  const auto pred = predict(infer, d, d.dev, 50);  // non-divisor batch size
+  EXPECT_EQ(pred.labels.size(), d.dev.size());
+}
+
+// The central integration property behind Table 2: approximating with NN-LUT
+// preserves the trained model's accuracy; Linear-LUT LayerNorm destroys it.
+TEST(Integration, NnlutPreservesAccuracyLinearLutDoesNot) {
+  const TaskData d = tasks::make_task(TaskId::kSst2, quick_data());
+  const auto model = train_model(d, quick_model(), quick_train());
+  const double baseline = evaluate_baseline(model, d);
+
+  // NN-LUT: trained 16-entry tables for all four functions.
+  const NnlutBundle nb = train_bundle(16, FitPreset::kFast, 11);
+  transformer::LutSet nn_luts{nb.gelu.lut, nb.exp.lut, nb.reciprocal.lut,
+                              nb.rsqrt.lut};
+  transformer::LutNonlinearities::Options lopt;
+  lopt.select = transformer::ApproxSelection::all();
+  auto nnlut_backend =
+      make_lut_backend(nn_luts, LutPrecision::kFp32, lopt);
+  const double nnlut_metric = evaluate(model, d, *nnlut_backend);
+
+  // Linear-LUT baseline: fixed uniform breakpoints (Sec. 3.1).
+  transformer::LutSet lin_luts{
+      fit_linear_lut(gelu_exact, kGeluRange, 16),
+      fit_linear_lut(exp_exact, kExpRange, 16),
+      fit_linear_lut(reciprocal_exact, kDivideRange, 16),
+      fit_linear_lut(rsqrt_exact, kRsqrtRange, 16)};
+  auto linear_backend =
+      make_lut_backend(lin_luts, LutPrecision::kFp32, lopt);
+  const double linear_metric = evaluate(model, d, *linear_backend);
+
+  EXPECT_GT(nnlut_metric, baseline - 5.0);     // near-baseline
+  EXPECT_LT(linear_metric, nnlut_metric);      // NN-LUT wins (Table 2a)
+}
+
+TEST(CalibrationRunner, ProducesPerSiteLuts) {
+  const TaskData d = tasks::make_task(TaskId::kSst2, quick_data());
+  const auto model = train_model(d, quick_model(), quick_train());
+
+  const NnlutBundle nb = train_bundle(16, FitPreset::kFast, 13);
+  transformer::LutSet luts{nb.gelu.lut, nb.exp.lut, nb.reciprocal.lut,
+                           nb.rsqrt.lut};
+  transformer::LutNonlinearities::Options lopt;
+  lopt.select = transformer::ApproxSelection::all();
+  auto backend = make_lut_backend(luts, LutPrecision::kFp32, lopt);
+
+  // Calibrate on a slice of unlabeled training data (paper: one tenth).
+  const std::span<const tasks::Example> unlabeled(d.train.data(), 128);
+  const auto report = calibrate_layernorm_sites(model, *backend, nb.rsqrt,
+                                                unlabeled);
+
+  // 2 layers -> 4 LN sites + embedding LN = 5, all captured.
+  EXPECT_EQ(report.sites.size(), 5u);
+  for (const auto& sc : report.sites) {
+    EXPECT_GT(sc.samples, 0u);
+    EXPECT_LE(sc.error_after, sc.error_before + 1e-12);
+  }
+
+  // Calibrated backend should not be worse than the uncalibrated one.
+  const double calibrated = evaluate(model, d, *backend);
+  auto fresh = make_lut_backend(luts, LutPrecision::kFp32, lopt);
+  const double uncalibrated = evaluate(model, d, *fresh);
+  EXPECT_GE(calibrated, uncalibrated - 2.0);
+}
+
+}  // namespace
+}  // namespace nnlut::eval

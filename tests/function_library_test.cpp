@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/function_library.h"
+#include "core/transform.h"
+
+namespace nnlut {
+namespace {
+
+TEST(FunctionRegistry, LookupByNameAndAliases) {
+  EXPECT_EQ(fn_spec_by_name("gelu")->id, TargetFn::kGelu);
+  EXPECT_EQ(fn_spec_by_name("GELU")->id, TargetFn::kGelu);
+  EXPECT_EQ(fn_spec_by_name("exp")->id, TargetFn::kExp);
+  EXPECT_EQ(fn_spec_by_name("div")->id, TargetFn::kReciprocal);
+  EXPECT_EQ(fn_spec_by_name("divide")->id, TargetFn::kReciprocal);
+  EXPECT_EQ(fn_spec_by_name("reciprocal")->id, TargetFn::kReciprocal);
+  EXPECT_EQ(fn_spec_by_name("1/sqrt")->id, TargetFn::kRsqrt);
+  EXPECT_EQ(fn_spec_by_name("rsqrt")->id, TargetFn::kRsqrt);
+  EXPECT_EQ(fn_spec_by_name("swish")->id, TargetFn::kSwish);
+  EXPECT_EQ(fn_spec_by_name("hswish")->id, TargetFn::kHswish);
+  EXPECT_EQ(fn_spec_by_name("tanh")->id, TargetFn::kTanh);
+  EXPECT_EQ(fn_spec_by_name("sigmoid")->id, TargetFn::kSigmoid);
+  EXPECT_EQ(fn_spec_by_name("nope"), nullptr);
+}
+
+TEST(FunctionRegistry, AllSpecsEnumerated) {
+  EXPECT_EQ(all_fn_specs().size(), 8u);
+  for (const FnSpec& s : all_fn_specs()) {
+    EXPECT_LT(s.range.lo, s.range.hi) << s.name;
+    EXPECT_NE(s.fn, nullptr) << s.name;
+  }
+}
+
+TEST(FunctionRegistry, ExtendedFunctionValues) {
+  const FnSpec* swish = fn_spec_by_name("swish");
+  EXPECT_NEAR(swish->fn(0.0f), 0.0f, 1e-6f);
+  EXPECT_NEAR(swish->fn(6.0f), 6.0f / (1.0f + std::exp(-6.0f)), 1e-5f);
+
+  const FnSpec* hswish = fn_spec_by_name("hswish");
+  EXPECT_EQ(hswish->fn(-4.0f), 0.0f);     // relu6(x+3) = 0
+  EXPECT_NEAR(hswish->fn(4.0f), 4.0f, 1e-6f);  // relu6 saturates at 6
+  EXPECT_NEAR(hswish->fn(0.0f), 0.0f, 1e-6f);
+
+  const FnSpec* sigmoid = fn_spec_by_name("sigmoid");
+  EXPECT_NEAR(sigmoid->fn(0.0f), 0.5f, 1e-6f);
+}
+
+// Every registered function must be approximable to small L1 with the
+// default 16-entry recipe — the framework's universality claim (Fig. 3a).
+class RegistryFit : public ::testing::TestWithParam<TargetFn> {};
+
+TEST_P(RegistryFit, SixteenEntriesSuffice) {
+  const TargetFn id = GetParam();
+  const FnSpec& spec = fn_spec(id);
+  const FittedLut fit = fit_lut(id, 16, FitPreset::kFast, 99);
+
+  // Mean L1 over the training range, relative to the function's amplitude.
+  double l1 = 0.0, amp = 0.0;
+  const int n = 2048;
+  for (int i = 0; i < n; ++i) {
+    const float x = spec.range.lo + (spec.range.hi - spec.range.lo) *
+                                        (static_cast<float>(i) + 0.5f) / n;
+    l1 += std::abs(fit.lut(x) - spec.fn(x));
+    amp = std::max(amp, std::abs(static_cast<double>(spec.fn(x))));
+  }
+  l1 /= n;
+  EXPECT_LT(l1, 0.02 * std::max(amp, 1.0)) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFunctions, RegistryFit,
+    ::testing::Values(TargetFn::kGelu, TargetFn::kExp, TargetFn::kReciprocal,
+                      TargetFn::kRsqrt, TargetFn::kSwish, TargetFn::kHswish,
+                      TargetFn::kTanh, TargetFn::kSigmoid),
+    [](const ::testing::TestParamInfo<TargetFn>& info) {
+      std::string n = fn_spec(info.param).name;
+      for (char& c : n)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return n;
+    });
+
+}  // namespace
+}  // namespace nnlut

@@ -1,0 +1,122 @@
+// Cross-check between the two LUT execution paths: the training graph with
+// LUTs installed (nn/approx_training via NormSlot/EncoderLayer) must compute
+// the same forward pass as the inference engine with the corresponding
+// backend selection. This guards against the two implementations drifting.
+#include <gtest/gtest.h>
+
+#include "core/function_library.h"
+#include "eval/pipeline.h"
+
+namespace nnlut {
+namespace {
+
+using transformer::ApproxSelection;
+using transformer::BatchInput;
+using transformer::HeadKind;
+using transformer::InferenceModel;
+using transformer::LutNonlinearities;
+using transformer::LutSet;
+using transformer::ModelConfig;
+using transformer::TaskModel;
+
+ModelConfig tiny() {
+  ModelConfig c = ModelConfig::roberta_like();
+  c.vocab = 32;
+  c.hidden = 16;
+  c.layers = 2;
+  c.heads = 2;
+  c.ffn = 32;
+  c.max_seq = 12;
+  return c;
+}
+
+BatchInput random_batch(const ModelConfig& cfg, std::size_t batch,
+                        std::size_t seq, Rng& rng) {
+  BatchInput in;
+  in.batch = batch;
+  in.seq = seq;
+  in.token_ids.resize(batch * seq);
+  in.type_ids.assign(batch * seq, 0);
+  for (int& t : in.token_ids)
+    t = rng.uniform_int(0, static_cast<int>(cfg.vocab) - 1);
+  return in;
+}
+
+TEST(GraphBackendParity, LutGeluMatchesGeluOnlyBackend) {
+  Rng rng(11);
+  TaskModel m(tiny(), HeadKind::kClassify, 2, rng);
+  const BatchInput in = random_batch(m.config(), 3, 8, rng);
+
+  const FittedLut gelu_fit = fit_lut(TargetFn::kGelu, 16, FitPreset::kFast, 41);
+
+  // Training graph with the GELU LUT installed.
+  for (auto& layer : m.encoder.layers)
+    layer.install_lut_activation(&gelu_fit.lut);
+  const Tensor graph_logits = m.forward(in);
+  for (auto& layer : m.encoder.layers) layer.install_lut_activation(nullptr);
+
+  // Inference engine with the gelu-only LUT backend using the same table.
+  const NnlutBundle b = train_bundle(16, FitPreset::kFast, 41);
+  LutSet luts{gelu_fit.lut, b.exp.lut, b.reciprocal.lut, b.rsqrt.lut};
+  LutNonlinearities::Options opt;
+  opt.select = ApproxSelection::gelu_only();
+  auto backend = make_lut_backend(luts, LutPrecision::kFp32, opt);
+  InferenceModel infer(m, *backend);
+  const Tensor infer_logits = infer.logits(in);
+
+  ASSERT_EQ(graph_logits.size(), infer_logits.size());
+  for (std::size_t i = 0; i < graph_logits.size(); ++i)
+    EXPECT_NEAR(graph_logits[i], infer_logits[i], 1e-4f) << i;
+}
+
+TEST(GraphBackendParity, LutLayerNormMatchesLayerNormOnlyBackend) {
+  Rng rng(12);
+  TaskModel m(tiny(), HeadKind::kClassify, 2, rng);
+  const BatchInput in = random_batch(m.config(), 3, 8, rng);
+
+  const FittedLut rsqrt_fit =
+      fit_lut(TargetFn::kRsqrt, 16, FitPreset::kFast, 42);
+
+  for (auto& layer : m.encoder.layers) {
+    layer.norm1.install_lut_rsqrt(&rsqrt_fit.lut);
+    layer.norm2.install_lut_rsqrt(&rsqrt_fit.lut);
+  }
+  m.encoder.emb_norm.install_lut_rsqrt(&rsqrt_fit.lut);
+  const Tensor graph_logits = m.forward(in);
+  for (auto& layer : m.encoder.layers) {
+    layer.norm1.install_lut_rsqrt(nullptr);
+    layer.norm2.install_lut_rsqrt(nullptr);
+  }
+  m.encoder.emb_norm.install_lut_rsqrt(nullptr);
+
+  const NnlutBundle b = train_bundle(16, FitPreset::kFast, 42);
+  LutSet luts{b.gelu.lut, b.exp.lut, b.reciprocal.lut, rsqrt_fit.lut};
+  LutNonlinearities::Options opt;
+  opt.select = ApproxSelection::layernorm_only();
+  auto backend = make_lut_backend(luts, LutPrecision::kFp32, opt);
+  InferenceModel infer(m, *backend);
+  const Tensor infer_logits = infer.logits(in);
+
+  for (std::size_t i = 0; i < graph_logits.size(); ++i)
+    EXPECT_NEAR(graph_logits[i], infer_logits[i], 1e-3f) << i;
+}
+
+TEST(GraphBackendParity, InstallingNullRestoresExact) {
+  Rng rng(13);
+  TaskModel m(tiny(), HeadKind::kClassify, 2, rng);
+  const BatchInput in = random_batch(m.config(), 2, 8, rng);
+  const Tensor before = m.forward(in);
+
+  const FittedLut fit = fit_lut(TargetFn::kGelu, 16, FitPreset::kFast, 43);
+  for (auto& layer : m.encoder.layers)
+    layer.install_lut_activation(&fit.lut);
+  (void)m.forward(in);
+  for (auto& layer : m.encoder.layers) layer.install_lut_activation(nullptr);
+
+  const Tensor after = m.forward(in);
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_EQ(before[i], after[i]);
+}
+
+}  // namespace
+}  // namespace nnlut

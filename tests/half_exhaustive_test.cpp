@@ -1,0 +1,63 @@
+// Exhaustive verification of the binary16 emulation: every one of the 65536
+// half bit patterns must round-trip half -> float -> half exactly (modulo
+// NaN payload canonicalization), and conversion must be monotone.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "numerics/half.h"
+
+namespace nnlut {
+namespace {
+
+bool is_nan_bits(std::uint16_t h) {
+  return ((h >> 10) & 0x1f) == 0x1f && (h & 0x3ff) != 0;
+}
+
+TEST(HalfExhaustive, AllBitPatternsRoundTrip) {
+  for (std::uint32_t bits = 0; bits <= 0xffff; ++bits) {
+    const auto h = static_cast<std::uint16_t>(bits);
+    const float f = half_bits_to_float(h);
+    const std::uint16_t back = float_to_half_bits(f);
+    if (is_nan_bits(h)) {
+      EXPECT_TRUE(is_nan_bits(back)) << std::hex << bits;
+    } else {
+      EXPECT_EQ(back, h) << std::hex << bits;
+    }
+  }
+}
+
+TEST(HalfExhaustive, ConversionIsMonotoneOnNonNegatives) {
+  // Half bit patterns 0x0000..0x7c00 represent increasing values.
+  float prev = half_bits_to_float(0);
+  for (std::uint32_t bits = 1; bits <= 0x7c00; ++bits) {
+    const float f = half_bits_to_float(static_cast<std::uint16_t>(bits));
+    EXPECT_GT(f, prev) << std::hex << bits;
+    prev = f;
+  }
+}
+
+TEST(HalfExhaustive, NegativeMirror) {
+  for (std::uint32_t bits = 0; bits <= 0x7c00; ++bits) {
+    const float pos = half_bits_to_float(static_cast<std::uint16_t>(bits));
+    const float neg =
+        half_bits_to_float(static_cast<std::uint16_t>(bits | 0x8000));
+    EXPECT_EQ(neg, -pos) << std::hex << bits;
+  }
+}
+
+TEST(HalfExhaustive, RoundToNearestNeverSkips) {
+  // For every adjacent pair of finite halves, the midpoint rounds to one of
+  // the two (never a third value).
+  for (std::uint32_t bits = 0; bits < 0x7bff; ++bits) {
+    const float a = half_bits_to_float(static_cast<std::uint16_t>(bits));
+    const float b = half_bits_to_float(static_cast<std::uint16_t>(bits + 1));
+    const float mid = a + (b - a) * 0.5f;
+    const float r = round_to_half(mid);
+    EXPECT_TRUE(r == a || r == b) << std::hex << bits;
+  }
+}
+
+}  // namespace
+}  // namespace nnlut

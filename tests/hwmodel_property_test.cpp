@@ -1,0 +1,94 @@
+// Parameterized property tests of the hardware cost model: monotonicity,
+// frequency behaviour and cross-unit invariants that must hold regardless
+// of technology-constant calibration.
+#include <gtest/gtest.h>
+
+#include "hwmodel/units.h"
+
+namespace nnlut::hw {
+namespace {
+
+class EntriesSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EntriesSweep, AreaMonotoneInEntries) {
+  const CellLibrary lib;
+  const int entries = GetParam();
+  const double a = build_nnlut_unit(lib, UnitPrecision::kInt32, entries)
+                       .report()
+                       .area_um2;
+  const double a2 = build_nnlut_unit(lib, UnitPrecision::kInt32, entries * 2)
+                        .report()
+                        .area_um2;
+  EXPECT_GT(a2, a);
+}
+
+TEST_P(EntriesSweep, DelayIndependentOfEntriesWithinStage) {
+  // Lookup is a parallel comparator bank; the MAC stage dominates the
+  // critical path, so delay must not blow up with the table size.
+  const CellLibrary lib;
+  const int entries = GetParam();
+  const double d16 =
+      build_nnlut_unit(lib, UnitPrecision::kInt32, 16).report().delay_ns;
+  const double d =
+      build_nnlut_unit(lib, UnitPrecision::kInt32, entries).report().delay_ns;
+  EXPECT_NEAR(d, d16, d16 * 0.5) << entries;
+}
+
+INSTANTIATE_TEST_SUITE_P(Entries, EntriesSweep,
+                         ::testing::Values(4, 8, 16, 32, 64));
+
+TEST(FrequencyScaling, DynamicPowerScalesLinearly) {
+  const CellLibrary lib;
+  const Datapath dp = build_nnlut_unit(lib, UnitPrecision::kInt32);
+  const UnitReport at1 = dp.report(1.0);
+  const UnitReport at2 = dp.report(2.0);
+  const double leak = dp.total_leakage_mw();
+  EXPECT_NEAR(at2.power_mw - leak, 2.0 * (at1.power_mw - leak),
+              1e-9 + 0.01 * (at1.power_mw - leak));
+}
+
+TEST(FrequencyScaling, AreaAndDelayFrequencyInvariant) {
+  const CellLibrary lib;
+  const Datapath dp = build_ibert_unit(lib);
+  EXPECT_EQ(dp.report(0.5).area_um2, dp.report(2.0).area_um2);
+  EXPECT_EQ(dp.report(0.5).delay_ns, dp.report(2.0).delay_ns);
+}
+
+TEST(TechnologyScaling, AreaProportionalToGateArea) {
+  Technology t = Technology::generic_7nm();
+  const double a1 =
+      build_nnlut_unit(CellLibrary(t), UnitPrecision::kInt32).report().area_um2;
+  t.area_per_gate_um2 *= 2.0;
+  const double a2 =
+      build_nnlut_unit(CellLibrary(t), UnitPrecision::kInt32).report().area_um2;
+  EXPECT_NEAR(a2, 2.0 * a1, 1e-6);
+}
+
+TEST(CrossUnit, IbertLatencyAlwaysExceedsNnlut) {
+  const CellLibrary lib;
+  const UnitReport ib = build_ibert_unit(lib).report();
+  const UnitReport nn = build_nnlut_unit(lib, UnitPrecision::kInt32).report();
+  for (const auto& [op, cycles] : ib.latency_cycles) {
+    if (nn.latency_cycles.count(op)) {
+      EXPECT_GT(cycles, nn.latency_cycles.at(op)) << op;
+    }
+  }
+}
+
+TEST(CrossUnit, InitiationIntervalsConsistentWithLatency) {
+  const CellLibrary lib;
+  const UnitReport ib = build_ibert_unit(lib).report();
+  for (const auto& [op, ii] : ib.initiation_interval) {
+    EXPECT_GT(ii, 0.0) << op;
+    EXPECT_LE(ii, ib.latency_cycles.at(op)) << op;  // II never exceeds latency
+  }
+}
+
+TEST(CrossUnit, PrecisionNamesStable) {
+  EXPECT_STREQ(precision_name(UnitPrecision::kInt32), "INT32");
+  EXPECT_STREQ(precision_name(UnitPrecision::kFp16), "FP16");
+  EXPECT_STREQ(precision_name(UnitPrecision::kFp32), "FP32");
+}
+
+}  // namespace
+}  // namespace nnlut::hw

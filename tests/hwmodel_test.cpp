@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "hwmodel/cell_library.h"
+#include "hwmodel/datapath.h"
+#include "hwmodel/units.h"
+
+namespace nnlut::hw {
+namespace {
+
+TEST(CellLibrary, CostsArePositiveAndMonotoneInWidth) {
+  const CellLibrary lib;
+  for (int bits : {8, 16, 32}) {
+    const CellCost a = lib.adder(bits);
+    EXPECT_GT(a.area_um2, 0.0);
+    EXPECT_GT(a.delay_ns, 0.0);
+  }
+  EXPECT_LT(lib.adder(16).area_um2, lib.adder(32).area_um2);
+  EXPECT_LT(lib.multiplier(16, 16).area_um2, lib.multiplier(32, 32).area_um2);
+  EXPECT_LT(lib.comparator(16).area_um2, lib.comparator(32).area_um2);
+}
+
+TEST(CellLibrary, MultiplierQuadraticInWidth) {
+  const CellLibrary lib;
+  const double r = lib.multiplier(32, 32).area_um2 / lib.multiplier(16, 16).area_um2;
+  EXPECT_NEAR(r, 4.0, 0.5);
+}
+
+TEST(CellLibrary, DividerDominatesDelay) {
+  const CellLibrary lib;
+  EXPECT_GT(lib.divider(32).delay_ns, lib.multiplier(32, 32).delay_ns * 3);
+  EXPECT_GT(lib.divider(32).delay_ns, lib.adder(32).delay_ns * 5);
+}
+
+TEST(CellLibrary, FpOpsCostMoreThanSameWidthInt) {
+  const CellLibrary lib;
+  EXPECT_GT(lib.fp_adder(24, 8).area_um2, lib.adder(32).area_um2);
+  EXPECT_GT(lib.fp_adder(24, 8).delay_ns, lib.adder(32).delay_ns);
+}
+
+TEST(Datapath, AreaAndLeakageAreSums) {
+  const CellLibrary lib;
+  Datapath dp("test");
+  dp.add("a", lib.adder(32));
+  dp.add("m", lib.multiplier(32, 32));
+  EXPECT_NEAR(dp.total_area(),
+              lib.adder(32).area_um2 + lib.multiplier(32, 32).area_um2, 1e-9);
+  EXPECT_GT(dp.total_leakage_mw(), 0.0);
+}
+
+TEST(Datapath, CriticalPathIsMaxStage) {
+  const CellLibrary lib;
+  Datapath dp("test");
+  dp.add("a", lib.adder(32));
+  dp.add("m", lib.multiplier(32, 32));
+  dp.add_stage({"a"});
+  dp.add_stage({"m"});
+  EXPECT_NEAR(dp.critical_path_ns(), lib.multiplier(32, 32).delay_ns, 1e-9);
+}
+
+TEST(Datapath, UnknownStageInstanceThrows) {
+  Datapath dp("test");
+  EXPECT_THROW(dp.add_stage({"nope"}), std::invalid_argument);
+}
+
+TEST(Units, NnlutLatencyIsTwoCyclesForAllFunctions) {
+  const CellLibrary lib;
+  const UnitReport r =
+      build_nnlut_unit(lib, UnitPrecision::kInt32).report(1.0);
+  for (const char* op : {"GELU", "EXP", "DIV", "1/SQRT"}) {
+    ASSERT_TRUE(r.latency_cycles.count(op)) << op;
+    EXPECT_EQ(r.latency_cycles.at(op), 2) << op;
+  }
+}
+
+TEST(Units, IbertLatenciesMatchPaper) {
+  const CellLibrary lib;
+  const UnitReport r = build_ibert_unit(lib).report(1.0);
+  EXPECT_EQ(r.latency_cycles.at("GELU"), 3);
+  EXPECT_EQ(r.latency_cycles.at("EXP"), 4);
+  EXPECT_EQ(r.latency_cycles.at("1/SQRT"), 5);
+}
+
+TEST(Units, Table4RatiosMatchPaperShape) {
+  // The paper's headline hardware claims (Table 4):
+  //   area ratio I-BERT / NN-LUT(INT32)  = 2.63x
+  //   power ratio                        = 36.4x
+  //   delay ratio                        = 3.93x
+  // The cost model must land in the right neighbourhood.
+  const CellLibrary lib;
+  const Table4 t = make_table4(lib);
+
+  const double area_ratio = t.ibert_int32.area_um2 / t.nnlut_int32.area_um2;
+  EXPECT_GT(area_ratio, 1.8);
+  EXPECT_LT(area_ratio, 3.6);
+
+  const double power_ratio = t.ibert_int32.power_mw / t.nnlut_int32.power_mw;
+  EXPECT_GT(power_ratio, 15.0);
+  EXPECT_LT(power_ratio, 80.0);
+
+  const double delay_ratio = t.ibert_int32.delay_ns / t.nnlut_int32.delay_ns;
+  EXPECT_GT(delay_ratio, 2.5);
+  EXPECT_LT(delay_ratio, 6.0);
+}
+
+TEST(Units, NnlutPrecisionOrdering) {
+  // Paper Table 4: FP16 is the smallest NN-LUT variant; INT32 and FP32 are
+  // comparable with FP32 slightly larger. Delays: INT32 < FP16 < FP32.
+  const CellLibrary lib;
+  const Table4 t = make_table4(lib);
+  EXPECT_LT(t.nnlut_fp16.area_um2, t.nnlut_int32.area_um2);
+  EXPECT_LT(t.nnlut_fp16.area_um2, t.nnlut_fp32.area_um2);
+  EXPECT_LT(t.nnlut_int32.area_um2, t.nnlut_fp32.area_um2);
+  EXPECT_LT(t.nnlut_int32.delay_ns, t.nnlut_fp16.delay_ns);
+  EXPECT_LT(t.nnlut_fp16.delay_ns, t.nnlut_fp32.delay_ns);
+}
+
+TEST(Units, AbsoluteNumbersInCalibratedNeighbourhood) {
+  // Calibration targets (paper Table 4, I-BERT INT32 column): 2654 um2,
+  // 2.14 mW, 2.67 ns. Within 25% counts as calibrated for a gate model.
+  const CellLibrary lib;
+  const UnitReport r = build_ibert_unit(lib).report(1.0);
+  EXPECT_NEAR(r.area_um2, 2654.32, 2654.32 * 0.25);
+  EXPECT_NEAR(r.delay_ns, 2.67, 2.67 * 0.25);
+  EXPECT_NEAR(r.power_mw, 2.1421, 2.1421 * 0.35);
+}
+
+TEST(Units, EntriesScaleStorageOnly) {
+  const CellLibrary lib;
+  const double a16 =
+      build_nnlut_unit(lib, UnitPrecision::kInt32, 16).report().area_um2;
+  const double a32 =
+      build_nnlut_unit(lib, UnitPrecision::kInt32, 32).report().area_um2;
+  EXPECT_GT(a32, a16);
+  EXPECT_LT(a32, a16 * 2.2);  // the MAC does not duplicate
+}
+
+}  // namespace
+}  // namespace nnlut::hw

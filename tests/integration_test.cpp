@@ -1,0 +1,156 @@
+// Cross-module integration tests: full train -> approximate -> evaluate
+// pipelines in the precision settings of Tables 2(b) and 3.
+#include <gtest/gtest.h>
+
+#include "approx/linear_lut.h"
+#include "eval/calibration_runner.h"
+#include "eval/pipeline.h"
+
+namespace nnlut::eval {
+namespace {
+
+using tasks::TaskData;
+using tasks::TaskGenOptions;
+using tasks::TaskId;
+using transformer::ModelConfig;
+
+TaskGenOptions data_opts() {
+  TaskGenOptions o;
+  o.n_train = 1024;
+  o.n_dev = 256;
+  o.seq_len = 20;
+  o.seed = 19;
+  return o;
+}
+
+ModelConfig roberta_cfg() {
+  ModelConfig c = ModelConfig::roberta_like();
+  c.vocab = 64;
+  c.hidden = 32;
+  c.layers = 2;
+  c.heads = 2;
+  c.ffn = 64;
+  c.max_seq = 20;
+  return c;
+}
+
+ModelConfig mobilebert_cfg() {
+  ModelConfig c = roberta_cfg();
+  c.hidden = 48;  // NoNorm models need a little more width for the span task
+  c.heads = 4;
+  c.ffn = 96;
+  c.norm = transformer::NormKind::kNoNorm;
+  c.act = transformer::ActKind::kRelu;
+  return c;
+}
+
+TrainOptions train_opts() {
+  TrainOptions t;
+  t.epochs = 5;
+  t.batch_size = 32;
+  t.lr = 1e-3f;
+  t.seed = 5;
+  return t;
+}
+
+transformer::LutSet trained_luts(std::uint64_t seed) {
+  const NnlutBundle nb = train_bundle(16, FitPreset::kFast, seed);
+  return {nb.gelu.lut, nb.exp.lut, nb.reciprocal.lut, nb.rsqrt.lut};
+}
+
+TEST(Integration, IBertBackendPreservesAccuracy) {
+  const TaskData d = tasks::make_task(TaskId::kRte, data_opts());
+  const auto model = train_model(d, roberta_cfg(), train_opts());
+  const double baseline = evaluate_baseline(model, d);
+
+  transformer::IBertNonlinearities ibert(model.config().act);
+  const double metric = evaluate(model, d, ibert);
+  EXPECT_GT(metric, baseline - 6.0);
+}
+
+TEST(Integration, NnlutInt32StaysCloseToFp32) {
+  const TaskData d = tasks::make_task(TaskId::kRte, data_opts());
+  const auto model = train_model(d, roberta_cfg(), train_opts());
+
+  const transformer::LutSet luts = trained_luts(23);
+  transformer::LutNonlinearities::Options lopt;
+  lopt.select = transformer::ApproxSelection::all();
+
+  auto fp32 = make_lut_backend(luts, LutPrecision::kFp32, lopt);
+  auto int32 = make_lut_backend(luts, LutPrecision::kInt32, lopt);
+
+  const double m_fp32 = evaluate(model, d, *fp32);
+  const double m_int32 = evaluate(model, d, *int32);
+  // Table 2(b): INT32 NN-LUT shows only slight degradation vs FP32.
+  EXPECT_GT(m_int32, m_fp32 - 8.0);
+}
+
+TEST(Integration, MobileBertSoftmaxOnlyApproximation) {
+  // Table 3 setting: MobileBERT-like model (NoNorm + ReLU), FP16 matmul,
+  // softmax as the only approximated nonlinearity. NoNorm models train
+  // without normalization and need a gentler, longer schedule plus more
+  // data than the other quick tests.
+  TaskGenOptions o = data_opts();
+  o.n_train = 3072;
+  const TaskData d = tasks::make_task(TaskId::kSquad, o);
+  TrainOptions t = train_opts();
+  t.lr = 5e-4f;
+  t.epochs = 20;
+  const auto model = train_model(d, mobilebert_cfg(), t);
+  const double baseline = evaluate_baseline(model, d);
+  ASSERT_GT(baseline, 70.0);  // the span task must actually be learned
+
+  const transformer::LutSet luts = trained_luts(29);
+  transformer::LutNonlinearities::Options lopt;
+  lopt.select = transformer::ApproxSelection::softmax_only();
+  lopt.act = model.config().act;
+
+  for (LutPrecision prec : {LutPrecision::kFp32, LutPrecision::kFp16}) {
+    auto backend = make_lut_backend(luts, prec, lopt);
+    const double metric =
+        evaluate(model, d, *backend, transformer::MatmulMode::kFp16);
+    EXPECT_GT(metric, baseline - 3.0)
+        << "precision=" << static_cast<int>(prec);
+  }
+}
+
+TEST(Integration, Int8MatmulBaselineRemainsUsable) {
+  // Table 2(b) baseline setting: INT8 matmul + exact FP32 nonlinear ops.
+  const TaskData d = tasks::make_task(TaskId::kSst2, data_opts());
+  const auto model = train_model(d, roberta_cfg(), train_opts());
+  const double fp32 = evaluate_baseline(model, d);
+
+  transformer::ExactNonlinearities exact(model.config().act);
+  const double int8 =
+      evaluate(model, d, exact, transformer::MatmulMode::kInt8);
+  EXPECT_GT(int8, fp32 - 6.0);
+}
+
+TEST(Integration, CalibrationRecoversInt32Accuracy) {
+  // Table 2(b) "+C" rows: calibration lifts the INT32 deployment.
+  const TaskData d = tasks::make_task(TaskId::kSst2, data_opts());
+  const auto model = train_model(d, roberta_cfg(), train_opts());
+
+  const NnlutBundle nb = train_bundle(16, FitPreset::kFast, 31);
+  const transformer::LutSet luts{nb.gelu.lut, nb.exp.lut, nb.reciprocal.lut,
+                                 nb.rsqrt.lut};
+  transformer::LutNonlinearities::Options lopt;
+  lopt.select = transformer::ApproxSelection::all();
+
+  auto plain = make_lut_backend(luts, LutPrecision::kInt32, lopt);
+  const double before =
+      evaluate(model, d, *plain, transformer::MatmulMode::kInt8);
+
+  auto calibrated = make_lut_backend(luts, LutPrecision::kInt32, lopt);
+  const std::span<const tasks::Example> unlabeled(d.train.data(), 128);
+  calibrate_layernorm_sites(model, *calibrated, nb.rsqrt, unlabeled,
+                            transformer::MatmulMode::kInt8,
+                            LutPrecision::kInt32);
+  const double after =
+      evaluate(model, d, *calibrated, transformer::MatmulMode::kInt8);
+
+  EXPECT_GE(after, before - 2.0);  // never meaningfully worse
+}
+
+}  // namespace
+}  // namespace nnlut::eval

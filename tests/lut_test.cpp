@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/piecewise_linear.h"
+
+namespace nnlut {
+namespace {
+
+PiecewiseLinear three_segment() {
+  // y = -x for x < -1 ; y = 0 for -1 <= x < 1 ; y = x for x >= 1.
+  return PiecewiseLinear({-1.0f, 1.0f}, {-1.0f, 0.0f, 1.0f},
+                         {0.0f, 0.0f, 0.0f});
+}
+
+TEST(PiecewiseLinear, SegmentIndexing) {
+  const PiecewiseLinear lut = three_segment();
+  EXPECT_EQ(lut.segment_index(-5.0f), 0u);
+  EXPECT_EQ(lut.segment_index(-1.0f), 1u);  // d_{i-1} <= x < d_i convention
+  EXPECT_EQ(lut.segment_index(0.0f), 1u);
+  EXPECT_EQ(lut.segment_index(1.0f), 2u);   // x >= d_{N-1} -> last segment
+  EXPECT_EQ(lut.segment_index(9.0f), 2u);
+}
+
+TEST(PiecewiseLinear, Evaluation) {
+  const PiecewiseLinear lut = three_segment();
+  EXPECT_EQ(lut(-3.0f), 3.0f);
+  EXPECT_EQ(lut(0.5f), 0.0f);
+  EXPECT_EQ(lut(4.0f), 4.0f);
+}
+
+TEST(PiecewiseLinear, SingleSegmentIsALine) {
+  const PiecewiseLinear lut({}, {2.0f}, {1.0f});
+  EXPECT_EQ(lut.entries(), 1u);
+  EXPECT_EQ(lut(-10.0f), -19.0f);
+  EXPECT_EQ(lut(10.0f), 21.0f);
+}
+
+TEST(PiecewiseLinear, EvalInplaceBatch) {
+  const PiecewiseLinear lut = three_segment();
+  std::vector<float> xs{-2.0f, 0.0f, 2.0f};
+  lut.eval_inplace(xs);
+  EXPECT_EQ(xs[0], 2.0f);
+  EXPECT_EQ(xs[1], 0.0f);
+  EXPECT_EQ(xs[2], 2.0f);
+}
+
+TEST(PiecewiseLinear, SixteenEntryLayout) {
+  // The paper's deployment size: 16 entries = 15 breakpoints.
+  std::vector<float> bps(15), slopes(16, 1.0f), intercepts(16, 0.0f);
+  for (int i = 0; i < 15; ++i) bps[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  const PiecewiseLinear lut(bps, slopes, intercepts);
+  EXPECT_EQ(lut.entries(), 16u);
+  EXPECT_EQ(lut.segment_index(-0.5f), 0u);
+  EXPECT_EQ(lut.segment_index(14.5f), 15u);
+}
+
+TEST(PiecewiseLinear, RejectsEmptyTable) {
+  EXPECT_THROW(PiecewiseLinear({}, {}, {}), std::invalid_argument);
+}
+
+TEST(PiecewiseLinear, RejectsSizeMismatch) {
+  EXPECT_THROW(PiecewiseLinear({0.0f}, {1.0f}, {0.0f}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinear({0.0f}, {1.0f, 2.0f}, {0.0f}),
+               std::invalid_argument);
+}
+
+TEST(PiecewiseLinear, RejectsUnsortedBreakpoints) {
+  EXPECT_THROW(PiecewiseLinear({1.0f, 0.0f}, {1, 1, 1}, {0, 0, 0}),
+               std::invalid_argument);
+}
+
+TEST(PiecewiseLinear, RejectsDuplicateBreakpoints) {
+  EXPECT_THROW(PiecewiseLinear({1.0f, 1.0f}, {1, 1, 1}, {0, 0, 0}),
+               std::invalid_argument);
+}
+
+TEST(PiecewiseLinear, RejectsNonFiniteBreakpoint) {
+  EXPECT_THROW(
+      PiecewiseLinear({std::numeric_limits<float>::quiet_NaN()}, {1, 1}, {0, 0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      PiecewiseLinear({std::numeric_limits<float>::infinity()}, {1, 1}, {0, 0}),
+      std::invalid_argument);
+}
+
+// Property sweep: lookups over many positions agree with a linear scan.
+class LutIndexProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LutIndexProperty, BinarySearchMatchesLinearScan) {
+  const int entries = GetParam();
+  std::vector<float> bps, slopes, intercepts;
+  for (int i = 1; i < entries; ++i)
+    bps.push_back(static_cast<float>(i) * 0.37f - 2.0f);
+  slopes.assign(static_cast<std::size_t>(entries), 1.0f);
+  intercepts.assign(static_cast<std::size_t>(entries), 0.0f);
+  const PiecewiseLinear lut(bps, slopes, intercepts);
+
+  for (float x = -5.0f; x <= 5.0f; x += 0.01f) {
+    std::size_t linear = 0;
+    while (linear < bps.size() && x >= bps[linear]) ++linear;
+    EXPECT_EQ(lut.segment_index(x), linear) << "x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LutIndexProperty,
+                         ::testing::Values(2, 3, 8, 16, 33));
+
+}  // namespace
+}  // namespace nnlut

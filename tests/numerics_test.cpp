@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "numerics/half.h"
+#include "numerics/math.h"
+#include "numerics/rng.h"
+#include "numerics/stats.h"
+
+namespace nnlut {
+namespace {
+
+// ---------------------------------------------------------------- half ----
+
+TEST(Half, ExactSmallIntegersRoundTrip) {
+  for (int i = -2048; i <= 2048; ++i) {
+    const float f = static_cast<float>(i);
+    EXPECT_EQ(round_to_half(f), f) << i;
+  }
+}
+
+TEST(Half, PowersOfTwoRoundTrip) {
+  for (int e = -14; e <= 15; ++e) {
+    const float f = std::ldexp(1.0f, e);
+    EXPECT_EQ(round_to_half(f), f) << e;
+  }
+}
+
+TEST(Half, SignPreserved) {
+  EXPECT_EQ(round_to_half(-1.5f), -1.5f);
+  EXPECT_EQ(float_to_half_bits(-0.0f), 0x8000u);
+  EXPECT_EQ(float_to_half_bits(0.0f), 0x0000u);
+}
+
+TEST(Half, OverflowGoesToInfinity) {
+  EXPECT_TRUE(std::isinf(round_to_half(70000.0f)));
+  EXPECT_TRUE(std::isinf(round_to_half(-70000.0f)));
+  EXPECT_LT(round_to_half(-70000.0f), 0.0f);
+}
+
+TEST(Half, MaxFiniteValue) {
+  EXPECT_EQ(round_to_half(65504.0f), 65504.0f);
+}
+
+TEST(Half, SubnormalsRepresentable) {
+  const float smallest = std::ldexp(1.0f, -24);  // 2^-24, smallest subnormal
+  EXPECT_EQ(round_to_half(smallest), smallest);
+  EXPECT_EQ(round_to_half(smallest / 4.0f), 0.0f);  // below half range
+}
+
+TEST(Half, RoundToNearestEvenTie) {
+  // 2049 is exactly between representable 2048 and 2050 -> even (2048).
+  EXPECT_EQ(round_to_half(2049.0f), 2048.0f);
+  // 2051 is between 2050 and 2052 -> even (2052).
+  EXPECT_EQ(round_to_half(2051.0f), 2052.0f);
+}
+
+TEST(Half, NanPropagates) {
+  EXPECT_TRUE(std::isnan(round_to_half(std::numeric_limits<float>::quiet_NaN())));
+}
+
+TEST(Half, InfinityPreserved) {
+  EXPECT_TRUE(std::isinf(round_to_half(std::numeric_limits<float>::infinity())));
+}
+
+TEST(Half, RelativeErrorBounded) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const float f = rng.uniform(-1000.0f, 1000.0f);
+    const float h = round_to_half(f);
+    if (f != 0.0f) {
+      EXPECT_LE(std::abs(h - f) / std::abs(f), 1.0f / 1024.0f) << f;
+    }
+  }
+}
+
+TEST(Half, ArithmeticRoundsThroughHalf) {
+  const Half a(1.0f), b(0.0004f);
+  // 1 + 0.0004 is not representable in binary16; rounds back to 1.
+  EXPECT_EQ((a + b).to_float(), 1.0f);
+}
+
+// ---------------------------------------------------------------- math ----
+
+TEST(Math, GeluMatchesDefinition) {
+  for (float x : {-4.0f, -1.0f, -0.5f, 0.0f, 0.5f, 1.0f, 4.0f}) {
+    const double expect = 0.5 * x * (1.0 + std::erf(x / std::sqrt(2.0)));
+    EXPECT_NEAR(gelu_exact(x), expect, 1e-6) << x;
+  }
+}
+
+TEST(Math, GeluLimits) {
+  EXPECT_NEAR(gelu_exact(-10.0f), 0.0f, 1e-6);
+  EXPECT_NEAR(gelu_exact(10.0f), 10.0f, 1e-5);
+  EXPECT_EQ(gelu_exact(0.0f), 0.0f);
+}
+
+TEST(Math, SoftmaxSumsToOne) {
+  std::vector<float> row{1.0f, 2.0f, 3.0f, 4.0f};
+  softmax_exact(row);
+  float sum = 0.0f;
+  for (float v : row) sum += v;
+  EXPECT_NEAR(sum, 1.0f, 1e-6);
+  EXPECT_GT(row[3], row[0]);
+}
+
+TEST(Math, SoftmaxStableForLargeLogits) {
+  std::vector<float> row{1000.0f, 1000.0f};
+  softmax_exact(row);
+  EXPECT_NEAR(row[0], 0.5f, 1e-6);
+  EXPECT_NEAR(row[1], 0.5f, 1e-6);
+}
+
+TEST(Math, SoftmaxEmptyRowIsNoop) {
+  std::vector<float> row;
+  softmax_exact(row);  // must not crash
+  EXPECT_TRUE(row.empty());
+}
+
+TEST(Math, LayerNormZeroMeanUnitVar) {
+  std::vector<float> x{1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f, 7.0f, 8.0f};
+  std::vector<float> y(x.size());
+  layer_norm_exact(x, y, {}, {});
+  double mean = 0, var = 0;
+  for (float v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  for (float v : y) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(y.size());
+  EXPECT_NEAR(mean, 0.0, 1e-5);
+  EXPECT_NEAR(var, 1.0, 1e-3);
+}
+
+TEST(Math, LayerNormAffine) {
+  std::vector<float> x{-1.0f, 1.0f};
+  std::vector<float> y(2);
+  std::vector<float> gamma{2.0f, 2.0f};
+  std::vector<float> beta{1.0f, 1.0f};
+  layer_norm_exact(x, y, gamma, beta);
+  EXPECT_NEAR(y[0], 1.0f - 2.0f * 1.0f / std::sqrt(1.0f + 1e-5f), 1e-4);
+  EXPECT_NEAR(y[1], 1.0f + 2.0f * 1.0f / std::sqrt(1.0f + 1e-5f), 1e-4);
+}
+
+// --------------------------------------------------------------- stats ----
+
+TEST(Stats, Accuracy) {
+  const std::vector<int> pred{1, 0, 1, 1};
+  const std::vector<int> gold{1, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(accuracy(pred, gold), 0.75);
+}
+
+TEST(Stats, AccuracyEmpty) {
+  EXPECT_DOUBLE_EQ(accuracy({}, {}), 0.0);
+}
+
+TEST(Stats, F1Binary) {
+  // tp=2, fp=1, fn=1 -> f1 = 2*2/(4+1+1)
+  const std::vector<int> pred{1, 1, 1, 0, 0};
+  const std::vector<int> gold{1, 1, 0, 1, 0};
+  EXPECT_NEAR(f1_binary(pred, gold), 2.0 * 2 / (2.0 * 2 + 1 + 1), 1e-12);
+}
+
+TEST(Stats, F1DegenerateIsZero) {
+  const std::vector<int> pred{0, 0};
+  const std::vector<int> gold{0, 0};
+  EXPECT_DOUBLE_EQ(f1_binary(pred, gold), 0.0);
+}
+
+TEST(Stats, MatthewsPerfect) {
+  const std::vector<int> pred{1, 0, 1, 0};
+  const std::vector<int> gold{1, 0, 1, 0};
+  EXPECT_NEAR(matthews_corrcoef(pred, gold), 1.0, 1e-12);
+}
+
+TEST(Stats, MatthewsInverted) {
+  const std::vector<int> pred{0, 1, 0, 1};
+  const std::vector<int> gold{1, 0, 1, 0};
+  EXPECT_NEAR(matthews_corrcoef(pred, gold), -1.0, 1e-12);
+}
+
+TEST(Stats, MatthewsDegenerateIsZero) {
+  const std::vector<int> pred{1, 1};
+  const std::vector<int> gold{1, 0};
+  EXPECT_DOUBLE_EQ(matthews_corrcoef(pred, gold), 0.0);
+}
+
+TEST(Stats, PearsonLinear) {
+  const std::vector<float> a{1, 2, 3, 4, 5};
+  const std::vector<float> b{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-9);
+}
+
+TEST(Stats, PearsonAnticorrelated) {
+  const std::vector<float> a{1, 2, 3};
+  const std::vector<float> b{3, 2, 1};
+  EXPECT_NEAR(pearson(a, b), -1.0, 1e-9);
+}
+
+TEST(Stats, PearsonZeroVariance) {
+  const std::vector<float> a{1, 1, 1};
+  const std::vector<float> b{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+}
+
+TEST(Stats, SpearmanMonotonic) {
+  const std::vector<float> a{1, 2, 3, 4};
+  const std::vector<float> b{1, 10, 100, 1000};  // nonlinear but monotone
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-9);
+}
+
+TEST(Stats, FractionalRanksTies) {
+  const std::vector<float> v{10.0f, 20.0f, 10.0f};
+  const auto r = fractional_ranks(v);
+  EXPECT_DOUBLE_EQ(r[0], 1.5);
+  EXPECT_DOUBLE_EQ(r[2], 1.5);
+  EXPECT_DOUBLE_EQ(r[1], 3.0);
+}
+
+TEST(Stats, SpanF1ExactMatch) {
+  EXPECT_DOUBLE_EQ(span_f1(3, 5, 3, 5), 1.0);
+  EXPECT_TRUE(span_exact_match(3, 5, 3, 5));
+}
+
+TEST(Stats, SpanF1NoOverlap) {
+  EXPECT_DOUBLE_EQ(span_f1(0, 2, 5, 7), 0.0);
+  EXPECT_FALSE(span_exact_match(0, 2, 5, 7));
+}
+
+TEST(Stats, SpanF1PartialOverlap) {
+  // pred [2,5] (4 tokens), gold [4,7] (4 tokens), overlap [4,5] (2 tokens).
+  const double p = 2.0 / 4.0, r = 2.0 / 4.0;
+  EXPECT_NEAR(span_f1(2, 5, 4, 7), 2 * p * r / (p + r), 1e-12);
+}
+
+TEST(Stats, SpanF1InvalidSpan) {
+  EXPECT_DOUBLE_EQ(span_f1(5, 3, 1, 2), 0.0);
+}
+
+TEST(Stats, MeanMaxAbsError) {
+  const std::vector<float> a{1, 2, 3};
+  const std::vector<float> b{2, 2, 1};
+  EXPECT_NEAR(mean_abs_error(a, b), (1 + 0 + 2) / 3.0, 1e-12);
+  EXPECT_NEAR(max_abs_error(a, b), 2.0, 1e-12);
+}
+
+// ----------------------------------------------------------------- rng ----
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.uniform(0.0f, 1.0f), b.uniform(0.0f, 1.0f));
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(-2.0f, 3.0f);
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(1);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+}  // namespace
+}  // namespace nnlut

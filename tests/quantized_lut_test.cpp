@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/linear_lut.h"
+#include "core/function_library.h"
+#include "core/quantized_lut.h"
+#include "numerics/math.h"
+
+namespace nnlut {
+namespace {
+
+PiecewiseLinear gelu_like_lut() {
+  // A fixed-breakpoint LUT for GELU gives us a stable, non-trivial table.
+  return fit_linear_lut(gelu_exact, kGeluRange, 16);
+}
+
+TEST(LutFp16, TracksFp32WithinHalfPrecision) {
+  const PiecewiseLinear lut = gelu_like_lut();
+  const LutFp16 h(lut);
+  for (float x = -5.0f; x <= 5.0f; x += 0.01f) {
+    const float f32 = lut(x);
+    const float f16 = h.eval(x);
+    const float tol = std::max(0.01f, std::abs(f32) * 0.01f);
+    EXPECT_NEAR(f16, f32, tol) << x;
+  }
+}
+
+TEST(LutFp16, OutputIsRepresentableInHalf) {
+  const LutFp16 h(gelu_like_lut());
+  for (float x = -4.9f; x <= 4.9f; x += 0.37f) {
+    const float y = h.eval(x);
+    EXPECT_EQ(y, round_to_half(y)) << x;
+  }
+}
+
+TEST(LutInt32, TracksFp32) {
+  const PiecewiseLinear lut = gelu_like_lut();
+  const LutInt32 qi(lut, 5.0f);
+  for (float x = -5.0f; x <= 5.0f; x += 0.01f) {
+    EXPECT_NEAR(qi.eval(x), lut(x), 5e-3f) << x;
+  }
+}
+
+TEST(LutInt32, ScalesArePositive) {
+  const LutInt32 qi(gelu_like_lut(), 5.0f);
+  EXPECT_GT(qi.input_scale(), 0.0f);
+  EXPECT_GT(qi.output_scale(), 0.0f);
+}
+
+TEST(LutInt32, RejectsNonPositiveRange) {
+  EXPECT_THROW(LutInt32(gelu_like_lut(), 0.0f), std::invalid_argument);
+  EXPECT_THROW(LutInt32(gelu_like_lut(), -1.0f), std::invalid_argument);
+}
+
+TEST(LutInt32, ReciprocalRangeQuantizes) {
+  const PiecewiseLinear lut =
+      fit_linear_lut(reciprocal_exact, kDivideRange, 16);
+  const LutInt32 qi(lut, 1024.0f);
+  // The fixed-breakpoint fit is itself coarse; just require the quantized
+  // table to track its own FP32 source closely.
+  for (float x = 1.0f; x <= 1024.0f; x *= 1.3f)
+    EXPECT_NEAR(qi.eval(x), lut(x), 2e-3f) << x;
+}
+
+TEST(MakeLutFn, FactoryCoversAllPrecisions) {
+  const PiecewiseLinear lut = gelu_like_lut();
+  const auto f32 = make_lut_fn(lut, LutPrecision::kFp32);
+  const auto f16 = make_lut_fn(lut, LutPrecision::kFp16);
+  const auto i32 = make_lut_fn(lut, LutPrecision::kInt32, 5.0f);
+  const float x = 1.234f;
+  EXPECT_NEAR(f32->eval(x), lut(x), 1e-7f);
+  EXPECT_NEAR(f16->eval(x), lut(x), 0.01f);
+  EXPECT_NEAR(i32->eval(x), lut(x), 0.005f);
+}
+
+// Precision sweep: quantization error ordering FP16 > INT32(16-bit-ish) on a
+// smooth function should both stay within loose envelopes.
+class QuantizedPrecision : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizedPrecision, ErrorBoundedAcrossEntries) {
+  const int entries = GetParam();
+  const PiecewiseLinear lut = fit_linear_lut(gelu_exact, kGeluRange, entries);
+  const LutFp16 h(lut);
+  const LutInt32 qi(lut, 5.0f);
+  double worst16 = 0, worst32 = 0;
+  for (float x = -5.0f; x <= 5.0f; x += 0.005f) {
+    worst16 = std::max(worst16, std::abs(static_cast<double>(h.eval(x)) - lut(x)));
+    worst32 = std::max(worst32, std::abs(static_cast<double>(qi.eval(x)) - lut(x)));
+  }
+  EXPECT_LT(worst16, 0.05);
+  EXPECT_LT(worst32, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Entries, QuantizedPrecision,
+                         ::testing::Values(4, 8, 16, 32));
+
+}  // namespace
+}  // namespace nnlut

@@ -1,0 +1,171 @@
+// Semantic correctness of the task generators: the label must be computable
+// from the tokens by the intended rule (no leakage, no contradiction). These
+// re-derive each label independently of the generator's internals.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "tasks/tasks.h"
+
+namespace nnlut::tasks {
+namespace {
+
+TaskGenOptions opts() {
+  TaskGenOptions o;
+  o.n_train = 400;
+  o.n_dev = 50;
+  o.seed = 99;
+  return o;
+}
+
+/// Split a pair example into segment A / segment B content tokens.
+void split_pair(const Example& e, std::vector<int>& a, std::vector<int>& b) {
+  a.clear();
+  b.clear();
+  for (std::size_t i = 1; i < e.tokens.size(); ++i) {
+    const int t = e.tokens[i];
+    if (t == kSep || t == kCls || t == kFiller) continue;
+    (e.type_ids[i] == 0 ? a : b).push_back(t);
+  }
+}
+
+TEST(TaskSemantics, RteLabelMatchesSubsetRule) {
+  const TaskData d = make_task(TaskId::kRte, opts());
+  std::vector<int> prem, hyp;
+  for (const Example& e : d.train) {
+    split_pair(e, prem, hyp);
+    ASSERT_FALSE(hyp.empty());
+    int present = 0;
+    for (int t : hyp)
+      if (std::find(prem.begin(), prem.end(), t) != prem.end()) ++present;
+    const bool all_present = (present == static_cast<int>(hyp.size()));
+    EXPECT_EQ(e.label, all_present ? 1 : 0);
+  }
+}
+
+TEST(TaskSemantics, QnliLabelMatchesPresenceRule) {
+  const TaskData d = make_task(TaskId::kQnli, opts());
+  std::vector<int> qseg, passage;
+  for (const Example& e : d.train) {
+    split_pair(e, qseg, passage);
+    ASSERT_FALSE(qseg.empty());
+    const int q = qseg[0];
+    const bool present =
+        std::find(passage.begin(), passage.end(), q) != passage.end();
+    EXPECT_EQ(e.label, present ? 1 : 0);
+  }
+}
+
+TEST(TaskSemantics, ColaLabelMatchesCyclicGrammar) {
+  const TaskData d = make_task(TaskId::kCola, opts());
+  for (const Example& e : d.train) {
+    // Collect the content tokens in order.
+    std::vector<int> toks;
+    for (std::size_t i = 1; i < e.tokens.size(); ++i)
+      if (e.tokens[i] >= kFirstContent) toks.push_back(e.tokens[i]);
+    ASSERT_GE(toks.size(), 4u);
+    bool cyclic = true;
+    for (std::size_t i = 1; i < toks.size(); ++i) {
+      const int c0 = (toks[i - 1] - kFirstContent) % 4;
+      const int c1 = (toks[i] - kFirstContent) % 4;
+      if (c1 != (c0 + 1) % 4) cyclic = false;
+    }
+    EXPECT_EQ(e.label, cyclic ? 1 : 0);
+  }
+}
+
+TEST(TaskSemantics, Sst2LabelMatchesValenceSum) {
+  const TaskGenOptions o = opts();
+  const TaskData d = make_task(TaskId::kSst2, o);
+  const int cr = static_cast<int>(o.vocab) - kFirstContent;
+  for (const Example& e : d.train) {
+    int sum = 0;
+    for (std::size_t i = 1; i < e.tokens.size(); ++i) {
+      const int t = e.tokens[i];
+      if (t < kFirstContent) continue;
+      sum += ((t - kFirstContent) < cr / 2) ? -1 : 1;
+    }
+    ASSERT_NE(sum, 0);
+    EXPECT_EQ(e.label, sum > 0 ? 1 : 0);
+  }
+}
+
+TEST(TaskSemantics, StsbTargetMatchesPositionalOverlap) {
+  const TaskData d = make_task(TaskId::kStsb, opts());
+  std::vector<int> a, b;
+  for (const Example& e : d.train) {
+    split_pair(e, a, b);
+    ASSERT_EQ(a.size(), b.size());
+    int same = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+      if (a[i] == b[i]) ++same;
+    const float expect =
+        5.0f * static_cast<float>(same) / static_cast<float>(a.size());
+    EXPECT_NEAR(e.target, expect, 1e-4f);
+  }
+}
+
+TEST(TaskSemantics, MnliLabelMatchesOverlapClass) {
+  const TaskData d = make_task(TaskId::kMnli, opts());
+  std::vector<int> prem, hyp;
+  for (const Example& e : d.train) {
+    split_pair(e, prem, hyp);
+    int present = 0;
+    for (int t : hyp)
+      if (std::find(prem.begin(), prem.end(), t) != prem.end()) ++present;
+    if (e.label == 0) {
+      EXPECT_EQ(present, static_cast<int>(hyp.size()));
+    }
+    if (e.label == 2) {
+      EXPECT_EQ(present, 0);
+    }
+    if (e.label == 1) {
+      EXPECT_GT(present, 0);
+      EXPECT_LT(present, static_cast<int>(hyp.size()));
+    }
+  }
+}
+
+TEST(TaskSemantics, SquadSpanContainsNonMarkerTokens) {
+  const TaskData d = make_task(TaskId::kSquad, opts());
+  const int m0 = kFirstContent + 2, m1 = kFirstContent + 3;
+  for (const Example& e : d.train) {
+    for (int s = e.span_start; s <= e.span_end; ++s) {
+      const int t = e.tokens[static_cast<std::size_t>(s)];
+      EXPECT_NE(t, m0);
+      EXPECT_NE(t, m1);
+    }
+  }
+}
+
+TEST(TaskSemantics, MrpcNegativesHaveLowerOverlapThanPositives) {
+  const TaskData d = make_task(TaskId::kMrpc, opts());
+  std::vector<int> a, b;
+  double pos_overlap = 0, neg_overlap = 0;
+  int pos_n = 0, neg_n = 0;
+  for (const Example& e : d.train) {
+    split_pair(e, a, b);
+    std::multiset<int> sa(a.begin(), a.end());
+    int common = 0;
+    for (int t : b) {
+      auto it = sa.find(t);
+      if (it != sa.end()) {
+        ++common;
+        sa.erase(it);
+      }
+    }
+    const double frac = static_cast<double>(common) / static_cast<double>(b.size());
+    if (e.label == 1) {
+      pos_overlap += frac;
+      ++pos_n;
+    } else {
+      neg_overlap += frac;
+      ++neg_n;
+    }
+  }
+  EXPECT_GT(pos_overlap / pos_n, neg_overlap / neg_n + 0.2);
+}
+
+}  // namespace
+}  // namespace nnlut::tasks

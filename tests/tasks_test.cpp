@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "tasks/metrics.h"
+#include "tasks/tasks.h"
+
+namespace nnlut::tasks {
+namespace {
+
+TaskGenOptions small_opts() {
+  TaskGenOptions o;
+  o.n_train = 200;
+  o.n_dev = 100;
+  o.seed = 42;
+  return o;
+}
+
+// Shared structural checks for every task.
+void check_structure(const TaskData& d) {
+  EXPECT_EQ(d.train.size(), 200u);
+  EXPECT_EQ(d.dev.size(), 100u);
+  for (const Example& e : d.train) {
+    ASSERT_EQ(e.tokens.size(), d.seq_len);
+    ASSERT_EQ(e.type_ids.size(), d.seq_len);
+    EXPECT_EQ(e.tokens[0], kCls);
+    for (int t : e.tokens) {
+      EXPECT_GE(t, 0);
+      EXPECT_LT(t, static_cast<int>(d.vocab));
+    }
+    for (int ty : e.type_ids) {
+      EXPECT_GE(ty, 0);
+      EXPECT_LE(ty, 1);
+    }
+    if (!d.is_regression && !d.is_span) {
+      EXPECT_GE(e.label, 0);
+      EXPECT_LT(e.label, d.num_labels);
+    }
+  }
+}
+
+class EveryTask : public ::testing::TestWithParam<TaskId> {};
+
+TEST_P(EveryTask, StructurallyValid) {
+  const TaskData d = make_task(GetParam(), small_opts());
+  check_structure(d);
+}
+
+TEST_P(EveryTask, DeterministicForSameSeed) {
+  const TaskData a = make_task(GetParam(), small_opts());
+  const TaskData b = make_task(GetParam(), small_opts());
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i].tokens, b.train[i].tokens);
+    EXPECT_EQ(a.train[i].label, b.train[i].label);
+  }
+}
+
+TEST_P(EveryTask, DifferentSeedsDiffer) {
+  TaskGenOptions o1 = small_opts(), o2 = small_opts();
+  o2.seed = 43;
+  const TaskData a = make_task(GetParam(), o1);
+  const TaskData b = make_task(GetParam(), o2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.train.size() && !any_diff; ++i)
+    any_diff = (a.train[i].tokens != b.train[i].tokens);
+  EXPECT_TRUE(any_diff);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTasks, EveryTask,
+    ::testing::Values(TaskId::kMrpc, TaskId::kRte, TaskId::kCola,
+                      TaskId::kSst2, TaskId::kStsb, TaskId::kQqp,
+                      TaskId::kMnli, TaskId::kQnli, TaskId::kSquad),
+    [](const ::testing::TestParamInfo<TaskId>& info) {
+      std::string n = task_name(info.param);
+      n.erase(std::remove(n.begin(), n.end(), '-'), n.end());
+      return n;
+    });
+
+TEST(Tasks, BinaryLabelsRoughlyBalanced) {
+  for (TaskId id : {TaskId::kMrpc, TaskId::kRte, TaskId::kCola, TaskId::kSst2,
+                    TaskId::kQnli, TaskId::kQqp}) {
+    TaskGenOptions o = small_opts();
+    o.n_train = 1000;
+    const TaskData d = make_task(id, o);
+    int pos = 0;
+    for (const Example& e : d.train) pos += e.label;
+    EXPECT_GT(pos, 350) << task_name(id);
+    EXPECT_LT(pos, 650) << task_name(id);
+  }
+}
+
+TEST(Tasks, MnliCoversThreeClasses) {
+  const TaskData d = make_task(TaskId::kMnli, small_opts());
+  std::set<int> seen;
+  for (const Example& e : d.train) seen.insert(e.label);
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Tasks, StsbTargetsSpanRange) {
+  const TaskData d = make_task(TaskId::kStsb, small_opts());
+  float lo = 5.0f, hi = 0.0f;
+  for (const Example& e : d.train) {
+    EXPECT_GE(e.target, 0.0f);
+    EXPECT_LE(e.target, 5.0f);
+    lo = std::min(lo, e.target);
+    hi = std::max(hi, e.target);
+  }
+  EXPECT_LT(lo, 1.5f);  // generator sweeps the whole similarity range
+  EXPECT_GT(hi, 3.5f);
+}
+
+TEST(Tasks, SquadSpansInsidePassage) {
+  const TaskData d = make_task(TaskId::kSquad, small_opts());
+  for (const Example& e : d.train) {
+    EXPECT_GE(e.span_start, 3);  // after [CLS] q [SEP]
+    EXPECT_LE(e.span_end, static_cast<int>(d.seq_len) - 1);
+    EXPECT_EQ(e.span_end - e.span_start, 1);  // two-token answers
+  }
+}
+
+TEST(Tasks, SquadAnswerFollowsMatchingMarker) {
+  // The token immediately before each gold span must be the marker selected
+  // by the question type, and the decoy marker must also be present.
+  const TaskGenOptions o = small_opts();
+  const TaskData d = make_task(TaskId::kSquad, o);
+  const int q0 = kFirstContent, q1 = kFirstContent + 1;
+  const int m0 = kFirstContent + 2, m1 = kFirstContent + 3;
+  for (const Example& e : d.train) {
+    const int q = e.tokens[1];
+    ASSERT_TRUE(q == q0 || q == q1);
+    const int marker = (q == q1) ? m1 : m0;
+    const int decoy = (q == q1) ? m0 : m1;
+    EXPECT_EQ(e.tokens[static_cast<std::size_t>(e.span_start - 1)], marker);
+    EXPECT_NE(std::find(e.tokens.begin(), e.tokens.end(), decoy),
+              e.tokens.end());
+  }
+}
+
+TEST(Tasks, PairTasksUseBothSegments) {
+  for (TaskId id : {TaskId::kMrpc, TaskId::kRte, TaskId::kStsb, TaskId::kQqp,
+                    TaskId::kMnli, TaskId::kQnli}) {
+    const TaskData d = make_task(id, small_opts());
+    const Example& e = d.train[0];
+    const bool has_b =
+        std::find(e.type_ids.begin(), e.type_ids.end(), 1) != e.type_ids.end();
+    EXPECT_TRUE(has_b) << task_name(id);
+  }
+}
+
+TEST(Tasks, GlueSuiteOrderMatchesPaper) {
+  const auto suite = glue_suite();
+  ASSERT_EQ(suite.size(), 8u);
+  EXPECT_EQ(suite[0], TaskId::kMrpc);
+  EXPECT_EQ(suite[7], TaskId::kQnli);
+}
+
+TEST(Tasks, RejectsTinyConfigs) {
+  TaskGenOptions o;
+  o.vocab = 8;
+  EXPECT_THROW(make_task(TaskId::kSst2, o), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- metrics --
+
+TEST(Metrics, AccuracyTask) {
+  TaskData d = make_task(TaskId::kSst2, small_opts());
+  Predictions p;
+  for (const Example& e : d.dev) p.labels.push_back(e.label);
+  EXPECT_DOUBLE_EQ(compute_metric(d, d.dev, p), 100.0);
+}
+
+TEST(Metrics, RegressionTaskPerfectSpearman) {
+  TaskData d = make_task(TaskId::kStsb, small_opts());
+  Predictions p;
+  for (const Example& e : d.dev) p.scores.push_back(e.target * 2.0f + 1.0f);
+  // Monotone transform preserves rank correlation.
+  EXPECT_NEAR(compute_metric(d, d.dev, p), 100.0, 1e-6);
+}
+
+TEST(Metrics, SpanTaskPerfect) {
+  TaskData d = make_task(TaskId::kSquad, small_opts());
+  Predictions p;
+  for (const Example& e : d.dev) p.spans.emplace_back(e.span_start, e.span_end);
+  EXPECT_DOUBLE_EQ(compute_metric(d, d.dev, p), 100.0);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  TaskData d = make_task(TaskId::kSst2, small_opts());
+  Predictions p;  // empty
+  EXPECT_THROW(compute_metric(d, d.dev, p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nnlut::tasks

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "numerics/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace nnlut {
+namespace {
+
+Tensor random_tensor(std::initializer_list<std::size_t> shape, Rng& rng) {
+  Tensor t(shape);
+  for (float& v : t.flat()) v = rng.uniform(-1.0f, 1.0f);
+  return t;
+}
+
+// Naive reference matmul for cross-checking the optimized kernels.
+Tensor ref_matmul(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += a.at(i, kk) * b.at(kk, j);
+      c.at(i, j) = acc;
+    }
+  return c;
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  for (float v : t.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FillAndAccess) {
+  Tensor t({2, 2});
+  t.at(0, 1) = 5.0f;
+  EXPECT_EQ(t.at(0, 1), 5.0f);
+  EXPECT_EQ(t[1], 5.0f);  // row-major layout
+}
+
+TEST(Tensor, RowView) {
+  Tensor t({2, 3});
+  t.at(1, 0) = 7.0f;
+  auto r = t.row(1);
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0], 7.0f);
+  r[2] = 9.0f;
+  EXPECT_EQ(t.at(1, 2), 9.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3});
+  for (std::size_t i = 0; i < 6; ++i) t[i] = static_cast<float>(i);
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.dim(0), 3u);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(r[i], static_cast<float>(i));
+}
+
+TEST(Tensor, ThreeDAccessor) {
+  Tensor t({2, 3, 4});
+  t.at(1, 2, 3) = 42.0f;
+  EXPECT_EQ(t[(1 * 3 + 2) * 4 + 3], 42.0f);
+}
+
+TEST(Tensor, ShapeString) {
+  Tensor t({4, 5});
+  EXPECT_EQ(t.shape_string(), "[4, 5]");
+}
+
+TEST(Ops, MatmulMatchesNaive) {
+  Rng rng(3);
+  const Tensor a = random_tensor({7, 5}, rng);
+  const Tensor b = random_tensor({5, 9}, rng);
+  Tensor c({7, 9});
+  matmul(a, b, c);
+  const Tensor expect = ref_matmul(a, b);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_NEAR(c[i], expect[i], 1e-5f);
+}
+
+TEST(Ops, MatmulBtMatchesNaive) {
+  Rng rng(4);
+  const Tensor a = random_tensor({6, 5}, rng);
+  const Tensor bt = random_tensor({8, 5}, rng);  // b = bt^T : (5, 8)
+  Tensor c({6, 8});
+  matmul_bt(a, bt, c);
+
+  Tensor b({5, 8});
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < 5; ++j) b.at(j, i) = bt.at(i, j);
+  const Tensor expect = ref_matmul(a, b);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_NEAR(c[i], expect[i], 1e-5f);
+}
+
+TEST(Ops, MatmulAtMatchesNaive) {
+  Rng rng(5);
+  const Tensor at = random_tensor({5, 6}, rng);  // a = at^T : (6, 5)
+  const Tensor b = random_tensor({5, 7}, rng);
+  Tensor c({6, 7});
+  matmul_at(at, b, c);
+
+  Tensor a({6, 5});
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 6; ++j) a.at(j, i) = at.at(i, j);
+  const Tensor expect = ref_matmul(a, b);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_NEAR(c[i], expect[i], 1e-5f);
+}
+
+TEST(Ops, MatmulAtAccumulates) {
+  Rng rng(6);
+  const Tensor at = random_tensor({3, 4}, rng);
+  const Tensor b = random_tensor({3, 2}, rng);
+  Tensor c = Tensor::full({4, 2}, 1.0f);
+  Tensor base({4, 2});
+  matmul_at(at, b, base);
+  matmul_at_accumulate(at, b, c);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_NEAR(c[i], base[i] + 1.0f, 1e-5f);
+}
+
+TEST(Ops, AddRowBias) {
+  Tensor y({2, 3});
+  const std::vector<float> bias{1.0f, 2.0f, 3.0f};
+  add_row_bias(y, bias);
+  EXPECT_EQ(y.at(0, 0), 1.0f);
+  EXPECT_EQ(y.at(1, 2), 3.0f);
+}
+
+TEST(Ops, ColSumAccumulate) {
+  Tensor x({2, 2});
+  x.at(0, 0) = 1;
+  x.at(0, 1) = 2;
+  x.at(1, 0) = 3;
+  x.at(1, 1) = 4;
+  std::vector<float> out{10.0f, 10.0f};
+  col_sum_accumulate(x, out);
+  EXPECT_EQ(out[0], 14.0f);
+  EXPECT_EQ(out[1], 16.0f);
+}
+
+TEST(Ops, AddAndScaleInplace) {
+  Tensor y = Tensor::full({2, 2}, 2.0f);
+  Tensor x = Tensor::full({2, 2}, 3.0f);
+  add_inplace(y, x);
+  scale_inplace(y, 0.5f);
+  for (float v : y.flat()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(Ops, AbsMax) {
+  Tensor t({3});
+  t[0] = -7.0f;
+  t[1] = 2.0f;
+  t[2] = 5.0f;
+  EXPECT_EQ(abs_max(t), 7.0f);
+}
+
+TEST(Ops, ApplyElementwise) {
+  Tensor t = Tensor::full({2, 2}, 4.0f);
+  apply(t, [](float v) { return v * v; });
+  for (float v : t.flat()) EXPECT_EQ(v, 16.0f);
+}
+
+TEST(Ops, MatmulEmptyDims) {
+  Tensor a({0, 4});
+  Tensor b({4, 3});
+  Tensor c({0, 3});
+  matmul(a, b, c);  // must not crash
+  EXPECT_EQ(c.size(), 0u);
+}
+
+}  // namespace
+}  // namespace nnlut

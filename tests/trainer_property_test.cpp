@@ -1,0 +1,112 @@
+// Property tests of the approximator trainer: sampling distributions stay
+// within the configured range, seeds reproduce exactly, restarts never hurt,
+// and the NN -> LUT pipeline preserves training quality for every preset.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/function_library.h"
+#include "core/trainer.h"
+#include "core/transform.h"
+#include "numerics/math.h"
+#include "numerics/rng.h"
+
+namespace nnlut {
+namespace {
+
+TEST(TrainerProperties, SameSeedReproducesExactly) {
+  TrainConfig cfg = recipe(TargetFn::kGelu, 8, FitPreset::kFast, 5);
+  cfg.dataset_size = 2000;
+  cfg.epochs = 5;
+  cfg.restarts = 1;
+  const TrainResult a = fit_approx_net(gelu_exact, cfg);
+  const TrainResult b = fit_approx_net(gelu_exact, cfg);
+  ASSERT_EQ(a.net.hidden_size(), b.net.hidden_size());
+  for (std::size_t i = 0; i < a.net.hidden_size(); ++i) {
+    EXPECT_EQ(a.net.n[i], b.net.n[i]);
+    EXPECT_EQ(a.net.b[i], b.net.b[i]);
+    EXPECT_EQ(a.net.m[i], b.net.m[i]);
+  }
+  EXPECT_EQ(a.net.c, b.net.c);
+}
+
+TEST(TrainerProperties, DifferentSeedsDiffer) {
+  TrainConfig cfg = recipe(TargetFn::kGelu, 8, FitPreset::kFast, 5);
+  cfg.dataset_size = 2000;
+  cfg.epochs = 3;
+  cfg.restarts = 1;
+  TrainConfig cfg2 = cfg;
+  cfg2.seed = 6;
+  const TrainResult a = fit_approx_net(gelu_exact, cfg);
+  const TrainResult b = fit_approx_net(gelu_exact, cfg2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.net.hidden_size() && !any_diff; ++i)
+    any_diff = (a.net.n[i] != b.net.n[i]);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TrainerProperties, MoreRestartsNeverWorse) {
+  TrainConfig one = recipe(TargetFn::kRsqrt, 16, FitPreset::kFast, 31);
+  one.dataset_size = 5000;
+  one.epochs = 10;
+  one.restarts = 1;
+  TrainConfig three = one;
+  three.restarts = 3;
+  const double e1 = fit_approx_net(rsqrt_exact, one).validation_l1;
+  const double e3 = fit_approx_net(rsqrt_exact, three).validation_l1;
+  // Restart 0 is shared, so the 3-restart result can only improve on it.
+  EXPECT_LE(e3, e1 + 1e-12);
+}
+
+class PresetSweep
+    : public ::testing::TestWithParam<std::tuple<TargetFn, FitPreset>> {};
+
+TEST_P(PresetSweep, TransformedLutMatchesItsNet) {
+  const auto [fn, preset] = GetParam();
+  const FittedLut fit = fit_lut(fn, 16, preset, 77);
+  const InputRange r = fn_spec(fn).range;
+  for (int i = 0; i <= 200; ++i) {
+    const float x = r.lo + (r.hi - r.lo) * static_cast<float>(i) / 200;
+    const float scale = std::max(1.0f, std::abs(fit.net(x)));
+    EXPECT_NEAR(fit.lut(x), fit.net(x), 1e-4f * scale) << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Functions, PresetSweep,
+    ::testing::Combine(::testing::Values(TargetFn::kGelu, TargetFn::kExp,
+                                         TargetFn::kReciprocal,
+                                         TargetFn::kRsqrt),
+                       ::testing::Values(FitPreset::kFast)),
+    [](const ::testing::TestParamInfo<std::tuple<TargetFn, FitPreset>>& info) {
+      std::string n = fn_spec(std::get<0>(info.param)).name;
+      for (char& c : n)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return n;
+    });
+
+TEST(TrainerProperties, GridErrorConsistentWithValidation) {
+  // Validation L1 (sampling distribution) and grid L1 (uniform) measure the
+  // same fit; for GELU (uniform sampling) they must agree closely.
+  const TrainConfig cfg = recipe(TargetFn::kGelu, 16, FitPreset::kFast, 9);
+  const TrainResult r = fit_approx_net(gelu_exact, cfg);
+  const double grid = grid_l1_error(r.net, gelu_exact, cfg.range);
+  EXPECT_NEAR(grid, r.validation_l1, 0.5 * r.validation_l1 + 1e-3);
+}
+
+TEST(TrainerProperties, ValidationMaxBoundsValidationMean) {
+  const TrainConfig cfg = recipe(TargetFn::kGelu, 16, FitPreset::kFast, 10);
+  const TrainResult r = fit_approx_net(gelu_exact, cfg);
+  EXPECT_GE(r.validation_max, r.validation_l1);
+}
+
+TEST(TrainerProperties, HigherCapacityFitsBetter) {
+  const double e4 =
+      fit_lut(TargetFn::kRsqrt, 4, FitPreset::kFast, 12).validation_l1;
+  const double e32 =
+      fit_lut(TargetFn::kRsqrt, 32, FitPreset::kFast, 12).validation_l1;
+  EXPECT_LT(e32, e4);
+}
+
+}  // namespace
+}  // namespace nnlut

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/function_library.h"
+#include "core/trainer.h"
+#include "core/transform.h"
+#include "numerics/math.h"
+#include "numerics/rng.h"
+
+namespace nnlut {
+namespace {
+
+TrainConfig quick_config(InputRange range, int hidden = 15) {
+  TrainConfig cfg;
+  cfg.hidden = hidden;
+  cfg.range = range;
+  cfg.dataset_size = 8000;
+  cfg.epochs = 25;
+  cfg.restarts = 2;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Trainer, InitPlacesKinksInRange) {
+  Rng rng(5);
+  TrainConfig cfg = quick_config({-5.0f, 5.0f});
+  const ApproxNet net = init_approx_net(cfg, rng, gelu_exact);
+  ASSERT_EQ(net.hidden_size(), 15u);
+  for (std::size_t i = 0; i < net.hidden_size(); ++i) {
+    const float kink = -net.b[i] / net.n[i];
+    EXPECT_GE(kink, cfg.range.lo - 1e-3f);
+    EXPECT_LE(kink, cfg.range.hi + 1e-3f);
+  }
+}
+
+TEST(Trainer, InitRespectsSignRecipes) {
+  Rng rng(6);
+  TrainConfig cfg = quick_config({-256.0f, 0.0f});
+  cfg.weight_sign = SignInit::kPositive;
+  cfg.bias_sign = SignInit::kPositive;
+  const ApproxNet pos = init_approx_net(cfg, rng, exp_exact);
+  for (std::size_t i = 0; i < pos.hidden_size(); ++i) {
+    EXPECT_GT(pos.n[i], 0.0f);
+    EXPECT_GE(pos.b[i], 0.0f);
+  }
+
+  cfg.range = {1.0f, 1024.0f};
+  cfg.weight_sign = SignInit::kNegative;
+  const ApproxNet neg = init_approx_net(cfg, rng, reciprocal_exact);
+  for (std::size_t i = 0; i < neg.hidden_size(); ++i) {
+    EXPECT_LT(neg.n[i], 0.0f);
+    EXPECT_GE(neg.b[i], 0.0f);
+  }
+}
+
+TEST(Trainer, InitRejectsBadArguments) {
+  Rng rng(1);
+  TrainConfig cfg = quick_config({0.0f, 1.0f});
+  cfg.hidden = 0;
+  EXPECT_THROW(init_approx_net(cfg, rng, gelu_exact), std::invalid_argument);
+  cfg.hidden = 4;
+  cfg.range = {2.0f, 1.0f};
+  EXPECT_THROW(init_approx_net(cfg, rng, gelu_exact), std::invalid_argument);
+}
+
+TEST(Trainer, FitsGeluWell) {
+  const TrainConfig cfg = quick_config(kGeluRange);
+  const TrainResult r = fit_approx_net(gelu_exact, cfg);
+  // 15 hidden neurons over (-5,5): mean L1 error must be small.
+  EXPECT_LT(r.validation_l1, 0.02);
+}
+
+TEST(Trainer, FitsStraightLineNearlyExactly) {
+  const auto line = [](float x) { return 2.0f * x + 1.0f; };
+  TrainConfig cfg = quick_config({-2.0f, 2.0f}, 7);
+  const TrainResult r = fit_approx_net(line, cfg);
+  EXPECT_LT(r.validation_l1, 1e-2);
+}
+
+TEST(Trainer, RefitOutputLayerImprovesRandomOutputs) {
+  Rng rng(17);
+  TrainConfig cfg = quick_config(kGeluRange);
+  ApproxNet net = init_approx_net(cfg, rng, gelu_exact);
+
+  std::vector<float> xs(2000), ys(2000);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.uniform(cfg.range.lo, cfg.range.hi);
+    ys[i] = gelu_exact(xs[i]);
+  }
+  const double before = grid_l1_error(net, gelu_exact, cfg.range);
+  ASSERT_TRUE(refit_output_layer(net, xs, ys));
+  const double after = grid_l1_error(net, gelu_exact, cfg.range);
+  EXPECT_LT(after, before);
+  EXPECT_LT(after, 0.1);  // least squares with good kinks is already strong
+}
+
+TEST(Trainer, L2LossAlsoConverges) {
+  TrainConfig cfg = quick_config(kGeluRange);
+  cfg.loss = LossKind::kL2;
+  const TrainResult r = fit_approx_net(gelu_exact, cfg);
+  EXPECT_LT(r.validation_l1, 0.05);
+}
+
+TEST(Trainer, GridErrorOfPerfectNetIsZero) {
+  ApproxNet net;  // exact identity on x > 0: relu(x)
+  net.n = {1.0f};
+  net.b = {0.0f};
+  net.m = {1.0f};
+  const auto relu = [](float x) { return x > 0 ? x : 0.0f; };
+  EXPECT_NEAR(grid_l1_error(net, relu, {-1.0f, 1.0f}), 0.0, 1e-7);
+}
+
+TEST(FunctionLibrary, SpecsMatchTableOne) {
+  EXPECT_EQ(fn_spec(TargetFn::kGelu).range.lo, -5.0f);
+  EXPECT_EQ(fn_spec(TargetFn::kGelu).range.hi, 5.0f);
+  EXPECT_EQ(fn_spec(TargetFn::kExp).range.lo, -256.0f);
+  EXPECT_EQ(fn_spec(TargetFn::kExp).weight_sign, SignInit::kPositive);
+  EXPECT_EQ(fn_spec(TargetFn::kReciprocal).range.hi, 1024.0f);
+  EXPECT_EQ(fn_spec(TargetFn::kReciprocal).weight_sign, SignInit::kNegative);
+  EXPECT_EQ(fn_spec(TargetFn::kRsqrt).range.lo, 0.1f);
+  EXPECT_EQ(fn_spec(TargetFn::kRsqrt).bias_sign, SignInit::kPositive);
+}
+
+TEST(FunctionLibrary, RecipeHiddenSizeFollowsEntries) {
+  EXPECT_EQ(recipe(TargetFn::kGelu, 16).hidden, 15);
+  EXPECT_EQ(recipe(TargetFn::kGelu, 8).hidden, 7);
+  EXPECT_THROW(recipe(TargetFn::kGelu, 1), std::invalid_argument);
+}
+
+TEST(FunctionLibrary, FitLutProducesUsableLut) {
+  const FittedLut f = fit_lut(TargetFn::kGelu, 16, FitPreset::kFast, 3);
+  EXPECT_GE(f.lut.entries(), 2u);
+  EXPECT_LE(f.lut.entries(), 16u);
+  // LUT must agree with its net (transform exactness, loose tolerance).
+  for (float x = -5.0f; x <= 5.0f; x += 0.1f)
+    EXPECT_NEAR(f.lut(x), f.net(x), 1e-4f);
+  EXPECT_LT(f.validation_l1, 0.05);
+}
+
+}  // namespace
+}  // namespace nnlut

@@ -1,0 +1,167 @@
+// Property tests for the paper's central claim (Sec. 3.2): the NN -> LUT
+// transformation is exact, i.e. LUT(x) == NN(x) everywhere.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/approx_net.h"
+#include "core/transform.h"
+#include "numerics/rng.h"
+
+namespace nnlut {
+namespace {
+
+ApproxNet random_net(int hidden, Rng& rng, bool allow_dead = false) {
+  ApproxNet net;
+  net.n.resize(static_cast<std::size_t>(hidden));
+  net.b.resize(static_cast<std::size_t>(hidden));
+  net.m.resize(static_cast<std::size_t>(hidden));
+  for (int i = 0; i < hidden; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    net.n[u] = rng.uniform(-2.0f, 2.0f);
+    if (!allow_dead && std::abs(net.n[u]) < 0.05f) net.n[u] = 0.05f;
+    net.b[u] = rng.uniform(-3.0f, 3.0f);
+    net.m[u] = rng.uniform(-1.5f, 1.5f);
+  }
+  net.c = rng.uniform(-1.0f, 1.0f);
+  return net;
+}
+
+double max_divergence(const ApproxNet& net, const PiecewiseLinear& lut,
+                      float lo, float hi, int points) {
+  double mx = 0.0;
+  for (int i = 0; i <= points; ++i) {
+    const float x = lo + (hi - lo) * static_cast<float>(i) / points;
+    mx = std::max(mx, std::abs(static_cast<double>(net(x)) - lut(x)));
+  }
+  return mx;
+}
+
+// --- Parameterized equivalence sweep over (hidden size, seed). -------------
+
+using Params = std::tuple<int, int>;
+class TransformEquivalence : public ::testing::TestWithParam<Params> {};
+
+TEST_P(TransformEquivalence, LutEqualsNetEverywhere) {
+  const auto [hidden, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const ApproxNet net = random_net(hidden, rng);
+  const PiecewiseLinear lut = nn_to_lut(net);
+
+  // Scale-aware tolerance: summation order differs between NN and LUT.
+  float scale = std::abs(net.c);
+  for (std::size_t i = 0; i < net.hidden_size(); ++i)
+    scale += std::abs(net.m[i]) * (std::abs(net.n[i]) * 10.0f + std::abs(net.b[i]));
+  const double tol = 1e-5 * std::max(1.0f, scale);
+
+  EXPECT_LE(max_divergence(net, lut, -10.0f, 10.0f, 20000), tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TransformEquivalence,
+    ::testing::Combine(::testing::Values(1, 2, 3, 7, 15, 31, 63),
+                       ::testing::Values(1, 2, 3, 4, 5)));
+
+// --- Structured cases. ------------------------------------------------------
+
+TEST(Transform, SingleNeuronPositiveSlopeIsRelu) {
+  ApproxNet net;
+  net.n = {1.0f};
+  net.b = {0.0f};
+  net.m = {1.0f};
+  const PiecewiseLinear lut = nn_to_lut(net);
+  ASSERT_EQ(lut.entries(), 2u);
+  EXPECT_EQ(lut(-2.0f), 0.0f);
+  EXPECT_EQ(lut(3.0f), 3.0f);
+}
+
+TEST(Transform, NegativeWeightNeuronActiveOnLeft) {
+  // relu(-x + 1): active for x < 1.
+  ApproxNet net;
+  net.n = {-1.0f};
+  net.b = {1.0f};
+  net.m = {2.0f};
+  const PiecewiseLinear lut = nn_to_lut(net);
+  ASSERT_EQ(lut.entries(), 2u);
+  EXPECT_EQ(lut(0.0f), 2.0f);   // 2*relu(1) = 2
+  EXPECT_EQ(lut(-1.0f), 4.0f);  // 2*relu(2) = 4
+  EXPECT_EQ(lut(5.0f), 0.0f);
+}
+
+TEST(Transform, DeadNeuronContributesConstant) {
+  ApproxNet net;
+  net.n = {0.0f, 1.0f};  // first neuron has zero weight
+  net.b = {2.0f, 0.0f};  // positive bias -> always active, constant 2*m0
+  net.m = {3.0f, 1.0f};
+  net.c = 1.0f;
+  const PiecewiseLinear lut = nn_to_lut(net);
+  ASSERT_EQ(lut.entries(), 2u);  // only one kink from the live neuron
+  EXPECT_EQ(lut(-1.0f), 1.0f + 6.0f);
+  EXPECT_EQ(lut(2.0f), 1.0f + 6.0f + 2.0f);
+}
+
+TEST(Transform, DeadNeuronNegativeBiasIgnored) {
+  ApproxNet net;
+  net.n = {0.0f};
+  net.b = {-2.0f};  // never active
+  net.m = {100.0f};
+  net.c = 5.0f;
+  const PiecewiseLinear lut = nn_to_lut(net);
+  EXPECT_EQ(lut.entries(), 1u);
+  EXPECT_EQ(lut(0.0f), 5.0f);
+}
+
+TEST(Transform, CoincidentKinksMerge) {
+  // Two neurons with the same kink location x = 1.
+  ApproxNet net;
+  net.n = {1.0f, 2.0f};
+  net.b = {-1.0f, -2.0f};
+  net.m = {1.0f, 1.0f};
+  const PiecewiseLinear lut = nn_to_lut(net);
+  EXPECT_EQ(lut.entries(), 2u);
+  EXPECT_EQ(lut(0.0f), 0.0f);
+  EXPECT_NEAR(lut(2.0f), 1.0f + 2.0f, 1e-6f);  // relu(1) + relu(2)
+}
+
+TEST(Transform, SixteenEntryNetYieldsAtMostSixteenSegments) {
+  Rng rng(77);
+  const ApproxNet net = random_net(15, rng);
+  const PiecewiseLinear lut = nn_to_lut(net);
+  EXPECT_LE(lut.entries(), 16u);
+  EXPECT_GE(lut.entries(), 2u);
+}
+
+TEST(Transform, BreakpointsMatchNeuronKinks) {
+  ApproxNet net;
+  net.n = {1.0f, 1.0f, 1.0f};
+  net.b = {-1.0f, -2.0f, -3.0f};
+  net.m = {1.0f, 1.0f, 1.0f};
+  const PiecewiseLinear lut = nn_to_lut(net);
+  ASSERT_EQ(lut.breakpoints().size(), 3u);
+  EXPECT_FLOAT_EQ(lut.breakpoints()[0], 1.0f);
+  EXPECT_FLOAT_EQ(lut.breakpoints()[1], 2.0f);
+  EXPECT_FLOAT_EQ(lut.breakpoints()[2], 3.0f);
+}
+
+TEST(Transform, EmptyNetIsConstant) {
+  ApproxNet net;
+  net.c = 3.5f;
+  const PiecewiseLinear lut = nn_to_lut(net);
+  EXPECT_EQ(lut.entries(), 1u);
+  EXPECT_EQ(lut(123.0f), 3.5f);
+}
+
+TEST(Transform, MergeEpsCollapsesNearbyKinks) {
+  ApproxNet net;
+  net.n = {1.0f, 1.0f};
+  net.b = {-1.0f, -1.0000001f};
+  net.m = {1.0f, 1.0f};
+  const PiecewiseLinear strict = nn_to_lut(net, 0.0f);
+  const PiecewiseLinear merged = nn_to_lut(net, 1e-3f);
+  EXPECT_LE(merged.entries(), strict.entries());
+  // Merged LUT still tracks the net away from the collapsed kink.
+  EXPECT_NEAR(merged(5.0f), net(5.0f), 1e-4f);
+}
+
+}  // namespace
+}  // namespace nnlut

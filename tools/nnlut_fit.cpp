@@ -1,0 +1,157 @@
+// nnlut_fit — command-line NN-LUT trainer.
+//
+// Train an approximation network for a registered function, transform it to
+// the equivalent LUT, report errors and optionally save both artifacts:
+//
+//   nnlut_fit --function gelu --entries 16 --preset paper
+//             --out-lut gelu.lut --out-net gelu.net
+//   nnlut_fit --list
+//   nnlut_fit --function 1/sqrt --baseline      # also fit the Linear-LUT
+//
+// Exit code 0 on success, 2 on usage errors.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "approx/linear_lut.h"
+#include "core/function_library.h"
+#include "core/serialization.h"
+#include "core/transform.h"
+
+namespace {
+
+using namespace nnlut;
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: nnlut_fit --function <name> [--entries N]\n"
+               "                 [--preset fast|paper] [--seed S]\n"
+               "                 [--out-lut FILE] [--out-net FILE]\n"
+               "                 [--baseline] [--dump-table]\n"
+               "       nnlut_fit --list\n");
+}
+
+double grid_l1(const PiecewiseLinear& lut, const FnSpec& spec) {
+  double s = 0.0;
+  const int n = 4096;
+  for (int i = 0; i < n; ++i) {
+    const float x = spec.range.lo + (spec.range.hi - spec.range.lo) *
+                                        (static_cast<float>(i) + 0.5f) / n;
+    s += std::abs(static_cast<double>(lut(x)) - spec.fn(x));
+  }
+  return s / n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string fn_name;
+  std::string out_lut, out_net;
+  int entries = 16;
+  FitPreset preset = FitPreset::kPaper;
+  std::uint64_t seed = 1;
+  bool baseline = false, dump = false, list = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--function") {
+      fn_name = next();
+    } else if (arg == "--entries") {
+      entries = std::atoi(next());
+    } else if (arg == "--preset") {
+      const std::string p = next();
+      if (p == "fast") {
+        preset = FitPreset::kFast;
+      } else if (p == "paper") {
+        preset = FitPreset::kPaper;
+      } else {
+        usage();
+        return 2;
+      }
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--out-lut") {
+      out_lut = next();
+    } else if (arg == "--out-net") {
+      out_net = next();
+    } else if (arg == "--baseline") {
+      baseline = true;
+    } else if (arg == "--dump-table") {
+      dump = true;
+    } else if (arg == "--list") {
+      list = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  if (list) {
+    std::printf("registered functions:\n");
+    for (const FnSpec& s : all_fn_specs())
+      std::printf("  %-8s range (%g, %g)\n", s.name, s.range.lo, s.range.hi);
+    return 0;
+  }
+
+  if (fn_name.empty() || entries < 2) {
+    usage();
+    return 2;
+  }
+  const FnSpec* spec = fn_spec_by_name(fn_name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown function '%s' (try --list)\n",
+                 fn_name.c_str());
+    return 2;
+  }
+
+  std::printf("fitting %s on (%g, %g) with %d entries (%s preset)...\n",
+              spec->name, spec->range.lo, spec->range.hi, entries,
+              preset == FitPreset::kPaper ? "paper" : "fast");
+  const FittedLut fit = fit_lut(spec->id, entries, preset, seed);
+  std::printf("  validation L1: %.6f   grid L1: %.6f   segments: %zu\n",
+              fit.validation_l1, grid_l1(fit.lut, *spec), fit.lut.entries());
+
+  if (baseline) {
+    const PiecewiseLinear lin = fit_linear_lut(spec->fn, spec->range, entries);
+    std::printf("  Linear-LUT baseline grid L1: %.6f\n", grid_l1(lin, *spec));
+  }
+
+  if (dump) {
+    std::printf("\n  %-4s %12s %12s %12s\n", "seg", "breakpoint", "slope",
+                "intercept");
+    for (std::size_t i = 0; i < fit.lut.entries(); ++i) {
+      if (i == 0) {
+        std::printf("  %-4zu %12s %12.6f %12.6f\n", i, "-inf",
+                    fit.lut.slopes()[i], fit.lut.intercepts()[i]);
+      } else {
+        std::printf("  %-4zu %12.4f %12.6f %12.6f\n", i,
+                    fit.lut.breakpoints()[i - 1], fit.lut.slopes()[i],
+                    fit.lut.intercepts()[i]);
+      }
+    }
+  }
+
+  try {
+    if (!out_lut.empty()) {
+      save_lut(out_lut, fit.lut);
+      std::printf("  wrote %s\n", out_lut.c_str());
+    }
+    if (!out_net.empty()) {
+      save_net(out_net, fit.net);
+      std::printf("  wrote %s\n", out_net.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
