@@ -1,10 +1,19 @@
-// google-benchmark microbenchmarks of the scalar kernels backing Sec. 5's
+// google-benchmark microbenchmarks of the kernels backing Sec. 5's
 // efficiency claims: exact FP32 math vs LUT evaluation (FP32/FP16/INT32) vs
-// I-BERT integer sequences, on softmax-sized activation streams.
+// I-BERT integer sequences, on softmax-sized activation streams; plus the
+// scalar-loop vs batched-plan comparison across entry counts {8, 16, 32,
+// 128} that motivates the compiled SoA kernel layer.
+//
+// Unless --benchmark_out is given, results are also written as
+// machine-readable JSON to BENCH_kernel_throughput.json.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <deque>
+#include <string>
 #include <vector>
 
+#include "approx/linear_lut.h"
 #include "core/function_library.h"
 #include "core/nnlut_ops.h"
 #include "core/quantized_lut.h"
@@ -160,6 +169,92 @@ void BM_LayerNormIbert(benchmark::State& state) {
 }
 BENCHMARK(BM_LayerNormIbert);
 
+// --------------------------------------------------------------------------
+// Scalar-loop vs batched-plan, across table sizes. Row size 4096 matches a
+// BERT-base FFN activation row (d_ff = 3072..4096). The baseline is the
+// retired hot path: one virtual dispatch per element; the second baseline is
+// the raw per-element binary search without dispatch; the batched plan is
+// one eval_inplace call over the whole row.
+// --------------------------------------------------------------------------
+
+const PiecewiseLinear& sized_lut(int entries) {
+  // Node-stable container: returned references survive later cache misses.
+  static std::deque<std::pair<int, PiecewiseLinear>> cache;
+  for (const auto& [n, lut] : cache)
+    if (n == entries) return lut;
+  cache.emplace_back(entries,
+                     fit_linear_lut(gelu_exact, kGeluRange, entries));
+  return cache.back().second;
+}
+
+constexpr std::size_t kRowLen = 4096;
+
+void BM_LutScalarDispatch(benchmark::State& state) {
+  const LutFp32 fn(sized_lut(static_cast<int>(state.range(0))));
+  const ScalarFn& vfn = fn;  // per-element virtual dispatch
+  const auto xs = activation_stream(kRowLen, -5.0f, 5.0f);
+  std::vector<float> buf(xs.size());
+  for (auto _ : state) {
+    buf = xs;
+    for (float& x : buf) x = vfn.eval(x);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(kRowLen));
+}
+BENCHMARK(BM_LutScalarDispatch)->Arg(8)->Arg(16)->Arg(32)->Arg(128);
+
+void BM_LutScalarBinarySearch(benchmark::State& state) {
+  const PiecewiseLinear& lut = sized_lut(static_cast<int>(state.range(0)));
+  const auto xs = activation_stream(kRowLen, -5.0f, 5.0f);
+  std::vector<float> buf(xs.size());
+  for (auto _ : state) {
+    buf = xs;
+    for (float& x : buf) x = lut(x);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(kRowLen));
+}
+BENCHMARK(BM_LutScalarBinarySearch)->Arg(8)->Arg(16)->Arg(32)->Arg(128);
+
+void BM_LutBatchedPlan(benchmark::State& state) {
+  const PiecewiseLinear& lut = sized_lut(static_cast<int>(state.range(0)));
+  const auto xs = activation_stream(kRowLen, -5.0f, 5.0f);
+  std::vector<float> buf(xs.size());
+  for (auto _ : state) {
+    buf = xs;
+    lut.eval_inplace(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(kRowLen));
+}
+BENCHMARK(BM_LutBatchedPlan)->Arg(8)->Arg(16)->Arg(32)->Arg(128);
+
+void BM_LutBatchedPlanFp16(benchmark::State& state) {
+  const LutFp16 fn(sized_lut(static_cast<int>(state.range(0))));
+  const auto xs = activation_stream(kRowLen, -5.0f, 5.0f);
+  std::vector<float> buf(xs.size());
+  for (auto _ : state) {
+    buf = xs;
+    fn.eval_inplace(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(kRowLen));
+}
+BENCHMARK(BM_LutBatchedPlanFp16)->Arg(8)->Arg(16)->Arg(32)->Arg(128);
+
+void BM_LutBatchedPlanInt32(benchmark::State& state) {
+  const LutInt32 fn(sized_lut(static_cast<int>(state.range(0))), 5.0f);
+  const auto xs = activation_stream(kRowLen, -5.0f, 5.0f);
+  std::vector<float> buf(xs.size());
+  for (auto _ : state) {
+    buf = xs;
+    fn.eval_inplace(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(kRowLen));
+}
+BENCHMARK(BM_LutBatchedPlanInt32)->Arg(8)->Arg(16)->Arg(32)->Arg(128);
+
 void BM_NnToLutTransform(benchmark::State& state) {
   const ApproxNet& net = bundle().gelu.net;
   for (auto _ : state) {
@@ -171,4 +266,23 @@ BENCHMARK(BM_NnToLutTransform);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: default to writing machine-readable JSON next to the working
+// directory unless the caller already chose an output file.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  static std::string out = "--benchmark_out=BENCH_kernel_throughput.json";
+  static std::string fmt = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out.data());
+    args.push_back(fmt.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

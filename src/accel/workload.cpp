@@ -32,7 +32,11 @@ std::vector<Op> build_roberta_ops(const BertShape& sh, std::size_t seq) {
   ops.push_back(Op::elementwise(OpKind::kLayerNorm, "emb-ln", S, H));
 
   for (std::size_t l = 0; l < sh.layers; ++l) {
-    const std::string p = "L" + std::to_string(l) + ".";
+    // Built via append (not operator+ on a temporary) to sidestep GCC 12's
+    // -Wrestrict false positive in the inlined libstdc++ concatenation.
+    std::string p = "L";
+    p += std::to_string(l);
+    p += '.';
     // QKV projections.
     ops.push_back(Op::matmul(p + "q", S, H, H));
     ops.push_back(Op::matmul(p + "k", S, H, H));

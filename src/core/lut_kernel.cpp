@@ -1,0 +1,273 @@
+#include "core/lut_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "numerics/half.h"
+
+namespace nnlut {
+namespace {
+
+/// Next power of two >= entries.
+std::size_t pad_entries(std::size_t entries) {
+  std::size_t p = 1;
+  while (p < entries) p <<= 1;
+  return p;
+}
+
+// Tables at or below this padded size use the linear comparator-bank scan;
+// larger ones use branchless bisection.
+constexpr std::size_t kLinearScanMax = 32;
+
+// Elements per indexing block: the element block plus the scratch index
+// buffer stay in L1 between the scan pass and the MAC pass.
+constexpr std::size_t kBlock = 512;
+
+constexpr float kIntQMax = 32767.0f;  // +-2^15 - 1 budget for MAC operands
+
+std::int32_t int_quantize(float v, float scale) {
+  const float q = std::round(v / scale);
+  if (std::isnan(q)) return 0;
+  const float lim = 2.147e9f;
+  return static_cast<std::int32_t>(std::clamp(q, -lim, lim));
+}
+
+/// Branchless segment index: the number of breakpoints d with !(x < d),
+/// which equals std::upper_bound(..) - begin for every input including NaN
+/// (all comparisons true -> padded tail, which replicates the last segment).
+/// Requires nb + 1 to be a power of two.
+template <typename T, typename X>
+inline std::uint32_t bisect_index(const T* bp, std::size_t nb, X x) {
+  std::uint32_t pos = 0;
+  for (std::uint32_t step = static_cast<std::uint32_t>(nb + 1) >> 1; step != 0;
+       step >>= 1) {
+    if (!(x < bp[pos + step - 1])) pos += step;
+  }
+  return pos;
+}
+
+template <typename T, typename X>
+inline void fill_indices(const T* bp, std::size_t nb, bool linear, const X* xs,
+                         std::size_t m, std::uint32_t* idx) {
+  if (linear) {
+    for (std::size_t i = 0; i < m; ++i) idx[i] = 0;
+    // Breakpoint-outer / element-inner: the inner loop is a contiguous
+    // compare-and-accumulate the vectorizer handles; this is the software
+    // shape of the hardware's parallel comparator bank.
+    for (std::size_t j = 0; j < nb; ++j) {
+      const T b = bp[j];
+      for (std::size_t i = 0; i < m; ++i)
+        idx[i] += static_cast<std::uint32_t>(!(xs[i] < b));
+    }
+  } else {
+    for (std::size_t i = 0; i < m; ++i) idx[i] = bisect_index(bp, nb, xs[i]);
+  }
+}
+
+/// FP16 MAC: every intermediate rounds through binary16. Operands must
+/// already be binary16 values (exact in FP32).
+inline float half_mac(float s, float xh, float t) {
+  return round_to_half(round_to_half(s * xh) + t);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- LutKernel ---
+
+LutKernel::LutKernel(std::span<const float> breakpoints,
+                     std::span<const float> slopes,
+                     std::span<const float> intercepts) {
+  entries_ = slopes.size();
+  if (entries_ == 0) return;
+  const std::size_t padded = pad_entries(entries_);
+  breakpoints_.assign(breakpoints.begin(), breakpoints.end());
+  breakpoints_.resize(padded - 1, std::numeric_limits<float>::infinity());
+  slopes_.assign(slopes.begin(), slopes.end());
+  slopes_.resize(padded, slopes.back());
+  intercepts_.assign(intercepts.begin(), intercepts.end());
+  intercepts_.resize(padded, intercepts.back());
+  linear_scan_ = padded <= kLinearScanMax;
+}
+
+void LutKernel::eval(std::span<float> xs) const {
+  if (entries_ == 0 || xs.empty()) return;
+  const std::size_t nb = breakpoints_.size();
+  const float* s = slopes_.data();
+  const float* t = intercepts_.data();
+  float* p = xs.data();
+  std::size_t n = xs.size();
+  if (nb == 0) {
+    const float s0 = s[0], t0 = t[0];
+    for (std::size_t i = 0; i < n; ++i) p[i] = s0 * p[i] + t0;
+    return;
+  }
+  const float* bp = breakpoints_.data();
+  std::uint32_t idx[kBlock];
+  while (n != 0) {
+    const std::size_t m = std::min(n, kBlock);
+    fill_indices(bp, nb, linear_scan_, p, m, idx);
+    for (std::size_t i = 0; i < m; ++i) p[i] = s[idx[i]] * p[i] + t[idx[i]];
+    p += m;
+    n -= m;
+  }
+}
+
+float LutKernel::eval_scalar(float x) const {
+  if (entries_ == 0) return x;
+  const std::size_t nb = breakpoints_.size();
+  std::uint32_t k = 0;
+  if (nb != 0) {
+    if (linear_scan_) {
+      for (std::size_t j = 0; j < nb; ++j)
+        k += static_cast<std::uint32_t>(!(x < breakpoints_[j]));
+    } else {
+      k = bisect_index(breakpoints_.data(), nb, x);
+    }
+  }
+  return slopes_[k] * x + intercepts_[k];
+}
+
+// --------------------------------------------------------- LutKernelFp16 ---
+
+LutKernelFp16::LutKernelFp16(std::span<const float> breakpoints,
+                             std::span<const float> slopes,
+                             std::span<const float> intercepts) {
+  entries_ = slopes.size();
+  if (entries_ == 0) return;
+  const std::size_t padded = pad_entries(entries_);
+  breakpoints_.reserve(padded - 1);
+  for (float d : breakpoints) breakpoints_.push_back(round_to_half(d));
+  breakpoints_.resize(padded - 1, std::numeric_limits<float>::infinity());
+  slopes_.reserve(padded);
+  for (float v : slopes) slopes_.push_back(round_to_half(v));
+  slopes_.resize(padded, slopes_.back());
+  intercepts_.reserve(padded);
+  for (float v : intercepts) intercepts_.push_back(round_to_half(v));
+  intercepts_.resize(padded, intercepts_.back());
+  linear_scan_ = padded <= kLinearScanMax;
+}
+
+void LutKernelFp16::eval(std::span<float> xs) const {
+  if (entries_ == 0 || xs.empty()) return;
+  const std::size_t nb = breakpoints_.size();
+  const float* s = slopes_.data();
+  const float* t = intercepts_.data();
+  float* p = xs.data();
+  std::size_t n = xs.size();
+  float xh[kBlock];
+  std::uint32_t idx[kBlock];
+  while (n != 0) {
+    const std::size_t m = std::min(n, kBlock);
+    for (std::size_t i = 0; i < m; ++i) xh[i] = round_to_half(p[i]);
+    if (nb == 0) {
+      for (std::size_t i = 0; i < m; ++i) p[i] = half_mac(s[0], xh[i], t[0]);
+    } else {
+      fill_indices(breakpoints_.data(), nb, linear_scan_, xh, m, idx);
+      for (std::size_t i = 0; i < m; ++i)
+        p[i] = half_mac(s[idx[i]], xh[i], t[idx[i]]);
+    }
+    p += m;
+    n -= m;
+  }
+}
+
+float LutKernelFp16::eval_scalar(float x) const {
+  if (entries_ == 0) return x;
+  const float xh = round_to_half(x);
+  const std::size_t nb = breakpoints_.size();
+  std::uint32_t k = 0;
+  if (nb != 0) {
+    if (linear_scan_) {
+      for (std::size_t j = 0; j < nb; ++j)
+        k += static_cast<std::uint32_t>(!(xh < breakpoints_[j]));
+    } else {
+      k = bisect_index(breakpoints_.data(), nb, xh);
+    }
+  }
+  return half_mac(slopes_[k], xh, intercepts_[k]);
+}
+
+// -------------------------------------------------------- LutKernelInt32 ---
+
+LutKernelInt32::LutKernelInt32(std::span<const float> breakpoints,
+                               std::span<const float> slopes,
+                               std::span<const float> intercepts,
+                               float input_max_abs) {
+  if (!(input_max_abs > 0.0f))
+    throw std::invalid_argument("LutKernelInt32: input_max_abs must be positive");
+  entries_ = slopes.size();
+  if (entries_ == 0) return;
+
+  sx_ = input_max_abs / kIntQMax;
+  float max_slope = 0.0f;
+  for (float v : slopes) max_slope = std::max(max_slope, std::abs(v));
+  ss_ = (max_slope > 0.0f ? max_slope : 1.0f) / kIntQMax;
+
+  const std::size_t padded = pad_entries(entries_);
+  breakpoints_.reserve(padded - 1);
+  for (float d : breakpoints) breakpoints_.push_back(int_quantize(d, sx_));
+  // INT32_MAX sentinel: quantized inputs are clamped below it, so padded
+  // comparators never fire.
+  breakpoints_.resize(padded - 1, std::numeric_limits<std::int32_t>::max());
+  slopes_.reserve(padded);
+  for (float v : slopes) slopes_.push_back(int_quantize(v, ss_));
+  slopes_.resize(padded, slopes_.back());
+  const float st = ss_ * sx_;
+  intercepts_.reserve(padded);
+  for (float v : intercepts) intercepts_.push_back(int_quantize(v, st));
+  intercepts_.resize(padded, intercepts_.back());
+  linear_scan_ = padded <= kLinearScanMax;
+}
+
+void LutKernelInt32::eval(std::span<float> xs) const {
+  if (entries_ == 0 || xs.empty()) return;
+  const std::size_t nb = breakpoints_.size();
+  const std::int32_t* s = slopes_.data();
+  const std::int32_t* t = intercepts_.data();
+  const float so = ss_ * sx_;
+  float* p = xs.data();
+  std::size_t n = xs.size();
+  std::int32_t qx[kBlock];
+  std::uint32_t idx[kBlock];
+  while (n != 0) {
+    const std::size_t m = std::min(n, kBlock);
+    for (std::size_t i = 0; i < m; ++i) qx[i] = int_quantize(p[i], sx_);
+    if (nb == 0) {
+      for (std::size_t i = 0; i < m; ++i) idx[i] = 0;
+    } else {
+      fill_indices(breakpoints_.data(), nb, linear_scan_, qx, m, idx);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      // Integer MAC. |q_s|,|q_x| <= 2^15 keeps the product in int32; int64
+      // only keeps the C++ arithmetic well-defined after the intercept add.
+      const std::int64_t acc =
+          static_cast<std::int64_t>(s[idx[i]]) * qx[i] +
+          static_cast<std::int64_t>(t[idx[i]]);
+      p[i] = static_cast<float>(acc) * so;
+    }
+    p += m;
+    n -= m;
+  }
+}
+
+float LutKernelInt32::eval_scalar(float x) const {
+  if (entries_ == 0) return x;
+  const std::int32_t qx = int_quantize(x, sx_);
+  const std::size_t nb = breakpoints_.size();
+  std::uint32_t k = 0;
+  if (nb != 0) {
+    if (linear_scan_) {
+      for (std::size_t j = 0; j < nb; ++j)
+        k += static_cast<std::uint32_t>(!(qx < breakpoints_[j]));
+    } else {
+      k = bisect_index(breakpoints_.data(), nb, qx);
+    }
+  }
+  const std::int64_t acc = static_cast<std::int64_t>(slopes_[k]) * qx +
+                           static_cast<std::int64_t>(intercepts_[k]);
+  return static_cast<float>(acc) * (ss_ * sx_);
+}
+
+}  // namespace nnlut

@@ -1,0 +1,125 @@
+// Compiled SoA evaluation plans for piecewise-linear tables.
+//
+// A LUT is *compiled once* into an immutable plan: contiguous breakpoint /
+// slope / intercept arrays padded to a power-of-two entry count (padding
+// breakpoints are +inf / INT32_MAX sentinels and padded segments replicate
+// the last real segment, so padded lookups return the same value as the real
+// last segment). Evaluation is batch-granular and branchless:
+//
+//   - <= 32 padded entries: a linear comparator-bank scan, structured
+//     breakpoint-outer / element-inner so the compiler vectorizes the
+//     compare-and-accumulate over contiguous elements. This mirrors the
+//     paper's hardware (Eq. 4): an N-entry unit is a parallel comparator
+//     bank feeding one MAC.
+//   - larger tables: branchless uniform bisection over the 2^k - 1 padded
+//     breakpoints (k conditional-add steps, no data-dependent branches).
+//
+// Segment selection reproduces std::upper_bound semantics exactly, including
+// for NaN (every comparison `!(x < d)` is true, so NaN lands in the padded
+// tail, which replicates the last real segment) and +/-inf, so plan
+// evaluation is bit-identical to the per-element reference path.
+//
+// Three precision-specialized plans live here:
+//   LutKernel       FP32 multiply-add,
+//   LutKernelFp16   operands rounded through binary16 and the MAC computed
+//                   in binary16 arithmetic,
+//   LutKernelInt32  I-BERT-style scaling-factor quantization with an
+//                   integer MAC.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nnlut {
+
+/// FP32 plan. Breakpoints/slopes/intercepts must satisfy the
+/// PiecewiseLinear invariants (this type does not re-validate them).
+class LutKernel {
+ public:
+  LutKernel() = default;
+  LutKernel(std::span<const float> breakpoints, std::span<const float> slopes,
+            std::span<const float> intercepts);
+
+  /// Real (unpadded) table entries; 0 for a default-constructed plan.
+  std::size_t entries() const { return entries_; }
+  /// Power-of-two padded entry count (= slopes().size()).
+  std::size_t padded_entries() const { return slopes_.size(); }
+  bool linear_scan() const { return linear_scan_; }
+
+  /// Batched evaluation, in place. The primitive everything else derives.
+  void eval(std::span<float> xs) const;
+  /// One element through the same plan (bit-identical to eval on a
+  /// 1-element span).
+  float eval_scalar(float x) const;
+
+  std::span<const float> padded_breakpoints() const { return breakpoints_; }
+  std::span<const float> padded_slopes() const { return slopes_; }
+  std::span<const float> padded_intercepts() const { return intercepts_; }
+
+ private:
+  std::vector<float> breakpoints_;  // padded_entries - 1, +inf padded
+  std::vector<float> slopes_;       // padded_entries, last segment replicated
+  std::vector<float> intercepts_;   // padded_entries
+  std::size_t entries_ = 0;
+  bool linear_scan_ = true;
+};
+
+/// Binary16 plan: stored constants are half-rounded and the MAC rounds every
+/// intermediate through binary16, emulating a genuine FP16 datapath.
+class LutKernelFp16 {
+ public:
+  LutKernelFp16() = default;
+  LutKernelFp16(std::span<const float> breakpoints,
+                std::span<const float> slopes,
+                std::span<const float> intercepts);
+
+  std::size_t entries() const { return entries_; }
+  std::size_t padded_entries() const { return slopes_.size(); }
+
+  void eval(std::span<float> xs) const;
+  float eval_scalar(float x) const;
+
+ private:
+  // Comparator constants as FP32 values of the half-rounded breakpoints
+  // (half -> float is exact, so FP32 compares == FP16 compares).
+  std::vector<float> breakpoints_;
+  std::vector<float> slopes_;      // FP32 values of half-rounded slopes
+  std::vector<float> intercepts_;  // FP32 values of half-rounded intercepts
+  std::size_t entries_ = 0;
+  bool linear_scan_ = true;
+};
+
+/// Integer plan with I-BERT scaling factors: input scale Sx derived from
+/// `input_max_abs`, slope scale Ss from the largest slope magnitude,
+/// intercepts on the product scale Ss*Sx so q_out = q_s * q_x + q_t needs no
+/// alignment. |q| <= 2^15 on both MAC operands.
+class LutKernelInt32 {
+ public:
+  LutKernelInt32() = default;
+  /// Throws std::invalid_argument unless input_max_abs > 0.
+  LutKernelInt32(std::span<const float> breakpoints,
+                 std::span<const float> slopes,
+                 std::span<const float> intercepts, float input_max_abs);
+
+  std::size_t entries() const { return entries_; }
+  std::size_t padded_entries() const { return slopes_.size(); }
+
+  void eval(std::span<float> xs) const;
+  float eval_scalar(float x) const;
+
+  float input_scale() const { return sx_; }
+  float output_scale() const { return ss_ * sx_; }
+
+ private:
+  std::vector<std::int32_t> breakpoints_;  // INT32_MAX padded
+  std::vector<std::int32_t> slopes_;
+  std::vector<std::int32_t> intercepts_;
+  std::size_t entries_ = 0;
+  bool linear_scan_ = true;
+  float sx_ = 1.0f;  // input scale
+  float ss_ = 1.0f;  // slope scale
+};
+
+}  // namespace nnlut

@@ -2,22 +2,84 @@
 
 #include <algorithm>
 #include <cassert>
+#include <vector>
 
 namespace nnlut {
+
+namespace {
+
+/// Exact mean and variance of one row (the MAC-array work), accumulated in
+/// double exactly like the reference implementation.
+void row_moments(const float* x, std::size_t n, float& mean_out,
+                 float& var_out) {
+  double mean = 0.0;
+  for (std::size_t j = 0; j < n; ++j) mean += x[j];
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double d = x[j] - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(n);
+  mean_out = static_cast<float>(mean);
+  var_out = static_cast<float>(var);
+}
+
+void affine_row(const float* x, float* y, std::size_t n, float mean, float inv,
+                std::span<const float> gamma, std::span<const float> beta) {
+  for (std::size_t j = 0; j < n; ++j) {
+    float v = (x[j] - mean) * inv;
+    if (!gamma.empty()) v *= gamma[j];
+    if (!beta.empty()) v += beta[j];
+    y[j] = v;
+  }
+}
+
+}  // namespace
 
 void SoftmaxApprox::operator()(std::span<float> row) const {
   if (row.empty()) return;
   const float mx = *std::max_element(row.begin(), row.end());
+  for (float& v : row) v = std::clamp(v - mx, exp_clip_.lo, exp_clip_.hi);
+  exp_fn_->eval_inplace(row);
   float sum = 0.0f;
-  for (float& v : row) {
-    const float shifted = std::clamp(v - mx, exp_clip_.lo, exp_clip_.hi);
-    v = exp_fn_->eval(shifted);
-    sum += v;
-  }
+  for (float v : row) sum += v;
   // The normalizer lies in [1, row_size] because the max element maps to
   // exp(0) = 1; Table 1 trains the Divide LUT on (1, 1024) for exactly this.
   const float inv = recip_fn_->eval(sum);
   for (float& v : row) v *= inv;
+}
+
+void SoftmaxApprox::rows(std::span<float> data, std::size_t nrows,
+                         std::size_t ncols) const {
+  assert(data.size() == nrows * ncols);
+  if (nrows == 0 || ncols == 0) return;
+  if (nrows == 1) {
+    (*this)(data);
+    return;
+  }
+  for (std::size_t r = 0; r < nrows; ++r) {
+    float* row = data.data() + r * ncols;
+    float mx = row[0];
+    for (std::size_t j = 1; j < ncols; ++j) mx = std::max(mx, row[j]);
+    for (std::size_t j = 0; j < ncols; ++j)
+      row[j] = std::clamp(row[j] - mx, exp_clip_.lo, exp_clip_.hi);
+  }
+  // One EXP LUT pass over every shifted logit of every row.
+  exp_fn_->eval_inplace(data);
+  std::vector<float> inv(nrows);
+  for (std::size_t r = 0; r < nrows; ++r) {
+    const float* row = data.data() + r * ncols;
+    float sum = 0.0f;
+    for (std::size_t j = 0; j < ncols; ++j) sum += row[j];
+    inv[r] = sum;
+  }
+  // One Divide LUT pass over all row normalizers.
+  recip_fn_->eval_inplace(inv);
+  for (std::size_t r = 0; r < nrows; ++r) {
+    float* row = data.data() + r * ncols;
+    for (std::size_t j = 0; j < ncols; ++j) row[j] *= inv[r];
+  }
 }
 
 float LayerNormApprox::inv_std(float v) const {
@@ -37,23 +99,39 @@ void LayerNormApprox::operator()(std::span<const float> x, std::span<float> y,
   const std::size_t n = x.size();
   if (n == 0) return;
 
-  double mean = 0.0;
-  for (float v : x) mean += v;
-  mean /= static_cast<double>(n);
+  float mean = 0.0f, var = 0.0f;
+  row_moments(x.data(), n, mean, var);
+  const float inv = inv_std(var + opt_.eps);
+  affine_row(x.data(), y.data(), n, mean, inv, gamma, beta);
+}
 
-  double var = 0.0;
-  for (float v : x) {
-    const double d = v - mean;
-    var += d * d;
+void LayerNormApprox::rows(std::span<const float> x, std::span<float> y,
+                           std::size_t nrows, std::size_t ncols,
+                           std::span<const float> gamma,
+                           std::span<const float> beta) const {
+  assert(x.size() == nrows * ncols && y.size() == nrows * ncols);
+  if (nrows == 0 || ncols == 0) return;
+
+  std::vector<float> mean(nrows);
+  std::vector<float> vs(nrows);
+  std::vector<unsigned char> scaled(nrows, 0);
+  for (std::size_t r = 0; r < nrows; ++r) {
+    float m = 0.0f, v = 0.0f;
+    row_moments(x.data() + r * ncols, ncols, m, v);
+    mean[r] = m;
+    vs[r] = v + opt_.eps;
+    if (opt_.input_scaling && vs[r] < 1.0f) {
+      vs[r] = vs[r] * opt_.scale;
+      scaled[r] = 1;
+    }
   }
-  var /= static_cast<double>(n);
-
-  const float inv = inv_std(static_cast<float>(var) + opt_.eps);
-  for (std::size_t i = 0; i < n; ++i) {
-    float v = (x[i] - static_cast<float>(mean)) * inv;
-    if (!gamma.empty()) v *= gamma[i];
-    if (!beta.empty()) v += beta[i];
-    y[i] = v;
+  // One 1/SQRT LUT pass over every (pre-scaled) row variance.
+  rsqrt_fn_->eval_inplace(vs);
+  const float root_s = std::sqrt(opt_.scale);
+  for (std::size_t r = 0; r < nrows; ++r) {
+    const float inv = scaled[r] ? vs[r] * root_s : vs[r];
+    affine_row(x.data() + r * ncols, y.data() + r * ncols, ncols, mean[r], inv,
+               gamma, beta);
   }
 }
 

@@ -5,6 +5,12 @@
 //                normalizer (Sec. 3.3.1, Table 1)
 //   LayerNorm -> exact mean/variance (MAC-array work) plus a 1/SQRT LUT with
 //                power-of-two input scaling for small variances (Sec. 3.3.2)
+//
+// All three ops are batch-granular: single-row entry points feed one span
+// through the backend's batched primitive, and the rows() entry points
+// evaluate a whole [rows x cols] block with one backend call per LUT (all
+// shifted logits through the EXP LUT at once, all row normalizers through
+// the Divide LUT at once, all row variances through the 1/SQRT LUT at once).
 #pragma once
 
 #include <cmath>
@@ -40,7 +46,12 @@ class SoftmaxApprox {
                 InputRange exp_clip = kExpRange)
       : exp_fn_(&exp_fn), recip_fn_(&recip_fn), exp_clip_(exp_clip) {}
 
+  /// One row, in place.
   void operator()(std::span<float> row) const;
+
+  /// `nrows` contiguous rows of length `ncols`, in place. One EXP LUT call
+  /// over the whole block and one Divide LUT call over all normalizers.
+  void rows(std::span<float> data, std::size_t nrows, std::size_t ncols) const;
 
  private:
   const ScalarFn* exp_fn_;
@@ -71,6 +82,12 @@ class LayerNormApprox {
   void operator()(std::span<const float> x, std::span<float> y,
                   std::span<const float> gamma,
                   std::span<const float> beta) const;
+
+  /// `nrows` contiguous rows of length `ncols`: exact per-row mean/variance,
+  /// then ONE 1/SQRT LUT call over all row variances.
+  void rows(std::span<const float> x, std::span<float> y, std::size_t nrows,
+            std::size_t ncols, std::span<const float> gamma,
+            std::span<const float> beta) const;
 
   /// The (possibly input-scaled) 1/sqrt evaluation on variance v.
   float inv_std(float v) const;

@@ -27,6 +27,7 @@ PiecewiseLinear::PiecewiseLinear(std::vector<float> breakpoints,
       throw std::invalid_argument(
           "PiecewiseLinear: breakpoints must be strictly ascending");
   }
+  kernel_ = LutKernel(breakpoints_, slopes_, intercepts_);
 }
 
 std::size_t PiecewiseLinear::segment_index(float x) const {
@@ -42,7 +43,7 @@ float PiecewiseLinear::operator()(float x) const {
 }
 
 void PiecewiseLinear::eval_inplace(std::span<float> xs) const {
-  for (float& x : xs) x = (*this)(x);
+  kernel_.eval(xs);
 }
 
 }  // namespace nnlut

@@ -7,11 +7,17 @@
 // An N-entry LUT stores N (slope, intercept) pairs and N-1 ascending
 // breakpoints. In hardware this is one comparator bank, one table read, one
 // multiply and one add — the same unit serves any scalar function.
+//
+// Construction compiles the table into an immutable SoA evaluation plan
+// (core/lut_kernel.h); batched evaluation through the plan is the primitive,
+// bit-identical to the per-element reference operator().
 #pragma once
 
 #include <cstddef>
 #include <span>
 #include <vector>
+
+#include "core/lut_kernel.h"
 
 namespace nnlut {
 
@@ -35,16 +41,21 @@ class PiecewiseLinear {
   /// Index of the segment containing x (0-based, in [0, entries())).
   std::size_t segment_index(float x) const;
 
-  /// Evaluate LUT(x).
+  /// Evaluate LUT(x) through the per-element reference path (binary search
+  /// over the original breakpoints).
   float operator()(float x) const;
 
-  /// Evaluate over a batch, in place.
+  /// Evaluate over a batch, in place, through the compiled plan.
   void eval_inplace(std::span<float> xs) const;
+
+  /// The compiled SoA evaluation plan (built at construction).
+  const LutKernel& kernel() const { return kernel_; }
 
  private:
   std::vector<float> breakpoints_;  // N-1, strictly ascending
   std::vector<float> slopes_;       // N
   std::vector<float> intercepts_;   // N
+  LutKernel kernel_;
 };
 
 }  // namespace nnlut

@@ -1,67 +1,9 @@
 #include "core/quantized_lut.h"
 
-#include <algorithm>
-#include <cmath>
 #include <memory>
 #include <stdexcept>
 
 namespace nnlut {
-
-LutFp16::LutFp16(const PiecewiseLinear& lut) {
-  for (float d : lut.breakpoints()) breakpoints_.push_back(float_to_half_bits(d));
-  for (float s : lut.slopes()) slopes_.push_back(float_to_half_bits(s));
-  for (float t : lut.intercepts()) intercepts_.push_back(float_to_half_bits(t));
-}
-
-float LutFp16::eval(float x) const {
-  const Half hx(x);
-  // Comparator bank over FP16 breakpoints.
-  std::size_t i = 0;
-  while (i < breakpoints_.size() &&
-         !(hx.to_float() < half_bits_to_float(breakpoints_[i])))
-    ++i;
-  const Half s = Half::from_bits(slopes_[i]);
-  const Half t = Half::from_bits(intercepts_[i]);
-  return ((s * hx) + t).to_float();
-}
-
-namespace {
-constexpr float kQMax = 32767.0f;  // +-2^15 - 1 budget for both MAC operands
-
-std::int32_t quantize(float v, float scale) {
-  const float q = std::round(v / scale);
-  const float lim = 2.147e9f;
-  return static_cast<std::int32_t>(std::clamp(q, -lim, lim));
-}
-}  // namespace
-
-LutInt32::LutInt32(const PiecewiseLinear& lut, float input_max_abs) {
-  if (!(input_max_abs > 0.0f))
-    throw std::invalid_argument("LutInt32: input_max_abs must be positive");
-
-  sx_ = input_max_abs / kQMax;
-
-  float max_slope = 0.0f;
-  for (float s : lut.slopes()) max_slope = std::max(max_slope, std::abs(s));
-  ss_ = (max_slope > 0.0f ? max_slope : 1.0f) / kQMax;
-
-  for (float d : lut.breakpoints()) breakpoints_.push_back(quantize(d, sx_));
-  for (float s : lut.slopes()) slopes_.push_back(quantize(s, ss_));
-  const float st = ss_ * sx_;
-  for (float t : lut.intercepts()) intercepts_.push_back(quantize(t, st));
-}
-
-float LutInt32::eval(float x) const {
-  const std::int32_t qx = quantize(x, sx_);
-  std::size_t i = 0;
-  while (i < breakpoints_.size() && qx >= breakpoints_[i]) ++i;
-  // Integer MAC. With |q_s|,|q_x| <= 2^15 the product fits in int32; we use
-  // int64 here only to keep the C++ arithmetic well-defined after the
-  // intercept addition.
-  const std::int64_t acc = static_cast<std::int64_t>(slopes_[i]) * qx +
-                           static_cast<std::int64_t>(intercepts_[i]);
-  return static_cast<float>(acc) * (ss_ * sx_);
-}
 
 std::unique_ptr<ScalarFn> make_lut_fn(const PiecewiseLinear& lut,
                                       LutPrecision precision,

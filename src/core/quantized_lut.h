@@ -4,15 +4,18 @@
 //  - INT32: breakpoints and parameters quantized with I-BERT-style scaling
 //    factors; the lookup compares integer inputs and the MAC runs in integer
 //    arithmetic.
+//
+// Both are thin ScalarFn adapters over the precision-specialized compiled
+// plans in core/lut_kernel.h; batched evaluation is the primitive.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <vector>
+#include <span>
 
+#include "core/lut_kernel.h"
 #include "core/piecewise_linear.h"
 #include "core/scalar_fn.h"
-#include "numerics/half.h"
 
 namespace nnlut {
 
@@ -20,13 +23,14 @@ namespace nnlut {
 /// is rounded through binary16, emulating a genuine half-precision datapath.
 class LutFp16 final : public ScalarFn {
  public:
-  explicit LutFp16(const PiecewiseLinear& lut);
-  float eval(float x) const override;
+  explicit LutFp16(const PiecewiseLinear& lut)
+      : kernel_(lut.breakpoints(), lut.slopes(), lut.intercepts()) {}
+
+  void eval_inplace(std::span<float> xs) const override { kernel_.eval(xs); }
+  const LutKernelFp16& kernel() const { return kernel_; }
 
  private:
-  std::vector<std::uint16_t> breakpoints_;
-  std::vector<std::uint16_t> slopes_;
-  std::vector<std::uint16_t> intercepts_;
+  LutKernelFp16 kernel_;
 };
 
 /// INT32 LUT following I-BERT's scaling-factor quantization: a value v is
@@ -39,19 +43,18 @@ class LutInt32 final : public ScalarFn {
  public:
   /// `input_max_abs` bounds |x| of the pre-scaled integer input (I-BERT
   /// assumes inputs pre-scaled by the previous layer; we derive Sx from it).
-  LutInt32(const PiecewiseLinear& lut, float input_max_abs);
+  LutInt32(const PiecewiseLinear& lut, float input_max_abs)
+      : kernel_(lut.breakpoints(), lut.slopes(), lut.intercepts(),
+                input_max_abs) {}
 
-  float eval(float x) const override;
+  void eval_inplace(std::span<float> xs) const override { kernel_.eval(xs); }
+  const LutKernelInt32& kernel() const { return kernel_; }
 
-  float input_scale() const { return sx_; }
-  float output_scale() const { return ss_ * sx_; }
+  float input_scale() const { return kernel_.input_scale(); }
+  float output_scale() const { return kernel_.output_scale(); }
 
  private:
-  std::vector<std::int32_t> breakpoints_;
-  std::vector<std::int32_t> slopes_;
-  std::vector<std::int32_t> intercepts_;
-  float sx_ = 1.0f;  // input scale
-  float ss_ = 1.0f;  // slope scale
+  LutKernelInt32 kernel_;
 };
 
 /// Precision of a deployed LUT, used by benches and the transformer backends.

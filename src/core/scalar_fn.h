@@ -1,6 +1,13 @@
 // Scalar-function evaluation interface shared by every approximation backend
 // (exact reference, FP32/FP16/INT32 LUTs, I-BERT integer kernels) plus the
 // capture decorator used by dataset-free calibration (Sec. 3.3.3).
+//
+// The contract is batched-first: eval_inplace(span) is the pure-virtual
+// primitive every backend implements over a contiguous span, and scalar
+// eval(x) is a non-virtual convenience that routes a 1-element span through
+// it. Consumers should hand backends the largest span they have (a whole
+// tensor, all attention rows) — per-element virtual dispatch is the slow
+// path this design retires.
 #pragma once
 
 #include <functional>
@@ -15,11 +22,15 @@ namespace nnlut {
 class ScalarFn {
  public:
   virtual ~ScalarFn() = default;
-  virtual float eval(float x) const = 0;
 
-  /// Batch evaluation, in place. Overridable for vectorized backends.
-  virtual void eval_inplace(std::span<float> xs) const {
-    for (float& x : xs) x = eval(x);
+  /// Batch evaluation, in place: THE evaluation primitive.
+  virtual void eval_inplace(std::span<float> xs) const = 0;
+
+  /// Scalar convenience, routed through the batched primitive so derived
+  /// classes observe every input exactly once.
+  float eval(float x) const {
+    eval_inplace(std::span<float>(&x, 1));
+    return x;
   }
 };
 
@@ -27,17 +38,22 @@ class ScalarFn {
 class ExactFn final : public ScalarFn {
  public:
   explicit ExactFn(std::function<float(float)> fn) : fn_(std::move(fn)) {}
-  float eval(float x) const override { return fn_(x); }
+  void eval_inplace(std::span<float> xs) const override {
+    for (float& x : xs) x = fn_(x);
+  }
 
  private:
   std::function<float(float)> fn_;
 };
 
-/// FP32 LUT evaluation (the plain NN-LUT / Linear-LUT deployment).
+/// FP32 LUT evaluation (the plain NN-LUT / Linear-LUT deployment), through
+/// the table's compiled plan.
 class LutFp32 final : public ScalarFn {
  public:
   explicit LutFp32(PiecewiseLinear lut) : lut_(std::move(lut)) {}
-  float eval(float x) const override { return lut_(x); }
+  void eval_inplace(std::span<float> xs) const override {
+    lut_.eval_inplace(xs);
+  }
   const PiecewiseLinear& lut() const { return lut_; }
 
  private:
@@ -46,14 +62,16 @@ class LutFp32 final : public ScalarFn {
 
 /// Decorator that records every input it sees before delegating; the
 /// recorded distribution drives NN-LUT calibration. The sink outlives the
-/// decorator and is owned by the caller.
+/// decorator and is owned by the caller. Batched inputs are bulk-appended
+/// and then delegated to the base's batched evaluation, so capture neither
+/// misses spans nor knocks the base off its vectorized path.
 class CapturingFn final : public ScalarFn {
  public:
   CapturingFn(const ScalarFn& base, std::vector<float>& sink)
       : base_(&base), sink_(&sink) {}
-  float eval(float x) const override {
-    sink_->push_back(x);
-    return base_->eval(x);
+  void eval_inplace(std::span<float> xs) const override {
+    sink_->insert(sink_->end(), xs.begin(), xs.end());
+    base_->eval_inplace(xs);
   }
 
  private:

@@ -10,7 +10,7 @@ Tensor LutAct::forward(const Tensor& x) {
   if (lut_ == nullptr) throw std::logic_error("LutAct used without a LUT");
   x_cache_ = x;
   Tensor y = x;
-  for (float& v : y.flat()) v = (*lut_)(v);
+  lut_->eval_inplace(y.flat());  // whole tensor through the compiled plan
   return y;
 }
 

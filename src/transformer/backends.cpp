@@ -58,13 +58,19 @@ void LutNonlinearities::activation(std::span<float> xs, int /*site*/) {
   }
 }
 
-void LutNonlinearities::softmax(std::span<float> row, int /*site*/) {
+void LutNonlinearities::softmax(std::span<float> row, int site) {
+  softmax_rows(row, 1, row.size(), site);
+}
+
+void LutNonlinearities::softmax_rows(std::span<float> data, std::size_t nrows,
+                                     std::size_t ncols, int /*site*/) {
   if (!opt_.select.softmax) {
-    softmax_exact(row);
+    for (std::size_t r = 0; r < nrows; ++r)
+      softmax_exact(data.subspan(r * ncols, ncols));
     return;
   }
   const SoftmaxApprox sm(*exp_fn_, *recip_fn_);
-  sm(row);
+  sm.rows(data, nrows, ncols);
 }
 
 const ScalarFn& LutNonlinearities::rsqrt_for_site(int site) const {
@@ -79,8 +85,19 @@ void LutNonlinearities::layer_norm(std::span<const float> x,
                                    std::span<float> y,
                                    std::span<const float> gamma,
                                    std::span<const float> beta, int site) {
+  layer_norm_rows(x, y, 1, x.size(), gamma, beta, site);
+}
+
+void LutNonlinearities::layer_norm_rows(std::span<const float> x,
+                                        std::span<float> y, std::size_t nrows,
+                                        std::size_t ncols,
+                                        std::span<const float> gamma,
+                                        std::span<const float> beta,
+                                        int site) {
   if (!opt_.select.layer_norm) {
-    layer_norm_exact(x, y, gamma, beta);
+    for (std::size_t r = 0; r < nrows; ++r)
+      layer_norm_exact(x.subspan(r * ncols, ncols),
+                       y.subspan(r * ncols, ncols), gamma, beta);
     return;
   }
 
@@ -93,12 +110,12 @@ void LutNonlinearities::layer_norm(std::span<const float> x,
     const CapturingFn cap(rsqrt_for_site(site),
                           capture_buffers_[static_cast<std::size_t>(site)]);
     const LayerNormApprox ln(cap, lopt);
-    ln(x, y, gamma, beta);
+    ln.rows(x, y, nrows, ncols, gamma, beta);
     return;
   }
 
   const LayerNormApprox ln(rsqrt_for_site(site), lopt);
-  ln(x, y, gamma, beta);
+  ln.rows(x, y, nrows, ncols, gamma, beta);
 }
 
 void LutNonlinearities::set_site_rsqrt(int site, std::unique_ptr<ScalarFn> fn) {

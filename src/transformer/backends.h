@@ -26,7 +26,8 @@ class NonlinearitySet {
  public:
   virtual ~NonlinearitySet() = default;
 
-  /// Elementwise activation (GELU or ReLU depending on the model).
+  /// Elementwise activation (GELU or ReLU depending on the model) over any
+  /// contiguous span — callers should pass the whole tensor, not rows.
   virtual void activation(std::span<float> xs, int site) = 0;
   /// In-place softmax over one attention row.
   virtual void softmax(std::span<float> row, int site) = 0;
@@ -34,6 +35,26 @@ class NonlinearitySet {
   virtual void layer_norm(std::span<const float> x, std::span<float> y,
                           std::span<const float> gamma,
                           std::span<const float> beta, int site) = 0;
+
+  /// In-place softmax over `nrows` contiguous rows of length `ncols` — one
+  /// backend call for a whole attention-score block. Default: row loop;
+  /// batched backends override with a plan-granular implementation.
+  virtual void softmax_rows(std::span<float> data, std::size_t nrows,
+                            std::size_t ncols, int site) {
+    for (std::size_t r = 0; r < nrows; ++r)
+      softmax(data.subspan(r * ncols, ncols), site);
+  }
+
+  /// LayerNorm over `nrows` contiguous rows of length `ncols`. Default: row
+  /// loop; batched backends override.
+  virtual void layer_norm_rows(std::span<const float> x, std::span<float> y,
+                               std::size_t nrows, std::size_t ncols,
+                               std::span<const float> gamma,
+                               std::span<const float> beta, int site) {
+    for (std::size_t r = 0; r < nrows; ++r)
+      layer_norm(x.subspan(r * ncols, ncols), y.subspan(r * ncols, ncols),
+                 gamma, beta, site);
+  }
 };
 
 /// Exact FP32 reference implementations.
@@ -87,6 +108,12 @@ class LutNonlinearities final : public NonlinearitySet {
   void layer_norm(std::span<const float> x, std::span<float> y,
                   std::span<const float> gamma, std::span<const float> beta,
                   int site) override;
+  void softmax_rows(std::span<float> data, std::size_t nrows,
+                    std::size_t ncols, int site) override;
+  void layer_norm_rows(std::span<const float> x, std::span<float> y,
+                       std::size_t nrows, std::size_t ncols,
+                       std::span<const float> gamma,
+                       std::span<const float> beta, int site) override;
 
   /// Install a calibrated rsqrt evaluator for one LayerNorm site.
   void set_site_rsqrt(int site, std::unique_ptr<ScalarFn> fn);

@@ -73,8 +73,8 @@ void InferenceModel::norm_rows(const Tensor& x, Tensor& y,
   const auto gamma = slot.gamma().value.flat();
   const auto beta = slot.beta().value.flat();
   if (slot.kind() == NormKind::kLayerNorm) {
-    for (std::size_t r = 0; r < rows; ++r)
-      nl_->layer_norm(x.row(r), y.row(r), gamma, beta, site);
+    // One backend call for the whole [rows x dim] block.
+    nl_->layer_norm_rows(x.flat(), y.flat(), rows, dim, gamma, beta, site);
   } else {
     // NoNorm: element-wise affine; no non-linearity to approximate.
     for (std::size_t r = 0; r < rows; ++r) {
@@ -116,6 +116,10 @@ Tensor InferenceModel::encode(const BatchInput& in) {
   const std::size_t hd = hidden / heads;
   const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
 
+  // One [batch*heads*seq, seq] score buffer reused by every layer.
+  const std::size_t score_rows = in.batch * heads * in.seq;
+  Tensor scores({score_rows, in.seq});
+
   for (std::size_t li = 0; li < enc.layers.size(); ++li) {
     const LayerWeights& lw = layers_[li];
     const int site = static_cast<int>(li);
@@ -128,21 +132,30 @@ Tensor InferenceModel::encode(const BatchInput& in) {
     project(k, mode_);
     project(v, mode_);
 
-    Tensor context({rows, hidden});
-    std::vector<float> prow(in.seq);
+    // Score every (batch, head, query) row first, then run softmax over ALL
+    // attention rows of the layer in one backend call.
     for (std::size_t b = 0; b < in.batch; ++b) {
       for (std::size_t h = 0; h < heads; ++h) {
         for (std::size_t i = 0; i < in.seq; ++i) {
           const float* qi = q.data() + (b * in.seq + i) * hidden + h * hd;
+          auto prow = scores.row((b * heads + h) * in.seq + i);
           for (std::size_t j = 0; j < in.seq; ++j) {
             const float* kj = k.data() + (b * in.seq + j) * hidden + h * hd;
             float acc = 0.0f;
             for (std::size_t d = 0; d < hd; ++d) acc += qi[d] * kj[d];
             prow[j] = acc * scale;
           }
-          if (mode_ == MatmulMode::kFp16) ibert::fake_quantize_fp16(prow);
-          nl_->softmax(prow, site);
+        }
+      }
+    }
+    if (mode_ == MatmulMode::kFp16) ibert::fake_quantize_fp16(scores.flat());
+    nl_->softmax_rows(scores.flat(), score_rows, in.seq, site);
 
+    Tensor context({rows, hidden});
+    for (std::size_t b = 0; b < in.batch; ++b) {
+      for (std::size_t h = 0; h < heads; ++h) {
+        for (std::size_t i = 0; i < in.seq; ++i) {
+          const auto prow = scores.row((b * heads + h) * in.seq + i);
           float* out = context.data() + (b * in.seq + i) * hidden + h * hd;
           for (std::size_t d = 0; d < hd; ++d) {
             float acc = 0.0f;
@@ -160,7 +173,8 @@ Tensor InferenceModel::encode(const BatchInput& in) {
     norm_rows(attn_out, x1, enc.layers[li].norm1, 2 * site);
 
     Tensor hmid = lw.ff1.apply(x1, mode_);
-    for (std::size_t r = 0; r < rows; ++r) nl_->activation(hmid.row(r), site);
+    // Activation over the whole [tokens x d_ff] tensor in one backend call.
+    nl_->activation(hmid.flat(), site);
     Tensor f = lw.ff2.apply(hmid, mode_);
     add_inplace(f, x1);  // residual
     Tensor x2({rows, hidden});

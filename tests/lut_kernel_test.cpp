@@ -1,0 +1,232 @@
+// Kernel-parity suite: batched SoA-plan evaluation must be bit-identical to
+// per-element scalar evaluation for random LUTs at all three precisions,
+// including inputs exactly on breakpoints, +/-inf, NaN, and empty/1-element
+// spans. The FP16/INT32 references below replicate the original per-element
+// comparator-walk implementations independently of the kernel code so the
+// test is not self-referential.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/lut_kernel.h"
+#include "core/piecewise_linear.h"
+#include "core/quantized_lut.h"
+#include "core/scalar_fn.h"
+#include "numerics/half.h"
+#include "numerics/rng.h"
+
+namespace nnlut {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+
+PiecewiseLinear random_lut(int entries, Rng& rng) {
+  std::vector<float> bps, slopes, intercepts;
+  float d = rng.uniform(-8.0f, -4.0f);
+  for (int i = 1; i < entries; ++i) {
+    d += rng.uniform(0.05f, 1.5f);
+    bps.push_back(d);
+  }
+  for (int i = 0; i < entries; ++i) {
+    slopes.push_back(rng.uniform(-3.0f, 3.0f));
+    intercepts.push_back(rng.uniform(-2.0f, 2.0f));
+  }
+  return PiecewiseLinear(bps, slopes, intercepts);
+}
+
+/// Inputs hitting every segment, every breakpoint exactly, the values just
+/// around each breakpoint, and the non-finite edge cases.
+std::vector<float> parity_inputs(const PiecewiseLinear& lut, Rng& rng) {
+  std::vector<float> xs;
+  for (int i = 0; i < 400; ++i) xs.push_back(rng.uniform(-20.0f, 20.0f));
+  for (float b : lut.breakpoints()) {
+    xs.push_back(b);
+    xs.push_back(std::nextafter(b, -kInf));
+    xs.push_back(std::nextafter(b, kInf));
+  }
+  xs.push_back(0.0f);
+  xs.push_back(-0.0f);
+  xs.push_back(std::numeric_limits<float>::denorm_min());
+  xs.push_back(kInf);
+  xs.push_back(-kInf);
+  xs.push_back(kNan);
+  return xs;
+}
+
+/// Bit-identity, treating any-NaN == any-NaN (NaN payload bits are the one
+/// thing IEEE lets differ between otherwise identical op sequences).
+void expect_bitwise(float a, float b, float x) {
+  if (std::isnan(a) && std::isnan(b)) return;
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(a), std::bit_cast<std::uint32_t>(b))
+      << "x=" << x << " scalar=" << a << " batched=" << b;
+}
+
+/// The seed's per-element FP16 evaluation: comparator walk over half-rounded
+/// breakpoints, MAC in binary16 arithmetic.
+float fp16_reference(const PiecewiseLinear& lut, float x) {
+  const Half hx(x);
+  const auto bps = lut.breakpoints();
+  std::size_t i = 0;
+  while (i < bps.size() && !(hx.to_float() < round_to_half(bps[i]))) ++i;
+  const Half s(round_to_half(lut.slopes()[i]));
+  const Half t(round_to_half(lut.intercepts()[i]));
+  return ((s * hx) + t).to_float();
+}
+
+std::int32_t ref_quantize(float v, float scale) {
+  const float q = std::round(v / scale);
+  if (std::isnan(q)) return 0;
+  const float lim = 2.147e9f;
+  return static_cast<std::int32_t>(std::clamp(q, -lim, lim));
+}
+
+/// The seed's per-element INT32 evaluation, re-deriving the scales the same
+/// way the kernel does.
+float int32_reference(const PiecewiseLinear& lut, float input_max_abs,
+                      float x) {
+  constexpr float kQMax = 32767.0f;
+  const float sx = input_max_abs / kQMax;
+  float max_slope = 0.0f;
+  for (float s : lut.slopes()) max_slope = std::max(max_slope, std::abs(s));
+  const float ss = (max_slope > 0.0f ? max_slope : 1.0f) / kQMax;
+
+  const std::int32_t qx = ref_quantize(x, sx);
+  const auto bps = lut.breakpoints();
+  std::size_t i = 0;
+  while (i < bps.size() && qx >= ref_quantize(bps[i], sx)) ++i;
+  const std::int64_t acc =
+      static_cast<std::int64_t>(ref_quantize(lut.slopes()[i], ss)) * qx +
+      static_cast<std::int64_t>(ref_quantize(lut.intercepts()[i], ss * sx));
+  return static_cast<float>(acc) * (ss * sx);
+}
+
+class KernelParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelParity, Fp32BatchedMatchesScalarBitwise) {
+  Rng rng(17u + static_cast<std::uint64_t>(GetParam()));
+  const PiecewiseLinear lut = random_lut(GetParam(), rng);
+  const std::vector<float> xs = parity_inputs(lut, rng);
+
+  std::vector<float> batched = xs;
+  lut.eval_inplace(batched);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    // Reference: the per-element binary-search path.
+    expect_bitwise(lut(xs[i]), batched[i], xs[i]);
+    // The plan's own scalar entry point must agree too.
+    expect_bitwise(lut.kernel().eval_scalar(xs[i]), batched[i], xs[i]);
+  }
+}
+
+TEST_P(KernelParity, Fp16BatchedMatchesScalarBitwise) {
+  Rng rng(23u + static_cast<std::uint64_t>(GetParam()));
+  const PiecewiseLinear lut = random_lut(GetParam(), rng);
+  const LutFp16 fn(lut);
+  const std::vector<float> xs = parity_inputs(lut, rng);
+
+  std::vector<float> batched = xs;
+  fn.eval_inplace(batched);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    expect_bitwise(fp16_reference(lut, xs[i]), batched[i], xs[i]);
+    expect_bitwise(fn.eval(xs[i]), batched[i], xs[i]);
+  }
+}
+
+TEST_P(KernelParity, Int32BatchedMatchesScalarBitwise) {
+  Rng rng(31u + static_cast<std::uint64_t>(GetParam()));
+  const PiecewiseLinear lut = random_lut(GetParam(), rng);
+  const float input_max_abs = 24.0f;
+  const LutInt32 fn(lut, input_max_abs);
+  const std::vector<float> xs = parity_inputs(lut, rng);
+
+  std::vector<float> batched = xs;
+  fn.eval_inplace(batched);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    expect_bitwise(int32_reference(lut, input_max_abs, xs[i]), batched[i],
+                   xs[i]);
+    expect_bitwise(fn.eval(xs[i]), batched[i], xs[i]);
+  }
+}
+
+// Entry counts straddling both plan shapes: comparator-bank linear scan
+// (padded <= 32) and branchless bisection (padded > 32), plus non-powers of
+// two that exercise the padding.
+INSTANTIATE_TEST_SUITE_P(Entries, KernelParity,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 31, 32, 33, 64,
+                                           100, 128, 300));
+
+TEST(LutKernel, EmptySpanIsANoOp) {
+  Rng rng(7);
+  const PiecewiseLinear lut = random_lut(16, rng);
+  std::vector<float> empty;
+  lut.eval_inplace(empty);  // must not crash
+  LutFp16 h(lut);
+  LutInt32 q(lut, 24.0f);
+  h.eval_inplace(std::span<float>{});
+  q.eval_inplace(std::span<float>{});
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(LutKernel, OneElementSpanMatchesScalar) {
+  Rng rng(9);
+  const PiecewiseLinear lut = random_lut(16, rng);
+  for (float x : {-7.5f, 0.0f, 3.25f, kInf, -kInf}) {
+    float v = x;
+    std::span<float> one(&v, 1);
+    lut.eval_inplace(one);
+    expect_bitwise(lut(x), v, x);
+  }
+}
+
+TEST(LutKernel, PaddingReplicatesLastSegment) {
+  // 3 entries pad to 4; anything past the last real breakpoint (including
+  // +inf and NaN's padded-tail index) must land on the last real segment.
+  const PiecewiseLinear lut({-1.0f, 1.0f}, {2.0f, 0.5f, -3.0f},
+                            {0.0f, 1.0f, 2.0f});
+  EXPECT_EQ(lut.kernel().padded_entries(), 4u);
+  std::vector<float> xs{5.0f, 100.0f, kInf};
+  std::vector<float> batched = xs;
+  lut.eval_inplace(batched);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    expect_bitwise(lut(xs[i]), batched[i], xs[i]);
+}
+
+TEST(LutKernel, PlanShapeSelection) {
+  Rng rng(11);
+  EXPECT_TRUE(random_lut(16, rng).kernel().linear_scan());
+  EXPECT_TRUE(random_lut(32, rng).kernel().linear_scan());
+  EXPECT_FALSE(random_lut(33, rng).kernel().linear_scan());
+  EXPECT_FALSE(random_lut(128, rng).kernel().linear_scan());
+}
+
+TEST(CapturingFn, RecordsBatchedInputsAndDelegatesBatched) {
+  Rng rng(13);
+  const PiecewiseLinear lut = random_lut(16, rng);
+  const LutFp32 base(lut);
+  std::vector<float> sink;
+  const CapturingFn cap(base, sink);
+
+  std::vector<float> xs{-3.0f, -0.5f, 0.0f, 1.25f, 9.0f};
+  std::vector<float> got = xs;
+  cap.eval_inplace(got);
+
+  ASSERT_EQ(sink.size(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(sink[i], xs[i]) << i;  // inputs recorded, in order
+    expect_bitwise(lut(xs[i]), got[i], xs[i]);  // base's batched path ran
+  }
+
+  // Scalar convenience routes through the batched primitive: captured once.
+  sink.clear();
+  EXPECT_EQ(cap.eval(2.5f), base.eval(2.5f));
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink[0], 2.5f);
+}
+
+}  // namespace
+}  // namespace nnlut

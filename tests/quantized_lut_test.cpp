@@ -5,6 +5,7 @@
 #include "approx/linear_lut.h"
 #include "core/function_library.h"
 #include "core/quantized_lut.h"
+#include "numerics/half.h"
 #include "numerics/math.h"
 
 namespace nnlut {
