@@ -4,6 +4,8 @@
 #include <cassert>
 #include <vector>
 
+#include "runtime/thread_pool.h"
+
 namespace nnlut {
 
 namespace {
@@ -58,26 +60,36 @@ void SoftmaxApprox::rows(std::span<float> data, std::size_t nrows,
     (*this)(data);
     return;
   }
+  // Rows are independent: shard row blocks across the pool, each block
+  // running the batched three-pass kernel over its sub-span.
+  runtime::parallel_for(0, nrows, runtime::grain_for(3 * ncols),
+                        [&](std::size_t r0, std::size_t r1) {
+                          rows_block(data.data() + r0 * ncols, r1 - r0, ncols);
+                        });
+}
+
+void SoftmaxApprox::rows_block(float* data, std::size_t nrows,
+                               std::size_t ncols) const {
   for (std::size_t r = 0; r < nrows; ++r) {
-    float* row = data.data() + r * ncols;
+    float* row = data + r * ncols;
     float mx = row[0];
     for (std::size_t j = 1; j < ncols; ++j) mx = std::max(mx, row[j]);
     for (std::size_t j = 0; j < ncols; ++j)
       row[j] = std::clamp(row[j] - mx, exp_clip_.lo, exp_clip_.hi);
   }
-  // One EXP LUT pass over every shifted logit of every row.
-  exp_fn_->eval_inplace(data);
+  // One EXP LUT pass over every shifted logit of every row in the block.
+  exp_fn_->eval_inplace(std::span<float>(data, nrows * ncols));
   std::vector<float> inv(nrows);
   for (std::size_t r = 0; r < nrows; ++r) {
-    const float* row = data.data() + r * ncols;
+    const float* row = data + r * ncols;
     float sum = 0.0f;
     for (std::size_t j = 0; j < ncols; ++j) sum += row[j];
     inv[r] = sum;
   }
-  // One Divide LUT pass over all row normalizers.
+  // One Divide LUT pass over all the block's row normalizers.
   recip_fn_->eval_inplace(inv);
   for (std::size_t r = 0; r < nrows; ++r) {
-    float* row = data.data() + r * ncols;
+    float* row = data + r * ncols;
     for (std::size_t j = 0; j < ncols; ++j) row[j] *= inv[r];
   }
 }
@@ -111,13 +123,28 @@ void LayerNormApprox::rows(std::span<const float> x, std::span<float> y,
                            std::span<const float> beta) const {
   assert(x.size() == nrows * ncols && y.size() == nrows * ncols);
   if (nrows == 0 || ncols == 0) return;
+  if (!opt_.allow_parallel) {
+    rows_block(x.data(), y.data(), nrows, ncols, gamma, beta);
+    return;
+  }
+  runtime::parallel_for(0, nrows, runtime::grain_for(4 * ncols),
+                        [&](std::size_t r0, std::size_t r1) {
+                          rows_block(x.data() + r0 * ncols,
+                                     y.data() + r0 * ncols, r1 - r0, ncols,
+                                     gamma, beta);
+                        });
+}
 
+void LayerNormApprox::rows_block(const float* x, float* y, std::size_t nrows,
+                                 std::size_t ncols,
+                                 std::span<const float> gamma,
+                                 std::span<const float> beta) const {
   std::vector<float> mean(nrows);
   std::vector<float> vs(nrows);
   std::vector<unsigned char> scaled(nrows, 0);
   for (std::size_t r = 0; r < nrows; ++r) {
     float m = 0.0f, v = 0.0f;
-    row_moments(x.data() + r * ncols, ncols, m, v);
+    row_moments(x + r * ncols, ncols, m, v);
     mean[r] = m;
     vs[r] = v + opt_.eps;
     if (opt_.input_scaling && vs[r] < 1.0f) {
@@ -130,8 +157,7 @@ void LayerNormApprox::rows(std::span<const float> x, std::span<float> y,
   const float root_s = std::sqrt(opt_.scale);
   for (std::size_t r = 0; r < nrows; ++r) {
     const float inv = scaled[r] ? vs[r] * root_s : vs[r];
-    affine_row(x.data() + r * ncols, y.data() + r * ncols, ncols, mean[r], inv,
-               gamma, beta);
+    affine_row(x + r * ncols, y + r * ncols, ncols, mean[r], inv, gamma, beta);
   }
 }
 

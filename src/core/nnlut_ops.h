@@ -49,11 +49,16 @@ class SoftmaxApprox {
   /// One row, in place.
   void operator()(std::span<float> row) const;
 
-  /// `nrows` contiguous rows of length `ncols`, in place. One EXP LUT call
-  /// over the whole block and one Divide LUT call over all normalizers.
+  /// `nrows` contiguous rows of length `ncols`, in place. Row blocks are
+  /// sharded across the runtime thread pool (rows are independent, so the
+  /// result is bit-identical for any pool size); each block runs one EXP LUT
+  /// call over all its shifted logits and one Divide LUT call over all its
+  /// normalizers.
   void rows(std::span<float> data, std::size_t nrows, std::size_t ncols) const;
 
  private:
+  void rows_block(float* data, std::size_t nrows, std::size_t ncols) const;
+
   const ScalarFn* exp_fn_;
   const ScalarFn* recip_fn_;
   InputRange exp_clip_;
@@ -72,6 +77,10 @@ class LayerNormApprox {
     bool input_scaling = true;
     float scale = 1024.0f;  // S = 2^10
     float eps = 1e-5f;
+    // Disable when the rsqrt ScalarFn is stateful (e.g. a CapturingFn whose
+    // sink must see rows in order from one thread): rows() then runs the
+    // whole block on the calling thread instead of sharding it.
+    bool allow_parallel = true;
   };
 
   explicit LayerNormApprox(const ScalarFn& rsqrt_fn)
@@ -83,8 +92,10 @@ class LayerNormApprox {
                   std::span<const float> gamma,
                   std::span<const float> beta) const;
 
-  /// `nrows` contiguous rows of length `ncols`: exact per-row mean/variance,
-  /// then ONE 1/SQRT LUT call over all row variances.
+  /// `nrows` contiguous rows of length `ncols`, sharded row-blockwise across
+  /// the runtime thread pool (bit-identical for any pool size): each block
+  /// computes exact per-row mean/variance, then ONE 1/SQRT LUT call over all
+  /// its row variances.
   void rows(std::span<const float> x, std::span<float> y, std::size_t nrows,
             std::size_t ncols, std::span<const float> gamma,
             std::span<const float> beta) const;
@@ -93,6 +104,10 @@ class LayerNormApprox {
   float inv_std(float v) const;
 
  private:
+  void rows_block(const float* x, float* y, std::size_t nrows,
+                  std::size_t ncols, std::span<const float> gamma,
+                  std::span<const float> beta) const;
+
   const ScalarFn* rsqrt_fn_;
   Options opt_;
 };

@@ -6,12 +6,26 @@
 #include <limits>
 #include <vector>
 
+#include "runtime/thread_pool.h"
+
 namespace nnlut::ibert {
 
+namespace {
+/// Saturating float -> int64 for scale-derived grid constants (q_b, q_c,
+/// q_ln2, clip bounds): casting a float beyond int64 range is UB, which a
+/// pathologically fine or coarse scale would otherwise trigger. Values within
+/// the row-level kernels' floored scales never saturate (see row_scale).
+std::int64_t sat_q(float x) {
+  constexpr float kLim = 4.0e18f;  // < 2^62, exactly representable as float
+  if (std::isnan(x)) return 0;
+  return static_cast<std::int64_t>(std::clamp(x, -kLim, kLim));
+}
+}  // namespace
+
 QValue i_poly(QValue in, float a, float b, float c) {
-  const std::int64_t qb = static_cast<std::int64_t>(std::floor(b / in.s));
+  const std::int64_t qb = sat_q(std::floor(b / in.s));
   const float s_out = a * in.s * in.s;
-  const std::int64_t qc = static_cast<std::int64_t>(std::floor(c / s_out));
+  const std::int64_t qc = sat_q(std::floor(c / s_out));
   const std::int64_t base = in.q + qb;
   QValue out;
   out.q = base * base + qc;
@@ -27,8 +41,7 @@ QValue i_erf(QValue in) {
   const std::int64_t sgn = in.q >= 0 ? 1 : -1;
   const std::int64_t q_abs = std::abs(in.q);
   // Clip |x| at -b = 1.769 where the polynomial reaches erf's plateau.
-  const std::int64_t q_clip_max =
-      static_cast<std::int64_t>(std::floor(-b / in.s));
+  const std::int64_t q_clip_max = sat_q(std::floor(-b / in.s));
   QValue clipped;
   clipped.q = std::min(q_abs, q_clip_max);
   clipped.s = in.s;
@@ -44,8 +57,7 @@ QValue i_gelu(QValue in) {
   x_for_erf.s = in.s / static_cast<float>(M_SQRT2);
   const QValue erf = i_erf(x_for_erf);
 
-  const std::int64_t q_one =
-      static_cast<std::int64_t>(std::floor(1.0f / erf.s));
+  const std::int64_t q_one = sat_q(std::floor(1.0f / erf.s));
   QValue out;
   out.q = in.q * (erf.q + q_one);
   out.s = in.s * erf.s / 2.0f;
@@ -60,9 +72,13 @@ QValue i_exp(QValue in) {
 
   if (in.q > 0) in.q = 0;  // softmax always feeds x - max <= 0
 
-  const std::int64_t q_ln2 =
-      static_cast<std::int64_t>(std::floor(kLn2 / in.s));
-  assert(q_ln2 > 0 && "input scale too coarse for i_exp");
+  // When the input scale is coarser than ln2 (s > ln2), floor(ln2 / s) is 0
+  // and the range-reduction division below would divide by zero. Clamp to 1:
+  // each quantization step then counts as (at least) one halving, which is
+  // the closest representable behaviour on such a grid. Normal scales
+  // (s <= ln2) are unaffected.
+  std::int64_t q_ln2 = sat_q(std::floor(kLn2 / in.s));
+  if (q_ln2 < 1) q_ln2 = 1;
 
   const std::int64_t z = (-in.q) / q_ln2;  // floor for non-negative operands
   QValue p;
@@ -102,31 +118,68 @@ int i_sqrt_iterations(std::int64_t n, int max_iter) {
 }
 
 namespace {
-/// Symmetric scale so that max|row| maps to 2^bits - 1.
+/// Symmetric scale so that max finite |row| maps to 2^bits - 1. Non-finite
+/// entries follow the same spirit as lut_kernel's int_quantize sanitization:
+/// NaN and ±inf contribute nothing to the scale (±inf later saturates the
+/// quantization budget in quantize(), i.e. behaves as "largest value on the
+/// grid"; letting it drive the scale would blow up every downstream s^2).
+/// The max magnitude is floored at 2^-6: scale-derived integer constants of
+/// the polynomial pipelines grow as 1/s and 1/s^2, and an unbounded-fine
+/// scale would push their int64 squares/products into (undefined) overflow.
+/// Rows whose magnitudes all sit below the floor just land on the floor's
+/// grid — near-zero inputs of these ops map to near-zero outputs anyway.
 float row_scale(std::span<const float> row, int bits) {
+  constexpr float kMinRowMax = 0.015625f;  // 2^-6
   float mx = 0.0f;
-  for (float v : row) mx = std::max(mx, std::abs(v));
-  if (mx == 0.0f) mx = 1.0f;
+  for (float v : row) {
+    if (!std::isfinite(v)) continue;
+    mx = std::max(mx, std::abs(v));
+  }
+  mx = std::max(mx, kMinRowMax);
   return mx / static_cast<float>((1 << bits) - 1);
 }
 
-std::int64_t quantize(float v, float s) {
-  return static_cast<std::int64_t>(std::llround(v / s));
+/// llround of a non-finite value is UB; sanitize like lut_kernel's
+/// int_quantize: NaN -> 0, everything else saturates the caller's budget
+/// (±inf behaves like the largest value the caller's grid represents),
+/// which keeps every downstream int64 square/sum/product (i_poly, layernorm
+/// variance, i_gelu's x * (erf + 1)) well-defined. gelu/layernorm pass the
+/// grid budget 2^bits - 1 (finite values quantized against their own row's
+/// scale never clamp); softmax passes 2^24, because its ln2/4 scale cap
+/// intentionally lets coarse rows quantize beyond the nominal grid.
+std::int64_t quantize(float v, float s, float lim) {
+  const float q = std::round(v / s);
+  if (std::isnan(q)) return 0;
+  return static_cast<std::int64_t>(std::clamp(q, -lim, lim));
 }
+
+float grid_budget(int bits) { return static_cast<float>((1 << bits) - 1); }
+
+constexpr float kSoftmaxBudget = 16777216.0f;  // 2^24
 }  // namespace
 
-void softmax_row(std::span<float> row, int input_bits, int out_bits) {
+namespace {
+/// One softmax row with caller-provided scratch (hoisted out of the per-row
+/// loop by the block API).
+void softmax_span(std::span<float> row, std::vector<std::int64_t>& qe,
+                  int input_bits, int out_bits) {
   if (row.empty()) return;
-  const float s = row_scale(row, input_bits);
+  // Cap the scale at ln2/4: i_exp's range reduction then always has at least
+  // four grid steps per halving, so even rows with huge logit magnitudes
+  // (where the nominal per-row scale would be coarser than ln2) produce a
+  // valid, near-one-hot softmax instead of a degenerate all-zero table.
+  // Normal attention rows (max |logit| <= ~5.7e3 at 15 bits) are unaffected.
+  constexpr float kCoarsestScale = 0.25f * 0.69314718056f;
+  const float s = std::min(row_scale(row, input_bits), kCoarsestScale);
 
   std::int64_t qmax = std::numeric_limits<std::int64_t>::min();
-  for (float v : row) qmax = std::max(qmax, quantize(v, s));
+  for (float v : row) qmax = std::max(qmax, quantize(v, s, kSoftmaxBudget));
 
   // i_exp of the shifted entries; all share one output scale.
-  std::vector<std::int64_t> qe(row.size());
+  qe.resize(row.size());
   std::int64_t qsum = 0;
   for (std::size_t i = 0; i < row.size(); ++i) {
-    QValue in{quantize(row[i], s) - qmax, s};
+    QValue in{quantize(row[i], s, kSoftmaxBudget) - qmax, s};
     const QValue e = i_exp(in);
     qe[i] = e.q;
     qsum += e.q;
@@ -144,28 +197,57 @@ void softmax_row(std::span<float> row, int input_bits, int out_bits) {
     row[i] = static_cast<float>(q) * s_out;
   }
 }
+}  // namespace
+
+void softmax_row(std::span<float> row, int input_bits, int out_bits) {
+  std::vector<std::int64_t> qe;
+  softmax_span(row, qe, input_bits, out_bits);
+}
+
+void softmax_rows(std::span<float> data, std::size_t nrows, std::size_t ncols,
+                  int input_bits, int out_bits) {
+  assert(data.size() == nrows * ncols);
+  if (nrows == 0 || ncols == 0) return;
+  // Per-row scales make rows fully independent: shard row blocks across the
+  // pool, one scratch buffer per shard.
+  runtime::parallel_for(0, nrows, runtime::grain_for(8 * ncols),
+                        [&](std::size_t r0, std::size_t r1) {
+                          std::vector<std::int64_t> qe;
+                          for (std::size_t r = r0; r < r1; ++r)
+                            softmax_span(data.subspan(r * ncols, ncols), qe,
+                                         input_bits, out_bits);
+                        });
+}
 
 void gelu_row(std::span<float> row, int input_bits) {
   if (row.empty()) return;
+  // The whole span shares one scale (computed serially so the result does
+  // not depend on the pool size); the elementwise integer GELU map shards.
   const float s = row_scale(row, input_bits);
-  for (float& v : row) {
-    const QValue out = i_gelu({quantize(v, s), s});
-    v = out.value();
-  }
+  const float budget = grid_budget(input_bits);
+  runtime::parallel_for(0, row.size(), runtime::grain_for(16),
+                        [&](std::size_t i0, std::size_t i1) {
+                          for (std::size_t i = i0; i < i1; ++i) {
+                            const QValue out =
+                                i_gelu({quantize(row[i], s, budget), s});
+                            row[i] = out.value();
+                          }
+                        });
 }
 
-void layernorm_row(std::span<const float> x, std::span<float> y,
-                   std::span<const float> gamma, std::span<const float> beta,
-                   int input_bits) {
+namespace {
+void layernorm_span(std::span<const float> x, std::span<float> y,
+                    std::span<const float> gamma, std::span<const float> beta,
+                    std::vector<std::int64_t>& q, int input_bits) {
   assert(x.size() == y.size());
   const std::size_t n = x.size();
   if (n == 0) return;
 
   const float s = row_scale(x, input_bits);
-  std::vector<std::int64_t> q(n);
+  q.resize(n);
   std::int64_t sum = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    q[i] = quantize(x[i], s);
+    q[i] = quantize(x[i], s, grid_budget(input_bits));
     sum += q[i];
   }
   const std::int64_t mean =
@@ -193,6 +275,30 @@ void layernorm_row(std::span<const float> x, std::span<float> y,
     if (!beta.empty()) v += beta[i];
     y[i] = v;
   }
+}
+}  // namespace
+
+void layernorm_row(std::span<const float> x, std::span<float> y,
+                   std::span<const float> gamma, std::span<const float> beta,
+                   int input_bits) {
+  std::vector<std::int64_t> q;
+  layernorm_span(x, y, gamma, beta, q, input_bits);
+}
+
+void layernorm_rows(std::span<const float> x, std::span<float> y,
+                    std::size_t nrows, std::size_t ncols,
+                    std::span<const float> gamma, std::span<const float> beta,
+                    int input_bits) {
+  assert(x.size() == nrows * ncols && y.size() == nrows * ncols);
+  if (nrows == 0 || ncols == 0) return;
+  runtime::parallel_for(0, nrows, runtime::grain_for(6 * ncols),
+                        [&](std::size_t r0, std::size_t r1) {
+                          std::vector<std::int64_t> q;
+                          for (std::size_t r = r0; r < r1; ++r)
+                            layernorm_span(x.subspan(r * ncols, ncols),
+                                           y.subspan(r * ncols, ncols), gamma,
+                                           beta, q, input_bits);
+                        });
 }
 
 }  // namespace nnlut::ibert

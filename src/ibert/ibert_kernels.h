@@ -37,6 +37,8 @@ QValue i_gelu(QValue in);
 /// Integer exponential for non-positive inputs (I-BERT Alg. 3):
 /// x = -z ln2 + p with p in (-ln2, 0]; exp(x) = i_poly(p) >> z.
 /// Inputs with q > 0 are clamped to 0 (softmax always feeds x - max <= 0).
+/// Scales coarser than ln2 (s > ln2, where floor(ln2/s) = 0) are handled by
+/// clamping the quantized ln2 to one grid step instead of dividing by zero.
 QValue i_exp(QValue in);
 
 /// Integer square root by Newton iteration (I-BERT Alg. 4):
@@ -52,13 +54,35 @@ int i_sqrt_iterations(std::int64_t n, int max_iter = 20);
 // Inputs/outputs are float tensors; each function quantizes its input with a
 // symmetric per-row scale (I-BERT pre-scales inputs in the same spirit),
 // runs the integer pipeline, and dequantizes the result.
+//
+// Non-finite input contract (matches lut_kernel's int_quantize): NaN entries
+// quantize to 0 and contribute nothing to the row scale; ±inf entries also
+// skip the row scale and saturate the quantization budget (the grid maximum
+// 2^bits - 1 for gelu/layernorm, 2^24 for softmax), i.e. they behave as the
+// largest representable magnitude. No input value invokes UB in these
+// row-level kernels — llround is never applied to a non-finite value, the
+// row scale floors the max magnitude at 2^-6 (so scale-derived integer
+// constants like floor(b/S) stay far from int64 limits), and softmax caps
+// the scale at ln2/4 (so the integer exp's range reduction stays valid for
+// rows whose magnitudes dwarf the grid: they produce a near-one-hot result,
+// as exact softmax would, rather than a degenerate all-zero table).
+//
+// The *_rows block entry points process `nrows` contiguous rows with per-row
+// scales; rows are independent, so row blocks are sharded across the runtime
+// thread pool (runtime/thread_pool.h) with scratch buffers hoisted per
+// shard. Results are bit-identical for any pool size.
 // ---------------------------------------------------------------------------
 
 /// Integer softmax (I-BERT Alg. 3): subtract integer max, i_exp each entry,
 /// normalize by the integer sum with a 2^bits fixed-point reciprocal.
 void softmax_row(std::span<float> row, int input_bits = 15, int out_bits = 30);
 
-/// Integer GELU over a row with a shared symmetric scale.
+/// Integer softmax over `nrows` contiguous rows of length `ncols`.
+void softmax_rows(std::span<float> data, std::size_t nrows, std::size_t ncols,
+                  int input_bits = 15, int out_bits = 30);
+
+/// Integer GELU over a span with ONE shared symmetric scale (computed
+/// serially over the whole span; the elementwise integer map is sharded).
 void gelu_row(std::span<float> row, int input_bits = 15);
 
 /// Integer LayerNorm: integer mean/variance, i_sqrt for the standard
@@ -67,5 +91,11 @@ void gelu_row(std::span<float> row, int input_bits = 15);
 void layernorm_row(std::span<const float> x, std::span<float> y,
                    std::span<const float> gamma, std::span<const float> beta,
                    int input_bits = 15);
+
+/// Integer LayerNorm over `nrows` contiguous rows of length `ncols`.
+void layernorm_rows(std::span<const float> x, std::span<float> y,
+                    std::size_t nrows, std::size_t ncols,
+                    std::span<const float> gamma, std::span<const float> beta,
+                    int input_bits = 15);
 
 }  // namespace nnlut::ibert

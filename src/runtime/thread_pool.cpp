@@ -1,0 +1,158 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace nnlut::runtime {
+
+namespace {
+
+std::mutex g_config_mu;
+RuntimeConfig g_config;
+std::unique_ptr<ThreadPool> g_pool;
+
+// Set while a lane executes a shard; nested parallel regions (a sharded
+// kernel calling another sharded kernel) run inline instead of deadlocking
+// on the pool.
+thread_local bool t_in_shard = false;
+
+}  // namespace
+
+void set_runtime_config(const RuntimeConfig& cfg) {
+  std::lock_guard<std::mutex> lk(g_config_mu);
+  if (cfg.threads != g_config.threads) g_pool.reset();
+  g_config = cfg;
+}
+
+RuntimeConfig runtime_config() {
+  std::lock_guard<std::mutex> lk(g_config_mu);
+  return g_config;
+}
+
+namespace {
+std::size_t lanes_for_config(const RuntimeConfig& cfg) {
+  std::size_t lanes = cfg.threads;
+  if (lanes == 0) lanes = std::thread::hardware_concurrency();
+  if (lanes == 0) lanes = 1;
+  return lanes;
+}
+}  // namespace
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lk(g_config_mu);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(lanes_for_config(g_config));
+  return *g_pool;
+}
+
+ThreadPool::ThreadPool(std::size_t lanes) {
+  const std::size_t workers = lanes == 0 ? 0 : lanes - 1;
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w + 1); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop(std::size_t lane) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_start_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+    if (stop_) return;
+    seen = epoch_;
+    const auto* job = job_;
+    const std::size_t shards = job_shards_;
+    // Only participating lanes report completion, so run() never waits on a
+    // lane the job does not use. A straggler that slept through a whole
+    // epoch sees job == nullptr (run() clears it before returning) and just
+    // rearms; it owed that epoch nothing.
+    if (job == nullptr || lane >= shards) continue;
+    lk.unlock();
+    std::exception_ptr err;
+    t_in_shard = true;
+    try {
+      (*job)(lane);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    t_in_shard = false;
+    lk.lock();
+    if (err && !error_) error_ = err;  // first failure wins
+    if (++done_ == job_shards_ - 1) cv_done_.notify_one();
+  }
+}
+
+void ThreadPool::run(std::size_t nshards,
+                     const std::function<void(std::size_t)>& fn) {
+  if (nshards == 0) return;
+  // Inline when the pool cannot host every shard on its own lane (single
+  // lane, a nested call from inside a shard, or a pool rebuilt smaller
+  // between the caller's lane count read and this call).
+  if (nshards == 1 || workers_.empty() || t_in_shard || nshards > lanes()) {
+    for (std::size_t s = 0; s < nshards; ++s) fn(s);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &fn;
+    job_shards_ = nshards;
+    done_ = 0;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  // The caller is lane 0. Whether its shard throws or a worker shard threw
+  // (stored as an exception_ptr), the job must drain before `fn` goes out of
+  // scope; the first failure is then rethrown on the calling thread.
+  std::exception_ptr err;
+  t_in_shard = true;
+  try {
+    fn(0);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  t_in_shard = false;
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return done_ == job_shards_ - 1; });
+  job_ = nullptr;
+  if (!err) err = error_;
+  error_ = nullptr;
+  if (err) std::rethrow_exception(err);
+}
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  if (grain == 0) grain = 1;
+  // Decide the shard count from the config alone so sub-grain work runs
+  // inline without ever instantiating the worker pool.
+  const std::size_t lanes = [] {
+    std::lock_guard<std::mutex> lk(g_config_mu);
+    return lanes_for_config(g_config);
+  }();
+  const std::size_t max_shards = (n + grain - 1) / grain;
+  const std::size_t nshards = std::min(lanes, max_shards);
+  if (nshards <= 1) {
+    fn(begin, end);
+    return;
+  }
+  ThreadPool& pool = global_pool();
+  // Fixed partition: shard s gets chunk (+1 for the first rem shards)
+  // contiguous items. Depends only on (n, nshards), never on timing.
+  const std::size_t chunk = n / nshards;
+  const std::size_t rem = n % nshards;
+  pool.run(nshards, [&](std::size_t s) {
+    const std::size_t lo = begin + s * chunk + std::min(s, rem);
+    const std::size_t hi = lo + chunk + (s < rem ? 1 : 0);
+    fn(lo, hi);
+  });
+}
+
+}  // namespace nnlut::runtime

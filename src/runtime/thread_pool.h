@@ -1,0 +1,90 @@
+// Parallel runtime for the encoder hot path. NN-LUT's hardware evaluates
+// independent rows on parallel comparator banks; the software analogue is a
+// persistent worker pool that shards row blocks of the batched kernels
+// (softmax_rows, layer_norm_rows, activation spans, matmul output rows).
+//
+// Determinism contract: parallel_for partitions [begin, end) into FIXED
+// contiguous shards (static partitioning, one shard per pool lane, no
+// work-stealing and no atomics in the result path). Every shard runs the
+// existing single-thread kernel over its sub-range, so as long as items are
+// independent — which every sharded call site guarantees row-wise — results
+// are bit-identical to a single-threaded run for ANY pool size. Setting
+// RuntimeConfig::threads = 1 recovers the exact serial execution path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nnlut::runtime {
+
+/// Process-wide runtime knobs. `threads` is the total number of execution
+/// lanes (the calling thread counts as lane 0); 0 means
+/// std::thread::hardware_concurrency(). Reconfiguring while kernels are in
+/// flight is not supported — set it at startup / test setup.
+struct RuntimeConfig {
+  std::size_t threads = 0;
+};
+
+void set_runtime_config(const RuntimeConfig& cfg);
+RuntimeConfig runtime_config();
+
+/// Persistent pool of `lanes - 1` workers plus the calling thread. A job is
+/// a shard function executed as fn(s) for s in [0, nshards); shard s runs on
+/// lane s (the caller executes shard 0), which keeps the shard → thread
+/// mapping fixed. `run` must not be invoked concurrently from two
+/// orchestrating threads; nested calls from inside a shard execute inline.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t lanes);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t lanes() const { return workers_.size() + 1; }
+
+  void run(std::size_t nshards, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop(std::size_t lane);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_shards_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::size_t done_ = 0;
+  std::exception_ptr error_;  // first shard failure, rethrown by run()
+  bool stop_ = false;
+};
+
+/// The process-wide pool, created lazily from the current RuntimeConfig.
+ThreadPool& global_pool();
+
+/// Shard [begin, end) into at most `lanes` contiguous blocks of at least
+/// `grain` items each and run fn(block_begin, block_end) on each block.
+/// Blocks are disjoint, cover the range exactly, and are assigned to fixed
+/// lanes; when one block suffices it runs inline on the caller.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// Minimum per-shard workload (in scalar ops) under which forking a shard
+/// costs more than it saves.
+inline constexpr std::size_t kMinShardWork = 16384;
+
+/// Grain (items per shard) so each shard carries >= kMinShardWork scalar ops
+/// given the per-item cost, e.g. grain_for(ncols) for row-sharded kernels.
+inline std::size_t grain_for(std::size_t work_per_item) {
+  if (work_per_item == 0) return kMinShardWork;
+  return (kMinShardWork + work_per_item - 1) / work_per_item;
+}
+
+}  // namespace nnlut::runtime

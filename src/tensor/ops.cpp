@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "runtime/thread_pool.h"
+
 namespace nnlut {
 
 namespace {
@@ -23,16 +25,21 @@ void matmul(const Tensor& a, const Tensor& b, Tensor& c) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  // i-k-j order: streams B rows, vectorizes the inner j loop.
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float av = pa[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  // i-k-j order: streams B rows, vectorizes the inner j loop. Output rows
+  // are independent, so row blocks shard across the runtime pool with the
+  // per-row accumulation order unchanged (bit-identical for any pool size).
+  runtime::parallel_for(
+      0, m, runtime::grain_for(k * n), [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          for (std::size_t kk = 0; kk < k; ++kk) {
+            const float av = pa[i * k + kk];
+            if (av == 0.0f) continue;
+            const float* brow = pb + kk * n;
+            float* crow = pc + i * n;
+            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      });
 }
 
 void matmul_bt(const Tensor& a, const Tensor& b, Tensor& c) {
@@ -44,15 +51,18 @@ void matmul_bt(const Tensor& a, const Tensor& b, Tensor& c) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.0f;
-      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      pc[i * n + j] = acc;
-    }
-  }
+  runtime::parallel_for(
+      0, m, runtime::grain_for(k * n), [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float* arow = pa + i * k;
+          for (std::size_t j = 0; j < n; ++j) {
+            const float* brow = pb + j * k;
+            float acc = 0.0f;
+            for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+            pc[i * n + j] = acc;
+          }
+        }
+      });
 }
 
 void matmul_at(const Tensor& a, const Tensor& b, Tensor& c) {

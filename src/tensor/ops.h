@@ -1,5 +1,8 @@
 // Dense math on Tensors: matmul variants (the hot path of transformer
-// training), bias/elementwise helpers and row-wise reductions.
+// training and inference), bias/elementwise helpers and row-wise reductions.
+// matmul and matmul_bt shard output-row blocks across the runtime thread
+// pool (runtime/thread_pool.h); per-row accumulation order is unchanged, so
+// results are bit-identical for any pool size.
 #pragma once
 
 #include <functional>

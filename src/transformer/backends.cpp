@@ -5,18 +5,60 @@
 
 #include "ibert/ibert_kernels.h"
 #include "numerics/math.h"
+#include "runtime/thread_pool.h"
 
 namespace nnlut::transformer {
+
+namespace {
+
+/// Elementwise activation over a span, sharded across the pool (elementwise
+/// maps are trivially independent, so results are pool-size invariant).
+void activation_sharded(std::span<float> xs, ActKind act) {
+  runtime::parallel_for(0, xs.size(), runtime::grain_for(8),
+                        [&](std::size_t i0, std::size_t i1) {
+                          if (act == ActKind::kGelu) {
+                            for (std::size_t i = i0; i < i1; ++i)
+                              xs[i] = gelu_exact(xs[i]);
+                          } else {
+                            for (std::size_t i = i0; i < i1; ++i)
+                              if (xs[i] < 0.0f) xs[i] = 0.0f;
+                          }
+                        });
+}
+
+/// Exact softmax over row blocks, sharded (used by the exact backend and by
+/// the LUT backend when softmax is not selected for approximation).
+void softmax_exact_rows(std::span<float> data, std::size_t nrows,
+                        std::size_t ncols) {
+  if (nrows == 0 || ncols == 0) return;
+  runtime::parallel_for(0, nrows, runtime::grain_for(4 * ncols),
+                        [&](std::size_t r0, std::size_t r1) {
+                          for (std::size_t r = r0; r < r1; ++r)
+                            softmax_exact(data.subspan(r * ncols, ncols));
+                        });
+}
+
+/// Exact LayerNorm over row blocks, sharded (same two call sites).
+void layer_norm_exact_rows(std::span<const float> x, std::span<float> y,
+                           std::size_t nrows, std::size_t ncols,
+                           std::span<const float> gamma,
+                           std::span<const float> beta) {
+  if (nrows == 0 || ncols == 0) return;
+  runtime::parallel_for(0, nrows, runtime::grain_for(4 * ncols),
+                        [&](std::size_t r0, std::size_t r1) {
+                          for (std::size_t r = r0; r < r1; ++r)
+                            layer_norm_exact(x.subspan(r * ncols, ncols),
+                                             y.subspan(r * ncols, ncols),
+                                             gamma, beta);
+                        });
+}
+
+}  // namespace
 
 // ------------------------------------------------- ExactNonlinearities ----
 
 void ExactNonlinearities::activation(std::span<float> xs, int /*site*/) {
-  if (act_ == ActKind::kGelu) {
-    for (float& v : xs) v = gelu_exact(v);
-  } else {
-    for (float& v : xs)
-      if (v < 0.0f) v = 0.0f;
-  }
+  activation_sharded(xs, act_);
 }
 
 void ExactNonlinearities::softmax(std::span<float> row, int /*site*/) {
@@ -29,6 +71,21 @@ void ExactNonlinearities::layer_norm(std::span<const float> x,
                                      std::span<const float> beta,
                                      int /*site*/) {
   layer_norm_exact(x, y, gamma, beta);
+}
+
+void ExactNonlinearities::softmax_rows(std::span<float> data,
+                                       std::size_t nrows, std::size_t ncols,
+                                       int /*site*/) {
+  softmax_exact_rows(data, nrows, ncols);
+}
+
+void ExactNonlinearities::layer_norm_rows(std::span<const float> x,
+                                          std::span<float> y,
+                                          std::size_t nrows, std::size_t ncols,
+                                          std::span<const float> gamma,
+                                          std::span<const float> beta,
+                                          int /*site*/) {
+  layer_norm_exact_rows(x, y, nrows, ncols, gamma, beta);
 }
 
 // --------------------------------------------------- LutNonlinearities ----
@@ -46,16 +103,15 @@ LutNonlinearities::LutNonlinearities(std::unique_ptr<ScalarFn> gelu,
 
 void LutNonlinearities::activation(std::span<float> xs, int /*site*/) {
   if (opt_.select.gelu && opt_.act == ActKind::kGelu) {
-    gelu_fn_->eval_inplace(xs);
+    // Elementwise plan evaluation: shard sub-spans across the pool.
+    runtime::parallel_for(0, xs.size(), runtime::grain_for(8),
+                          [&](std::size_t i0, std::size_t i1) {
+                            gelu_fn_->eval_inplace(xs.subspan(i0, i1 - i0));
+                          });
     return;
   }
   // Exact fallback (including ReLU models: ReLU is not approximated).
-  if (opt_.act == ActKind::kGelu) {
-    for (float& v : xs) v = gelu_exact(v);
-  } else {
-    for (float& v : xs)
-      if (v < 0.0f) v = 0.0f;
-  }
+  activation_sharded(xs, opt_.act);
 }
 
 void LutNonlinearities::softmax(std::span<float> row, int site) {
@@ -65,8 +121,7 @@ void LutNonlinearities::softmax(std::span<float> row, int site) {
 void LutNonlinearities::softmax_rows(std::span<float> data, std::size_t nrows,
                                      std::size_t ncols, int /*site*/) {
   if (!opt_.select.softmax) {
-    for (std::size_t r = 0; r < nrows; ++r)
-      softmax_exact(data.subspan(r * ncols, ncols));
+    softmax_exact_rows(data, nrows, ncols);
     return;
   }
   const SoftmaxApprox sm(*exp_fn_, *recip_fn_);
@@ -95,9 +150,7 @@ void LutNonlinearities::layer_norm_rows(std::span<const float> x,
                                         std::span<const float> beta,
                                         int site) {
   if (!opt_.select.layer_norm) {
-    for (std::size_t r = 0; r < nrows; ++r)
-      layer_norm_exact(x.subspan(r * ncols, ncols),
-                       y.subspan(r * ncols, ncols), gamma, beta);
+    layer_norm_exact_rows(x, y, nrows, ncols, gamma, beta);
     return;
   }
 
@@ -109,6 +162,9 @@ void LutNonlinearities::layer_norm_rows(std::span<const float> x,
       capture_buffers_.resize(static_cast<std::size_t>(site) + 1);
     const CapturingFn cap(rsqrt_for_site(site),
                           capture_buffers_[static_cast<std::size_t>(site)]);
+    // The capture sink is single-threaded state; keep the block serial so
+    // calibration sees every row exactly once and in order.
+    lopt.allow_parallel = false;
     const LayerNormApprox ln(cap, lopt);
     ln.rows(x, y, nrows, ncols, gamma, beta);
     return;
@@ -141,10 +197,9 @@ const std::vector<float>& LutNonlinearities::captured_rsqrt_inputs(
 
 void IBertNonlinearities::activation(std::span<float> xs, int /*site*/) {
   if (act_ == ActKind::kGelu) {
-    ibert::gelu_row(xs);
+    ibert::gelu_row(xs);  // shared scale, sharded elementwise map
   } else {
-    for (float& v : xs)
-      if (v < 0.0f) v = 0.0f;
+    activation_sharded(xs, ActKind::kRelu);
   }
 }
 
@@ -158,6 +213,21 @@ void IBertNonlinearities::layer_norm(std::span<const float> x,
                                      std::span<const float> beta,
                                      int /*site*/) {
   ibert::layernorm_row(x, y, gamma, beta);
+}
+
+void IBertNonlinearities::softmax_rows(std::span<float> data,
+                                       std::size_t nrows, std::size_t ncols,
+                                       int /*site*/) {
+  ibert::softmax_rows(data, nrows, ncols);
+}
+
+void IBertNonlinearities::layer_norm_rows(std::span<const float> x,
+                                          std::span<float> y,
+                                          std::size_t nrows, std::size_t ncols,
+                                          std::span<const float> gamma,
+                                          std::span<const float> beta,
+                                          int /*site*/) {
+  ibert::layernorm_rows(x, y, nrows, ncols, gamma, beta);
 }
 
 // ------------------------------------------------------------ factories ---

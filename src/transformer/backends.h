@@ -57,7 +57,9 @@ class NonlinearitySet {
   }
 };
 
-/// Exact FP32 reference implementations.
+/// Exact FP32 reference implementations. The block entry points shard row
+/// blocks (and the activation span) across the runtime thread pool so the
+/// baseline comparison against the LUT backend is thread-for-thread fair.
 class ExactNonlinearities final : public NonlinearitySet {
  public:
   explicit ExactNonlinearities(ActKind act = ActKind::kGelu) : act_(act) {}
@@ -66,6 +68,12 @@ class ExactNonlinearities final : public NonlinearitySet {
   void layer_norm(std::span<const float> x, std::span<float> y,
                   std::span<const float> gamma, std::span<const float> beta,
                   int site) override;
+  void softmax_rows(std::span<float> data, std::size_t nrows,
+                    std::size_t ncols, int site) override;
+  void layer_norm_rows(std::span<const float> x, std::span<float> y,
+                       std::size_t nrows, std::size_t ncols,
+                       std::span<const float> gamma,
+                       std::span<const float> beta, int site) override;
 
  private:
   ActKind act_;
@@ -136,7 +144,9 @@ class LutNonlinearities final : public NonlinearitySet {
 };
 
 /// I-BERT integer kernels for all three ops (ReLU models keep ReLU exact —
-/// it is not a transcendental op).
+/// it is not a transcendental op). The block entry points route through
+/// ibert's *_rows kernels, which shard row blocks across the runtime pool —
+/// the same harness the LUT backend runs under, keeping the baseline fair.
 class IBertNonlinearities final : public NonlinearitySet {
  public:
   explicit IBertNonlinearities(ActKind act = ActKind::kGelu) : act_(act) {}
@@ -145,6 +155,12 @@ class IBertNonlinearities final : public NonlinearitySet {
   void layer_norm(std::span<const float> x, std::span<float> y,
                   std::span<const float> gamma, std::span<const float> beta,
                   int site) override;
+  void softmax_rows(std::span<float> data, std::size_t nrows,
+                    std::size_t ncols, int site) override;
+  void layer_norm_rows(std::span<const float> x, std::span<float> y,
+                       std::size_t nrows, std::size_t ncols,
+                       std::span<const float> gamma,
+                       std::span<const float> beta, int site) override;
 
  private:
   ActKind act_;

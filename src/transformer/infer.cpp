@@ -3,8 +3,10 @@
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "ibert/quantization.h"
+#include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace nnlut::transformer {
@@ -77,12 +79,15 @@ void InferenceModel::norm_rows(const Tensor& x, Tensor& y,
     nl_->layer_norm_rows(x.flat(), y.flat(), rows, dim, gamma, beta, site);
   } else {
     // NoNorm: element-wise affine; no non-linearity to approximate.
-    for (std::size_t r = 0; r < rows; ++r) {
-      const auto xin = x.row(r);
-      auto yo = y.row(r);
-      for (std::size_t j = 0; j < dim; ++j)
-        yo[j] = xin[j] * gamma[j] + beta[j];
-    }
+    runtime::parallel_for(0, rows, runtime::grain_for(2 * dim),
+                          [&](std::size_t r0, std::size_t r1) {
+                            for (std::size_t r = r0; r < r1; ++r) {
+                              const auto xin = x.row(r);
+                              auto yo = y.row(r);
+                              for (std::size_t j = 0; j < dim; ++j)
+                                yo[j] = xin[j] * gamma[j] + beta[j];
+                            }
+                          });
   }
 }
 
@@ -92,21 +97,55 @@ Tensor InferenceModel::encode(const BatchInput& in) {
   if (in.token_ids.size() != in.batch * in.seq)
     throw std::invalid_argument("InferenceModel::encode: bad batch shape");
 
+  if (!in.type_ids.empty() && in.type_ids.size() != in.token_ids.size())
+    throw std::invalid_argument("InferenceModel::encode: bad type_ids shape");
+
   const std::size_t rows = in.batch * in.seq;
   const std::size_t hidden = cfg.hidden;
 
-  // Embeddings (kept FP32; they are table reads, not matmuls).
-  Tensor x({rows, hidden});
+  // Validate every id before touching the embedding tables: a negative or
+  // out-of-vocabulary id would otherwise index out of bounds.
+  const int vocab = static_cast<int>(enc.tok_emb.table.value.dim(0));
+  const int type_vocab = static_cast<int>(enc.type_emb.table.value.dim(0));
+  if (in.seq > enc.pos_emb.table.value.dim(0))
+    throw std::out_of_range(
+        "InferenceModel::encode: seq exceeds the position-embedding table");
   for (std::size_t r = 0; r < rows; ++r) {
     const int tok = in.token_ids[r];
-    const int typ = in.type_ids.empty() ? 0 : in.type_ids[r];
-    const int pos = static_cast<int>(r % in.seq);
-    const auto te = enc.tok_emb.table.value.row(static_cast<std::size_t>(tok));
-    const auto pe = enc.pos_emb.table.value.row(static_cast<std::size_t>(pos));
-    const auto ye = enc.type_emb.table.value.row(static_cast<std::size_t>(typ));
-    auto dst = x.row(r);
-    for (std::size_t j = 0; j < hidden; ++j) dst[j] = te[j] + pe[j] + ye[j];
+    if (tok < 0 || tok >= vocab)
+      throw std::out_of_range("InferenceModel::encode: token id " +
+                              std::to_string(tok) + " at position " +
+                              std::to_string(r) + " outside vocab of " +
+                              std::to_string(vocab));
+    if (!in.type_ids.empty()) {
+      const int typ = in.type_ids[r];
+      if (typ < 0 || typ >= type_vocab)
+        throw std::out_of_range("InferenceModel::encode: type id " +
+                                std::to_string(typ) + " at position " +
+                                std::to_string(r) + " outside type vocab of " +
+                                std::to_string(type_vocab));
+    }
   }
+
+  // Embeddings (kept FP32; they are table reads, not matmuls).
+  Tensor x({rows, hidden});
+  runtime::parallel_for(
+      0, rows, runtime::grain_for(3 * hidden),
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+          const int tok = in.token_ids[r];
+          const int typ = in.type_ids.empty() ? 0 : in.type_ids[r];
+          const int pos = static_cast<int>(r % in.seq);
+          const auto te =
+              enc.tok_emb.table.value.row(static_cast<std::size_t>(tok));
+          const auto pe =
+              enc.pos_emb.table.value.row(static_cast<std::size_t>(pos));
+          const auto ye =
+              enc.type_emb.table.value.row(static_cast<std::size_t>(typ));
+          auto dst = x.row(r);
+          for (std::size_t j = 0; j < hidden; ++j) dst[j] = te[j] + pe[j] + ye[j];
+        }
+      });
 
   Tensor xn({rows, hidden});
   norm_rows(x, xn, enc.emb_norm, embedding_norm_site());
@@ -133,39 +172,48 @@ Tensor InferenceModel::encode(const BatchInput& in) {
     project(v, mode_);
 
     // Score every (batch, head, query) row first, then run softmax over ALL
-    // attention rows of the layer in one backend call.
-    for (std::size_t b = 0; b < in.batch; ++b) {
-      for (std::size_t h = 0; h < heads; ++h) {
-        for (std::size_t i = 0; i < in.seq; ++i) {
-          const float* qi = q.data() + (b * in.seq + i) * hidden + h * hd;
-          auto prow = scores.row((b * heads + h) * in.seq + i);
-          for (std::size_t j = 0; j < in.seq; ++j) {
-            const float* kj = k.data() + (b * in.seq + j) * hidden + h * hd;
-            float acc = 0.0f;
-            for (std::size_t d = 0; d < hd; ++d) acc += qi[d] * kj[d];
-            prow[j] = acc * scale;
+    // attention rows of the layer in one backend call. Score rows are
+    // independent: shard the flattened (batch, head, query) index space.
+    runtime::parallel_for(
+        0, score_rows, runtime::grain_for(in.seq * hd),
+        [&](std::size_t f0, std::size_t f1) {
+          for (std::size_t f = f0; f < f1; ++f) {
+            const std::size_t b = f / (heads * in.seq);
+            const std::size_t h = (f / in.seq) % heads;
+            const std::size_t i = f % in.seq;
+            const float* qi = q.data() + (b * in.seq + i) * hidden + h * hd;
+            auto prow = scores.row(f);
+            for (std::size_t j = 0; j < in.seq; ++j) {
+              const float* kj = k.data() + (b * in.seq + j) * hidden + h * hd;
+              float acc = 0.0f;
+              for (std::size_t d = 0; d < hd; ++d) acc += qi[d] * kj[d];
+              prow[j] = acc * scale;
+            }
           }
-        }
-      }
-    }
+        });
     if (mode_ == MatmulMode::kFp16) ibert::fake_quantize_fp16(scores.flat());
     nl_->softmax_rows(scores.flat(), score_rows, in.seq, site);
 
+    // Context (scores · V): each flattened (batch, head, query) row writes a
+    // disjoint hd-slice of `context`, so the same sharding applies.
     Tensor context({rows, hidden});
-    for (std::size_t b = 0; b < in.batch; ++b) {
-      for (std::size_t h = 0; h < heads; ++h) {
-        for (std::size_t i = 0; i < in.seq; ++i) {
-          const auto prow = scores.row((b * heads + h) * in.seq + i);
-          float* out = context.data() + (b * in.seq + i) * hidden + h * hd;
-          for (std::size_t d = 0; d < hd; ++d) {
-            float acc = 0.0f;
-            for (std::size_t j = 0; j < in.seq; ++j)
-              acc += prow[j] * v.at(b * in.seq + j, d + h * hd);
-            out[d] = acc;
+    runtime::parallel_for(
+        0, score_rows, runtime::grain_for(in.seq * hd),
+        [&](std::size_t f0, std::size_t f1) {
+          for (std::size_t f = f0; f < f1; ++f) {
+            const std::size_t b = f / (heads * in.seq);
+            const std::size_t h = (f / in.seq) % heads;
+            const std::size_t i = f % in.seq;
+            const auto prow = scores.row(f);
+            float* out = context.data() + (b * in.seq + i) * hidden + h * hd;
+            for (std::size_t d = 0; d < hd; ++d) {
+              float acc = 0.0f;
+              for (std::size_t j = 0; j < in.seq; ++j)
+                acc += prow[j] * v.at(b * in.seq + j, d + h * hd);
+              out[d] = acc;
+            }
           }
-        }
-      }
-    }
+        });
 
     Tensor attn_out = lw.wo.apply(context, mode_);
     add_inplace(attn_out, x);  // residual
