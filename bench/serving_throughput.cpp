@@ -1,0 +1,154 @@
+// Closed-loop serving load generator: `clients` threads each submit one
+// request at a time against a Server (submit -> await -> next), sweeping
+// clients {1, 4, 16} x max_batch {1, 8, 32}. max_batch 1 is the no-batching
+// baseline — each request is its own model call; larger max_batch lets the
+// dynamic batcher pack concurrent requests of the same seq into one
+// LUT-evaluated batch. The acceptance target is >= 2x the requests/sec of
+// max_batch 1 at 16 clients with max_batch 32 on a multi-core machine
+// (batching wins come from amortized dispatch plus fuller thread-pool
+// shards; on a 1-core container only the dispatch term remains).
+//
+// Unless --benchmark_out is given, results are also written as
+// machine-readable JSON to BENCH_serving_throughput.json.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "approx/linear_lut.h"
+#include "numerics/math.h"
+#include "numerics/rng.h"
+#include "runtime/thread_pool.h"
+#include "serve/server.h"
+#include "transformer/infer.h"
+
+namespace {
+
+using namespace nnlut;
+using namespace nnlut::transformer;
+using namespace std::chrono_literals;
+
+constexpr std::size_t kSeq = 64;
+constexpr int kRequestsPerClient = 8;
+
+ModelConfig bench_config() {
+  ModelConfig c = ModelConfig::roberta_like();
+  c.vocab = 128;
+  c.hidden = 64;
+  c.layers = 2;
+  c.heads = 4;
+  c.ffn = 256;
+  c.max_seq = kSeq;
+  return c;
+}
+
+struct Fixture {
+  TaskModel model;
+  std::unique_ptr<LutNonlinearities> lut;
+
+  Fixture(const ModelConfig& cfg, Rng& rng)
+      : model(cfg, HeadKind::kClassify, 2, rng) {
+    LutSet luts{fit_linear_lut(gelu_exact, kGeluRange, 16),
+                fit_linear_lut(exp_exact, {-16.0f, 0.0f}, 16),
+                fit_fixed_breakpoint_lut(reciprocal_exact, {1.0f, 1024.0f}, 16,
+                                         BreakpointMode::kExponential),
+                fit_fixed_breakpoint_lut(rsqrt_exact, kRsqrtRange, 16,
+                                         BreakpointMode::kExponential)};
+    LutNonlinearities::Options opt;
+    opt.select = ApproxSelection::all();
+    lut = make_lut_backend(luts, LutPrecision::kFp32, opt);
+  }
+};
+
+Fixture& fixture() {
+  static Rng rng(42);
+  static Fixture f(bench_config(), rng);
+  return f;
+}
+
+BatchInput request_for(std::uint64_t seed) {
+  Rng rng(1000 + seed);
+  BatchInput in;
+  in.batch = 1;
+  in.seq = kSeq;
+  in.token_ids.resize(kSeq);
+  for (int& t : in.token_ids)
+    t = rng.uniform_int(0, static_cast<int>(bench_config().vocab) - 1);
+  return in;
+}
+
+void BM_ServingClosedLoop(benchmark::State& state) {
+  const std::size_t clients = static_cast<std::size_t>(state.range(0));
+  const std::size_t max_batch = static_cast<std::size_t>(state.range(1));
+
+  serve::ServeConfig cfg;
+  cfg.max_batch = max_batch;
+  cfg.max_wait = 500us;
+  cfg.threads = 0;  // hardware_concurrency
+
+  // Each client's request stream is fixed across iterations and sweeps so
+  // configurations serve identical work.
+  std::vector<std::vector<BatchInput>> streams(clients);
+  for (std::size_t c = 0; c < clients; ++c)
+    for (int k = 0; k < kRequestsPerClient; ++k)
+      streams[c].push_back(request_for(c * 1001 + static_cast<std::uint64_t>(k)));
+
+  double occupancy = 0.0;
+  for (auto _ : state) {
+    serve::Server server(fixture().model, *fixture().lut, cfg);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (const BatchInput& in : streams[c]) {
+          Tensor logits = server.submit(in).get();
+          benchmark::DoNotOptimize(logits.data());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    occupancy = server.stats().mean_batch_occupancy;
+    server.shutdown();
+  }
+
+  const auto total_requests =
+      static_cast<std::size_t>(state.iterations()) * clients *
+      static_cast<std::size_t>(kRequestsPerClient);
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_requests));
+  state.counters["req_per_s"] = benchmark::Counter(
+      static_cast<double>(total_requests), benchmark::Counter::kIsRate);
+  state.counters["batch_occupancy"] = occupancy;
+  nnlut::runtime::set_runtime_config({});
+}
+
+BENCHMARK(BM_ServingClosedLoop)
+    ->ArgsProduct({{1, 4, 16}, {1, 8, 32}})
+    ->ArgNames({"clients", "max_batch"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+// Custom main: default to writing machine-readable JSON next to the working
+// directory unless the caller already chose an output file.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  static std::string out = "--benchmark_out=BENCH_serving_throughput.json";
+  static std::string fmt = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out.data());
+    args.push_back(fmt.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -29,6 +29,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -121,5 +122,26 @@ class LutKernelInt32 {
   float sx_ = 1.0f;  // input scale
   float ss_ = 1.0f;  // slope scale
 };
+
+// ---------------------------------------------------------- plan cache ---
+
+/// Compile an FP32 plan through the process-wide content-addressed cache:
+/// calibrated per-site LUTs mostly share identical tables, and bitwise-equal
+/// (breakpoints, slopes, intercepts) triples map to one shared immutable
+/// plan. The cache holds weak references — a plan is freed once the last
+/// table using it is destroyed. Thread-safe.
+std::shared_ptr<const LutKernel> compile_plan_cached(
+    std::span<const float> breakpoints, std::span<const float> slopes,
+    std::span<const float> intercepts);
+
+/// Counters for the plan cache (process lifetime; tests assert deltas).
+struct PlanCacheStats {
+  std::size_t hits = 0;    // lookups that reused a live plan
+  std::size_t misses = 0;  // lookups that compiled a new plan
+  std::size_t live = 0;    // cached plans still referenced somewhere
+  std::size_t cached = 0;  // cache entries held, incl. expired ones awaiting
+                           // the periodic sweep (bounded by live + period)
+};
+PlanCacheStats plan_cache_stats();
 
 }  // namespace nnlut

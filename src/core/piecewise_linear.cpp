@@ -27,7 +27,12 @@ PiecewiseLinear::PiecewiseLinear(std::vector<float> breakpoints,
       throw std::invalid_argument(
           "PiecewiseLinear: breakpoints must be strictly ascending");
   }
-  kernel_ = LutKernel(breakpoints_, slopes_, intercepts_);
+  kernel_ = compile_plan_cached(breakpoints_, slopes_, intercepts_);
+}
+
+const LutKernel& PiecewiseLinear::kernel() const {
+  static const LutKernel empty;  // default-constructed tables have no plan
+  return kernel_ ? *kernel_ : empty;
 }
 
 std::size_t PiecewiseLinear::segment_index(float x) const {
@@ -43,7 +48,7 @@ float PiecewiseLinear::operator()(float x) const {
 }
 
 void PiecewiseLinear::eval_inplace(std::span<float> xs) const {
-  kernel_.eval(xs);
+  if (kernel_) kernel_->eval(xs);
 }
 
 }  // namespace nnlut

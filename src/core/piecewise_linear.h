@@ -48,14 +48,15 @@ class PiecewiseLinear {
   /// Evaluate over a batch, in place, through the compiled plan.
   void eval_inplace(std::span<float> xs) const;
 
-  /// The compiled SoA evaluation plan (built at construction).
-  const LutKernel& kernel() const { return kernel_; }
+  /// The compiled SoA evaluation plan (obtained at construction from the
+  /// process-wide plan cache; tables with identical content share one plan).
+  const LutKernel& kernel() const;
 
  private:
   std::vector<float> breakpoints_;  // N-1, strictly ascending
   std::vector<float> slopes_;       // N
   std::vector<float> intercepts_;   // N
-  LutKernel kernel_;
+  std::shared_ptr<const LutKernel> kernel_;
 };
 
 }  // namespace nnlut

@@ -235,6 +235,25 @@ void gelu_row(std::span<float> row, int input_bits) {
                         });
 }
 
+void gelu_rows(std::span<float> data, std::size_t nrows, std::size_t ncols,
+               int input_bits) {
+  if (nrows == 0 || ncols == 0) return;
+  assert(data.size() == nrows * ncols);
+  const float budget = grid_budget(input_bits);
+  runtime::parallel_for(
+      0, nrows, runtime::grain_for(4 * ncols),
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+          const std::span<float> row = data.subspan(r * ncols, ncols);
+          const float s = row_scale(row, input_bits);
+          for (std::size_t i = 0; i < ncols; ++i) {
+            const QValue out = i_gelu({quantize(row[i], s, budget), s});
+            row[i] = out.value();
+          }
+        }
+      });
+}
+
 namespace {
 void layernorm_span(std::span<const float> x, std::span<float> y,
                     std::span<const float> gamma, std::span<const float> beta,

@@ -85,6 +85,13 @@ void softmax_rows(std::span<float> data, std::size_t nrows, std::size_t ncols,
 /// serially over the whole span; the elementwise integer map is sharded).
 void gelu_row(std::span<float> row, int input_bits = 15);
 
+/// Integer GELU over `nrows` contiguous rows of length `ncols` with one
+/// scale PER ROW. Each row's result depends only on that row's content, so
+/// — unlike the whole-span gelu_row — packed multi-request batches match
+/// solo execution bit-for-bit (the serving batcher's contract).
+void gelu_rows(std::span<float> data, std::size_t nrows, std::size_t ncols,
+               int input_bits = 15);
+
 /// Integer LayerNorm: integer mean/variance, i_sqrt for the standard
 /// deviation, fixed-point reciprocal multiply; gamma/beta folded in after
 /// dequantization (they are channelwise affine constants).

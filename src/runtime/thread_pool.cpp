@@ -9,7 +9,7 @@ namespace {
 
 std::mutex g_config_mu;
 RuntimeConfig g_config;
-std::unique_ptr<ThreadPool> g_pool;
+std::shared_ptr<ThreadPool> g_pool;
 
 // Set while a lane executes a shard; nested parallel regions (a sharded
 // kernel calling another sharded kernel) run inline instead of deadlocking
@@ -19,9 +19,16 @@ thread_local bool t_in_shard = false;
 }  // namespace
 
 void set_runtime_config(const RuntimeConfig& cfg) {
-  std::lock_guard<std::mutex> lk(g_config_mu);
-  if (cfg.threads != g_config.threads) g_pool.reset();
-  g_config = cfg;
+  // Retire the old pool outside the config lock: destroying it joins its
+  // workers, and a worker running a nested parallel_for briefly takes
+  // g_config_mu — joining under the lock could deadlock. Kernels in flight
+  // on the retired pool hold their own shared_ptr and finish undisturbed.
+  std::shared_ptr<ThreadPool> retired;
+  {
+    std::lock_guard<std::mutex> lk(g_config_mu);
+    if (cfg.threads != g_config.threads) retired = std::move(g_pool);
+    g_config = cfg;
+  }
 }
 
 RuntimeConfig runtime_config() {
@@ -38,10 +45,10 @@ std::size_t lanes_for_config(const RuntimeConfig& cfg) {
 }
 }  // namespace
 
-ThreadPool& global_pool() {
+std::shared_ptr<ThreadPool> acquire_pool() {
   std::lock_guard<std::mutex> lk(g_config_mu);
-  if (!g_pool) g_pool = std::make_unique<ThreadPool>(lanes_for_config(g_config));
-  return *g_pool;
+  if (!g_pool) g_pool = std::make_shared<ThreadPool>(lanes_for_config(g_config));
+  return g_pool;
 }
 
 ThreadPool::ThreadPool(std::size_t lanes) {
@@ -99,6 +106,13 @@ void ThreadPool::run(std::size_t nshards,
     for (std::size_t s = 0; s < nshards; ++s) fn(s);
     return;
   }
+  // Claim the workers. A second orchestrating thread (another Server's
+  // scheduler, a concurrent direct caller) must not touch job_/epoch_ while
+  // a job is in flight; it runs inline instead — same bits, serial.
+  if (orchestrating_.exchange(true, std::memory_order_acquire)) {
+    for (std::size_t s = 0; s < nshards; ++s) fn(s);
+    return;
+  }
   {
     std::lock_guard<std::mutex> lk(mu_);
     job_ = &fn;
@@ -123,6 +137,8 @@ void ThreadPool::run(std::size_t nshards,
   job_ = nullptr;
   if (!err) err = error_;
   error_ = nullptr;
+  lk.unlock();
+  orchestrating_.store(false, std::memory_order_release);
   if (err) std::rethrow_exception(err);
 }
 
@@ -143,12 +159,12 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
     fn(begin, end);
     return;
   }
-  ThreadPool& pool = global_pool();
+  const std::shared_ptr<ThreadPool> pool = acquire_pool();
   // Fixed partition: shard s gets chunk (+1 for the first rem shards)
   // contiguous items. Depends only on (n, nshards), never on timing.
   const std::size_t chunk = n / nshards;
   const std::size_t rem = n % nshards;
-  pool.run(nshards, [&](std::size_t s) {
+  pool->run(nshards, [&](std::size_t s) {
     const std::size_t lo = begin + s * chunk + std::min(s, rem);
     const std::size_t hi = lo + chunk + (s < rem ? 1 : 0);
     fn(lo, hi);

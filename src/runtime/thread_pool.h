@@ -12,11 +12,13 @@
 // RuntimeConfig::threads = 1 recovers the exact serial execution path.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -25,8 +27,10 @@ namespace nnlut::runtime {
 
 /// Process-wide runtime knobs. `threads` is the total number of execution
 /// lanes (the calling thread counts as lane 0); 0 means
-/// std::thread::hardware_concurrency(). Reconfiguring while kernels are in
-/// flight is not supported — set it at startup / test setup.
+/// std::thread::hardware_concurrency(). Reconfiguring is safe at any time,
+/// including while kernels are in flight on other threads (a serving loop
+/// resizing its budget): in-flight kernels keep a handle on the pool they
+/// started on and drain there; subsequent kernels see the new pool.
 struct RuntimeConfig {
   std::size_t threads = 0;
 };
@@ -37,8 +41,11 @@ RuntimeConfig runtime_config();
 /// Persistent pool of `lanes - 1` workers plus the calling thread. A job is
 /// a shard function executed as fn(s) for s in [0, nshards); shard s runs on
 /// lane s (the caller executes shard 0), which keeps the shard → thread
-/// mapping fixed. `run` must not be invoked concurrently from two
-/// orchestrating threads; nested calls from inside a shard execute inline.
+/// mapping fixed. One orchestrator uses the workers at a time: if a second
+/// thread calls `run` while a job is in flight (two Servers, or a server
+/// plus a direct caller), the late caller executes its shards inline —
+/// bit-identical results, just serial for that call. Nested calls from
+/// inside a shard also execute inline.
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t lanes);
@@ -64,10 +71,14 @@ class ThreadPool {
   std::size_t done_ = 0;
   std::exception_ptr error_;  // first shard failure, rethrown by run()
   bool stop_ = false;
+  std::atomic<bool> orchestrating_{false};  // a job is using the workers
 };
 
-/// The process-wide pool, created lazily from the current RuntimeConfig.
-ThreadPool& global_pool();
+/// Acquire the process-wide pool, created lazily from the current
+/// RuntimeConfig. The returned handle keeps the pool alive even if a
+/// concurrent set_runtime_config retires it mid-job; the retired pool joins
+/// its workers once the last in-flight holder releases it.
+std::shared_ptr<ThreadPool> acquire_pool();
 
 /// Shard [begin, end) into at most `lanes` contiguous blocks of at least
 /// `grain` items each and run fn(block_begin, block_end) on each block.

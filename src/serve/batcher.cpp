@@ -1,0 +1,202 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace nnlut::serve {
+
+Batcher::Batcher(RequestQueue& queue, RunFn run, BatcherConfig cfg,
+                 BatchObserver observer)
+    : queue_(&queue),
+      run_(std::move(run)),
+      cfg_(cfg),
+      observer_(std::move(observer)) {
+  if (cfg_.max_batch == 0) cfg_.max_batch = 1;
+  scheduler_ = std::thread([this] { loop(); });
+}
+
+Batcher::~Batcher() { stop(); }
+
+void Batcher::stop() {
+  if (stopped_.exchange(true)) return;
+  queue_->close();
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+void Batcher::loop() {
+  for (;;) {
+    // Sleep until new work, the nearest bucket flush deadline, or close.
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    for (const auto& kv : buckets_) {
+      const auto d = kv.second.items.front().enqueued + cfg_.max_wait;
+      if (!deadline || d < *deadline) deadline = d;
+    }
+    std::vector<Submission> drained = queue_->wait_drain(deadline);
+    const bool closed = queue_->closed();
+
+    for (Submission& sub : drained) {
+      Bucket& b = buckets_[sub.input.seq];
+      b.sequences += sub.input.batch;
+      b.items.push_back(std::move(sub));
+    }
+
+    // Flush buckets that reached the batch threshold.
+    for (auto& kv : buckets_)
+      while (kv.second.sequences >= cfg_.max_batch) flush_chunk(kv.second);
+
+    // Flush buckets whose oldest member has waited out max_wait — and, on
+    // shutdown, everything still buffered.
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& kv : buckets_) {
+      Bucket& b = kv.second;
+      while (!b.items.empty() &&
+             (closed || b.items.front().enqueued + cfg_.max_wait <= now))
+        flush_chunk(b);
+    }
+
+    for (auto it = buckets_.begin(); it != buckets_.end();)
+      it = it->second.items.empty() ? buckets_.erase(it) : std::next(it);
+
+    // Exit once closed and fully drained. A submission that raced the close
+    // still sits in the queue (depth > 0) and gets one more cycle.
+    if (closed && buckets_.empty() && queue_->depth() == 0) return;
+  }
+}
+
+void Batcher::flush_chunk(Bucket& bucket) {
+  // Requests never split across batches: take whole requests from the front
+  // until max_batch sequences are aboard. The first request always goes, so
+  // one larger than max_batch still runs (alone).
+  std::vector<Submission> batch;
+  std::size_t seqs = 0;
+  std::size_t taken = 0;
+  while (taken < bucket.items.size()) {
+    const std::size_t b = bucket.items[taken].input.batch;
+    if (!batch.empty() && seqs + b > cfg_.max_batch) break;
+    seqs += b;
+    batch.push_back(std::move(bucket.items[taken]));
+    ++taken;
+    if (seqs >= cfg_.max_batch) break;
+  }
+  bucket.items.erase(bucket.items.begin(),
+                     bucket.items.begin() + static_cast<std::ptrdiff_t>(taken));
+  bucket.sequences -= seqs;
+  execute(std::move(batch));
+}
+
+// Stats hooks run BEFORE the result is released to the waiting client, so a
+// stats() snapshot taken after get() returns always counts that request.
+void Batcher::finish(const Submission& sub, bool ok) {
+  if (!observer_.on_done) return;
+  const auto latency = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - sub.enqueued);
+  observer_.on_done(latency, ok);
+}
+
+void Batcher::execute(std::vector<Submission> batch) {
+  // Claim each member; requests cancelled while queued drop out here.
+  std::vector<Submission> live;
+  live.reserve(batch.size());
+  for (Submission& sub : batch) {
+    if (sub.state->claim()) {
+      live.push_back(std::move(sub));
+    } else if (observer_.on_cancelled) {
+      observer_.on_cancelled();
+    }
+  }
+  if (live.empty()) return;
+
+  const std::size_t seq = live.front().input.seq;
+  std::size_t total_batch = 0;
+  bool any_types = false;
+  for (const Submission& s : live) {
+    total_batch += s.input.batch;
+    if (!s.input.type_ids.empty()) any_types = true;
+  }
+
+  // Merge: row-wise concatenation. encode() reads an empty type_ids as
+  // all-zero segment ids, so zero-filling a member's missing type_ids keeps
+  // its rows bit-identical when another member supplies real ones.
+  const transformer::BatchInput* input;
+  transformer::BatchInput merged;
+  if (live.size() == 1) {
+    input = &live.front().input;
+  } else {
+    merged.batch = total_batch;
+    merged.seq = seq;
+    merged.token_ids.reserve(total_batch * seq);
+    if (any_types) merged.type_ids.reserve(total_batch * seq);
+    for (const Submission& s : live) {
+      merged.token_ids.insert(merged.token_ids.end(), s.input.token_ids.begin(),
+                              s.input.token_ids.end());
+      if (any_types) {
+        if (s.input.type_ids.empty()) {
+          merged.type_ids.resize(merged.type_ids.size() +
+                                 s.input.batch * s.input.seq);
+        } else {
+          merged.type_ids.insert(merged.type_ids.end(),
+                                 s.input.type_ids.begin(),
+                                 s.input.type_ids.end());
+        }
+      }
+    }
+    input = &merged;
+  }
+
+  Tensor out;
+  std::exception_ptr batch_err;
+  try {
+    out = run_(*input);
+    if (live.size() > 1 && (out.rank() != 2 || out.dim(0) % total_batch != 0))
+      throw std::logic_error("serve: model returned an unsplittable shape");
+  } catch (...) {
+    batch_err = std::current_exception();
+  }
+
+  if (!batch_err) {
+    if (observer_.on_batch) observer_.on_batch(live.size(), total_batch);
+    if (live.size() == 1) {
+      Submission& s = live.front();
+      finish(s, true);
+      s.state->set_value(std::move(out));
+    } else {
+      // Slice each member's rows back out. Classification heads return one
+      // row per sequence, span heads `seq` rows per sequence; either way the
+      // merged tensor is the concatenation of the solo results.
+      const std::size_t rows_per_seq = out.dim(0) / total_batch;
+      const std::size_t cols = out.dim(1);
+      std::size_t row = 0;
+      for (Submission& s : live) {
+        const std::size_t item_rows = s.input.batch * rows_per_seq;
+        Tensor piece({item_rows, cols});
+        std::copy(out.data() + row * cols, out.data() + (row + item_rows) * cols,
+                  piece.data());
+        row += item_rows;
+        finish(s, true);
+        s.state->set_value(std::move(piece));
+      }
+    }
+  } else if (live.size() == 1) {
+    // Nothing to isolate: the request owns its error.
+    finish(live.front(), false);
+    live.front().state->set_error(batch_err);
+  } else {
+    // A member poisoned the batch (or the model rejected it whole): fall
+    // back to solo execution so only the faulty request sees its error.
+    for (Submission& s : live) {
+      try {
+        Tensor solo = run_(s.input);
+        if (observer_.on_batch) observer_.on_batch(1, s.input.batch);
+        finish(s, true);
+        s.state->set_value(std::move(solo));
+      } catch (...) {
+        finish(s, false);
+        s.state->set_error(std::current_exception());
+      }
+    }
+  }
+}
+
+}  // namespace nnlut::serve

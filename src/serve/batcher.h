@@ -1,0 +1,93 @@
+// Dynamic batch former: drains the request queue on a dedicated scheduler
+// thread, buckets submissions by sequence length, and flushes a bucket as a
+// single merged BatchInput when it holds max_batch sequences or its oldest
+// request has waited max_wait.
+//
+// Determinism: only requests with identical `seq` merge, and the merged
+// input is the row-wise concatenation of the member requests. Every kernel
+// under InferenceModel::logits is independent per batch element (matmul
+// output rows, attention rows offset by batch index, softmax/LayerNorm
+// rows), so the rows a request gets back from a merged batch are
+// BIT-IDENTICAL to running it alone — batching changes scheduling, never
+// results.
+//
+// Error isolation: if a merged batch throws, the batcher falls back to
+// running each member solo, so an error rejects only the request that owns
+// it while the rest still complete (with identical bits, per the contract
+// above). The scheduler thread survives any request error.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "serve/request_queue.h"
+
+namespace nnlut::serve {
+
+struct BatcherConfig {
+  /// Flush threshold, counted in sequences (a request with batch=k
+  /// contributes k). A request larger than max_batch still runs, alone.
+  std::size_t max_batch = 32;
+  /// How long the oldest request in a bucket may wait before the bucket is
+  /// flushed even if under-full. 0 flushes every drain cycle (latency
+  /// floor, no aggregation beyond what arrives together).
+  std::chrono::microseconds max_wait{2000};
+};
+
+/// Stats hooks, invoked on the scheduler thread. Any may be empty.
+struct BatchObserver {
+  /// After each executed batch: member request count and merged sequence
+  /// count (occupancy).
+  std::function<void(std::size_t requests, std::size_t sequences)> on_batch;
+  /// After each request completes: queue+execute latency and success flag.
+  std::function<void(std::chrono::microseconds latency, bool ok)> on_done;
+  /// For each drained request found cancelled (it never executes and never
+  /// reaches on_done) — keeps completion counters reconcilable.
+  std::function<void()> on_cancelled;
+};
+
+class Batcher {
+ public:
+  /// `run` maps a merged BatchInput to logits ([batch, outputs] or
+  /// [batch*seq, outputs] — any leading dim divisible by batch). It is only
+  /// ever invoked from the scheduler thread.
+  using RunFn = std::function<Tensor(const transformer::BatchInput&)>;
+
+  Batcher(RequestQueue& queue, RunFn run, BatcherConfig cfg,
+          BatchObserver observer = {});
+  ~Batcher();
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  /// Close the queue, execute everything still pending, join the scheduler
+  /// thread. Idempotent.
+  void stop();
+
+ private:
+  struct Bucket {
+    std::vector<Submission> items;
+    std::size_t sequences = 0;  // sum of items[i].input.batch
+  };
+
+  void loop();
+  /// Execute up to max_batch sequences from the front of `bucket`.
+  void flush_chunk(Bucket& bucket);
+  void execute(std::vector<Submission> batch);
+  void finish(const Submission& sub, bool ok);
+
+  RequestQueue* queue_;
+  RunFn run_;
+  BatcherConfig cfg_;
+  BatchObserver observer_;
+  std::map<std::size_t, Bucket> buckets_;  // keyed by seq; scheduler-only
+  std::thread scheduler_;
+  std::atomic<bool> stopped_{false};  // first stop() wins; later calls no-op
+};
+
+}  // namespace nnlut::serve

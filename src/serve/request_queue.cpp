@@ -1,0 +1,159 @@
+#include "serve/request_queue.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace nnlut::serve {
+
+namespace detail {
+
+bool ResultState::claim() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (phase_ != Phase::kQueued) return false;  // cancelled while queued
+  phase_ = Phase::kRunning;
+  return true;
+}
+
+void ResultState::set_value(Tensor logits) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (phase_ == Phase::kDone) return;
+    value_ = std::move(logits);
+    phase_ = Phase::kDone;
+  }
+  cv_.notify_all();
+}
+
+void ResultState::set_error(std::exception_ptr err) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (phase_ == Phase::kDone) return;
+    error_ = std::move(err);
+    phase_ = Phase::kDone;
+  }
+  cv_.notify_all();
+}
+
+bool ResultState::cancel() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (phase_ != Phase::kQueued) return false;
+    error_ = std::make_exception_ptr(
+        RequestCancelled("serve: request cancelled before execution"));
+    phase_ = Phase::kDone;
+  }
+  cv_.notify_all();
+  return true;
+}
+
+void ResultState::wait() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return phase_ == Phase::kDone; });
+}
+
+bool ResultState::wait_for(std::chrono::microseconds timeout) const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return cv_.wait_for(lk, timeout, [&] { return phase_ == Phase::kDone; });
+}
+
+bool ResultState::done() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return phase_ == Phase::kDone;
+}
+
+Tensor ResultState::take() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return phase_ == Phase::kDone; });
+  if (error_) std::rethrow_exception(error_);
+  return std::move(value_);
+}
+
+}  // namespace detail
+
+bool PendingResult::ready() const { return state_ && state_->done(); }
+
+void PendingResult::wait() const {
+  if (!state_) throw std::logic_error("PendingResult::wait: invalid handle");
+  state_->wait();
+}
+
+bool PendingResult::wait_for(std::chrono::microseconds timeout) const {
+  if (!state_) throw std::logic_error("PendingResult::wait_for: invalid handle");
+  return state_->wait_for(timeout);
+}
+
+Tensor PendingResult::get() {
+  if (!state_) throw std::logic_error("PendingResult::get: invalid handle");
+  return state_->take();
+}
+
+bool PendingResult::cancel() { return state_ && state_->cancel(); }
+
+PendingResult RequestQueue::submit(transformer::BatchInput in, bool* accepted) {
+  auto state = std::make_shared<detail::ResultState>();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!closed_) {
+      items_.push_back(Submission{state, std::move(in),
+                                  std::chrono::steady_clock::now(), next_id_++});
+      peak_depth_ = std::max(peak_depth_, items_.size());
+      cv_.notify_all();
+      if (accepted) *accepted = true;
+      return PendingResult(std::move(state));
+    }
+  }
+  if (accepted) *accepted = false;
+  state->set_error(std::make_exception_ptr(
+      RequestCancelled("serve: queue closed, request rejected")));
+  return PendingResult(std::move(state));
+}
+
+PendingResult RequestQueue::rejected(std::exception_ptr err) {
+  auto state = std::make_shared<detail::ResultState>();
+  state->set_error(std::move(err));
+  return PendingResult(std::move(state));
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return items_.size();
+}
+
+std::size_t RequestQueue::peak_depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return peak_depth_;
+}
+
+std::vector<Submission> RequestQueue::wait_drain(
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const auto ready = [&] { return closed_ || !items_.empty(); };
+  if (deadline) {
+    cv_.wait_until(lk, *deadline, ready);
+  } else {
+    cv_.wait(lk, ready);
+  }
+  std::vector<Submission> out;
+  out.reserve(items_.size());
+  while (!items_.empty()) {
+    out.push_back(std::move(items_.front()));
+    items_.pop_front();
+  }
+  return out;
+}
+
+}  // namespace nnlut::serve

@@ -1,0 +1,149 @@
+// Thread-safe submission queue for the serving subsystem. Clients enqueue
+// tokenized requests (a BatchInput of one or more fixed-length sequences)
+// and receive a PendingResult — a promise/future pair over the logits
+// Tensor with cancellation and per-request error propagation. The batcher's
+// scheduler thread is the single consumer: it blocks on wait_drain() until
+// work arrives, a flush deadline passes, or the queue closes.
+//
+// Lifecycle of a request:
+//   submit() -> kQueued -> claim() by the scheduler -> kRunning
+//            -> set_value / set_error -> done (get() returns / throws)
+// cancel() succeeds only in kQueued: the result is rejected immediately and
+// the scheduler discards the submission when it drains it. A request that
+// already entered a batch runs to completion.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "transformer/encoder.h"
+
+namespace nnlut::serve {
+
+namespace detail {
+
+/// Shared promise/future state for one request. All transitions happen
+/// under `mu`; waiters block on `cv`.
+class ResultState {
+ public:
+  enum class Phase { kQueued, kRunning, kDone };
+
+  /// Scheduler side: transition kQueued -> kRunning. Returns false if the
+  /// request was cancelled (already done) and must be skipped.
+  bool claim();
+
+  /// Fulfil with logits / reject with an error. Reject works from any
+  /// not-done phase (cancel rejects a queued request, the batcher rejects a
+  /// running one).
+  void set_value(Tensor logits);
+  void set_error(std::exception_ptr err);
+
+  /// Client side.
+  bool cancel();  // true if the request was still queued and is now rejected
+  void wait() const;
+  bool wait_for(std::chrono::microseconds timeout) const;
+  bool done() const;
+  Tensor take();  // blocks until done; throws the stored error if rejected
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  Phase phase_ = Phase::kQueued;
+  Tensor value_;
+  std::exception_ptr error_;
+};
+
+}  // namespace detail
+
+/// Raised into a PendingResult when the request is cancelled or the queue
+/// shuts down before execution.
+class RequestCancelled : public std::runtime_error {
+ public:
+  explicit RequestCancelled(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Client-side handle on a submitted request. Copyable (copies share the
+/// underlying state); default-constructed handles are invalid.
+class PendingResult {
+ public:
+  PendingResult() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  /// Result (or error) is available; get() will not block.
+  bool ready() const;
+  void wait() const;
+  /// False on timeout.
+  bool wait_for(std::chrono::microseconds timeout) const;
+  /// Blocks until done, then returns the logits or rethrows the request's
+  /// error (std::out_of_range from validation, RequestCancelled, ...).
+  /// Moves the tensor out: call once.
+  Tensor get();
+  /// Best-effort cancel: true if the request had not started executing and
+  /// is now rejected with RequestCancelled; false if it already ran (its
+  /// result stays available) or already finished.
+  bool cancel();
+
+ private:
+  friend class RequestQueue;
+  explicit PendingResult(std::shared_ptr<detail::ResultState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::ResultState> state_;
+};
+
+/// One queue entry, handed to the batcher by wait_drain().
+struct Submission {
+  std::shared_ptr<detail::ResultState> state;
+  transformer::BatchInput input;
+  std::chrono::steady_clock::time_point enqueued;
+  std::uint64_t id = 0;  // submission order, for diagnostics
+};
+
+class RequestQueue {
+ public:
+  /// Enqueue a request. After close() the request is rejected immediately
+  /// (the returned handle's get() throws RequestCancelled); `accepted`, when
+  /// given, reports which of the two happened so callers can keep accurate
+  /// admission counters.
+  PendingResult submit(transformer::BatchInput in, bool* accepted = nullptr);
+
+  /// Reject-and-enqueue-nothing variant: returns a handle already rejected
+  /// with `err`. Used by the server front-end for failed validation.
+  static PendingResult rejected(std::exception_ptr err);
+
+  /// Stop accepting submissions and wake the consumer. Idempotent.
+  void close();
+  bool closed() const;
+
+  /// Requests currently queued (not yet drained).
+  std::size_t depth() const;
+  /// High-water mark of depth() over the queue's lifetime.
+  std::size_t peak_depth() const;
+
+  /// Consumer side: block until the queue is non-empty, `deadline` passes,
+  /// or close() is called; then move out everything queued. May return empty
+  /// (timeout or close with nothing pending).
+  std::vector<Submission> wait_drain(
+      std::optional<std::chrono::steady_clock::time_point> deadline);
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Submission> items_;
+  bool closed_ = false;
+  std::uint64_t next_id_ = 0;
+  std::size_t peak_depth_ = 0;
+};
+
+}  // namespace nnlut::serve

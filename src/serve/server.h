@@ -1,0 +1,118 @@
+// Server facade: owns the InferenceModel, the request queue, the dynamic
+// batcher and a stats ledger — the piece that turns the library into a
+// servable system.
+//
+//   clients ──submit()──▶ RequestQueue ──▶ Batcher (scheduler thread)
+//                                             │  merge same-seq requests
+//                                             ▼
+//                                      InferenceModel::logits
+//                                             │  split rows per request
+//                                             ▼
+//                        PendingResult.get() ◀─ per-request logits / error
+//
+// ServeConfig plugs the serving thread budget into the runtime
+// (RuntimeConfig): the scheduler thread is the single model orchestrator,
+// and the encoder kernels it invokes shard across the process pool.
+//
+// Results carry no wall-clock data — timing exists only in ServerStats
+// (fixed-bucket latency histogram, batch occupancy counters).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "serve/batcher.h"
+#include "serve/request_queue.h"
+#include "transformer/infer.h"
+
+namespace nnlut::serve {
+
+struct ServeConfig {
+  /// Flush threshold in sequences; 1 disables aggregation.
+  std::size_t max_batch = 32;
+  /// Longest a request may sit in an under-full bucket. Latency/throughput
+  /// dial: larger waits form fuller batches.
+  std::chrono::microseconds max_wait{2000};
+  /// Execution lanes for the encoder kernels, applied to the process-wide
+  /// RuntimeConfig at server construction; 0 = hardware_concurrency.
+  std::size_t threads = 0;
+  /// Matmul precision of the owned InferenceModel.
+  transformer::MatmulMode matmul = transformer::MatmulMode::kFp32;
+};
+
+/// Fixed-bucket log2 latency histogram: bucket i counts completions with
+/// latency in [2^i, 2^(i+1)) microseconds. Quantiles come from the bucket
+/// boundaries — coarse but allocation-free and O(1) to record.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  void record(std::chrono::microseconds latency);
+  std::uint64_t count() const { return total_; }
+  /// Upper bucket boundary (µs) at quantile q in [0, 1]; 0 when empty.
+  double quantile_us(double q) const;
+
+ private:
+  std::uint64_t counts_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+};
+
+/// Snapshot of serving counters since construction. After a full drain
+/// (shutdown), submitted == completed + failed + cancelled; rejected counts
+/// requests that never entered the queue (validation failure or submit
+/// after shutdown) and is disjoint from submitted.
+struct ServerStats {
+  std::uint64_t submitted = 0;  // accepted into the queue
+  std::uint64_t rejected = 0;   // refused at submit (validation / closed)
+  std::uint64_t completed = 0;  // resolved with logits
+  std::uint64_t failed = 0;     // resolved with an execution error
+  std::uint64_t cancelled = 0;  // withdrawn via cancel() before execution
+  std::uint64_t batches = 0;    // model invocations
+  double mean_batch_requests = 0.0;   // requests per model invocation
+  double mean_batch_occupancy = 0.0;  // sequences per model invocation
+  double p50_latency_us = 0.0;  // submit -> resolve, histogram boundary
+  double p95_latency_us = 0.0;
+  std::size_t peak_queue_depth = 0;
+};
+
+class Server {
+ public:
+  /// Borrows the trained model and backend; both must outlive the server.
+  /// Applies cfg.threads to the process RuntimeConfig.
+  Server(const transformer::TaskModel& model, transformer::NonlinearitySet& nl,
+         ServeConfig cfg = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Validate and enqueue one request. Malformed inputs (bad shape, ids
+  /// outside the embedding tables, overlong seq, empty batch) come back as
+  /// an already-rejected PendingResult carrying the validation error —
+  /// they never reach the batcher, so they cannot poison anyone's batch.
+  PendingResult submit(transformer::BatchInput in);
+
+  /// Drain outstanding requests, stop the scheduler. Idempotent; the
+  /// destructor calls it. submit() after shutdown rejects immediately.
+  void shutdown();
+
+  ServerStats stats() const;
+  const ServeConfig& config() const { return cfg_; }
+
+ private:
+  ServeConfig cfg_;
+  transformer::InferenceModel model_;
+  RequestQueue queue_;
+
+  mutable std::mutex stats_mu_;
+  std::uint64_t submitted_ = 0, rejected_ = 0, completed_ = 0, failed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t batches_ = 0, batch_requests_ = 0, batch_sequences_ = 0;
+  LatencyHistogram latency_;
+
+  std::unique_ptr<Batcher> batcher_;  // last member: stops before the rest dies
+};
+
+}  // namespace nnlut::serve

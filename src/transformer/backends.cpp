@@ -203,6 +203,16 @@ void IBertNonlinearities::activation(std::span<float> xs, int /*site*/) {
   }
 }
 
+void IBertNonlinearities::activation_rows(std::span<float> data,
+                                          std::size_t nrows, std::size_t ncols,
+                                          int /*site*/) {
+  if (act_ == ActKind::kGelu) {
+    ibert::gelu_rows(data, nrows, ncols);  // one scale per token row
+  } else {
+    activation_sharded(data, ActKind::kRelu);  // elementwise, row-agnostic
+  }
+}
+
 void IBertNonlinearities::softmax(std::span<float> row, int /*site*/) {
   ibert::softmax_row(row);
 }

@@ -55,6 +55,19 @@ class NonlinearitySet {
       layer_norm(x.subspan(r * ncols, ncols), y.subspan(r * ncols, ncols),
                  gamma, beta, site);
   }
+
+  /// Activation over `nrows` contiguous rows of length `ncols` (the
+  /// [tokens x d_ff] FFN block). Default: one whole-span activation call —
+  /// exact for elementwise backends. Backends whose activation quantizes
+  /// over a shared group MUST override with a row-granular version so
+  /// results are independent of batch composition (the serving batcher
+  /// packs requests into one tensor and relies on per-row invariance).
+  virtual void activation_rows(std::span<float> data, std::size_t nrows,
+                               std::size_t ncols, int site) {
+    (void)nrows;
+    (void)ncols;
+    activation(data, site);
+  }
 };
 
 /// Exact FP32 reference implementations. The block entry points shard row
@@ -151,6 +164,10 @@ class IBertNonlinearities final : public NonlinearitySet {
  public:
   explicit IBertNonlinearities(ActKind act = ActKind::kGelu) : act_(act) {}
   void activation(std::span<float> xs, int site) override;
+  /// Per-row quantization scales (ibert::gelu_rows), unlike the whole-span
+  /// activation(): batch-packing invariant, required by the serving layer.
+  void activation_rows(std::span<float> data, std::size_t nrows,
+                       std::size_t ncols, int site) override;
   void softmax(std::span<float> row, int site) override;
   void layer_norm(std::span<const float> x, std::span<float> y,
                   std::span<const float> gamma, std::span<const float> beta,

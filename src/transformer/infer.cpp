@@ -91,20 +91,17 @@ void InferenceModel::norm_rows(const Tensor& x, Tensor& y,
   }
 }
 
-Tensor InferenceModel::encode(const BatchInput& in) {
+void InferenceModel::validate(const BatchInput& in) const {
   const Encoder& enc = model_->encoder;
-  const ModelConfig& cfg = enc.config();
   if (in.token_ids.size() != in.batch * in.seq)
     throw std::invalid_argument("InferenceModel::encode: bad batch shape");
 
   if (!in.type_ids.empty() && in.type_ids.size() != in.token_ids.size())
     throw std::invalid_argument("InferenceModel::encode: bad type_ids shape");
 
-  const std::size_t rows = in.batch * in.seq;
-  const std::size_t hidden = cfg.hidden;
-
   // Validate every id before touching the embedding tables: a negative or
   // out-of-vocabulary id would otherwise index out of bounds.
+  const std::size_t rows = in.batch * in.seq;
   const int vocab = static_cast<int>(enc.tok_emb.table.value.dim(0));
   const int type_vocab = static_cast<int>(enc.type_emb.table.value.dim(0));
   if (in.seq > enc.pos_emb.table.value.dim(0))
@@ -126,6 +123,15 @@ Tensor InferenceModel::encode(const BatchInput& in) {
                                 std::to_string(type_vocab));
     }
   }
+}
+
+Tensor InferenceModel::encode(const BatchInput& in) {
+  const Encoder& enc = model_->encoder;
+  const ModelConfig& cfg = enc.config();
+  validate(in);
+
+  const std::size_t rows = in.batch * in.seq;
+  const std::size_t hidden = cfg.hidden;
 
   // Embeddings (kept FP32; they are table reads, not matmuls).
   Tensor x({rows, hidden});
@@ -221,8 +227,10 @@ Tensor InferenceModel::encode(const BatchInput& in) {
     norm_rows(attn_out, x1, enc.layers[li].norm1, 2 * site);
 
     Tensor hmid = lw.ff1.apply(x1, mode_);
-    // Activation over the whole [tokens x d_ff] tensor in one backend call.
-    nl_->activation(hmid.flat(), site);
+    // Activation over the whole [tokens x d_ff] tensor in one backend call;
+    // the row-granular entry point keeps backends with grouped quantization
+    // scales (I-BERT) independent of how requests were packed into the batch.
+    nl_->activation_rows(hmid.flat(), hmid.dim(0), hmid.dim(1), site);
     Tensor f = lw.ff2.apply(hmid, mode_);
     add_inplace(f, x1);  // residual
     Tensor x2({rows, hidden});

@@ -37,6 +37,13 @@ class InferenceModel {
   /// Task logits with the same shapes as TaskModel::forward.
   Tensor logits(const BatchInput& in);
 
+  /// All input checks encode() performs, without running the model: throws
+  /// std::invalid_argument on shape mismatches and std::out_of_range on
+  /// token/type ids outside the embedding tables or seq beyond the position
+  /// table. The serving front-end pre-validates each request with this so a
+  /// malformed submission rejects alone instead of poisoning its batch.
+  void validate(const BatchInput& in) const;
+
   /// Site id of the embedding LayerNorm.
   int embedding_norm_site() const;
 

@@ -228,5 +228,91 @@ TEST(CapturingFn, RecordsBatchedInputsAndDelegatesBatched) {
   EXPECT_EQ(sink[0], 2.5f);
 }
 
+// -------------------------------------------------------- plan cache ------
+
+TEST(PlanCache, IdenticalTablesShareOnePlan) {
+  const std::vector<float> bps = {-1.0f, 0.0f, 1.0f};
+  const std::vector<float> slopes = {0.5f, 1.0f, -1.0f, 2.0f};
+  const std::vector<float> intercepts = {0.0f, 0.25f, -0.25f, 1.0f};
+
+  const PlanCacheStats before = plan_cache_stats();
+  PiecewiseLinear a(bps, slopes, intercepts);
+  PiecewiseLinear b(bps, slopes, intercepts);  // calibrated twin site
+  const PlanCacheStats after = plan_cache_stats();
+
+  EXPECT_EQ(&a.kernel(), &b.kernel());  // one shared compiled plan
+  EXPECT_EQ(after.misses - before.misses, 1u);
+  EXPECT_EQ(after.hits - before.hits, 1u);
+
+  // Copies share the plan without touching the cache.
+  PiecewiseLinear c = a;
+  EXPECT_EQ(&c.kernel(), &a.kernel());
+  EXPECT_EQ(plan_cache_stats().hits, after.hits);
+}
+
+TEST(PlanCache, DifferentTablesGetDifferentPlans) {
+  Rng rng(77);
+  PiecewiseLinear a = random_lut(8, rng);
+  PiecewiseLinear b = random_lut(8, rng);
+  EXPECT_NE(&a.kernel(), &b.kernel());
+}
+
+TEST(PlanCache, NearMissContentIsNotShared) {
+  // Same breakpoints/slopes, one intercept differs in the last bit pattern:
+  // -0.0 vs 0.0 must compile separate plans (cache equality is bitwise).
+  const std::vector<float> bps = {0.0f};
+  const std::vector<float> slopes = {1.0f, 2.0f};
+  PiecewiseLinear a(bps, slopes, {0.0f, 1.0f});
+  PiecewiseLinear b(bps, slopes, {-0.0f, 1.0f});
+  EXPECT_NE(&a.kernel(), &b.kernel());
+}
+
+TEST(PlanCache, PlansExpireWithTheirTables) {
+  const std::vector<float> bps = {-2.0f, 2.0f};
+  const std::vector<float> slopes = {1.0f, 0.0f, -1.0f};
+  const std::vector<float> intercepts = {0.0f, 3.25f, -1.5f};
+  std::size_t live_inside = 0;
+  {
+    PiecewiseLinear a(bps, slopes, intercepts);
+    live_inside = plan_cache_stats().live;
+    EXPECT_GE(live_inside, 1u);
+  }
+  // The weak reference expired with `a`; the plan no longer counts as live.
+  EXPECT_EQ(plan_cache_stats().live, live_inside - 1);
+}
+
+TEST(PlanCache, ExpiredEntriesAreSweptPeriodically) {
+  const PlanCacheStats before = plan_cache_stats();
+  for (int i = 0; i < 300; ++i) {
+    // Distinct one-off tables, destroyed immediately — the fitting-sweep
+    // pattern. Without periodic sweeping each would leak a cache entry.
+    PiecewiseLinear tmp(std::vector<float>{},
+                        std::vector<float>{static_cast<float>(i) + 0.5f},
+                        std::vector<float>{static_cast<float>(i)});
+  }
+  const PlanCacheStats after = plan_cache_stats();
+  EXPECT_GE(after.misses - before.misses, 300u);
+  // Held entries stay bounded by live plans + one sweep period, far below
+  // the 300 tables ever compiled.
+  EXPECT_LE(after.cached, before.cached + 96);
+}
+
+TEST(PlanCache, SharedPlanEvaluatesIdentically) {
+  Rng rng(78);
+  PiecewiseLinear a = random_lut(16, rng);
+  PiecewiseLinear b(std::vector<float>(a.breakpoints().begin(),
+                                       a.breakpoints().end()),
+                    std::vector<float>(a.slopes().begin(), a.slopes().end()),
+                    std::vector<float>(a.intercepts().begin(),
+                                       a.intercepts().end()));
+  ASSERT_EQ(&a.kernel(), &b.kernel());
+  std::vector<float> xs = {-9.0f, -1.0f, 0.0f, 2.5f, 100.0f, kInf, -kInf, kNan};
+  std::vector<float> ys = xs;
+  a.eval_inplace(xs);
+  b.eval_inplace(ys);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    expect_bitwise(xs[i], ys[i], 0.0f);
+}
+
 }  // namespace
 }  // namespace nnlut

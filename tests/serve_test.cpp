@@ -1,0 +1,275 @@
+// Unit tests for the serving subsystem: queue/PendingResult semantics,
+// dynamic batch formation (same-seq merging, max_batch / max_wait flush),
+// per-request error isolation, cancellation, shutdown drain and stats.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/request_queue.h"
+#include "serve/server.h"
+
+namespace nnlut::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+transformer::BatchInput make_request(std::size_t batch, std::size_t seq,
+                                     int fill = 1) {
+  transformer::BatchInput in;
+  in.batch = batch;
+  in.seq = seq;
+  in.token_ids.assign(batch * seq, fill);
+  return in;
+}
+
+/// A stand-in model: one output row per sequence; row r of the result is
+/// {sum of that sequence's tokens, seq}. Splittable exactly like a
+/// classification head, and deterministic.
+Tensor toy_model(const transformer::BatchInput& in) {
+  Tensor out({in.batch, 2});
+  for (std::size_t b = 0; b < in.batch; ++b) {
+    float sum = 0.0f;
+    for (std::size_t j = 0; j < in.seq; ++j)
+      sum += static_cast<float>(in.token_ids[b * in.seq + j]);
+    out.at(b, 0) = sum;
+    out.at(b, 1) = static_cast<float>(in.seq);
+  }
+  return out;
+}
+
+/// Records every batch the run function sees.
+struct BatchRecorder {
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> calls;  // (batch, seq)
+
+  Batcher::RunFn fn() {
+    return [this](const transformer::BatchInput& in) {
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        calls.emplace_back(in.batch, in.seq);
+      }
+      return toy_model(in);
+    };
+  }
+};
+
+// ------------------------------------------------------- request queue ---
+
+TEST(RequestQueue, SubmitDrainRoundtrip) {
+  RequestQueue q;
+  PendingResult r = q.submit(make_request(1, 4));
+  EXPECT_TRUE(r.valid());
+  EXPECT_FALSE(r.ready());
+  EXPECT_EQ(q.depth(), 1u);
+
+  auto drained = q.wait_drain(std::nullopt);
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].input.seq, 4u);
+  EXPECT_EQ(q.depth(), 0u);
+
+  ASSERT_TRUE(drained[0].state->claim());
+  drained[0].state->set_value(Tensor({1, 2}));
+  EXPECT_TRUE(r.ready());
+  const Tensor t = r.get();
+  EXPECT_EQ(t.dim(0), 1u);
+}
+
+TEST(RequestQueue, SubmitAfterCloseRejects) {
+  RequestQueue q;
+  q.close();
+  PendingResult r = q.submit(make_request(1, 4));
+  EXPECT_TRUE(r.ready());
+  EXPECT_THROW(r.get(), RequestCancelled);
+}
+
+TEST(RequestQueue, WaitDrainHonorsDeadline) {
+  RequestQueue q;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto drained = q.wait_drain(t0 + 20ms);
+  EXPECT_TRUE(drained.empty());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 20ms);
+}
+
+TEST(RequestQueue, CancelQueuedRequest) {
+  RequestQueue q;
+  PendingResult r = q.submit(make_request(1, 4));
+  EXPECT_TRUE(r.cancel());
+  EXPECT_THROW(r.get(), RequestCancelled);
+  // The scheduler-side claim must fail so the batcher skips it.
+  auto drained = q.wait_drain(std::nullopt);
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_FALSE(drained[0].state->claim());
+}
+
+TEST(RequestQueue, CancelAfterClaimFails) {
+  RequestQueue q;
+  PendingResult r = q.submit(make_request(1, 4));
+  auto drained = q.wait_drain(std::nullopt);
+  ASSERT_TRUE(drained[0].state->claim());
+  EXPECT_FALSE(r.cancel());
+  drained[0].state->set_value(Tensor({1, 2}));
+  EXPECT_NO_THROW(r.get());
+}
+
+// ------------------------------------------------------------- batcher ---
+
+TEST(Batcher, MergesSameSeqUpToMaxBatch) {
+  RequestQueue q;
+  BatchRecorder rec;
+  {
+    // Huge max_wait: only the max_batch threshold can flush.
+    Batcher b(q, rec.fn(), {/*max_batch=*/4, /*max_wait=*/10min});
+    std::vector<PendingResult> rs;
+    for (int i = 0; i < 4; ++i) rs.push_back(q.submit(make_request(1, 8, i)));
+    for (auto& r : rs) r.wait();
+    // Each result row must be the request's own: sum == token * seq.
+    for (int i = 0; i < 4; ++i) {
+      Tensor t = rs[static_cast<std::size_t>(i)].get();
+      ASSERT_EQ(t.dim(0), 1u);
+      EXPECT_EQ(t.at(0, 0), static_cast<float>(i * 8));
+    }
+  }
+  // All four merged into one model call of batch 4 (they were queued
+  // together before the scheduler drained).
+  std::lock_guard<std::mutex> lk(rec.mu);
+  ASSERT_GE(rec.calls.size(), 1u);
+  std::size_t total = 0;
+  for (auto& c : rec.calls) {
+    EXPECT_LE(c.first, 4u);
+    EXPECT_EQ(c.second, 8u);
+    total += c.first;
+  }
+  EXPECT_EQ(total, 4u);
+}
+
+TEST(Batcher, DifferentSeqNeverMerge) {
+  RequestQueue q;
+  BatchRecorder rec;
+  {
+    Batcher b(q, rec.fn(), {/*max_batch=*/8, /*max_wait=*/1ms});
+    PendingResult a = q.submit(make_request(1, 4));
+    PendingResult c = q.submit(make_request(1, 6));
+    Tensor ta = a.get(), tc = c.get();
+    EXPECT_EQ(ta.at(0, 1), 4.0f);
+    EXPECT_EQ(tc.at(0, 1), 6.0f);
+  }
+  std::lock_guard<std::mutex> lk(rec.mu);
+  for (auto& c : rec.calls) EXPECT_EQ(c.first, 1u);  // never merged
+}
+
+TEST(Batcher, MaxWaitFlushesUnderfullBucket) {
+  RequestQueue q;
+  BatchRecorder rec;
+  Batcher b(q, rec.fn(), {/*max_batch=*/64, /*max_wait=*/2ms});
+  PendingResult r = q.submit(make_request(1, 8));
+  // Nothing else arrives; the 2ms deadline must flush the lone request.
+  EXPECT_TRUE(r.wait_for(2s));
+  EXPECT_NO_THROW(r.get());
+}
+
+TEST(Batcher, MultiSequenceRequestsStayWhole) {
+  RequestQueue q;
+  BatchRecorder rec;
+  {
+    Batcher b(q, rec.fn(), {/*max_batch=*/4, /*max_wait=*/10min});
+    // 3 + 3 sequences with max_batch 4: requests must not split, so the
+    // scheduler runs them as two batches of 3 (3+3 > 4).
+    PendingResult a = q.submit(make_request(3, 8, 2));
+    PendingResult c = q.submit(make_request(3, 8, 5));
+    q.close();  // drain mode flushes both
+    Tensor ta = a.get(), tc = c.get();
+    ASSERT_EQ(ta.dim(0), 3u);
+    ASSERT_EQ(tc.dim(0), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(ta.at(i, 0), 16.0f);
+      EXPECT_EQ(tc.at(i, 0), 40.0f);
+    }
+  }
+  std::lock_guard<std::mutex> lk(rec.mu);
+  for (auto& c : rec.calls) EXPECT_LE(c.first, 4u);
+}
+
+TEST(Batcher, OversizeRequestStillRuns) {
+  RequestQueue q;
+  BatchRecorder rec;
+  Batcher b(q, rec.fn(), {/*max_batch=*/2, /*max_wait=*/1ms});
+  PendingResult r = q.submit(make_request(5, 8, 1));
+  Tensor t = r.get();
+  EXPECT_EQ(t.dim(0), 5u);
+}
+
+TEST(Batcher, SoloFallbackIsolatesPoisonedBatch) {
+  RequestQueue q;
+  // Model that rejects any batch containing a negative token.
+  std::atomic<int> calls{0};
+  Batcher::RunFn poisonable = [&](const transformer::BatchInput& in) {
+    calls.fetch_add(1);
+    for (int t : in.token_ids)
+      if (t < 0) throw std::out_of_range("bad token " + std::to_string(t));
+    return toy_model(in);
+  };
+  Batcher b(q, poisonable, {/*max_batch=*/3, /*max_wait=*/10min});
+  PendingResult good1 = q.submit(make_request(1, 8, 3));
+  PendingResult bad = q.submit(make_request(1, 8, -7));
+  PendingResult good2 = q.submit(make_request(1, 8, 4));
+  // The merged batch throws; the solo fallback must reject only `bad`.
+  Tensor t1 = good1.get();
+  EXPECT_EQ(t1.at(0, 0), 24.0f);
+  Tensor t2 = good2.get();
+  EXPECT_EQ(t2.at(0, 0), 32.0f);
+  try {
+    bad.get();
+    FAIL() << "poisoned request must throw";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("bad token -7"), std::string::npos);
+  }
+}
+
+TEST(Batcher, StopDrainsEverything) {
+  RequestQueue q;
+  BatchRecorder rec;
+  Batcher b(q, rec.fn(), {/*max_batch=*/64, /*max_wait=*/10min});
+  std::vector<PendingResult> rs;
+  for (int i = 0; i < 10; ++i) rs.push_back(q.submit(make_request(1, 8, i)));
+  b.stop();  // must flush the under-full bucket before joining
+  for (auto& r : rs) {
+    EXPECT_TRUE(r.ready());
+    EXPECT_NO_THROW(r.get());
+  }
+}
+
+TEST(Batcher, CancelledRequestSkippedByScheduler) {
+  RequestQueue q;
+  BatchRecorder rec;
+  Batcher b(q, rec.fn(), {/*max_batch=*/2, /*max_wait=*/2ms});
+  PendingResult victim = q.submit(make_request(1, 8, 1));
+  EXPECT_TRUE(victim.cancel());
+  PendingResult a = q.submit(make_request(1, 8, 2));
+  PendingResult c = q.submit(make_request(1, 8, 3));
+  EXPECT_NO_THROW(a.get());
+  EXPECT_NO_THROW(c.get());
+  EXPECT_THROW(victim.get(), RequestCancelled);
+  std::lock_guard<std::mutex> lk(rec.mu);
+  for (auto& call : rec.calls) EXPECT_LE(call.first, 2u);
+}
+
+// ------------------------------------------------------------ histogram ---
+
+TEST(LatencyHistogram, QuantilesFromBuckets) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.record(3us);    // bucket [2,4)
+  for (int i = 0; i < 10; ++i) h.record(1000us);  // bucket [512,1024)
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.quantile_us(0.50), 4.0);
+  EXPECT_EQ(h.quantile_us(0.95), 1024.0);
+}
+
+}  // namespace
+}  // namespace nnlut::serve

@@ -1,0 +1,326 @@
+// Serving determinism: logits returned through the Server — with dynamic
+// same-seq batching, a scheduler thread, and concurrent submission from >= 4
+// client threads — must be BIT-identical to direct InferenceModel::logits
+// calls, for every backend (exact, LUT fp32/fp16/int32, I-BERT). This is the
+// end-to-end consequence of (a) row-independent kernels, (b) deterministic
+// static partitioning in the thread pool, and (c) the batcher merging only
+// identical-seq requests. Also covers per-request validation-error surfacing
+// through a live server and serving stats sanity.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "approx/linear_lut.h"
+#include "numerics/math.h"
+#include "runtime/thread_pool.h"
+#include "serve/server.h"
+#include "transformer/infer.h"
+
+namespace nnlut::serve {
+namespace {
+
+using namespace std::chrono_literals;
+using namespace nnlut::transformer;
+
+ModelConfig tiny() {
+  ModelConfig c = ModelConfig::roberta_like();
+  c.vocab = 32;
+  c.hidden = 16;
+  c.layers = 2;
+  c.heads = 2;
+  c.ffn = 32;
+  c.max_seq = 12;
+  return c;
+}
+
+LutSet tiny_luts() {
+  return {fit_linear_lut(gelu_exact, kGeluRange, 32),
+          fit_linear_lut(exp_exact, {-16.0f, 0.0f}, 32),
+          fit_fixed_breakpoint_lut(reciprocal_exact, {1.0f, 64.0f}, 32,
+                                   BreakpointMode::kExponential),
+          fit_fixed_breakpoint_lut(rsqrt_exact, kRsqrtRange, 32,
+                                   BreakpointMode::kExponential)};
+}
+
+BatchInput random_request(const ModelConfig& cfg, std::size_t batch,
+                          std::size_t seq, Rng& rng) {
+  BatchInput in;
+  in.batch = batch;
+  in.seq = seq;
+  in.token_ids.resize(batch * seq);
+  for (int& t : in.token_ids)
+    t = rng.uniform_int(0, static_cast<int>(cfg.vocab) - 1);
+  return in;
+}
+
+/// Submit `requests` from `clients` threads (round-robin), await all
+/// results, and compare bitwise against direct single-orchestrator logits.
+void expect_served_bits_match_direct(const TaskModel& model,
+                                     NonlinearitySet& nl,
+                                     const std::vector<BatchInput>& requests,
+                                     std::size_t clients) {
+  // Reference: direct calls, one request at a time, on this thread.
+  runtime::set_runtime_config({2});
+  std::vector<Tensor> direct;
+  {
+    InferenceModel infer(model, nl);
+    for (const BatchInput& in : requests) direct.push_back(infer.logits(in));
+  }
+
+  // Served: concurrent clients against a batching server.
+  std::vector<Tensor> served(requests.size());
+  {
+    ServeConfig cfg;
+    cfg.max_batch = 4;
+    cfg.max_wait = 3ms;
+    cfg.threads = 2;
+    Server server(model, nl, cfg);
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (std::size_t i = c; i < requests.size(); i += clients) {
+          PendingResult r = server.submit(requests[i]);
+          served[i] = r.get();  // disjoint slot per request: no locking
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.submitted, requests.size());
+    EXPECT_EQ(stats.completed, requests.size());
+    EXPECT_EQ(stats.rejected, 0u);
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_GE(stats.batches, 1u);
+  }
+  runtime::set_runtime_config({});
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_EQ(served[i].size(), direct[i].size()) << "request " << i;
+    ASSERT_EQ(served[i].shape(), direct[i].shape()) << "request " << i;
+    for (std::size_t j = 0; j < served[i].size(); ++j)
+      ASSERT_EQ(served[i][j], direct[i][j])
+          << "request " << i << " element " << j;
+  }
+}
+
+/// Mixed-shape request set: two seq-length buckets, solo and multi-sequence
+/// requests, enough volume that batches actually form.
+std::vector<BatchInput> request_mix(const ModelConfig& cfg, Rng& rng) {
+  std::vector<BatchInput> rs;
+  for (int rep = 0; rep < 3; ++rep) {
+    rs.push_back(random_request(cfg, 1, 8, rng));
+    rs.push_back(random_request(cfg, 2, 12, rng));
+    rs.push_back(random_request(cfg, 1, 12, rng));
+    rs.push_back(random_request(cfg, 3, 8, rng));
+  }
+  return rs;
+}
+
+TEST(ServingDeterminism, ExactBackend) {
+  Rng rng(31);
+  TaskModel m(tiny(), HeadKind::kClassify, 2, rng);
+  ExactNonlinearities nl(m.config().act);
+  expect_served_bits_match_direct(m, nl, request_mix(m.config(), rng), 4);
+}
+
+class LutServingDeterminism : public ::testing::TestWithParam<LutPrecision> {};
+
+TEST_P(LutServingDeterminism, ServedBitsMatchDirect) {
+  Rng rng(32);
+  TaskModel m(tiny(), HeadKind::kClassify, 2, rng);
+  LutNonlinearities::Options opt;
+  opt.select = ApproxSelection::all();
+  auto nl = make_lut_backend(tiny_luts(), GetParam(), opt);
+  expect_served_bits_match_direct(m, *nl, request_mix(m.config(), rng), 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, LutServingDeterminism,
+                         ::testing::Values(LutPrecision::kFp32,
+                                           LutPrecision::kFp16,
+                                           LutPrecision::kInt32));
+
+TEST(ServingDeterminism, IBertBackend) {
+  Rng rng(33);
+  TaskModel m(tiny(), HeadKind::kClassify, 2, rng);
+  IBertNonlinearities nl(m.config().act);
+  expect_served_bits_match_direct(m, nl, request_mix(m.config(), rng), 4);
+}
+
+TEST(ServingDeterminism, SpanHeadSplitsPerToken) {
+  // Span heads return [batch*seq, 2]: the batcher must slice seq rows per
+  // sequence, not one.
+  Rng rng(34);
+  TaskModel m(tiny(), HeadKind::kSpan, 2, rng);
+  ExactNonlinearities nl(m.config().act);
+  std::vector<BatchInput> rs;
+  for (int i = 0; i < 6; ++i) rs.push_back(random_request(m.config(), 2, 8, rng));
+  expect_served_bits_match_direct(m, nl, rs, 4);
+}
+
+// ----------------------------------------- per-request error surfacing ---
+
+TEST(ServingValidation, MalformedRequestRejectsAloneUnderLoad) {
+  Rng rng(35);
+  TaskModel m(tiny(), HeadKind::kClassify, 2, rng);
+  ExactNonlinearities nl(m.config().act);
+
+  ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait = 2ms;
+  cfg.threads = 2;
+  Server server(m, nl, cfg);
+
+  // Reference for the good requests.
+  std::vector<BatchInput> good;
+  for (int i = 0; i < 8; ++i) good.push_back(random_request(m.config(), 1, 8, rng));
+  std::vector<Tensor> direct;
+  {
+    InferenceModel infer(m, nl);
+    for (const BatchInput& in : good) direct.push_back(infer.logits(in));
+  }
+
+  BatchInput bad_token = good[0];
+  bad_token.token_ids[3] = static_cast<int>(m.config().vocab) + 5;
+  BatchInput bad_shape = good[1];
+  bad_shape.token_ids.pop_back();
+  BatchInput bad_seq = random_request(m.config(), 1, m.config().max_seq + 1, rng);
+  BatchInput empty;  // batch == 0
+
+  std::vector<Tensor> served(good.size());
+  std::vector<PendingResult> bad_results(4);
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      // Interleave a malformed submission among this client's good ones.
+      switch (c) {
+        case 0: bad_results[0] = server.submit(bad_token); break;
+        case 1: bad_results[1] = server.submit(bad_shape); break;
+        case 2: bad_results[2] = server.submit(bad_seq); break;
+        case 3: bad_results[3] = server.submit(empty); break;
+      }
+      for (std::size_t i = c; i < good.size(); i += 4)
+        served[i] = server.submit(good[i]).get();
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  // Every good request completed with bit-identical logits.
+  for (std::size_t i = 0; i < good.size(); ++i)
+    for (std::size_t j = 0; j < direct[i].size(); ++j)
+      ASSERT_EQ(served[i][j], direct[i][j]) << i << "," << j;
+
+  // Each malformed request carries its own validation error.
+  try {
+    bad_results[0].get();
+    FAIL() << "out-of-vocab token must reject";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("token id"), std::string::npos);
+  }
+  EXPECT_THROW(bad_results[1].get(), std::invalid_argument);
+  EXPECT_THROW(bad_results[2].get(), std::out_of_range);
+  EXPECT_THROW(bad_results[3].get(), std::invalid_argument);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.rejected, 4u);
+  EXPECT_EQ(stats.completed, good.size());
+  EXPECT_EQ(stats.failed, 0u);
+  runtime::set_runtime_config({});
+}
+
+TEST(ServingDeterminism, TwoConcurrentServersStayBitIdentical) {
+  // Two Servers share the process-wide runtime pool; the pool admits one
+  // orchestrator at a time and the other inlines, so results from both
+  // must still match direct execution bit-for-bit.
+  Rng rng(37);
+  TaskModel m(tiny(), HeadKind::kClassify, 2, rng);
+  ExactNonlinearities nl(m.config().act);
+
+  std::vector<BatchInput> requests;
+  for (int i = 0; i < 8; ++i) requests.push_back(random_request(m.config(), 1, 8, rng));
+  runtime::set_runtime_config({2});
+  std::vector<Tensor> direct;
+  {
+    InferenceModel infer(m, nl);
+    for (const BatchInput& in : requests) direct.push_back(infer.logits(in));
+  }
+
+  ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait = 2ms;
+  cfg.threads = 2;
+  Server a(m, nl, cfg);
+  Server b(m, nl, cfg);
+  std::vector<Tensor> from_a(requests.size()), from_b(requests.size());
+  std::thread ta([&] {
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      from_a[i] = a.submit(requests[i]).get();
+  });
+  std::thread tb([&] {
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      from_b[i] = b.submit(requests[i]).get();
+  });
+  ta.join();
+  tb.join();
+
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    for (std::size_t j = 0; j < direct[i].size(); ++j) {
+      ASSERT_EQ(from_a[i][j], direct[i][j]) << i << "," << j;
+      ASSERT_EQ(from_b[i][j], direct[i][j]) << i << "," << j;
+    }
+  runtime::set_runtime_config({});
+}
+
+TEST(ServingStats, CancelledAndRejectedReconcileWithSubmitted) {
+  Rng rng(38);
+  TaskModel m(tiny(), HeadKind::kClassify, 2, rng);
+  ExactNonlinearities nl(m.config().act);
+
+  ServeConfig cfg;
+  cfg.max_batch = 64;       // never reached ...
+  cfg.max_wait = 10min;     // ... and never aged out: requests sit queued
+  cfg.threads = 1;
+  Server server(m, nl, cfg);
+
+  PendingResult r1 = server.submit(random_request(m.config(), 1, 8, rng));
+  PendingResult r2 = server.submit(random_request(m.config(), 1, 8, rng));
+  PendingResult r3 = server.submit(random_request(m.config(), 1, 8, rng));
+  EXPECT_TRUE(r2.cancel());  // still queued: nothing flushes before shutdown
+  server.shutdown();         // drains r1/r3, skips the cancelled r2
+
+  EXPECT_NO_THROW(r1.get());
+  EXPECT_NO_THROW(r3.get());
+  EXPECT_THROW(r2.get(), RequestCancelled);
+
+  PendingResult late = server.submit(random_request(m.config(), 1, 8, rng));
+  EXPECT_THROW(late.get(), RequestCancelled);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.rejected, 1u);  // the post-shutdown submit
+  EXPECT_EQ(stats.submitted, stats.completed + stats.failed + stats.cancelled);
+  runtime::set_runtime_config({});
+}
+
+TEST(ServingShutdown, SubmitAfterShutdownRejects) {
+  Rng rng(36);
+  TaskModel m(tiny(), HeadKind::kClassify, 2, rng);
+  ExactNonlinearities nl(m.config().act);
+  Server server(m, nl, {/*max_batch=*/4, /*max_wait=*/1ms, /*threads=*/1});
+  PendingResult before = server.submit(random_request(m.config(), 1, 8, rng));
+  server.shutdown();
+  EXPECT_NO_THROW(before.get());  // drained before stop
+  PendingResult after = server.submit(random_request(m.config(), 1, 8, rng));
+  EXPECT_THROW(after.get(), RequestCancelled);
+  runtime::set_runtime_config({});
+}
+
+}  // namespace
+}  // namespace nnlut::serve

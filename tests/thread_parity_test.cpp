@@ -185,6 +185,64 @@ TEST(ParallelFor, MorePoolLanesThanHardwareStillCorrect) {
   runtime::set_runtime_config({});
 }
 
+TEST(ParallelFor, ConcurrentOrchestratorsFallBackInline) {
+  // Two threads driving parallel_for on the same pool (two serving loops,
+  // or a server plus a direct caller): the pool admits one orchestrator at
+  // a time and the other runs its shards inline — both must compute
+  // correct results, with no cross-talk on the shared job state.
+  runtime::set_runtime_config({4});
+  std::thread second([] {
+    for (int iter = 0; iter < 100; ++iter) {
+      std::atomic<long> sum{0};
+      runtime::parallel_for(1, 101, 1, [&](std::size_t i0, std::size_t i1) {
+        long local = 0;
+        for (std::size_t i = i0; i < i1; ++i) local += static_cast<long>(i);
+        sum.fetch_add(local);
+      });
+      ASSERT_EQ(sum.load(), 5050);
+    }
+  });
+  for (int iter = 0; iter < 100; ++iter) {
+    std::atomic<long> sum{0};
+    runtime::parallel_for(1, 201, 1, [&](std::size_t i0, std::size_t i1) {
+      long local = 0;
+      for (std::size_t i = i0; i < i1; ++i) local += static_cast<long>(i);
+      sum.fetch_add(local);
+    });
+    ASSERT_EQ(sum.load(), 20100);
+  }
+  second.join();
+  runtime::set_runtime_config({});
+}
+
+TEST(ParallelFor, ReconfigureWhileKernelsInFlightIsSafe) {
+  // Regression for the serving subsystem: a configurer thread resizing the
+  // pool (Server construction plugs ServeConfig::threads into RuntimeConfig)
+  // while another thread has kernels in flight. Before acquire_pool()
+  // returned a shared handle, set_runtime_config destroyed the pool out from
+  // under the running parallel_for. TSan in CI guards the handoff.
+  std::atomic<bool> stop{false};
+  std::thread configurer([&] {
+    std::size_t n = 2;
+    while (!stop.load()) {
+      runtime::set_runtime_config({n});
+      n = (n == 2) ? 4 : 2;
+    }
+  });
+  for (int iter = 0; iter < 200; ++iter) {
+    std::atomic<long> sum{0};
+    runtime::parallel_for(1, 101, 1, [&](std::size_t i0, std::size_t i1) {
+      long local = 0;
+      for (std::size_t i = i0; i < i1; ++i) local += static_cast<long>(i);
+      sum.fetch_add(local);
+    });
+    ASSERT_EQ(sum.load(), 5050);
+  }
+  stop.store(true);
+  configurer.join();
+  runtime::set_runtime_config({});
+}
+
 // ------------------------------------------------ bugfix regressions ------
 
 TEST(IBertRegressions, IExpSurvivesCoarseScale) {
