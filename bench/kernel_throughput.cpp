@@ -2,7 +2,11 @@
 // efficiency claims: exact FP32 math vs LUT evaluation (FP32/FP16/INT32) vs
 // I-BERT integer sequences, on softmax-sized activation streams; plus the
 // scalar-loop vs batched-plan comparison across entry counts {8, 16, 32,
-// 128} that motivates the compiled SoA kernel layer.
+// 128} that motivates the compiled SoA kernel layer, and a per-SIMD-tier
+// sweep (BM_LutTierPlan/<tier>/<precision>/<entries>) registered for every
+// tier this CPU supports — the dispatch tier is pinned for the benchmark's
+// duration and recorded in the JSON (per-run label + "simd_*" context
+// keys), so artifacts from different machines are self-describing.
 //
 // Unless --benchmark_out is given, results are also written as
 // machine-readable JSON to BENCH_kernel_throughput.json.
@@ -10,11 +14,13 @@
 
 #include <cstring>
 #include <deque>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "approx/linear_lut.h"
 #include "core/function_library.h"
+#include "core/lut_kernel_simd.h"
 #include "core/nnlut_ops.h"
 #include "core/quantized_lut.h"
 #include "core/transform.h"
@@ -255,6 +261,66 @@ void BM_LutBatchedPlanInt32(benchmark::State& state) {
 }
 BENCHMARK(BM_LutBatchedPlanInt32)->Arg(8)->Arg(16)->Arg(32)->Arg(128);
 
+// --------------------------------------------------------------------------
+// Per-SIMD-tier plan throughput: the same batched evaluation with the
+// dispatch tier pinned to each ISA this CPU supports. The acceptance target
+// of the SIMD layer is >= 2x comparator-bank-scan throughput (entries <= 32)
+// for the widest tier vs forced scalar; the forced-tier parity suite in
+// tests/lut_kernel_test.cpp proves all tiers produce identical bits, so
+// this sweep measures pure kernel speed.
+// --------------------------------------------------------------------------
+
+using simd::SimdTier;
+
+void BM_LutTierPlanFp32(benchmark::State& state, SimdTier tier) {
+  simd::set_simd_tier(tier);
+  const PiecewiseLinear& lut = sized_lut(static_cast<int>(state.range(0)));
+  const auto xs = activation_stream(kRowLen, -5.0f, 5.0f);
+  std::vector<float> buf(xs.size());
+  for (auto _ : state) {
+    buf = xs;
+    lut.eval_inplace(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(kRowLen));
+  state.SetLabel(simd::simd_tier_name(tier));
+  simd::set_simd_tier(std::nullopt);
+}
+
+void BM_LutTierPlanInt32(benchmark::State& state, SimdTier tier) {
+  simd::set_simd_tier(tier);
+  const LutInt32 fn(sized_lut(static_cast<int>(state.range(0))), 5.0f);
+  const auto xs = activation_stream(kRowLen, -5.0f, 5.0f);
+  std::vector<float> buf(xs.size());
+  for (auto _ : state) {
+    buf = xs;
+    fn.eval_inplace(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(kRowLen));
+  state.SetLabel(simd::simd_tier_name(tier));
+  simd::set_simd_tier(std::nullopt);
+}
+
+/// Register the tier sweep for every tier this CPU can actually run.
+void register_tier_benchmarks() {
+  for (SimdTier tier : simd::available_simd_tiers()) {
+    const std::string name(simd::simd_tier_name(tier));
+    benchmark::RegisterBenchmark(("BM_LutTierPlan/" + name + "/fp32").c_str(),
+                                 BM_LutTierPlanFp32, tier)
+        ->Arg(8)
+        ->Arg(16)
+        ->Arg(32)
+        ->Arg(128);
+    benchmark::RegisterBenchmark(("BM_LutTierPlan/" + name + "/int32").c_str(),
+                                 BM_LutTierPlanInt32, tier)
+        ->Arg(8)
+        ->Arg(16)
+        ->Arg(32)
+        ->Arg(128);
+  }
+}
+
 void BM_NnToLutTransform(benchmark::State& state) {
   const ApproxNet& net = bundle().gelu.net;
   for (auto _ : state) {
@@ -282,6 +348,14 @@ int main(int argc, char** argv) {
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  // The JSON artifact is self-describing about the machine's SIMD support:
+  // which tiers were measurable here and what automatic dispatch resolves to.
+  namespace simd = nnlut::simd;
+  benchmark::AddCustomContext("simd_detected",
+                              simd::simd_tier_name(simd::detected_simd_tier()));
+  benchmark::AddCustomContext("simd_auto",
+                              simd::simd_tier_name(simd::auto_simd_tier()));
+  register_tier_benchmarks();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -1,0 +1,45 @@
+// Cache-line-aligned storage for compiled LUT plans.
+//
+// Plan arrays (breakpoints / slopes / intercepts) are loaded by the SIMD
+// kernel tiers with 256/512-bit vector loads; allocating them on 64-byte
+// boundaries keeps every full-vector table load inside one cache line and
+// lets the padded bank of a small table be fetched with a single aligned
+// load. The allocator only changes alignment — size, value semantics and
+// the element type are untouched, so `std::span<const float>` views over
+// plan storage are unaffected.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace nnlut {
+
+template <typename T, std::size_t Align = 64>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "alignment must be a power of two covering alignof(T)");
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+}  // namespace nnlut

@@ -8,10 +8,17 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "core/lut_kernel_simd.h"
+#include "core/lut_kernel_simd_detail.h"
 #include "numerics/half.h"
 
 namespace nnlut {
 namespace {
+
+using simd::detail::bisect_index;
+using simd::detail::fill_indices;
+using simd::detail::int_quantize;
+using simd::detail::kBlock;
 
 /// Next power of two >= entries.
 std::size_t pad_entries(std::size_t entries) {
@@ -24,50 +31,7 @@ std::size_t pad_entries(std::size_t entries) {
 // larger ones use branchless bisection.
 constexpr std::size_t kLinearScanMax = 32;
 
-// Elements per indexing block: the element block plus the scratch index
-// buffer stay in L1 between the scan pass and the MAC pass.
-constexpr std::size_t kBlock = 512;
-
 constexpr float kIntQMax = 32767.0f;  // +-2^15 - 1 budget for MAC operands
-
-std::int32_t int_quantize(float v, float scale) {
-  const float q = std::round(v / scale);
-  if (std::isnan(q)) return 0;
-  const float lim = 2.147e9f;
-  return static_cast<std::int32_t>(std::clamp(q, -lim, lim));
-}
-
-/// Branchless segment index: the number of breakpoints d with !(x < d),
-/// which equals std::upper_bound(..) - begin for every input including NaN
-/// (all comparisons true -> padded tail, which replicates the last segment).
-/// Requires nb + 1 to be a power of two.
-template <typename T, typename X>
-inline std::uint32_t bisect_index(const T* bp, std::size_t nb, X x) {
-  std::uint32_t pos = 0;
-  for (std::uint32_t step = static_cast<std::uint32_t>(nb + 1) >> 1; step != 0;
-       step >>= 1) {
-    if (!(x < bp[pos + step - 1])) pos += step;
-  }
-  return pos;
-}
-
-template <typename T, typename X>
-inline void fill_indices(const T* bp, std::size_t nb, bool linear, const X* xs,
-                         std::size_t m, std::uint32_t* idx) {
-  if (linear) {
-    for (std::size_t i = 0; i < m; ++i) idx[i] = 0;
-    // Breakpoint-outer / element-inner: the inner loop is a contiguous
-    // compare-and-accumulate the vectorizer handles; this is the software
-    // shape of the hardware's parallel comparator bank.
-    for (std::size_t j = 0; j < nb; ++j) {
-      const T b = bp[j];
-      for (std::size_t i = 0; i < m; ++i)
-        idx[i] += static_cast<std::uint32_t>(!(xs[i] < b));
-    }
-  } else {
-    for (std::size_t i = 0; i < m; ++i) idx[i] = bisect_index(bp, nb, xs[i]);
-  }
-}
 
 /// FP16 MAC: every intermediate rounds through binary16. Operands must
 /// already be binary16 values (exact in FP32).
@@ -96,25 +60,11 @@ LutKernel::LutKernel(std::span<const float> breakpoints,
 
 void LutKernel::eval(std::span<float> xs) const {
   if (entries_ == 0 || xs.empty()) return;
-  const std::size_t nb = breakpoints_.size();
-  const float* s = slopes_.data();
-  const float* t = intercepts_.data();
-  float* p = xs.data();
-  std::size_t n = xs.size();
-  if (nb == 0) {
-    const float s0 = s[0], t0 = t[0];
-    for (std::size_t i = 0; i < n; ++i) p[i] = s0 * p[i] + t0;
-    return;
-  }
-  const float* bp = breakpoints_.data();
-  std::uint32_t idx[kBlock];
-  while (n != 0) {
-    const std::size_t m = std::min(n, kBlock);
-    fill_indices(bp, nb, linear_scan_, p, m, idx);
-    for (std::size_t i = 0; i < m; ++i) p[i] = s[idx[i]] * p[i] + t[idx[i]];
-    p += m;
-    n -= m;
-  }
+  // One indirect call per span through the runtime-selected ISA tier; every
+  // tier is bit-identical (core/lut_kernel_simd.h).
+  simd::active_simd_ops().fp32_eval(breakpoints_.data(), breakpoints_.size(),
+                                    linear_scan_, slopes_.data(),
+                                    intercepts_.data(), xs.data(), xs.size());
 }
 
 float LutKernel::eval_scalar(float x) const {
@@ -226,33 +176,10 @@ LutKernelInt32::LutKernelInt32(std::span<const float> breakpoints,
 
 void LutKernelInt32::eval(std::span<float> xs) const {
   if (entries_ == 0 || xs.empty()) return;
-  const std::size_t nb = breakpoints_.size();
-  const std::int32_t* s = slopes_.data();
-  const std::int32_t* t = intercepts_.data();
-  const float so = ss_ * sx_;
-  float* p = xs.data();
-  std::size_t n = xs.size();
-  std::int32_t qx[kBlock];
-  std::uint32_t idx[kBlock];
-  while (n != 0) {
-    const std::size_t m = std::min(n, kBlock);
-    for (std::size_t i = 0; i < m; ++i) qx[i] = int_quantize(p[i], sx_);
-    if (nb == 0) {
-      for (std::size_t i = 0; i < m; ++i) idx[i] = 0;
-    } else {
-      fill_indices(breakpoints_.data(), nb, linear_scan_, qx, m, idx);
-    }
-    for (std::size_t i = 0; i < m; ++i) {
-      // Integer MAC. |q_s|,|q_x| <= 2^15 keeps the product in int32; int64
-      // only keeps the C++ arithmetic well-defined after the intercept add.
-      const std::int64_t acc =
-          static_cast<std::int64_t>(s[idx[i]]) * qx[i] +
-          static_cast<std::int64_t>(t[idx[i]]);
-      p[i] = static_cast<float>(acc) * so;
-    }
-    p += m;
-    n -= m;
-  }
+  simd::active_simd_ops().int32_eval(breakpoints_.data(), breakpoints_.size(),
+                                     linear_scan_, slopes_.data(),
+                                     intercepts_.data(), sx_, ss_ * sx_,
+                                     xs.data(), xs.size());
 }
 
 float LutKernelInt32::eval_scalar(float x) const {

@@ -19,6 +19,14 @@
 // tail, which replicates the last real segment) and +/-inf, so plan
 // evaluation is bit-identical to the per-element reference path.
 //
+// FP32 and INT32 plan evaluation dispatches through the runtime-selected
+// SIMD tier (core/lut_kernel_simd.h): scalar, AVX2, or AVX-512, chosen once
+// from CPUID and overridable via NNLUT_FORCE_SCALAR / set_simd_tier. Every
+// tier performs the identical IEEE operation sequence, so results are
+// bit-identical across tiers; plan arrays are allocated on 64-byte
+// boundaries (core/aligned_alloc.h) so a padded comparator bank is loaded
+// with aligned full-register table loads.
+//
 // Three precision-specialized plans live here:
 //   LutKernel       FP32 multiply-add,
 //   LutKernelFp16   operands rounded through binary16 and the MAC computed
@@ -33,7 +41,14 @@
 #include <span>
 #include <vector>
 
+#include "core/aligned_alloc.h"
+
 namespace nnlut {
+
+/// Plan array storage: cache-line aligned so SIMD tiers can table-load a
+/// whole padded bank with aligned vector loads.
+template <typename T>
+using PlanVec = std::vector<T, AlignedAllocator<T>>;
 
 /// FP32 plan. Breakpoints/slopes/intercepts must satisfy the
 /// PiecewiseLinear invariants (this type does not re-validate them).
@@ -60,9 +75,9 @@ class LutKernel {
   std::span<const float> padded_intercepts() const { return intercepts_; }
 
  private:
-  std::vector<float> breakpoints_;  // padded_entries - 1, +inf padded
-  std::vector<float> slopes_;       // padded_entries, last segment replicated
-  std::vector<float> intercepts_;   // padded_entries
+  PlanVec<float> breakpoints_;  // padded_entries - 1, +inf padded
+  PlanVec<float> slopes_;       // padded_entries, last segment replicated
+  PlanVec<float> intercepts_;   // padded_entries
   std::size_t entries_ = 0;
   bool linear_scan_ = true;
 };
@@ -85,9 +100,9 @@ class LutKernelFp16 {
  private:
   // Comparator constants as FP32 values of the half-rounded breakpoints
   // (half -> float is exact, so FP32 compares == FP16 compares).
-  std::vector<float> breakpoints_;
-  std::vector<float> slopes_;      // FP32 values of half-rounded slopes
-  std::vector<float> intercepts_;  // FP32 values of half-rounded intercepts
+  PlanVec<float> breakpoints_;
+  PlanVec<float> slopes_;      // FP32 values of half-rounded slopes
+  PlanVec<float> intercepts_;  // FP32 values of half-rounded intercepts
   std::size_t entries_ = 0;
   bool linear_scan_ = true;
 };
@@ -114,9 +129,9 @@ class LutKernelInt32 {
   float output_scale() const { return ss_ * sx_; }
 
  private:
-  std::vector<std::int32_t> breakpoints_;  // INT32_MAX padded
-  std::vector<std::int32_t> slopes_;
-  std::vector<std::int32_t> intercepts_;
+  PlanVec<std::int32_t> breakpoints_;  // INT32_MAX padded
+  PlanVec<std::int32_t> slopes_;
+  PlanVec<std::int32_t> intercepts_;
   std::size_t entries_ = 0;
   bool linear_scan_ = true;
   float sx_ = 1.0f;  // input scale

@@ -1,0 +1,148 @@
+// Dispatch TU: resolves the ISA tier once (CPUID + environment caps) and
+// installs the matching kernel table behind an atomic pointer. The wide
+// tiers live in their own translation units (lut_kernel_simd_avx2.cpp,
+// lut_kernel_simd_avx512.cpp) compiled with the matching -m flags; this file
+// is compiled with the portable baseline so it can run anywhere.
+#include "core/lut_kernel_simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "core/lut_kernel_simd_detail.h"
+
+namespace nnlut::simd {
+
+#ifdef NNLUT_HAVE_AVX2
+const SimdKernelOps& avx2_kernel_ops();  // defined in lut_kernel_simd_avx2.cpp
+#endif
+#ifdef NNLUT_HAVE_AVX512
+const SimdKernelOps& avx512_kernel_ops();  // lut_kernel_simd_avx512.cpp
+#endif
+
+namespace {
+
+void scalar_fp32(const float* bp, std::size_t nb, bool linear, const float* s,
+                 const float* t, float* xs, std::size_t n) {
+  detail::scalar_fp32_eval(bp, nb, linear, s, t, xs, n);
+}
+
+void scalar_int32(const std::int32_t* bp, std::size_t nb, bool linear,
+                  const std::int32_t* s, const std::int32_t* t, float sx,
+                  float so, float* xs, std::size_t n) {
+  detail::scalar_int32_eval(bp, nb, linear, s, t, sx, so, xs, n);
+}
+
+constexpr SimdKernelOps kScalarOps{SimdTier::kScalar, &scalar_fp32,
+                                   &scalar_int32};
+
+const SimdKernelOps& ops_for(SimdTier tier) {
+  switch (tier) {
+#ifdef NNLUT_HAVE_AVX512
+    case SimdTier::kAvx512:
+      return avx512_kernel_ops();
+#endif
+#ifdef NNLUT_HAVE_AVX2
+    case SimdTier::kAvx2:
+      return avx2_kernel_ops();
+#endif
+    default:
+      return kScalarOps;
+  }
+}
+
+std::atomic<const SimdKernelOps*> g_active{nullptr};
+
+}  // namespace
+
+const char* simd_tier_name(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kAvx512:
+      return "avx512";
+    case SimdTier::kAvx2:
+      return "avx2";
+    default:
+      return "scalar";
+  }
+}
+
+std::optional<SimdTier> parse_simd_tier(std::string_view name) {
+  if (name == "scalar") return SimdTier::kScalar;
+  if (name == "avx2") return SimdTier::kAvx2;
+  if (name == "avx512") return SimdTier::kAvx512;
+  return std::nullopt;
+}
+
+SimdTier detected_simd_tier() {
+  static const SimdTier tier = [] {
+#ifdef NNLUT_HAVE_AVX512
+    if (__builtin_cpu_supports("avx512f")) return SimdTier::kAvx512;
+#endif
+#ifdef NNLUT_HAVE_AVX2
+    if (__builtin_cpu_supports("avx2")) return SimdTier::kAvx2;
+#endif
+    return SimdTier::kScalar;
+  }();
+  return tier;
+}
+
+SimdTier env_capped_tier(const char* force_scalar, const char* tier_name,
+                         SimdTier detected) {
+  if (force_scalar != nullptr && *force_scalar != '\0' &&
+      std::string_view(force_scalar) != "0")
+    return SimdTier::kScalar;
+  if (tier_name != nullptr) {
+    if (const auto cap = parse_simd_tier(tier_name))
+      return std::min(*cap, detected);
+  }
+  return detected;
+}
+
+SimdTier auto_simd_tier() {
+  // Function-local static (not a namespace-scope global): plan evaluation
+  // during another TU's static initialization must still resolve the real
+  // tier, not a zero-initialized placeholder. The environment is read once
+  // here — dispatch must not change behind a running server's back because
+  // the wall clock crossed a getenv call.
+  static const SimdTier tier =
+      env_capped_tier(std::getenv("NNLUT_FORCE_SCALAR"),
+                      std::getenv("NNLUT_SIMD_TIER"), detected_simd_tier());
+  return tier;
+}
+
+std::vector<SimdTier> available_simd_tiers() {
+  std::vector<SimdTier> tiers{SimdTier::kScalar};
+  const SimdTier top = detected_simd_tier();
+  if (top >= SimdTier::kAvx2) tiers.push_back(SimdTier::kAvx2);
+  if (top >= SimdTier::kAvx512) tiers.push_back(SimdTier::kAvx512);
+  return tiers;
+}
+
+const SimdKernelOps& active_simd_ops() {
+  const SimdKernelOps* ops = g_active.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    // First use (or a benign race with another first user): install the
+    // automatic tier. compare_exchange keeps a concurrent set_simd_tier win.
+    const SimdKernelOps* expected = nullptr;
+    g_active.compare_exchange_strong(expected, &ops_for(auto_simd_tier()),
+                                     std::memory_order_acq_rel);
+    ops = g_active.load(std::memory_order_acquire);
+  }
+  return *ops;
+}
+
+SimdTier active_simd_tier() { return active_simd_ops().tier; }
+
+void set_simd_tier(std::optional<SimdTier> tier) {
+  if (tier.has_value() && *tier > detected_simd_tier())
+    throw std::invalid_argument(
+        std::string("set_simd_tier: tier '") + simd_tier_name(*tier) +
+        "' exceeds the detected tier '" +
+        simd_tier_name(detected_simd_tier()) + "'");
+  g_active.store(&ops_for(tier.value_or(auto_simd_tier())),
+                 std::memory_order_release);
+}
+
+}  // namespace nnlut::simd

@@ -1,0 +1,100 @@
+// Runtime-dispatched SIMD tiers for the compiled LUT plans.
+//
+// The paper's hardware evaluates an N-entry table with a *parallel*
+// comparator bank feeding one MAC (Eq. 4); the software analogue is a wide
+// vector lane set: one AVX2/AVX-512 register holds 8/16 activations, every
+// breakpoint is compared against all of them at once, and the selected
+// (slope, intercept) pairs are fetched with a register permute (banks that
+// fit one register) or a hardware gather (larger tables / bisection).
+//
+// Dispatch model:
+//   - the ISA tier is resolved ONCE at first use from CPUID
+//     (__builtin_cpu_supports) — scalar < AVX2 < AVX-512F — and installed
+//     behind an atomic pointer that LutKernel::eval reads per call;
+//   - `NNLUT_FORCE_SCALAR` (any value except "" / "0") caps the automatic
+//     choice at scalar; `NNLUT_SIMD_TIER=scalar|avx2|avx512` caps it at a
+//     named tier. Both only *lower* the tier — they can never select an ISA
+//     the CPU does not have;
+//   - `set_simd_tier` is the programmatic override (tests, RuntimeConfig):
+//     forcing a tier above the detected one throws, `std::nullopt` restores
+//     the automatic choice.
+//
+// Determinism contract (ISA-invariance): every tier performs the exact same
+// IEEE operation sequence per element as the scalar reference — compare,
+// gather, one multiply, one add, with no FMA contraction — so evaluation is
+// bit-identical across tiers for all inputs including values exactly on
+// breakpoints, ±inf and NaN. This extends the repo's existing guarantee
+// (thread-count- and batch-invariant results) to the ISA dimension; the
+// forced-tier suite in tests/lut_kernel_test.cpp asserts it.
+//
+// The FP16 plan intentionally has no wide tiers: its datapath emulation
+// rounds every operand and every intermediate through binary16
+// (numerics/half.h), and that software rounding chain is the cost, not the
+// scan. It evaluates through the scalar path at every tier.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace nnlut::simd {
+
+/// ISA tiers in strictly increasing width; ordering comparisons are
+/// meaningful (a CPU supporting a tier supports all lower tiers).
+enum class SimdTier : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// "scalar" | "avx2" | "avx512".
+const char* simd_tier_name(SimdTier tier);
+
+/// Parse a tier name (as accepted in NNLUT_SIMD_TIER); nullopt if unknown.
+std::optional<SimdTier> parse_simd_tier(std::string_view name);
+
+/// Widest tier this CPU supports (and this build carries kernels for).
+SimdTier detected_simd_tier();
+
+/// Every tier this process can actually run, narrowest first: scalar, then
+/// each wide tier up to detected_simd_tier(). The one list parity tests
+/// and benchmark sweeps should iterate.
+std::vector<SimdTier> available_simd_tiers();
+
+/// The tier automatic dispatch resolves to: detected, capped by the
+/// NNLUT_FORCE_SCALAR / NNLUT_SIMD_TIER environment (read once).
+SimdTier auto_simd_tier();
+
+/// Tier of the currently installed kernel table.
+SimdTier active_simd_tier();
+
+/// Force a tier (tests, benches, RuntimeConfig::simd). Throws
+/// std::invalid_argument if `tier` exceeds detected_simd_tier().
+/// std::nullopt restores automatic selection. Thread-safe; kernels already
+/// executing finish on the table they loaded.
+void set_simd_tier(std::optional<SimdTier> tier);
+
+/// Pure form of the environment policy, exposed for tests: the tier cap
+/// implied by (NNLUT_FORCE_SCALAR, NNLUT_SIMD_TIER) values, clamped to
+/// `detected`. nullptr means the variable is unset.
+SimdTier env_capped_tier(const char* force_scalar, const char* tier_name,
+                         SimdTier detected);
+
+/// One per-tier kernel table. Both entry points evaluate a whole span in
+/// place through a compiled plan; `nb` is the padded breakpoint count
+/// (padded_entries - 1), `linear_scan` selects comparator-bank scan vs
+/// uniform bisection exactly as the plan compiled it.
+struct SimdKernelOps {
+  SimdTier tier;
+  void (*fp32_eval)(const float* bp, std::size_t nb, bool linear_scan,
+                    const float* slopes, const float* intercepts, float* xs,
+                    std::size_t n);
+  void (*int32_eval)(const std::int32_t* bp, std::size_t nb, bool linear_scan,
+                     const std::int32_t* slopes,
+                     const std::int32_t* intercepts, float input_scale,
+                     float output_scale, float* xs, std::size_t n);
+};
+
+/// The installed kernel table (the LutKernel::eval dispatch pointer).
+/// Resolves the automatic tier on first use.
+const SimdKernelOps& active_simd_ops();
+
+}  // namespace nnlut::simd

@@ -1,0 +1,121 @@
+// Shared scalar building blocks of the LUT plan evaluators.
+//
+// Included by the precision kernels (core/lut_kernel.cpp), the scalar
+// dispatch tier, and the AVX2/AVX-512 translation units (which run these
+// loops on sub-vector tails). Everything here has INTERNAL linkage on
+// purpose: the SIMD TUs are compiled with -mavx2 / -mavx512f, and if these
+// helpers had external linkage the linker could keep the copy containing
+// AVX instructions and hand it to generic TUs — an illegal-instruction trap
+// on narrower machines. `static` gives every TU its own copy compiled under
+// its own flags; with floating-point contraction disabled project-wide
+// (-ffp-contract=off, see CMakeLists.txt) all copies are bit-identical in
+// behaviour.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace nnlut::simd::detail {
+
+// Elements per indexing block: the element block plus the scratch index
+// buffer stay in L1 between the scan pass and the MAC pass.
+inline constexpr std::size_t kBlock = 512;
+
+// Clamp bound of the float->int32 quantizer: the largest round magnitude
+// still representable in int32 (so the cast below is always defined).
+inline constexpr float kIntQClamp = 2.147e9f;
+
+/// I-BERT-style quantization: round-half-away-from-zero, NaN -> 0,
+/// saturating at +-kIntQClamp.
+[[maybe_unused]] static inline std::int32_t int_quantize(float v,
+                                                         float scale) {
+  const float q = std::round(v / scale);
+  if (std::isnan(q)) return 0;
+  return static_cast<std::int32_t>(std::clamp(q, -kIntQClamp, kIntQClamp));
+}
+
+/// Branchless segment index: the number of breakpoints d with !(x < d),
+/// which equals std::upper_bound(..) - begin for every input including NaN
+/// (all comparisons true -> padded tail, which replicates the last segment).
+/// Requires nb + 1 to be a power of two.
+template <typename T, typename X>
+static inline std::uint32_t bisect_index(const T* bp, std::size_t nb, X x) {
+  std::uint32_t pos = 0;
+  for (std::uint32_t step = static_cast<std::uint32_t>(nb + 1) >> 1; step != 0;
+       step >>= 1) {
+    if (!(x < bp[pos + step - 1])) pos += step;
+  }
+  return pos;
+}
+
+template <typename T, typename X>
+static inline void fill_indices(const T* bp, std::size_t nb, bool linear,
+                                const X* xs, std::size_t m,
+                                std::uint32_t* idx) {
+  if (linear) {
+    for (std::size_t i = 0; i < m; ++i) idx[i] = 0;
+    // Breakpoint-outer / element-inner: the inner loop is a contiguous
+    // compare-and-accumulate the vectorizer handles; this is the software
+    // shape of the hardware's parallel comparator bank.
+    for (std::size_t j = 0; j < nb; ++j) {
+      const T b = bp[j];
+      for (std::size_t i = 0; i < m; ++i)
+        idx[i] += static_cast<std::uint32_t>(!(xs[i] < b));
+    }
+  } else {
+    for (std::size_t i = 0; i < m; ++i) idx[i] = bisect_index(bp, nb, xs[i]);
+  }
+}
+
+/// FP32 plan evaluation, scalar reference shape: blockwise index fill, then
+/// a mul+add MAC per element. This IS the portable tier; the wide tiers
+/// call it on tails shorter than one vector.
+[[maybe_unused]] static inline void scalar_fp32_eval(
+    const float* bp, std::size_t nb, bool linear, const float* s,
+    const float* t, float* p, std::size_t n) {
+  if (nb == 0) {
+    const float s0 = s[0], t0 = t[0];
+    for (std::size_t i = 0; i < n; ++i) p[i] = s0 * p[i] + t0;
+    return;
+  }
+  std::uint32_t idx[kBlock];
+  while (n != 0) {
+    const std::size_t m = std::min(n, kBlock);
+    fill_indices(bp, nb, linear, p, m, idx);
+    for (std::size_t i = 0; i < m; ++i) p[i] = s[idx[i]] * p[i] + t[idx[i]];
+    p += m;
+    n -= m;
+  }
+}
+
+/// INT32 plan evaluation, scalar reference shape: quantize, index, integer
+/// MAC, dequantize.
+[[maybe_unused]] static inline void scalar_int32_eval(
+    const std::int32_t* bp, std::size_t nb, bool linear, const std::int32_t* s,
+    const std::int32_t* t, float sx, float so, float* p, std::size_t n) {
+  std::int32_t qx[kBlock];
+  std::uint32_t idx[kBlock];
+  while (n != 0) {
+    const std::size_t m = std::min(n, kBlock);
+    for (std::size_t i = 0; i < m; ++i) qx[i] = int_quantize(p[i], sx);
+    if (nb == 0) {
+      for (std::size_t i = 0; i < m; ++i) idx[i] = 0;
+    } else {
+      fill_indices(bp, nb, linear, qx, m, idx);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      // Integer MAC. |q_s| <= 2^15 keeps the product in int64 for any
+      // clamped q_x; int64 keeps the C++ arithmetic well-defined after the
+      // intercept add.
+      const std::int64_t acc = static_cast<std::int64_t>(s[idx[i]]) * qx[i] +
+                               static_cast<std::int64_t>(t[idx[i]]);
+      p[i] = static_cast<float>(acc) * so;
+    }
+    p += m;
+    n -= m;
+  }
+}
+
+}  // namespace nnlut::simd::detail

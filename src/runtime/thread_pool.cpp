@@ -19,6 +19,9 @@ thread_local bool t_in_shard = false;
 }  // namespace
 
 void set_runtime_config(const RuntimeConfig& cfg) {
+  // Validate the SIMD override first so a bad tier leaves the pool and the
+  // stored config untouched (set_simd_tier throws above the detected tier).
+  simd::set_simd_tier(cfg.simd);
   // Retire the old pool outside the config lock: destroying it joins its
   // workers, and a worker running a nested parallel_for briefly takes
   // g_config_mu — joining under the lock could deadlock. Kernels in flight

@@ -20,8 +20,11 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
+
+#include "core/lut_kernel_simd.h"
 
 namespace nnlut::runtime {
 
@@ -31,8 +34,16 @@ namespace nnlut::runtime {
 /// including while kernels are in flight on other threads (a serving loop
 /// resizing its budget): in-flight kernels keep a handle on the pool they
 /// started on and drain there; subsequent kernels see the new pool.
+///
+/// `simd` pins the LUT-kernel ISA tier (scalar / AVX2 / AVX-512) for the
+/// whole process; nullopt restores automatic CPUID + environment selection
+/// (core/lut_kernel_simd.h). The two knobs compose as "shards across
+/// cores, wide lanes within a shard": parallel_for splits rows over the
+/// pool and each shard evaluates its block through the selected SIMD tier.
+/// Results are bit-identical for every (threads, simd) combination.
 struct RuntimeConfig {
   std::size_t threads = 0;
+  std::optional<simd::SimdTier> simd = std::nullopt;
 };
 
 void set_runtime_config(const RuntimeConfig& cfg);

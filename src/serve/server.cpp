@@ -32,7 +32,7 @@ double LatencyHistogram::quantile_us(double q) const {
 Server::Server(const transformer::TaskModel& model,
                transformer::NonlinearitySet& nl, ServeConfig cfg)
     : cfg_(cfg), model_(model, nl, cfg.matmul) {
-  runtime::set_runtime_config({cfg_.threads});
+  runtime::set_runtime_config({cfg_.threads, cfg_.simd});
 
   BatchObserver observer;
   observer.on_batch = [this](std::size_t requests, std::size_t sequences) {

@@ -22,7 +22,9 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 
+#include "core/lut_kernel_simd.h"
 #include "serve/batcher.h"
 #include "serve/request_queue.h"
 #include "transformer/infer.h"
@@ -38,6 +40,11 @@ struct ServeConfig {
   /// Execution lanes for the encoder kernels, applied to the process-wide
   /// RuntimeConfig at server construction; 0 = hardware_concurrency.
   std::size_t threads = 0;
+  /// LUT-kernel ISA tier for the encoder kernels, applied to the
+  /// process-wide RuntimeConfig with `threads`; nullopt = automatic
+  /// (CPUID + NNLUT_FORCE_SCALAR / NNLUT_SIMD_TIER). Served logits are
+  /// bit-identical for every tier.
+  std::optional<simd::SimdTier> simd = std::nullopt;
   /// Matmul precision of the owned InferenceModel.
   transformer::MatmulMode matmul = transformer::MatmulMode::kFp32;
 };

@@ -10,18 +10,26 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <limits>
+#include <optional>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "core/lut_kernel.h"
+#include "core/lut_kernel_simd.h"
 #include "core/piecewise_linear.h"
 #include "core/quantized_lut.h"
 #include "core/scalar_fn.h"
 #include "numerics/half.h"
 #include "numerics/rng.h"
+#include "runtime/thread_pool.h"
 
 namespace nnlut {
 namespace {
+
+using simd::SimdTier;
 
 constexpr float kInf = std::numeric_limits<float>::infinity();
 constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
@@ -226,6 +234,152 @@ TEST(CapturingFn, RecordsBatchedInputsAndDelegatesBatched) {
   EXPECT_EQ(cap.eval(2.5f), base.eval(2.5f));
   ASSERT_EQ(sink.size(), 1u);
   EXPECT_EQ(sink[0], 2.5f);
+}
+
+// ------------------------------------------------- SIMD tier dispatch ------
+
+/// Pins a tier for a scope; restores automatic selection on exit.
+class ScopedTier {
+ public:
+  explicit ScopedTier(SimdTier t) { simd::set_simd_tier(t); }
+  ~ScopedTier() { simd::set_simd_tier(std::nullopt); }
+};
+
+TEST(SimdDispatch, TierNamesRoundTrip) {
+  for (SimdTier t :
+       {SimdTier::kScalar, SimdTier::kAvx2, SimdTier::kAvx512})
+    EXPECT_EQ(simd::parse_simd_tier(simd::simd_tier_name(t)), t);
+  EXPECT_EQ(simd::parse_simd_tier("neon"), std::nullopt);
+  EXPECT_EQ(simd::parse_simd_tier(""), std::nullopt);
+}
+
+TEST(SimdDispatch, EnvironmentPolicyOnlyLowersTheTier) {
+  const SimdTier det = SimdTier::kAvx512;
+  // NNLUT_FORCE_SCALAR wins over everything except "off" spellings.
+  EXPECT_EQ(simd::env_capped_tier("1", nullptr, det), SimdTier::kScalar);
+  EXPECT_EQ(simd::env_capped_tier("yes", "avx512", det), SimdTier::kScalar);
+  EXPECT_EQ(simd::env_capped_tier("0", nullptr, det), det);
+  EXPECT_EQ(simd::env_capped_tier("", nullptr, det), det);
+  // NNLUT_SIMD_TIER caps at the named tier, clamped to detection.
+  EXPECT_EQ(simd::env_capped_tier(nullptr, "avx2", det), SimdTier::kAvx2);
+  EXPECT_EQ(simd::env_capped_tier(nullptr, "scalar", det), SimdTier::kScalar);
+  EXPECT_EQ(simd::env_capped_tier(nullptr, "avx512", SimdTier::kAvx2),
+            SimdTier::kAvx2);  // clamp: never above the CPU
+  EXPECT_EQ(simd::env_capped_tier(nullptr, "bogus", det), det);
+  EXPECT_EQ(simd::env_capped_tier(nullptr, nullptr, det), det);
+}
+
+TEST(SimdDispatch, ForcingAnUnsupportedTierThrowsAndKeepsState) {
+  const SimdTier before = simd::active_simd_tier();
+  const SimdTier det = simd::detected_simd_tier();
+  if (det < SimdTier::kAvx512) {
+    EXPECT_THROW(simd::set_simd_tier(SimdTier::kAvx512),
+                 std::invalid_argument);
+    if (det < SimdTier::kAvx2) {
+      EXPECT_THROW(simd::set_simd_tier(SimdTier::kAvx2),
+                   std::invalid_argument);
+    }
+    EXPECT_EQ(simd::active_simd_tier(), before);
+  }
+  // Scalar is always forcible; nullopt restores the automatic choice.
+  simd::set_simd_tier(SimdTier::kScalar);
+  EXPECT_EQ(simd::active_simd_tier(), SimdTier::kScalar);
+  simd::set_simd_tier(std::nullopt);
+  EXPECT_EQ(simd::active_simd_tier(), simd::auto_simd_tier());
+}
+
+TEST(SimdDispatch, RuntimeConfigPinsAndRestoresTheTier) {
+  runtime::set_runtime_config({1, SimdTier::kScalar});
+  EXPECT_EQ(simd::active_simd_tier(), SimdTier::kScalar);
+  EXPECT_EQ(runtime::runtime_config().simd, SimdTier::kScalar);
+  runtime::set_runtime_config({});
+  EXPECT_EQ(simd::active_simd_tier(), simd::auto_simd_tier());
+  EXPECT_EQ(runtime::runtime_config().simd, std::nullopt);
+}
+
+/// Forced-tier parity: for every available tier, every precision, entry
+/// counts straddling the permute / gather / bisection kernel shapes, inputs
+/// including exact breakpoints, ±inf and NaN — bits must equal the forced-
+/// scalar reference. This is the ISA-invariance contract.
+class SimdTierParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimdTierParity, AllTiersMatchScalarBitwise) {
+  Rng rng(211u + static_cast<std::uint64_t>(GetParam()));
+  const PiecewiseLinear lut = random_lut(GetParam(), rng);
+  const LutFp16 half_fn(lut);
+  const LutInt32 int_fn(lut, 24.0f);
+  const std::vector<float> xs = parity_inputs(lut, rng);
+
+  struct Precision {
+    const char* name;
+    std::function<void(std::span<float>)> eval;
+  };
+  const Precision precisions[] = {
+      {"fp32", [&](std::span<float> b) { lut.eval_inplace(b); }},
+      {"fp16", [&](std::span<float> b) { half_fn.eval_inplace(b); }},
+      {"int32", [&](std::span<float> b) { int_fn.eval_inplace(b); }},
+  };
+
+  for (const Precision& prec : precisions) {
+    std::vector<float> ref = xs;
+    {
+      ScopedTier scalar(SimdTier::kScalar);
+      prec.eval(ref);
+    }
+    for (SimdTier tier : simd::available_simd_tiers()) {
+      ScopedTier forced(tier);
+      std::vector<float> got = xs;
+      prec.eval(got);
+      for (std::size_t i = 0; i < xs.size(); ++i)
+        expect_bitwise(ref[i], got[i], xs[i]);
+      ASSERT_FALSE(::testing::Test::HasFailure())
+          << prec.name << " under " << simd::simd_tier_name(tier)
+          << " (entries=" << GetParam() << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Entries, SimdTierParity,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 31, 32, 33, 64,
+                                           100, 128, 300));
+
+TEST(SimdTierParity, UnalignedAndShortSpansMatchScalar) {
+  // Sub-vector spans, every misalignment of a 64-byte line, and lengths
+  // around the 8/16-lane vector widths: the wide kernels must agree with
+  // scalar on their tail handling and unaligned loads.
+  Rng rng(99);
+  const PiecewiseLinear lut = random_lut(16, rng);
+  const LutInt32 int_fn(lut, 24.0f);
+  std::vector<float> base(96);
+  for (float& x : base) x = rng.uniform(-20.0f, 20.0f);
+  base[40] = std::numeric_limits<float>::quiet_NaN();
+  base[41] = kInf;
+
+  for (std::size_t offset : {0u, 1u, 3u, 5u, 7u, 9u}) {
+    for (std::size_t len : {1u, 2u, 7u, 8u, 9u, 15u, 16u, 17u, 33u, 64u}) {
+      for (SimdTier tier : simd::available_simd_tiers()) {
+        std::vector<float> ref = base;
+        std::vector<float> got = base;
+        {
+          ScopedTier scalar(SimdTier::kScalar);
+          lut.eval_inplace(std::span<float>(ref).subspan(offset, len));
+          int_fn.eval_inplace(
+              std::span<float>(ref).subspan(offset + 16, len));
+        }
+        {
+          ScopedTier forced(tier);
+          lut.eval_inplace(std::span<float>(got).subspan(offset, len));
+          int_fn.eval_inplace(
+              std::span<float>(got).subspan(offset + 16, len));
+        }
+        for (std::size_t i = 0; i < base.size(); ++i)
+          expect_bitwise(ref[i], got[i], base[i]);
+        ASSERT_FALSE(::testing::Test::HasFailure())
+            << "tier=" << simd::simd_tier_name(tier) << " offset=" << offset
+            << " len=" << len;
+      }
+    }
+  }
 }
 
 // -------------------------------------------------------- plan cache ------

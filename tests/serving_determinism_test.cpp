@@ -275,6 +275,59 @@ TEST(ServingDeterminism, TwoConcurrentServersStayBitIdentical) {
   runtime::set_runtime_config({});
 }
 
+TEST(ServingDeterminism, WidestSimdTierServedBitsMatchScalarDirect) {
+  // ISA-invariance through the whole serving stack: requests served under
+  // the widest SIMD tier this CPU has (pinned via ServeConfig::simd) must
+  // be bit-identical to direct execution with the kernels forced scalar —
+  // for the LUT backends whose plans actually dispatch (FP32 and INT32).
+  Rng rng(41);
+  TaskModel m(tiny(), HeadKind::kClassify, 2, rng);
+  LutNonlinearities::Options opt;
+  opt.select = ApproxSelection::all();
+  for (LutPrecision prec : {LutPrecision::kFp32, LutPrecision::kInt32}) {
+    auto nl = make_lut_backend(tiny_luts(), prec, opt);
+    std::vector<BatchInput> requests;
+    for (int i = 0; i < 6; ++i)
+      requests.push_back(random_request(m.config(), 1, 8, rng));
+
+    runtime::set_runtime_config({1, simd::SimdTier::kScalar});
+    std::vector<Tensor> direct;
+    {
+      InferenceModel infer(m, *nl);
+      for (const BatchInput& in : requests)
+        direct.push_back(infer.logits(in));
+    }
+
+    ServeConfig cfg;
+    cfg.max_batch = 4;
+    cfg.max_wait = 2ms;
+    cfg.threads = 2;
+    cfg.simd = simd::detected_simd_tier();
+    std::vector<Tensor> served(requests.size());
+    {
+      Server server(m, *nl, cfg);
+      EXPECT_EQ(simd::active_simd_tier(), simd::detected_simd_tier());
+      std::vector<std::thread> clients;
+      for (std::size_t c = 0; c < 3; ++c) {
+        clients.emplace_back([&, c] {
+          for (std::size_t i = c; i < requests.size(); i += 3)
+            served[i] = server.submit(requests[i]).get();
+        });
+      }
+      for (auto& t : clients) t.join();
+    }
+    runtime::set_runtime_config({});
+
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      ASSERT_EQ(served[i].shape(), direct[i].shape()) << "request " << i;
+      for (std::size_t j = 0; j < served[i].size(); ++j)
+        ASSERT_EQ(served[i][j], direct[i][j])
+            << "request " << i << " element " << j << " precision "
+            << static_cast<int>(prec);
+    }
+  }
+}
+
 TEST(ServingStats, CancelledAndRejectedReconcileWithSubmitted) {
   Rng rng(38);
   TaskModel m(tiny(), HeadKind::kClassify, 2, rng);

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in markdown files.
+
+Usage: check_doc_links.py FILE.md [FILE.md ...]
+
+Checks every inline markdown link `[text](target)` whose target is not an
+absolute URL (scheme:// or mailto:) or a pure in-page anchor (#...).
+Relative targets are resolved against the containing file's directory;
+anchors and query strings are stripped before the existence check. Exits 1
+listing every broken link, 0 when all resolve.
+"""
+import re
+import sys
+from pathlib import Path
+
+# Inline links only; reference-style links are not used in this repo.
+# [text](target "title") and [text](target) both match; nested parens are
+# not (markdown would need <...> for those anyway).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # scheme: (https:, mailto:)
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    # Links inside fenced code blocks are illustrative, not navigation.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if SKIP_RE.match(target) or target.startswith("#"):
+            continue
+        rel = target.split("#", 1)[0].split("?", 1)[0]
+        if not rel:
+            continue
+        resolved = (path.parent / rel).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: broken link '{target}' -> {resolved}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    checked = 0
+    for name in argv[1:]:
+        path = Path(name)
+        if not path.exists():
+            errors.append(f"{path}: file not found")
+            continue
+        errors.extend(check_file(path))
+        checked += 1
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {checked} file(s): "
+          f"{'FAIL' if errors else 'OK'} ({len(errors)} broken)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
