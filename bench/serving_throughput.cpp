@@ -1,12 +1,22 @@
-// Closed-loop serving load generator: `clients` threads each submit one
-// request at a time against a Server (submit -> await -> next), sweeping
-// clients {1, 4, 16} x max_batch {1, 8, 32}. max_batch 1 is the no-batching
+// Closed-loop serving load generators.
+//
+// BM_ServingClosedLoop: `clients` threads each submit one request at a time
+// against a single-model Server (submit -> await -> next), sweeping clients
+// {1, 4, 16} x max_batch {1, 8, 32}. max_batch 1 is the no-batching
 // baseline — each request is its own model call; larger max_batch lets the
 // dynamic batcher pack concurrent requests of the same seq into one
 // LUT-evaluated batch. The acceptance target is >= 2x the requests/sec of
 // max_batch 1 at 16 clients with max_batch 32 on a multi-core machine
 // (batching wins come from amortized dispatch plus fuller thread-pool
 // shards; on a 1-core container only the dispatch term remains).
+//
+// BM_EngineMultiModel: one Engine serving TWO backends (LUT fp32 + LUT
+// int32 slots over the same weights), clients {4, 16} split across the two
+// models, with the per-slot queue unbounded (bounded=0) or bounded at a
+// small depth with ShedPolicy::kRejectNew (bounded=1). Counters report the
+// shed rate (ServerOverloaded resolutions / submissions) and each model's
+// p95 latency, so the artifact shows what admission control trades: bounded
+// queues cap p95 under burst at the cost of shed work.
 //
 // Unless --benchmark_out is given, results are also written as
 // machine-readable JSON to BENCH_serving_throughput.json.
@@ -22,6 +32,7 @@
 #include "numerics/math.h"
 #include "numerics/rng.h"
 #include "runtime/thread_pool.h"
+#include "serve/engine.h"
 #include "serve/server.h"
 #include "transformer/infer.h"
 
@@ -48,6 +59,7 @@ ModelConfig bench_config() {
 struct Fixture {
   TaskModel model;
   std::unique_ptr<LutNonlinearities> lut;
+  std::unique_ptr<LutNonlinearities> lut_int32;
 
   Fixture(const ModelConfig& cfg, Rng& rng)
       : model(cfg, HeadKind::kClassify, 2, rng) {
@@ -60,6 +72,7 @@ struct Fixture {
     LutNonlinearities::Options opt;
     opt.select = ApproxSelection::all();
     lut = make_lut_backend(luts, LutPrecision::kFp32, opt);
+    lut_int32 = make_lut_backend(luts, LutPrecision::kInt32, opt);
   }
 };
 
@@ -127,6 +140,77 @@ void BM_ServingClosedLoop(benchmark::State& state) {
 BENCHMARK(BM_ServingClosedLoop)
     ->ArgsProduct({{1, 4, 16}, {1, 8, 32}})
     ->ArgNames({"clients", "max_batch"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Multi-model sweep: two LUT backends behind one Engine, closed-loop
+// clients split across them, bounded vs unbounded per-slot queues.
+void BM_EngineMultiModel(benchmark::State& state) {
+  const std::size_t clients = static_cast<std::size_t>(state.range(0));
+  const bool bounded = state.range(1) != 0;
+
+  serve::SlotConfig scfg;
+  scfg.max_batch = 8;
+  scfg.max_wait = 500us;
+  if (bounded)
+    scfg.admission = {/*max_queue_depth=*/4, serve::ShedPolicy::kRejectNew};
+
+  const char* kModels[2] = {"lut-fp32", "lut-int32"};
+  std::vector<std::vector<BatchInput>> streams(clients);
+  for (std::size_t c = 0; c < clients; ++c)
+    for (int k = 0; k < kRequestsPerClient; ++k)
+      streams[c].push_back(request_for(c * 2003 + static_cast<std::uint64_t>(k)));
+
+  std::uint64_t submitted = 0, shed = 0;
+  double p95[2] = {0.0, 0.0};
+  for (auto _ : state) {
+    serve::Engine engine(serve::EngineConfig{/*threads=*/0});
+    engine.register_model(kModels[0], fixture().model, *fixture().lut, scfg);
+    engine.register_model(kModels[1], fixture().model, *fixture().lut_int32,
+                          scfg);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        const char* model = kModels[c % 2];  // half the clients per model
+        for (const BatchInput& in : streams[c]) {
+          serve::PendingResult r = engine.submit(model, in);
+          try {
+            Tensor logits = r.get();
+            benchmark::DoNotOptimize(logits.data());
+          } catch (const serve::ServerOverloaded&) {
+            // Shed by admission control; counted from the ledger below.
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    engine.shutdown();
+    const serve::EngineStats stats = engine.stats();
+    submitted = stats.total.submitted + stats.total.rejected;
+    shed = stats.total.rejected_overload;
+    for (int mdl = 0; mdl < 2; ++mdl)
+      p95[mdl] = stats.models.at(kModels[mdl]).p95_latency_us;
+  }
+
+  const auto total_requests =
+      static_cast<std::size_t>(state.iterations()) * clients *
+      static_cast<std::size_t>(kRequestsPerClient);
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_requests));
+  state.counters["req_per_s"] = benchmark::Counter(
+      static_cast<double>(total_requests), benchmark::Counter::kIsRate);
+  state.counters["shed_rate"] =
+      submitted > 0
+          ? static_cast<double>(shed) / static_cast<double>(submitted)
+          : 0.0;
+  state.counters["p95_us_lut_fp32"] = p95[0];
+  state.counters["p95_us_lut_int32"] = p95[1];
+  nnlut::runtime::set_runtime_config({});
+}
+
+BENCHMARK(BM_EngineMultiModel)
+    ->ArgsProduct({{4, 16}, {0, 1}})
+    ->ArgNames({"clients", "bounded"})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

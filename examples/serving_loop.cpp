@@ -1,11 +1,18 @@
-// Serving loop: submit/await against a small trained model.
+// Serving loop: two models behind one multi-model Engine.
 //
 //   1. Generate a synthetic SST-2-style task and fine-tune a tiny encoder.
-//   2. Swap in the NN-LUT backend (the deployment configuration).
-//   3. Stand up a Server: request queue -> dynamic batcher -> model.
-//   4. Four client threads submit single-sequence requests and await their
-//      PendingResult; the batcher packs same-length requests into shared
-//      LUT-evaluated batches behind their backs.
+//   2. Register TWO deployment backends of it on one Engine: the NN-LUT
+//      FP32 slot ("nnlut-fp32") and the INT32 deployment slot
+//      ("nnlut-int32"), each with its own queue, batcher (scheduler thread
+//      "nnlut-sched-<model>") and stats ledger; the schedulers share the
+//      process thread pool.
+//   3. The fp32 slot is left unbounded; the int32 slot gets admission
+//      control (bounded queue, shed-oldest) to show load shedding.
+//   4. Four client threads — two per model — BURST-submit their share of
+//      the dev set (all submissions up front, then await), so the bounded
+//      int32 queue actually overflows while batches execute; shed requests
+//      resolve with ServerOverloaded and are retried nowhere — exactly
+//      what a front-end sees under overload.
 //
 // Build & run:   ./example_serving_loop
 #include <atomic>
@@ -17,7 +24,7 @@
 #include "approx/linear_lut.h"
 #include "eval/pipeline.h"
 #include "numerics/math.h"
-#include "serve/server.h"
+#include "serve/engine.h"
 #include "tasks/tasks.h"
 
 int main() {
@@ -47,7 +54,8 @@ int main() {
   topt.epochs = 6;
   TaskModel model = eval::train_model(task, cfg, topt);
 
-  // Deployment backend: NN-LUT tables for all four base functions.
+  // Deployment backends: NN-LUT tables for all four base functions, at two
+  // precisions — the same weights served two ways from one process.
   LutSet luts{fit_linear_lut(gelu_exact, kGeluRange, 16),
               fit_linear_lut(exp_exact, {-16.0f, 0.0f}, 16),
               fit_fixed_breakpoint_lut(reciprocal_exact, {1.0f, 1024.0f}, 16,
@@ -56,51 +64,84 @@ int main() {
                                        BreakpointMode::kExponential)};
   LutNonlinearities::Options lopt;
   lopt.select = ApproxSelection::all();
-  auto backend = make_lut_backend(luts, LutPrecision::kFp32, lopt);
+  auto fp32_backend = make_lut_backend(luts, LutPrecision::kFp32, lopt);
+  auto int32_backend = make_lut_backend(luts, LutPrecision::kInt32, lopt);
 
-  serve::ServeConfig scfg;
-  scfg.max_batch = 8;    // pack up to 8 sequences per model call
-  scfg.max_wait = 2000us;  // ... but never delay a request by more than 2ms
-  scfg.threads = 0;      // encoder kernels use every hardware thread
-  serve::Server server(model, *backend, scfg);
+  serve::Engine engine;  // threads = 0: every hardware thread
 
-  std::printf("Serving %zu dev examples from 4 client threads "
-              "(max_batch=%zu, max_wait=%lldus)...\n",
-              task.dev.size(), scfg.max_batch,
-              static_cast<long long>(scfg.max_wait.count()));
+  serve::SlotConfig fp32_slot;
+  fp32_slot.max_batch = 8;     // pack up to 8 sequences per model call
+  fp32_slot.max_wait = 2000us; // ... but never delay a request by more than 2ms
+  engine.register_model("nnlut-fp32", model, *fp32_backend, fp32_slot);
+
+  serve::SlotConfig int32_slot = fp32_slot;
+  int32_slot.admission = {/*max_queue_depth=*/8,
+                          serve::ShedPolicy::kRejectOldest};
+  engine.register_model("nnlut-int32", model, *int32_backend, int32_slot);
+
+  std::printf("Serving %zu dev examples from 4 client threads across "
+              "models {%s, %s}...\n",
+              task.dev.size(), engine.model_ids()[0].c_str(),
+              engine.model_ids()[1].c_str());
 
   std::atomic<int> correct{0};
+  std::atomic<int> shed{0};
   std::vector<std::thread> clients;
   for (int c = 0; c < 4; ++c) {
     clients.emplace_back([&, c] {
+      // Clients 0/2 serve nnlut-fp32, clients 1/3 nnlut-int32 (dev example
+      // i goes to the slot matching its parity). Submit the whole share as
+      // a burst, then await: while a batch executes, the rest of the burst
+      // piles into the queue — which is what overflows the int32 slot's
+      // depth-8 bound and triggers shed-oldest.
+      const char* mdl = (c % 2 == 0) ? "nnlut-fp32" : "nnlut-int32";
+      std::vector<std::size_t> indices;
+      std::vector<serve::PendingResult> pending;
       for (std::size_t i = static_cast<std::size_t>(c); i < task.dev.size();
            i += 4) {
-        // One sequence per request, exactly as a frontend would submit it.
-        const BatchInput in = eval::to_batch(task.dev, i, 1);
-        serve::PendingResult pending = server.submit(in);
-        const Tensor logits = pending.get();  // awaits the batched result
-        const int pred = logits.at(0, 1) > logits.at(0, 0) ? 1 : 0;
-        if (pred == task.dev[i].label) correct.fetch_add(1);
+        indices.push_back(i);
+        pending.push_back(engine.submit(mdl, eval::to_batch(task.dev, i, 1)));
+      }
+      for (std::size_t k = 0; k < pending.size(); ++k) {
+        try {
+          const Tensor logits = pending[k].get();  // awaits the batched result
+          const int pred = logits.at(0, 1) > logits.at(0, 0) ? 1 : 0;
+          if (pred == task.dev[indices[k]].label) correct.fetch_add(1);
+        } catch (const serve::ServerOverloaded&) {
+          shed.fetch_add(1);  // admission control shed this request
+        }
       }
     });
   }
   for (auto& t : clients) t.join();
 
-  const serve::ServerStats stats = server.stats();
-  server.shutdown();
+  const serve::EngineStats stats = engine.stats();
+  engine.shutdown();
 
-  std::printf("\nServed %llu requests in %llu batches "
-              "(mean occupancy %.2f sequences/batch).\n",
-              static_cast<unsigned long long>(stats.completed),
-              static_cast<unsigned long long>(stats.batches),
-              stats.mean_batch_occupancy);
-  std::printf("Latency (queue+execute): p50 < %.0fus, p95 < %.0fus.\n",
-              stats.p50_latency_us, stats.p95_latency_us);
-  std::printf("Dev accuracy through the server: %.3f\n",
+  for (const auto& kv : stats.models) {
+    const serve::SlotStats& s = kv.second;
+    std::printf("\n[%s] %llu completed in %llu batches "
+                "(mean occupancy %.2f seq/batch), %llu shed, "
+                "p50 < %.0fus, p95 < %.0fus.",
+                kv.first.c_str(),
+                static_cast<unsigned long long>(s.completed),
+                static_cast<unsigned long long>(s.batches),
+                s.mean_batch_occupancy,
+                static_cast<unsigned long long>(s.rejected_overload),
+                s.p50_latency_us, s.p95_latency_us);
+  }
+  std::printf("\n\nServed %llu requests total; %d shed by admission "
+              "control.\n",
+              static_cast<unsigned long long>(stats.total.completed),
+              shed.load());
+  std::printf("Dev accuracy through the engine (both models): %.3f\n",
               static_cast<double>(correct.load()) /
-                  static_cast<double>(task.dev.size()));
+                  static_cast<double>(task.dev.size() -
+                                      static_cast<std::size_t>(shed.load())));
   std::printf(
-      "\nThe batcher only merges identical-length requests, so every result\n"
-      "is bit-identical to a solo InferenceModel::logits call.\n");
+      "\nEach slot's batcher only merges identical-length requests of its\n"
+      "own model, so every result is bit-identical to a solo\n"
+      "InferenceModel::logits call — no matter how many models share the\n"
+      "process.\n");
   return 0;
 }

@@ -1,9 +1,28 @@
 #include "runtime/thread_pool.h"
 
 #include <algorithm>
+#include <cstring>
 #include <memory>
+#include <string>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <pthread.h>
+#endif
 
 namespace nnlut::runtime {
+
+void set_current_thread_name(const char* name) {
+#if defined(__linux__)
+  char buf[16];  // kernel limit: 15 chars + NUL
+  std::strncpy(buf, name, sizeof(buf) - 1);
+  buf[sizeof(buf) - 1] = '\0';
+  pthread_setname_np(pthread_self(), buf);
+#elif defined(__APPLE__)
+  pthread_setname_np(name);
+#else
+  (void)name;  // no-op where the platform has no thread names
+#endif
+}
 
 namespace {
 
@@ -58,7 +77,11 @@ ThreadPool::ThreadPool(std::size_t lanes) {
   const std::size_t workers = lanes == 0 ? 0 : lanes - 1;
   workers_.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w)
-    workers_.emplace_back([this, w] { worker_loop(w + 1); });
+    workers_.emplace_back([this, w] {
+      set_current_thread_name(
+          ("nnlut-worker-" + std::to_string(w + 1)).c_str());
+      worker_loop(w + 1);
+    });
 }
 
 ThreadPool::~ThreadPool() {
@@ -109,13 +132,18 @@ void ThreadPool::run(std::size_t nshards,
     for (std::size_t s = 0; s < nshards; ++s) fn(s);
     return;
   }
-  // Claim the workers. A second orchestrating thread (another Server's
-  // scheduler, a concurrent direct caller) must not touch job_/epoch_ while
-  // a job is in flight; it runs inline instead — same bits, serial.
-  if (orchestrating_.exchange(true, std::memory_order_acquire)) {
-    for (std::size_t s = 0; s < nshards; ++s) fn(s);
-    return;
-  }
+  // Claim the workers through the FIFO ticket lock. Concurrent
+  // orchestrators (one scheduler thread per Engine model slot, or a direct
+  // caller racing a server) must not touch job_/epoch_ while a job is in
+  // flight; each takes a ticket and is admitted in arrival order, so every
+  // orchestrator gets the full pool for its job and none can starve.
+  const std::uint64_t ticket = [&] {
+    std::unique_lock<std::mutex> lk(orch_mu_);
+    const std::uint64_t t = orch_next_ticket_++;
+    cv_orch_.wait(lk, [&] { return orch_serving_ == t; });
+    return t;
+  }();
+  (void)ticket;
   {
     std::lock_guard<std::mutex> lk(mu_);
     job_ = &fn;
@@ -141,7 +169,12 @@ void ThreadPool::run(std::size_t nshards,
   if (!err) err = error_;
   error_ = nullptr;
   lk.unlock();
-  orchestrating_.store(false, std::memory_order_release);
+  // Pass the workers to the next ticket holder — on the error path too.
+  {
+    std::lock_guard<std::mutex> olk(orch_mu_);
+    ++orch_serving_;
+  }
+  cv_orch_.notify_all();
   if (err) std::rethrow_exception(err);
 }
 

@@ -49,14 +49,28 @@ struct RuntimeConfig {
 void set_runtime_config(const RuntimeConfig& cfg);
 RuntimeConfig runtime_config();
 
+/// Name the calling thread for profilers, TSan reports and /proc
+/// (pthread_setname_np). Names longer than the platform limit (15 chars on
+/// Linux) are truncated; a no-op on platforms without the facility. The
+/// pool names its workers "nnlut-worker-N" and each serving scheduler is
+/// named "nnlut-sched-<model>" (compacted to "ns-<model>" when the model
+/// id would not fit).
+void set_current_thread_name(const char* name);
+
 /// Persistent pool of `lanes - 1` workers plus the calling thread. A job is
 /// a shard function executed as fn(s) for s in [0, nshards); shard s runs on
 /// lane s (the caller executes shard 0), which keeps the shard → thread
-/// mapping fixed. One orchestrator uses the workers at a time: if a second
-/// thread calls `run` while a job is in flight (two Servers, or a server
-/// plus a direct caller), the late caller executes its shards inline —
-/// bit-identical results, just serial for that call. Nested calls from
-/// inside a shard also execute inline.
+/// mapping fixed.
+///
+/// One orchestrator uses the workers at a time; concurrent orchestrators
+/// (the per-model scheduler threads of a multi-model Engine, or a server
+/// plus a direct caller) are admitted FAIRLY, in FIFO arrival order via a
+/// ticket lock: a late orchestrator waits for its turn on the workers
+/// instead of degrading to inline-serial execution, so N models sharing the
+/// process pool each still get "shards across cores, wide within a shard"
+/// and none can starve the others. Results are bit-identical either way —
+/// admission order changes scheduling, never bits. Nested calls from inside
+/// a shard still execute inline (they hold the workers already).
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t lanes);
@@ -82,7 +96,14 @@ class ThreadPool {
   std::size_t done_ = 0;
   std::exception_ptr error_;  // first shard failure, rethrown by run()
   bool stop_ = false;
-  std::atomic<bool> orchestrating_{false};  // a job is using the workers
+
+  // FIFO ticket lock admitting one orchestrator at a time, in arrival
+  // order. Kept separate from mu_ (the job mutex) so a waiting orchestrator
+  // never contends with workers synchronizing shard completion.
+  std::mutex orch_mu_;
+  std::condition_variable cv_orch_;
+  std::uint64_t orch_next_ticket_ = 0;
+  std::uint64_t orch_serving_ = 0;
 };
 
 /// Acquire the process-wide pool, created lazily from the current

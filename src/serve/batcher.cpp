@@ -5,16 +5,20 @@
 #include <stdexcept>
 #include <utility>
 
+#include "runtime/thread_pool.h"
+
 namespace nnlut::serve {
 
 Batcher::Batcher(RequestQueue& queue, RunFn run, BatcherConfig cfg,
-                 BatchObserver observer)
-    : queue_(&queue),
-      run_(std::move(run)),
-      cfg_(cfg),
-      observer_(std::move(observer)) {
+                 StatsLedger* ledger)
+    : queue_(&queue), run_(std::move(run)), cfg_(std::move(cfg)),
+      ledger_(ledger) {
   if (cfg_.max_batch == 0) cfg_.max_batch = 1;
-  scheduler_ = std::thread([this] { loop(); });
+  scheduler_ = std::thread([this] {
+    runtime::set_current_thread_name(
+        cfg_.thread_name.empty() ? "nnlut-sched" : cfg_.thread_name.c_str());
+    loop();
+  });
 }
 
 Batcher::~Batcher() { stop(); }
@@ -86,13 +90,13 @@ void Batcher::flush_chunk(Bucket& bucket) {
   execute(std::move(batch));
 }
 
-// Stats hooks run BEFORE the result is released to the waiting client, so a
-// stats() snapshot taken after get() returns always counts that request.
+// Stats records run BEFORE the result is released to the waiting client, so
+// a stats() snapshot taken after get() returns always counts that request.
 void Batcher::finish(const Submission& sub, bool ok) {
-  if (!observer_.on_done) return;
+  if (!ledger_) return;
   const auto latency = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - sub.enqueued);
-  observer_.on_done(latency, ok);
+  ledger_->record_done(latency, ok);
 }
 
 void Batcher::execute(std::vector<Submission> batch) {
@@ -102,8 +106,8 @@ void Batcher::execute(std::vector<Submission> batch) {
   for (Submission& sub : batch) {
     if (sub.state->claim()) {
       live.push_back(std::move(sub));
-    } else if (observer_.on_cancelled) {
-      observer_.on_cancelled();
+    } else if (ledger_) {
+      ledger_->record_cancelled();
     }
   }
   if (live.empty()) return;
@@ -156,7 +160,7 @@ void Batcher::execute(std::vector<Submission> batch) {
   }
 
   if (!batch_err) {
-    if (observer_.on_batch) observer_.on_batch(live.size(), total_batch);
+    if (ledger_) ledger_->record_batch(live.size(), total_batch);
     if (live.size() == 1) {
       Submission& s = live.front();
       finish(s, true);
@@ -188,7 +192,7 @@ void Batcher::execute(std::vector<Submission> batch) {
     for (Submission& s : live) {
       try {
         Tensor solo = run_(s.input);
-        if (observer_.on_batch) observer_.on_batch(1, s.input.batch);
+        if (ledger_) ledger_->record_batch(1, s.input.batch);
         finish(s, true);
         s.state->set_value(std::move(solo));
       } catch (...) {

@@ -22,10 +22,12 @@
 #include <cstddef>
 #include <functional>
 #include <map>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "serve/request_queue.h"
+#include "serve/stats.h"
 
 namespace nnlut::serve {
 
@@ -37,18 +39,12 @@ struct BatcherConfig {
   /// flushed even if under-full. 0 flushes every drain cycle (latency
   /// floor, no aggregation beyond what arrives together).
   std::chrono::microseconds max_wait{2000};
-};
-
-/// Stats hooks, invoked on the scheduler thread. Any may be empty.
-struct BatchObserver {
-  /// After each executed batch: member request count and merged sequence
-  /// count (occupancy).
-  std::function<void(std::size_t requests, std::size_t sequences)> on_batch;
-  /// After each request completes: queue+execute latency and success flag.
-  std::function<void(std::chrono::microseconds latency, bool ok)> on_done;
-  /// For each drained request found cancelled (it never executes and never
-  /// reaches on_done) — keeps completion counters reconcilable.
-  std::function<void()> on_cancelled;
+  /// OS-visible name for the scheduler thread (pthread_setname_np,
+  /// truncated to 15 chars; no-op where unsupported). The Engine names each
+  /// slot's scheduler "nnlut-sched-<model>", compacted to "ns-<model>"
+  /// when the 15-char limit would truncate the model id away. Empty =
+  /// "nnlut-sched".
+  std::string thread_name = {};
 };
 
 class Batcher {
@@ -58,8 +54,12 @@ class Batcher {
   /// ever invoked from the scheduler thread.
   using RunFn = std::function<Tensor(const transformer::BatchInput&)>;
 
+  /// `ledger` (optional, must outlive the batcher) observes execution from
+  /// the scheduler thread: record_batch per model invocation, record_done
+  /// per resolved request, record_cancelled per drained-but-cancelled
+  /// request.
   Batcher(RequestQueue& queue, RunFn run, BatcherConfig cfg,
-          BatchObserver observer = {});
+          StatsLedger* ledger = nullptr);
   ~Batcher();
 
   Batcher(const Batcher&) = delete;
@@ -84,7 +84,7 @@ class Batcher {
   RequestQueue* queue_;
   RunFn run_;
   BatcherConfig cfg_;
-  BatchObserver observer_;
+  StatsLedger* ledger_;  // may be null (no stats)
   std::map<std::size_t, Bucket> buckets_;  // keyed by seq; scheduler-only
   std::thread scheduler_;
   std::atomic<bool> stopped_{false};  // first stop() wins; later calls no-op

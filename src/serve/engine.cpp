@@ -1,0 +1,194 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <shared_mutex>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+#include "runtime/thread_pool.h"
+
+namespace nnlut::serve {
+
+namespace {
+// Stored and effective config must agree: the batcher treats max_batch 0
+// as 1, so normalize before the slot keeps its copy.
+SlotConfig normalized(SlotConfig cfg) {
+  if (cfg.max_batch == 0) cfg.max_batch = 1;
+  return cfg;
+}
+}  // namespace
+
+Engine::ModelSlot::ModelSlot(std::string id_,
+                             const transformer::TaskModel& model_in,
+                             transformer::NonlinearitySet& nl, SlotConfig cfg_)
+    : id(std::move(id_)),
+      cfg(normalized(cfg_)),
+      model(model_in, nl, cfg_.matmul),
+      queue(cfg_.admission, &ledger) {
+  BatcherConfig bcfg;
+  bcfg.max_batch = cfg.max_batch;
+  bcfg.max_wait = cfg.max_wait;
+  // Linux truncates thread names at 15 chars; when the canonical
+  // "nnlut-sched-<model>" would lose the model id to truncation, fall back
+  // to the compact "ns-<model>" so concurrent slots stay distinguishable
+  // in profiles and TSan reports.
+  bcfg.thread_name = "nnlut-sched-" + id;
+  if (bcfg.thread_name.size() > 15) bcfg.thread_name = "ns-" + id;
+  // The slot's scheduler thread is the only caller of its model; N slots
+  // mean N orchestrators, admitted FIFO-fairly by the process pool.
+  batcher = std::make_unique<Batcher>(
+      queue,
+      [this](const transformer::BatchInput& in) { return model.logits(in); },
+      std::move(bcfg), &ledger);
+}
+
+Engine::Engine(EngineConfig cfg) : cfg_(cfg) {
+  runtime::set_runtime_config({cfg_.threads, cfg_.simd});
+}
+
+Engine::~Engine() { shutdown(); }
+
+void Engine::register_model(const std::string& model_id,
+                            const transformer::TaskModel& model,
+                            transformer::NonlinearitySet& nl, SlotConfig cfg) {
+  if (model_id.empty())
+    throw std::invalid_argument("Engine::register_model: empty model id");
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  if (shut_down_)
+    throw std::logic_error("Engine::register_model: engine is shut down");
+  if (slots_.count(model_id) != 0)
+    throw std::invalid_argument("Engine::register_model: duplicate model id '" +
+                                model_id + "'");
+  slots_.emplace(model_id,
+                 std::make_unique<ModelSlot>(model_id, model, nl, cfg));
+  order_.push_back(model_id);
+}
+
+Engine::ModelSlot* Engine::find_slot(std::string_view model_id) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  auto it = slots_.find(model_id);
+  return it == slots_.end() ? nullptr : it->second.get();
+}
+
+PendingResult Engine::submit(std::string_view model_id,
+                             transformer::BatchInput in) {
+  ModelSlot* slot = find_slot(model_id);
+  if (slot == nullptr) {
+    {
+      std::lock_guard<std::mutex> lk(unknown_mu_);
+      ++rejected_unknown_model_;
+    }
+    return RequestQueue::rejected(std::make_exception_ptr(std::out_of_range(
+        "Engine::submit: unknown model '" + std::string(model_id) + "'")));
+  }
+  // Validation first, so a malformed request never occupies a queue slot
+  // and never triggers shedding.
+  try {
+    if (in.batch == 0 || in.seq == 0)
+      throw std::invalid_argument("serve: empty request (batch or seq is 0)");
+    slot->model.validate(in);
+  } catch (...) {
+    slot->ledger.record_rejected_validation();
+    return RequestQueue::rejected(std::current_exception());
+  }
+  // The queue records the submit outcome (admitted / overload / shutdown)
+  // in the slot's ledger itself, under the queue mutex, so accounting is
+  // atomic with the queue operation.
+  return slot->queue.submit(std::move(in));
+}
+
+bool Engine::has_model(std::string_view model_id) const {
+  return find_slot(model_id) != nullptr;
+}
+
+std::vector<std::string> Engine::model_ids() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return order_;
+}
+
+const SlotConfig& Engine::model_config(std::string_view model_id) const {
+  ModelSlot* slot = find_slot(model_id);
+  if (slot == nullptr)
+    throw std::out_of_range("Engine::model_config: unknown model '" +
+                            std::string(model_id) + "'");
+  return slot->cfg;
+}
+
+SlotStats Engine::model_stats(std::string_view model_id) const {
+  ModelSlot* slot = find_slot(model_id);
+  if (slot == nullptr)
+    throw std::out_of_range("Engine::model_stats: unknown model '" +
+                            std::string(model_id) + "'");
+  return slot->ledger.snapshot(slot->queue.depth(), slot->queue.peak_depth());
+}
+
+EngineStats Engine::stats() const {
+  // Snapshot the slot list under mu_, then each ledger under its own lock:
+  // per-slot snapshots are exact, the cross-slot view is a near-instant.
+  std::vector<ModelSlot*> slots;
+  {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    slots.reserve(order_.size());
+    for (const std::string& id : order_) slots.push_back(slots_.at(id).get());
+  }
+  EngineStats out;
+  for (ModelSlot* slot : slots) {
+    SlotStats s =
+        slot->ledger.snapshot(slot->queue.depth(), slot->queue.peak_depth());
+    out.total.submitted += s.submitted;
+    out.total.rejected += s.rejected;
+    out.total.rejected_validation += s.rejected_validation;
+    out.total.rejected_overload += s.rejected_overload;
+    out.total.rejected_shutdown += s.rejected_shutdown;
+    out.total.completed += s.completed;
+    out.total.failed += s.failed;
+    out.total.cancelled += s.cancelled;
+    out.total.batches += s.batches;
+    out.total.queue_depth += s.queue_depth;
+    // A high-water mark is not summable across slots (their peaks need not
+    // coincide in time): report the worst single-slot peak, like latency.
+    out.total.peak_queue_depth =
+        std::max(out.total.peak_queue_depth, s.peak_queue_depth);
+    out.total.p50_latency_us = std::max(out.total.p50_latency_us,
+                                        s.p50_latency_us);
+    out.total.p95_latency_us = std::max(out.total.p95_latency_us,
+                                        s.p95_latency_us);
+    out.models.emplace(slot->id, std::move(s));
+  }
+  // Aggregate occupancy: batch-weighted mean across slots.
+  if (out.total.batches > 0) {
+    double requests = 0.0, sequences = 0.0;
+    for (const auto& kv : out.models) {
+      requests += kv.second.mean_batch_requests *
+                  static_cast<double>(kv.second.batches);
+      sequences += kv.second.mean_batch_occupancy *
+                   static_cast<double>(kv.second.batches);
+    }
+    out.total.mean_batch_requests =
+        requests / static_cast<double>(out.total.batches);
+    out.total.mean_batch_occupancy =
+        sequences / static_cast<double>(out.total.batches);
+  }
+  {
+    std::lock_guard<std::mutex> lk(unknown_mu_);
+    out.rejected_unknown_model = rejected_unknown_model_;
+  }
+  return out;
+}
+
+void Engine::shutdown() {
+  // Mark shut down, then stop slots outside mu_: Batcher::stop joins a
+  // scheduler thread that may be mid-batch, and submit() must stay able to
+  // look up slots (and get queue-closed rejections) meanwhile.
+  std::vector<ModelSlot*> slots;
+  {
+    std::unique_lock<std::shared_mutex> lk(mu_);
+    shut_down_ = true;
+    for (const std::string& id : order_) slots.push_back(slots_.at(id).get());
+  }
+  for (ModelSlot* slot : slots)
+    if (slot->batcher) slot->batcher->stop();
+}
+
+}  // namespace nnlut::serve

@@ -35,6 +35,17 @@ void ResultState::set_error(std::exception_ptr err) {
   cv_.notify_all();
 }
 
+bool ResultState::reject_if_queued(std::exception_ptr err) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (phase_ != Phase::kQueued) return false;  // already cancelled
+    error_ = std::move(err);
+    phase_ = Phase::kDone;
+  }
+  cv_.notify_all();
+  return true;
+}
+
 bool ResultState::cancel() {
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -66,6 +77,11 @@ Tensor ResultState::take() {
   std::unique_lock<std::mutex> lk(mu_);
   cv_.wait(lk, [&] { return phase_ == Phase::kDone; });
   if (error_) std::rethrow_exception(error_);
+  if (taken_)
+    throw std::logic_error(
+        "PendingResult::get: result already taken (get() moves the logits "
+        "out and may only be called once per request)");
+  taken_ = true;
   return std::move(value_);
 }
 
@@ -90,22 +106,79 @@ Tensor PendingResult::get() {
 
 bool PendingResult::cancel() { return state_ && state_->cancel(); }
 
-PendingResult RequestQueue::submit(transformer::BatchInput in, bool* accepted) {
+RequestQueue::RequestQueue(AdmissionConfig admission, StatsLedger* ledger)
+    : admission_(admission), ledger_(ledger) {}
+
+PendingResult RequestQueue::submit(transformer::BatchInput in,
+                                   SubmitOutcome* outcome) {
+  using Status = SubmitOutcome::Status;
+  SubmitOutcome out;
   auto state = std::make_shared<detail::ResultState>();
+  // Evicted states are rejected outside the queue mutex: set_error notifies
+  // a client that may immediately re-submit (and take the same mutex).
+  std::vector<std::shared_ptr<detail::ResultState>> evicted;
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (!closed_) {
-      items_.push_back(Submission{state, std::move(in),
-                                  std::chrono::steady_clock::now(), next_id_++});
-      peak_depth_ = std::max(peak_depth_, items_.size());
-      cv_.notify_all();
-      if (accepted) *accepted = true;
-      return PendingResult(std::move(state));
+      if (admission_.max_queue_depth > 0 &&
+          items_.size() >= admission_.max_queue_depth) {
+        if (admission_.shed_policy == ShedPolicy::kRejectNew) {
+          out.status = Status::kRejectedOverload;
+        } else {
+          // kRejectOldest: free exactly the slots needed. An evicted entry
+          // that was already cancelled still frees its slot but resolves as
+          // cancelled, not as an overload shed. Classify and record the
+          // ledger HERE, before the victim's result resolves below, so the
+          // victim's client never observes ServerOverloaded ahead of the
+          // shed appearing in stats. (A cancel() racing the classification
+          // can at worst swap one shed for one cancel in the breakdown;
+          // the reconciliation totals stay exact either way.)
+          while (items_.size() >= admission_.max_queue_depth) {
+            auto victim = std::move(items_.front().state);
+            items_.pop_front();
+            if (victim->done()) {
+              ++out.evicted_cancelled;  // cancel already resolved it
+              if (ledger_) ledger_->record_cancelled();
+            } else {
+              ++out.evicted_overload;
+              if (ledger_) ledger_->record_shed_oldest();
+              evicted.push_back(std::move(victim));
+            }
+          }
+        }
+      }
+      if (out.status == Status::kAccepted) {
+        items_.push_back(Submission{state, std::move(in),
+                                    std::chrono::steady_clock::now(),
+                                    next_id_++});
+        peak_depth_ = std::max(peak_depth_, items_.size());
+        if (ledger_) ledger_->record_admitted();
+        cv_.notify_all();
+      } else if (ledger_) {
+        ledger_->record_rejected_overload();
+      }
+    } else {
+      out.status = Status::kRejectedClosed;
+      if (ledger_) ledger_->record_rejected_shutdown();
     }
   }
-  if (accepted) *accepted = false;
-  state->set_error(std::make_exception_ptr(
-      RequestCancelled("serve: queue closed, request rejected")));
+  for (auto& victim : evicted)
+    victim->reject_if_queued(std::make_exception_ptr(
+        ServerOverloaded("serve: queue full, oldest request shed "
+                         "(ShedPolicy::kRejectOldest)")));
+  switch (out.status) {
+    case Status::kAccepted:
+      break;
+    case Status::kRejectedClosed:
+      state->set_error(std::make_exception_ptr(
+          RequestCancelled("serve: queue closed, request rejected")));
+      break;
+    case Status::kRejectedOverload:
+      state->set_error(std::make_exception_ptr(ServerOverloaded(
+          "serve: queue full, request rejected (ShedPolicy::kRejectNew)")));
+      break;
+  }
+  if (outcome) *outcome = out;
   return PendingResult(std::move(state));
 }
 

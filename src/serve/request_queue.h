@@ -11,6 +11,13 @@
 // cancel() succeeds only in kQueued: the result is rejected immediately and
 // the scheduler discards the submission when it drains it. A request that
 // already entered a batch runs to completion.
+//
+// Admission control: an AdmissionConfig bounds the queue depth. At the
+// bound, ShedPolicy::kRejectNew refuses the incoming request and
+// kRejectOldest evicts the oldest queued request to admit the new one;
+// either way the shed request's PendingResult resolves with
+// ServerOverloaded, so under overload every submission still resolves as
+// exactly one of: completed, failed, cancelled, or ServerOverloaded.
 #pragma once
 
 #include <chrono>
@@ -25,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/stats.h"
 #include "tensor/tensor.h"
 #include "transformer/encoder.h"
 
@@ -48,17 +56,27 @@ class ResultState {
   void set_value(Tensor logits);
   void set_error(std::exception_ptr err);
 
+  /// Admission-control eviction: reject with `err` only if the request is
+  /// still queued. Returns false when it already resolved (i.e. was
+  /// cancelled) so the caller can account for it correctly.
+  bool reject_if_queued(std::exception_ptr err);
+
   /// Client side.
   bool cancel();  // true if the request was still queued and is now rejected
   void wait() const;
   bool wait_for(std::chrono::microseconds timeout) const;
   bool done() const;
-  Tensor take();  // blocks until done; throws the stored error if rejected
+  /// Blocks until done; throws the stored error if rejected. The logits
+  /// move out exactly once: a second take() (from this handle or any copy
+  /// sharing the state) throws std::logic_error instead of returning a
+  /// moved-from tensor. Error results stay rethrowable any number of times.
+  Tensor take();
 
  private:
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
   Phase phase_ = Phase::kQueued;
+  bool taken_ = false;  // value already moved out by take()
   Tensor value_;
   std::exception_ptr error_;
 };
@@ -71,6 +89,30 @@ class RequestCancelled : public std::runtime_error {
  public:
   explicit RequestCancelled(const std::string& what)
       : std::runtime_error(what) {}
+};
+
+/// Raised into a PendingResult shed by admission control: the queue was at
+/// its depth bound and the request was either refused at submit
+/// (ShedPolicy::kRejectNew) or evicted while queued (kRejectOldest).
+class ServerOverloaded : public std::runtime_error {
+ public:
+  explicit ServerOverloaded(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// What to shed when a bounded queue is full.
+enum class ShedPolicy {
+  kRejectNew,     // refuse the incoming request (favors queued work)
+  kRejectOldest,  // evict the oldest queued request (favors fresh work)
+};
+
+/// Per-slot admission control, enforced inside RequestQueue::submit under
+/// the queue mutex so depth accounting and shedding are atomic.
+struct AdmissionConfig {
+  /// Maximum requests queued (not yet drained by the scheduler);
+  /// 0 = unbounded.
+  std::size_t max_queue_depth = 0;
+  ShedPolicy shed_policy = ShedPolicy::kRejectNew;
 };
 
 /// Client-side handle on a submitted request. Copyable (copies share the
@@ -86,8 +128,12 @@ class PendingResult {
   /// False on timeout.
   bool wait_for(std::chrono::microseconds timeout) const;
   /// Blocks until done, then returns the logits or rethrows the request's
-  /// error (std::out_of_range from validation, RequestCancelled, ...).
-  /// Moves the tensor out: call once.
+  /// error (std::out_of_range from validation, RequestCancelled,
+  /// ServerOverloaded, ...). Moves the tensor out — the result is one-shot:
+  /// a second get() on this handle (or on any copy, since copies share the
+  /// state) throws std::logic_error rather than silently returning a
+  /// moved-from tensor. A rejected request's error, by contrast, rethrows
+  /// on every get().
   Tensor get();
   /// Best-effort cancel: true if the request had not started executing and
   /// is now rejected with RequestCancelled; false if it already ran (its
@@ -110,13 +156,45 @@ struct Submission {
   std::uint64_t id = 0;  // submission order, for diagnostics
 };
 
+/// How one submit() resolved at the queue, for admission accounting.
+struct SubmitOutcome {
+  enum class Status {
+    kAccepted,          // queued; will resolve completed/failed/cancelled
+    kRejectedClosed,    // queue closed: handle carries RequestCancelled
+    kRejectedOverload,  // depth bound + kRejectNew: carries ServerOverloaded
+  };
+  Status status = Status::kAccepted;
+  /// kRejectOldest only: queued requests evicted (rejected with
+  /// ServerOverloaded) to admit this one.
+  std::size_t evicted_overload = 0;
+  /// Evicted entries found already cancelled — they resolve as cancelled,
+  /// not as overload sheds, and the scheduler will never drain them.
+  std::size_t evicted_cancelled = 0;
+};
+
 class RequestQueue {
  public:
+  /// `admission` bounds the queue depth (0 = unbounded) and picks the shed
+  /// policy applied at the bound. `ledger` (optional, must outlive the
+  /// queue) receives ALL submit-side accounting — admitted / overload
+  /// rejects / shutdown rejects / kRejectOldest evictions — recorded under
+  /// the queue mutex, atomically with the queue operation itself. That
+  /// ordering guarantees (a) a request's record_admitted always precedes
+  /// any record for its later fate (done, cancel drain, eviction), so
+  /// counters can never transiently underflow, and (b) a client observing
+  /// its rejection or eviction always finds it already counted in a stats
+  /// snapshot. Validation rejects never reach the queue; the caller
+  /// records those itself.
+  explicit RequestQueue(AdmissionConfig admission = {},
+                        StatsLedger* ledger = nullptr);
+
   /// Enqueue a request. After close() the request is rejected immediately
-  /// (the returned handle's get() throws RequestCancelled); `accepted`, when
-  /// given, reports which of the two happened so callers can keep accurate
-  /// admission counters.
-  PendingResult submit(transformer::BatchInput in, bool* accepted = nullptr);
+  /// (the returned handle's get() throws RequestCancelled); at the depth
+  /// bound, admission control sheds per the policy (see SubmitOutcome).
+  /// `outcome`, when given, reports what happened so callers can keep
+  /// exact admission counters.
+  PendingResult submit(transformer::BatchInput in,
+                       SubmitOutcome* outcome = nullptr);
 
   /// Reject-and-enqueue-nothing variant: returns a handle already rejected
   /// with `err`. Used by the server front-end for failed validation.
@@ -131,6 +209,8 @@ class RequestQueue {
   /// High-water mark of depth() over the queue's lifetime.
   std::size_t peak_depth() const;
 
+  const AdmissionConfig& admission() const { return admission_; }
+
   /// Consumer side: block until the queue is non-empty, `deadline` passes,
   /// or close() is called; then move out everything queued. May return empty
   /// (timeout or close with nothing pending).
@@ -138,6 +218,8 @@ class RequestQueue {
       std::optional<std::chrono::steady_clock::time_point> deadline);
 
  private:
+  const AdmissionConfig admission_;
+  StatsLedger* ledger_;  // eviction accounting only; may be null
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Submission> items_;

@@ -1,116 +1,33 @@
 #include "serve/server.h"
 
-#include <cmath>
-#include <stdexcept>
 #include <utility>
-
-#include "runtime/thread_pool.h"
 
 namespace nnlut::serve {
 
-void LatencyHistogram::record(std::chrono::microseconds latency) {
-  const std::uint64_t us =
-      latency.count() < 0 ? 0 : static_cast<std::uint64_t>(latency.count());
-  std::size_t bucket = 0;
-  while (bucket + 1 < kBuckets && (1ull << (bucket + 1)) <= us) ++bucket;
-  ++counts_[bucket];
-  ++total_;
-}
-
-double LatencyHistogram::quantile_us(double q) const {
-  if (total_ == 0) return 0.0;
-  const double target = q * static_cast<double>(total_);
-  std::uint64_t seen = 0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    seen += counts_[b];
-    if (static_cast<double>(seen) >= target)
-      return static_cast<double>(1ull << (b + 1));  // upper bucket boundary
-  }
-  return static_cast<double>(1ull << kBuckets);
+const std::string& Server::model_id() {
+  static const std::string kId = "default";
+  return kId;
 }
 
 Server::Server(const transformer::TaskModel& model,
                transformer::NonlinearitySet& nl, ServeConfig cfg)
-    : cfg_(cfg), model_(model, nl, cfg.matmul) {
-  runtime::set_runtime_config({cfg_.threads, cfg_.simd});
-
-  BatchObserver observer;
-  observer.on_batch = [this](std::size_t requests, std::size_t sequences) {
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    ++batches_;
-    batch_requests_ += requests;
-    batch_sequences_ += sequences;
-  };
-  observer.on_done = [this](std::chrono::microseconds latency, bool ok) {
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    if (ok) {
-      ++completed_;
-    } else {
-      ++failed_;
-    }
-    latency_.record(latency);
-  };
-  observer.on_cancelled = [this] {
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    ++cancelled_;
-  };
-
-  // The scheduler thread is the only caller of the model, satisfying the
-  // single-orchestrator contract of the runtime pool.
-  batcher_ = std::make_unique<Batcher>(
-      queue_,
-      [this](const transformer::BatchInput& in) { return model_.logits(in); },
-      BatcherConfig{cfg_.max_batch, cfg_.max_wait}, std::move(observer));
+    : cfg_(cfg), engine_(EngineConfig{cfg.threads, cfg.simd}) {
+  SlotConfig slot;
+  slot.max_batch = cfg_.max_batch;
+  slot.max_wait = cfg_.max_wait;
+  slot.matmul = cfg_.matmul;
+  slot.admission = cfg_.admission;
+  engine_.register_model(model_id(), model, nl, slot);
 }
 
 Server::~Server() { shutdown(); }
 
-void Server::shutdown() {
-  if (batcher_) batcher_->stop();
-}
+void Server::shutdown() { engine_.shutdown(); }
 
 PendingResult Server::submit(transformer::BatchInput in) {
-  try {
-    if (in.batch == 0 || in.seq == 0)
-      throw std::invalid_argument("serve: empty request (batch or seq is 0)");
-    model_.validate(in);
-  } catch (...) {
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    ++rejected_;
-    return RequestQueue::rejected(std::current_exception());
-  }
-  bool accepted = false;
-  PendingResult result = queue_.submit(std::move(in), &accepted);
-  {
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    if (accepted) {
-      ++submitted_;  // will resolve as completed, failed or cancelled
-    } else {
-      ++rejected_;  // raced shutdown: rejected without entering the queue
-    }
-  }
-  return result;
+  return engine_.submit(model_id(), std::move(in));
 }
 
-ServerStats Server::stats() const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
-  ServerStats s;
-  s.submitted = submitted_;
-  s.rejected = rejected_;
-  s.completed = completed_;
-  s.failed = failed_;
-  s.cancelled = cancelled_;
-  s.batches = batches_;
-  if (batches_ > 0) {
-    s.mean_batch_requests =
-        static_cast<double>(batch_requests_) / static_cast<double>(batches_);
-    s.mean_batch_occupancy =
-        static_cast<double>(batch_sequences_) / static_cast<double>(batches_);
-  }
-  s.p50_latency_us = latency_.quantile_us(0.50);
-  s.p95_latency_us = latency_.quantile_us(0.95);
-  s.peak_queue_depth = queue_.peak_depth();
-  return s;
-}
+ServerStats Server::stats() const { return engine_.model_stats(model_id()); }
 
 }  // namespace nnlut::serve

@@ -1,18 +1,17 @@
-// Server facade: owns the InferenceModel, the request queue, the dynamic
-// batcher and a stats ledger — the piece that turns the library into a
-// servable system.
+// Single-model serving facade: a thin veneer over the multi-model Engine
+// (serve/engine.h) that registers exactly one slot and forwards to it.
+// Existing callers keep the one-model API — submit/stats/shutdown — while
+// all mechanics (queue, admission control, batcher, stats ledger) live in
+// the Engine's ModelSlot. Construct an Engine directly to serve several
+// models from one process.
 //
-//   clients ──submit()──▶ RequestQueue ──▶ Batcher (scheduler thread)
+//   clients ──submit()──▶ Engine["default"]: RequestQueue ──▶ Batcher
 //                                             │  merge same-seq requests
 //                                             ▼
 //                                      InferenceModel::logits
 //                                             │  split rows per request
 //                                             ▼
 //                        PendingResult.get() ◀─ per-request logits / error
-//
-// ServeConfig plugs the serving thread budget into the runtime
-// (RuntimeConfig): the scheduler thread is the single model orchestrator,
-// and the encoder kernels it invokes shard across the process pool.
 //
 // Results carry no wall-clock data — timing exists only in ServerStats
 // (fixed-bucket latency histogram, batch occupancy counters).
@@ -21,12 +20,13 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
+#include <string>
 
 #include "core/lut_kernel_simd.h"
-#include "serve/batcher.h"
+#include "serve/engine.h"
 #include "serve/request_queue.h"
+#include "serve/stats.h"
 #include "transformer/infer.h"
 
 namespace nnlut::serve {
@@ -47,47 +47,22 @@ struct ServeConfig {
   std::optional<simd::SimdTier> simd = std::nullopt;
   /// Matmul precision of the owned InferenceModel.
   transformer::MatmulMode matmul = transformer::MatmulMode::kFp32;
+  /// Admission control: bounded queue depth + shed policy (default
+  /// unbounded). At the bound, submit() resolves with ServerOverloaded per
+  /// the policy.
+  AdmissionConfig admission = {};
 };
 
-/// Fixed-bucket log2 latency histogram: bucket i counts completions with
-/// latency in [2^i, 2^(i+1)) microseconds. Quantiles come from the bucket
-/// boundaries — coarse but allocation-free and O(1) to record.
-class LatencyHistogram {
- public:
-  static constexpr std::size_t kBuckets = 32;
-
-  void record(std::chrono::microseconds latency);
-  std::uint64_t count() const { return total_; }
-  /// Upper bucket boundary (µs) at quantile q in [0, 1]; 0 when empty.
-  double quantile_us(double q) const;
-
- private:
-  std::uint64_t counts_[kBuckets] = {};
-  std::uint64_t total_ = 0;
-};
-
-/// Snapshot of serving counters since construction. After a full drain
-/// (shutdown), submitted == completed + failed + cancelled; rejected counts
-/// requests that never entered the queue (validation failure or submit
-/// after shutdown) and is disjoint from submitted.
-struct ServerStats {
-  std::uint64_t submitted = 0;  // accepted into the queue
-  std::uint64_t rejected = 0;   // refused at submit (validation / closed)
-  std::uint64_t completed = 0;  // resolved with logits
-  std::uint64_t failed = 0;     // resolved with an execution error
-  std::uint64_t cancelled = 0;  // withdrawn via cancel() before execution
-  std::uint64_t batches = 0;    // model invocations
-  double mean_batch_requests = 0.0;   // requests per model invocation
-  double mean_batch_occupancy = 0.0;  // sequences per model invocation
-  double p50_latency_us = 0.0;  // submit -> resolve, histogram boundary
-  double p95_latency_us = 0.0;
-  std::size_t peak_queue_depth = 0;
-};
+/// Snapshot of serving counters since construction (SlotStats of the one
+/// slot). After a full drain (shutdown), submitted == completed + failed +
+/// cancelled; the reject counters (validation / overload / shutdown) are
+/// disjoint from submitted and from each other.
+using ServerStats = SlotStats;
 
 class Server {
  public:
   /// Borrows the trained model and backend; both must outlive the server.
-  /// Applies cfg.threads to the process RuntimeConfig.
+  /// Applies cfg.threads/cfg.simd to the process RuntimeConfig.
   Server(const transformer::TaskModel& model, transformer::NonlinearitySet& nl,
          ServeConfig cfg = {});
   ~Server();
@@ -99,6 +74,8 @@ class Server {
   /// outside the embedding tables, overlong seq, empty batch) come back as
   /// an already-rejected PendingResult carrying the validation error —
   /// they never reach the batcher, so they cannot poison anyone's batch.
+  /// With a bounded queue, an at-capacity submit resolves (itself or the
+  /// shed oldest request) with ServerOverloaded.
   PendingResult submit(transformer::BatchInput in);
 
   /// Drain outstanding requests, stop the scheduler. Idempotent; the
@@ -108,18 +85,16 @@ class Server {
   ServerStats stats() const;
   const ServeConfig& config() const { return cfg_; }
 
+  /// The underlying engine (one slot, model_id() = "default"), for callers
+  /// migrating to multi-model serving.
+  Engine& engine() { return engine_; }
+  /// The facade's slot name, as a long-lived string so the per-request
+  /// submit path never allocates for the id.
+  static const std::string& model_id();
+
  private:
   ServeConfig cfg_;
-  transformer::InferenceModel model_;
-  RequestQueue queue_;
-
-  mutable std::mutex stats_mu_;
-  std::uint64_t submitted_ = 0, rejected_ = 0, completed_ = 0, failed_ = 0;
-  std::uint64_t cancelled_ = 0;
-  std::uint64_t batches_ = 0, batch_requests_ = 0, batch_sequences_ = 0;
-  LatencyHistogram latency_;
-
-  std::unique_ptr<Batcher> batcher_;  // last member: stops before the rest dies
+  Engine engine_;
 };
 
 }  // namespace nnlut::serve

@@ -1,0 +1,102 @@
+#include "serve/stats.h"
+
+namespace nnlut::serve {
+
+void LatencyHistogram::record(std::chrono::microseconds latency) {
+  const std::uint64_t us =
+      latency.count() < 0 ? 0 : static_cast<std::uint64_t>(latency.count());
+  std::size_t bucket = 0;
+  while (bucket + 1 < kBuckets && (1ull << (bucket + 1)) <= us) ++bucket;
+  ++counts_[bucket];
+  ++total_;
+}
+
+double LatencyHistogram::quantile_us(double q) const {
+  if (total_ == 0) return 0.0;
+  const double target = q * static_cast<double>(total_);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += counts_[b];
+    if (static_cast<double>(seen) >= target)
+      return static_cast<double>(1ull << (b + 1));  // upper bucket boundary
+  }
+  return static_cast<double>(1ull << kBuckets);
+}
+
+void StatsLedger::record_admitted() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++submitted_;
+}
+
+void StatsLedger::record_shed_oldest() {
+  std::lock_guard<std::mutex> lk(mu_);
+  // The victim was counted submitted when it was admitted; it resolves as
+  // ServerOverloaded now.
+  --submitted_;
+  ++rejected_overload_;
+}
+
+void StatsLedger::record_rejected_validation() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++rejected_validation_;
+}
+
+void StatsLedger::record_rejected_overload() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++rejected_overload_;
+}
+
+void StatsLedger::record_rejected_shutdown() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++rejected_shutdown_;
+}
+
+void StatsLedger::record_batch(std::size_t requests, std::size_t sequences) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++batches_;
+  batch_requests_ += requests;
+  batch_sequences_ += sequences;
+}
+
+void StatsLedger::record_done(std::chrono::microseconds latency, bool ok) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (ok) {
+    ++completed_;
+  } else {
+    ++failed_;
+  }
+  latency_.record(latency);
+}
+
+void StatsLedger::record_cancelled() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++cancelled_;
+}
+
+SlotStats StatsLedger::snapshot(std::size_t queue_depth,
+                                std::size_t peak_queue_depth) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  SlotStats s;
+  s.submitted = submitted_;
+  s.rejected_validation = rejected_validation_;
+  s.rejected_overload = rejected_overload_;
+  s.rejected_shutdown = rejected_shutdown_;
+  s.rejected = rejected_validation_ + rejected_overload_ + rejected_shutdown_;
+  s.completed = completed_;
+  s.failed = failed_;
+  s.cancelled = cancelled_;
+  s.batches = batches_;
+  if (batches_ > 0) {
+    s.mean_batch_requests =
+        static_cast<double>(batch_requests_) / static_cast<double>(batches_);
+    s.mean_batch_occupancy =
+        static_cast<double>(batch_sequences_) / static_cast<double>(batches_);
+  }
+  s.p50_latency_us = latency_.quantile_us(0.50);
+  s.p95_latency_us = latency_.quantile_us(0.95);
+  s.queue_depth = queue_depth;
+  s.peak_queue_depth = peak_queue_depth;
+  return s;
+}
+
+}  // namespace nnlut::serve

@@ -1,0 +1,121 @@
+// Serving statistics, extracted from the Server so every ModelSlot of the
+// multi-model Engine owns one ledger and EngineStats can aggregate them.
+//
+// StatsLedger is the single mutex-guarded accounting object of the serving
+// subsystem: the submit path records admission decisions, the batcher's
+// scheduler thread records execution events, and snapshot() produces a
+// consistent SlotStats. Wall-clock exists only here, never in results.
+//
+// Reconciliation contract (exact after a full drain / shutdown):
+//
+//   submit() calls == submitted + rejected_validation
+//                   + rejected_overload + rejected_shutdown
+//   submitted      == completed + failed + cancelled
+//
+// The two reject families are disjoint: validation rejects never touched
+// the queue; overload rejects are admission-control sheds (ServerOverloaded).
+// Under ShedPolicy::kRejectOldest a shed victim was *previously* counted
+// submitted, so record_shed_oldest() reclassifies it (submitted ->
+// rejected_overload) to keep both identities exact.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace nnlut::serve {
+
+/// Fixed-bucket log2 latency histogram: bucket i counts completions with
+/// latency in [2^i, 2^(i+1)) microseconds. Quantiles come from the bucket
+/// boundaries — coarse but allocation-free and O(1) to record. Not
+/// thread-safe on its own; StatsLedger guards it.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  void record(std::chrono::microseconds latency);
+  std::uint64_t count() const { return total_; }
+  /// Upper bucket boundary (µs) at quantile q in [0, 1]; 0 when empty.
+  double quantile_us(double q) const;
+
+ private:
+  std::uint64_t counts_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+};
+
+/// Snapshot of one model slot's serving counters since construction. The
+/// single-model Server exposes this as ServerStats.
+struct SlotStats {
+  std::uint64_t submitted = 0;  // accepted into the queue
+  std::uint64_t rejected = 0;   // all refusals: validation+overload+shutdown
+  std::uint64_t rejected_validation = 0;  // malformed input, never queued
+  std::uint64_t rejected_overload = 0;    // admission-control sheds
+  std::uint64_t rejected_shutdown = 0;    // submit after/racing shutdown
+  std::uint64_t completed = 0;  // resolved with logits
+  std::uint64_t failed = 0;     // resolved with an execution error
+  std::uint64_t cancelled = 0;  // withdrawn via cancel() before execution
+  std::uint64_t batches = 0;    // model invocations
+  double mean_batch_requests = 0.0;   // requests per model invocation
+  double mean_batch_occupancy = 0.0;  // sequences per model invocation
+  double p50_latency_us = 0.0;  // submit -> resolve, histogram boundary
+  double p95_latency_us = 0.0;
+  std::size_t queue_depth = 0;  // requests queued at snapshot time
+  std::size_t peak_queue_depth = 0;
+};
+
+/// Thread-safe serving counters + latency histogram for one model slot.
+/// Submit-side records run on client threads, execution-side records on the
+/// slot's scheduler thread; one mutex covers both so snapshots are
+/// consistent.
+class StatsLedger {
+ public:
+  // --- submit path (client threads) ---
+  void record_admitted();
+  void record_rejected_validation();
+  void record_rejected_overload();  // refused at the door (kRejectNew)
+  void record_rejected_shutdown();
+  /// kRejectOldest eviction: reclassify a previously-admitted request as an
+  /// overload shed (submitted -> rejected_overload). The queue records this
+  /// BEFORE resolving the victim's PendingResult, so a stats() snapshot
+  /// taken after the victim observes ServerOverloaded always includes it.
+  void record_shed_oldest();
+
+  // --- execution path (scheduler thread) ---
+  /// After each executed batch: member request count and merged sequence
+  /// count (occupancy).
+  void record_batch(std::size_t requests, std::size_t sequences);
+  /// After each request resolves: queue+execute latency and success flag.
+  void record_done(std::chrono::microseconds latency, bool ok);
+  /// A drained request found cancelled (it never executes and never reaches
+  /// record_done) — keeps completion counters reconcilable.
+  void record_cancelled();
+
+  /// Consistent snapshot; queue depths are passed in by the owner (the
+  /// queue keeps its own high-water mark).
+  SlotStats snapshot(std::size_t queue_depth = 0,
+                     std::size_t peak_queue_depth = 0) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t rejected_validation_ = 0;
+  std::uint64_t rejected_overload_ = 0;
+  std::uint64_t rejected_shutdown_ = 0;
+  std::uint64_t completed_ = 0, failed_ = 0, cancelled_ = 0;
+  std::uint64_t batches_ = 0, batch_requests_ = 0, batch_sequences_ = 0;
+  LatencyHistogram latency_;
+};
+
+/// Engine-wide view: per-model slot snapshots plus an aggregate in which
+/// counters sum and latency quantiles are the worst (max) across slots.
+struct EngineStats {
+  std::map<std::string, SlotStats> models;
+  SlotStats total;
+  /// submit() calls naming a model_id that was never registered; these have
+  /// no slot ledger to land in.
+  std::uint64_t rejected_unknown_model = 0;
+};
+
+}  // namespace nnlut::serve

@@ -1,6 +1,9 @@
-// Unit tests for the serving subsystem: queue/PendingResult semantics,
-// dynamic batch formation (same-seq merging, max_batch / max_wait flush),
-// per-request error isolation, cancellation, shutdown drain and stats.
+// Unit tests for the serving subsystem: queue/PendingResult semantics
+// (incl. the one-shot get() guard), admission control (bounded depth,
+// reject-new / reject-oldest shedding, depth accounting under concurrent
+// submit/drain), dynamic batch formation (same-seq merging, max_batch /
+// max_wait flush), per-request error isolation, cancellation, shutdown
+// drain and stats.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -108,6 +111,34 @@ TEST(RequestQueue, CancelQueuedRequest) {
   EXPECT_FALSE(drained[0].state->claim());
 }
 
+TEST(PendingResult, SecondGetThrowsLogicError) {
+  // get() moves the logits out; a second get() must throw std::logic_error
+  // instead of handing back a moved-from tensor — including through a copy
+  // of the handle, since copies share the result state.
+  RequestQueue q;
+  PendingResult r = q.submit(make_request(1, 4));
+  PendingResult copy = r;
+  auto drained = q.wait_drain(std::nullopt);
+  ASSERT_TRUE(drained[0].state->claim());
+  drained[0].state->set_value(toy_model(drained[0].input));
+  const Tensor t = r.get();
+  EXPECT_EQ(t.dim(0), 1u);
+  EXPECT_THROW(r.get(), std::logic_error);
+  EXPECT_THROW(copy.get(), std::logic_error);
+  // The handle stays ready/waitable; only the one-shot value is spent.
+  EXPECT_TRUE(r.ready());
+}
+
+TEST(PendingResult, ErrorResultsRethrowOnEveryGet) {
+  // Unlike the one-shot value path, a rejected request's error must stay
+  // observable: each get() rethrows the same stored exception.
+  RequestQueue q;
+  PendingResult r = q.submit(make_request(1, 4));
+  EXPECT_TRUE(r.cancel());
+  EXPECT_THROW(r.get(), RequestCancelled);
+  EXPECT_THROW(r.get(), RequestCancelled);
+}
+
 TEST(RequestQueue, CancelAfterClaimFails) {
   RequestQueue q;
   PendingResult r = q.submit(make_request(1, 4));
@@ -116,6 +147,118 @@ TEST(RequestQueue, CancelAfterClaimFails) {
   EXPECT_FALSE(r.cancel());
   drained[0].state->set_value(Tensor({1, 2}));
   EXPECT_NO_THROW(r.get());
+}
+
+// --------------------------------------------------- admission control ---
+
+TEST(RequestQueueAdmission, RejectNewShedsTheIncomingRequest) {
+  RequestQueue q({/*max_queue_depth=*/2, ShedPolicy::kRejectNew});
+  SubmitOutcome out;
+  PendingResult r1 = q.submit(make_request(1, 4), &out);
+  EXPECT_EQ(out.status, SubmitOutcome::Status::kAccepted);
+  PendingResult r2 = q.submit(make_request(1, 4), &out);
+  EXPECT_EQ(out.status, SubmitOutcome::Status::kAccepted);
+  EXPECT_EQ(q.depth(), 2u);
+
+  PendingResult r3 = q.submit(make_request(1, 4), &out);
+  EXPECT_EQ(out.status, SubmitOutcome::Status::kRejectedOverload);
+  EXPECT_TRUE(r3.ready());
+  EXPECT_THROW(r3.get(), ServerOverloaded);
+  // The queued requests are untouched and the depth bound held.
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_EQ(q.peak_depth(), 2u);
+  EXPECT_FALSE(r1.ready());
+  EXPECT_FALSE(r2.ready());
+}
+
+TEST(RequestQueueAdmission, RejectOldestEvictsToAdmit) {
+  RequestQueue q({/*max_queue_depth=*/2, ShedPolicy::kRejectOldest});
+  PendingResult r1 = q.submit(make_request(1, 4, 1));
+  PendingResult r2 = q.submit(make_request(1, 4, 2));
+  SubmitOutcome out;
+  PendingResult r3 = q.submit(make_request(1, 4, 3), &out);
+  EXPECT_EQ(out.status, SubmitOutcome::Status::kAccepted);
+  EXPECT_EQ(out.evicted_overload, 1u);
+  EXPECT_EQ(out.evicted_cancelled, 0u);
+  // The oldest request was shed with ServerOverloaded; the new one queued.
+  EXPECT_THROW(r1.get(), ServerOverloaded);
+  EXPECT_EQ(q.depth(), 2u);
+  auto drained = q.wait_drain(std::nullopt);
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].input.token_ids[0], 2);
+  EXPECT_EQ(drained[1].input.token_ids[0], 3);
+  (void)r2;
+}
+
+TEST(RequestQueueAdmission, RejectOldestReportsCancelledEvictions) {
+  // An evicted entry that was already cancelled frees its slot but must be
+  // reported as cancelled, not as an overload shed — it already resolved
+  // with RequestCancelled and the scheduler will never drain it.
+  RequestQueue q({/*max_queue_depth=*/2, ShedPolicy::kRejectOldest});
+  PendingResult r1 = q.submit(make_request(1, 4, 1));
+  PendingResult r2 = q.submit(make_request(1, 4, 2));
+  EXPECT_TRUE(r1.cancel());
+  SubmitOutcome out;
+  PendingResult r3 = q.submit(make_request(1, 4, 3), &out);
+  EXPECT_EQ(out.status, SubmitOutcome::Status::kAccepted);
+  EXPECT_EQ(out.evicted_overload, 0u);
+  EXPECT_EQ(out.evicted_cancelled, 1u);
+  EXPECT_THROW(r1.get(), RequestCancelled);  // the original cancel sticks
+  EXPECT_EQ(q.depth(), 2u);
+  (void)r2;
+  (void)r3;
+}
+
+TEST(RequestQueueAdmission, DepthAccountingUnderConcurrentSubmitDrain) {
+  // peak_depth() is a true high-water mark of depth(): with producers and
+  // a draining consumer racing, depth() <= peak_depth() at every sample
+  // (both update atomically under the queue mutex, and peak only grows),
+  // and after everything drains depth() is exactly 0.
+  RequestQueue q;
+  constexpr int kProducers = 3, kPerProducer = 40;
+  std::atomic<std::size_t> drained_total{0};
+  std::atomic<bool> stop_sampling{false};
+
+  std::thread consumer([&] {
+    while (drained_total.load() < kProducers * kPerProducer) {
+      auto batch =
+          q.wait_drain(std::chrono::steady_clock::now() + 1ms);
+      for (auto& sub : batch) {
+        ASSERT_TRUE(sub.state->claim());
+        sub.state->set_value(toy_model(sub.input));
+      }
+      drained_total.fetch_add(batch.size());
+    }
+  });
+  std::thread sampler([&] {
+    while (!stop_sampling.load()) {
+      const std::size_t d = q.depth();
+      // Read peak after depth: peak is monotonic and was >= d when d was
+      // sampled, so the inequality must hold at every interleaving.
+      ASSERT_LE(d, q.peak_depth());
+      ASSERT_LE(d, static_cast<std::size_t>(kProducers * kPerProducer));
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> producers;
+  std::vector<std::vector<PendingResult>> results(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        results[static_cast<std::size_t>(p)].push_back(
+            q.submit(make_request(1, 4, p * 100 + i)));
+    });
+  }
+  for (auto& t : producers) t.join();
+  consumer.join();
+  stop_sampling.store(true);
+  sampler.join();
+
+  EXPECT_EQ(q.depth(), 0u);
+  EXPECT_GE(q.peak_depth(), 1u);
+  EXPECT_LE(q.peak_depth(), static_cast<std::size_t>(kProducers * kPerProducer));
+  for (auto& rs : results)
+    for (auto& r : rs) EXPECT_NO_THROW(r.get());
 }
 
 // ------------------------------------------------------------- batcher ---

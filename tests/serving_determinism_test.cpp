@@ -1,13 +1,20 @@
-// Serving determinism: logits returned through the Server — with dynamic
-// same-seq batching, a scheduler thread, and concurrent submission from >= 4
-// client threads — must be BIT-identical to direct InferenceModel::logits
-// calls, for every backend (exact, LUT fp32/fp16/int32, I-BERT). This is the
-// end-to-end consequence of (a) row-independent kernels, (b) deterministic
-// static partitioning in the thread pool, and (c) the batcher merging only
-// identical-seq requests. Also covers per-request validation-error surfacing
-// through a live server and serving stats sanity.
+// Serving determinism: logits returned through the Server or the
+// multi-model Engine — with dynamic same-seq batching, one scheduler
+// thread per model slot, and concurrent submission from >= 4 client
+// threads — must be BIT-identical to direct InferenceModel::logits calls,
+// for every backend (exact, LUT fp32/fp16/int32, I-BERT) and any number of
+// concurrently served models. This is the end-to-end consequence of
+// (a) row-independent kernels, (b) deterministic static partitioning in
+// the thread pool with FIFO-fair orchestrator admission, and (c) each
+// slot's batcher merging only identical-seq requests of its own model.
+// Also covers admission control under forced overload (every request
+// resolves as completed or ServerOverloaded; ledger reconciles exactly
+// after drain), per-request validation-error surfacing through a live
+// server, and serving stats sanity.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <iterator>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -17,6 +24,7 @@
 #include "approx/linear_lut.h"
 #include "numerics/math.h"
 #include "runtime/thread_pool.h"
+#include "serve/engine.h"
 #include "serve/server.h"
 #include "transformer/infer.h"
 
@@ -160,6 +168,196 @@ TEST(ServingDeterminism, SpanHeadSplitsPerToken) {
   std::vector<BatchInput> rs;
   for (int i = 0; i < 6; ++i) rs.push_back(random_request(m.config(), 2, 8, rng));
   expect_served_bits_match_direct(m, nl, rs, 4);
+}
+
+// -------------------------------------------------- multi-model engine ---
+
+TEST(EngineDeterminism, ThreeBackendsConcurrentClientsBitIdentical) {
+  // Three slots on one Engine — exact, LUT fp32 and LUT int32, over two
+  // distinct task models — each hammered by concurrent clients while the
+  // other slots' schedulers orchestrate the same process pool. Logits for
+  // every slot must be bit-identical to direct single-threaded calls.
+  Rng rng(51);
+  TaskModel ma(tiny(), HeadKind::kClassify, 2, rng);
+  TaskModel mb(tiny(), HeadKind::kClassify, 3, rng);  // different weights+head
+  ExactNonlinearities exact(ma.config().act);
+  LutNonlinearities::Options opt;
+  opt.select = ApproxSelection::all();
+  auto lut32 = make_lut_backend(tiny_luts(), LutPrecision::kFp32, opt);
+  auto luti32 = make_lut_backend(tiny_luts(), LutPrecision::kInt32, opt);
+
+  struct SlotCase {
+    const char* id;
+    const TaskModel* model;
+    NonlinearitySet* nl;
+  };
+  const SlotCase cases[] = {{"exact-a", &ma, &exact},
+                            {"lut-fp32-b", &mb, lut32.get()},
+                            {"lut-int32-a", &ma, luti32.get()}};
+
+  std::vector<BatchInput> requests;
+  Rng req_rng(52);
+  for (int i = 0; i < 12; ++i)
+    requests.push_back(random_request(ma.config(), 1 + i % 2, 8, req_rng));
+
+  // Reference: direct, single-threaded, per slot.
+  runtime::set_runtime_config({2});
+  std::vector<std::vector<Tensor>> direct(std::size(cases));
+  for (std::size_t s = 0; s < std::size(cases); ++s) {
+    InferenceModel infer(*cases[s].model, *cases[s].nl);
+    for (const BatchInput& in : requests)
+      direct[s].push_back(infer.logits(in));
+  }
+
+  std::vector<std::vector<Tensor>> served(std::size(cases));
+  for (auto& v : served) v.resize(requests.size());
+  {
+    Engine engine(EngineConfig{/*threads=*/2});
+    SlotConfig scfg;
+    scfg.max_batch = 4;
+    scfg.max_wait = 3ms;
+    for (const SlotCase& c : cases)
+      engine.register_model(c.id, *c.model, *c.nl, scfg);
+    ASSERT_EQ(engine.model_ids().size(), std::size(cases));
+
+    // Two clients per slot, all slots concurrently: 6 client threads and 3
+    // scheduler threads share the pool.
+    std::vector<std::thread> clients;
+    for (std::size_t s = 0; s < std::size(cases); ++s) {
+      for (std::size_t c = 0; c < 2; ++c) {
+        clients.emplace_back([&, s, c] {
+          for (std::size_t i = c; i < requests.size(); i += 2)
+            served[s][i] = engine.submit(cases[s].id, requests[i]).get();
+        });
+      }
+    }
+    for (auto& t : clients) t.join();
+
+    const EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.models.size(), std::size(cases));
+    EXPECT_EQ(stats.total.submitted, requests.size() * std::size(cases));
+    EXPECT_EQ(stats.total.completed, requests.size() * std::size(cases));
+    EXPECT_EQ(stats.total.rejected, 0u);
+    for (const SlotCase& c : cases) {
+      const SlotStats s = engine.model_stats(c.id);
+      EXPECT_EQ(s.submitted, requests.size()) << c.id;
+      EXPECT_EQ(s.completed, requests.size()) << c.id;
+      EXPECT_EQ(s.failed, 0u) << c.id;
+    }
+  }
+  runtime::set_runtime_config({});
+
+  for (std::size_t s = 0; s < std::size(cases); ++s)
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      ASSERT_EQ(served[s][i].shape(), direct[s][i].shape())
+          << cases[s].id << " request " << i;
+      for (std::size_t j = 0; j < served[s][i].size(); ++j)
+        ASSERT_EQ(served[s][i][j], direct[s][i][j])
+            << cases[s].id << " request " << i << " element " << j;
+    }
+}
+
+TEST(EngineRegistry, UnknownAndDuplicateModels) {
+  Rng rng(53);
+  TaskModel m(tiny(), HeadKind::kClassify, 2, rng);
+  ExactNonlinearities nl(m.config().act);
+  Engine engine(EngineConfig{/*threads=*/1});
+  engine.register_model("m", m, nl);
+  EXPECT_TRUE(engine.has_model("m"));
+  EXPECT_FALSE(engine.has_model("ghost"));
+  EXPECT_THROW(engine.register_model("m", m, nl), std::invalid_argument);
+  EXPECT_THROW(engine.register_model("", m, nl), std::invalid_argument);
+
+  PendingResult r = engine.submit("ghost", random_request(m.config(), 1, 8, rng));
+  EXPECT_TRUE(r.ready());
+  EXPECT_THROW(r.get(), std::out_of_range);
+  EXPECT_EQ(engine.stats().rejected_unknown_model, 1u);
+  EXPECT_THROW(engine.model_stats("ghost"), std::out_of_range);
+
+  engine.shutdown();
+  EXPECT_THROW(engine.register_model("late", m, nl), std::logic_error);
+  runtime::set_runtime_config({});
+}
+
+// ---------------------------------------- admission control / overload ---
+
+/// Drive `total` requests from `threads` clients into a bounded slot and
+/// assert the overload contract: every request resolves as completed or
+/// ServerOverloaded (nothing hangs, no other error), and after drain the
+/// slot's ledger reconciles exactly with what the clients observed.
+void expect_overload_resolves_and_reconciles(ShedPolicy policy) {
+  Rng rng(54);
+  TaskModel m(tiny(), HeadKind::kClassify, 2, rng);
+  ExactNonlinearities nl(m.config().act);
+
+  Engine engine(EngineConfig{/*threads=*/2});
+  SlotConfig scfg;
+  scfg.max_batch = 2;
+  scfg.max_wait = 1ms;
+  scfg.admission = {/*max_queue_depth=*/2, policy};
+  engine.register_model("bounded", m, nl, scfg);
+
+  constexpr std::size_t kClients = 6, kPerClient = 12;
+  std::atomic<std::uint64_t> ok{0}, shed{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng crng(100 + c);
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        PendingResult r =
+            engine.submit("bounded", random_request(m.config(), 1, 8, crng));
+        try {
+          (void)r.get();
+          ok.fetch_add(1);
+        } catch (const ServerOverloaded&) {
+          shed.fetch_add(1);
+        }
+        // Any other exception escapes and fails the test.
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  engine.shutdown();
+
+  const SlotStats s = engine.model_stats("bounded");
+  EXPECT_EQ(ok.load() + shed.load(), kClients * kPerClient);
+  EXPECT_EQ(s.completed, ok.load());
+  EXPECT_EQ(s.rejected_overload, shed.load());
+  EXPECT_EQ(s.rejected_validation, 0u);
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_EQ(s.cancelled, 0u);
+  // The two reconciliation identities, exact after drain.
+  EXPECT_EQ(s.submitted, s.completed + s.failed + s.cancelled);
+  EXPECT_EQ(s.submitted + s.rejected_validation + s.rejected_overload +
+                s.rejected_shutdown,
+            kClients * kPerClient);
+  EXPECT_EQ(s.queue_depth, 0u);
+  EXPECT_LE(s.peak_queue_depth, scfg.admission.max_queue_depth);
+  runtime::set_runtime_config({});
+}
+
+TEST(EngineAdmission, ForcedOverloadRejectNewReconciles) {
+  expect_overload_resolves_and_reconciles(ShedPolicy::kRejectNew);
+}
+
+TEST(EngineAdmission, ForcedOverloadRejectOldestReconciles) {
+  expect_overload_resolves_and_reconciles(ShedPolicy::kRejectOldest);
+}
+
+TEST(EngineAdmission, UnboundedSlotNeverSheds) {
+  Rng rng(55);
+  TaskModel m(tiny(), HeadKind::kClassify, 2, rng);
+  ExactNonlinearities nl(m.config().act);
+  Engine engine(EngineConfig{/*threads=*/1});
+  engine.register_model("open", m, nl);  // default: unbounded
+  std::vector<PendingResult> rs;
+  for (int i = 0; i < 16; ++i)
+    rs.push_back(engine.submit("open", random_request(m.config(), 1, 8, rng)));
+  for (auto& r : rs) EXPECT_NO_THROW(r.get());
+  const SlotStats s = engine.model_stats("open");
+  EXPECT_EQ(s.rejected_overload, 0u);
+  EXPECT_EQ(s.completed, 16u);
+  runtime::set_runtime_config({});
 }
 
 // ----------------------------------------- per-request error surfacing ---

@@ -185,11 +185,12 @@ TEST(ParallelFor, MorePoolLanesThanHardwareStillCorrect) {
   runtime::set_runtime_config({});
 }
 
-TEST(ParallelFor, ConcurrentOrchestratorsFallBackInline) {
+TEST(ParallelFor, ConcurrentOrchestratorsStayCorrect) {
   // Two threads driving parallel_for on the same pool (two serving loops,
   // or a server plus a direct caller): the pool admits one orchestrator at
-  // a time and the other runs its shards inline — both must compute
-  // correct results, with no cross-talk on the shared job state.
+  // a time — FIFO by arrival ticket — and the other waits its turn; both
+  // must compute correct results, with no cross-talk on the shared job
+  // state.
   runtime::set_runtime_config({4});
   std::thread second([] {
     for (int iter = 0; iter < 100; ++iter) {
@@ -212,6 +213,63 @@ TEST(ParallelFor, ConcurrentOrchestratorsFallBackInline) {
     ASSERT_EQ(sum.load(), 20100);
   }
   second.join();
+  runtime::set_runtime_config({});
+}
+
+TEST(ParallelFor, ManyOrchestratorsShareThePoolFairly) {
+  // N scheduler-like threads (a multi-model Engine runs one per slot)
+  // orchestrating the same pool concurrently: FIFO ticket admission means
+  // every orchestrator keeps making progress — none can be starved into
+  // waiting forever while the others loop — and every job computes the
+  // serial answer. Completion of all N * kRounds jobs IS the fairness
+  // assertion: a starved orchestrator would hang the test.
+  runtime::set_runtime_config({3});
+  constexpr int kOrchestrators = 4, kRounds = 50;
+  std::atomic<int> jobs_done{0};
+  std::vector<std::thread> orchestrators;
+  for (int o = 0; o < kOrchestrators; ++o) {
+    orchestrators.emplace_back([&, o] {
+      const std::size_t n = 50 + static_cast<std::size_t>(o) * 10;
+      const long expected =
+          static_cast<long>(n * (n + 1) / 2);  // sum 1..n
+      for (int round = 0; round < kRounds; ++round) {
+        std::atomic<long> sum{0};
+        runtime::parallel_for(1, n + 1, 1, [&](std::size_t i0, std::size_t i1) {
+          long local = 0;
+          for (std::size_t i = i0; i < i1; ++i) local += static_cast<long>(i);
+          sum.fetch_add(local);
+        });
+        ASSERT_EQ(sum.load(), expected) << "orchestrator " << o;
+        jobs_done.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : orchestrators) t.join();
+  EXPECT_EQ(jobs_done.load(), kOrchestrators * kRounds);
+  runtime::set_runtime_config({});
+}
+
+TEST(ParallelFor, OrchestratorExceptionReleasesTheWorkers) {
+  // A shard failure must pass the workers to the next ticket holder — a
+  // throwing job that held its turn forever would deadlock every later
+  // orchestrator (and this test).
+  runtime::set_runtime_config({3});
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_THROW(
+        runtime::parallel_for(0, 30, 1,
+                              [&](std::size_t i0, std::size_t) {
+                                if (i0 == 0) throw std::runtime_error("boom");
+                              }),
+        std::runtime_error);
+    // The pool must still be usable by the next job.
+    std::atomic<long> sum{0};
+    runtime::parallel_for(1, 11, 1, [&](std::size_t i0, std::size_t i1) {
+      long local = 0;
+      for (std::size_t i = i0; i < i1; ++i) local += static_cast<long>(i);
+      sum.fetch_add(local);
+    });
+    ASSERT_EQ(sum.load(), 55);
+  }
   runtime::set_runtime_config({});
 }
 
