@@ -1,0 +1,190 @@
+// Steady-state memory behaviour of the serving hot path.
+//
+// BM_MemorySteadyState: closed-loop clients against a single-model Server,
+// sweeping clients {1, 4} x seq-bucket mix {single, mixed} x pools
+// {off, on}. Each configuration warms the server first (every seq bucket
+// served enough times for the pool free lists and workspace slots to reach
+// their high-water sizes), snapshots the pool counters, then measures a
+// sustained window. The headline counter is alloc_delta_warm: buffer-pool
+// heap misses during the measured window. With pools on this is ZERO — the
+// property CI asserts from the emitted JSON — while reuse_delta counts the
+// recycled acquisitions that replaced those allocations. rss_delta_bytes
+// reports the resident-set movement over the window (control-plane
+// allocations — promise states, queue nodes, client input vectors — are
+// outside the pool's scope and show up here, not in alloc_delta_warm).
+//
+// Unless --benchmark_out is given, results are also written as
+// machine-readable JSON to BENCH_memory_steady_state.json.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "approx/linear_lut.h"
+#include "bench_util.h"
+#include "numerics/math.h"
+#include "numerics/rng.h"
+#include "runtime/thread_pool.h"
+#include "serve/server.h"
+#include "transformer/infer.h"
+
+namespace {
+
+using namespace nnlut;
+using namespace nnlut::transformer;
+using namespace std::chrono_literals;
+
+constexpr std::size_t kMaxSeq = 64;
+constexpr int kWarmRounds = 4;
+constexpr int kRequestsPerClient = 8;
+
+ModelConfig bench_config() {
+  ModelConfig c = ModelConfig::roberta_like();
+  c.vocab = 128;
+  c.hidden = 64;
+  c.layers = 2;
+  c.heads = 4;
+  c.ffn = 256;
+  c.max_seq = kMaxSeq;
+  return c;
+}
+
+struct Fixture {
+  TaskModel model;
+  std::unique_ptr<LutNonlinearities> lut;
+
+  Fixture(const ModelConfig& cfg, Rng& rng)
+      : model(cfg, HeadKind::kClassify, 2, rng) {
+    LutSet luts{fit_linear_lut(gelu_exact, kGeluRange, 16),
+                fit_linear_lut(exp_exact, {-16.0f, 0.0f}, 16),
+                fit_fixed_breakpoint_lut(reciprocal_exact, {1.0f, 1024.0f}, 16,
+                                         BreakpointMode::kExponential),
+                fit_fixed_breakpoint_lut(rsqrt_exact, kRsqrtRange, 16,
+                                         BreakpointMode::kExponential)};
+    LutNonlinearities::Options opt;
+    opt.select = ApproxSelection::all();
+    lut = make_lut_backend(luts, LutPrecision::kFp32, opt);
+  }
+};
+
+Fixture& fixture() {
+  static Rng rng(42);
+  static Fixture f(bench_config(), rng);
+  return f;
+}
+
+BatchInput request_for(std::uint64_t seed, std::size_t seq) {
+  Rng rng(1000 + seed);
+  BatchInput in;
+  in.batch = 1;
+  in.seq = seq;
+  in.token_ids.resize(seq);
+  for (int& t : in.token_ids)
+    t = rng.uniform_int(0, static_cast<int>(bench_config().vocab) - 1);
+  return in;
+}
+
+/// One closed-loop wave: every client runs its request stream to completion.
+void run_wave(serve::Server& server,
+              const std::vector<std::vector<BatchInput>>& streams) {
+  std::vector<std::thread> threads;
+  threads.reserve(streams.size());
+  for (std::size_t c = 0; c < streams.size(); ++c) {
+    threads.emplace_back([&, c] {
+      for (const BatchInput& in : streams[c]) {
+        Tensor logits = server.submit(in).get();
+        benchmark::DoNotOptimize(logits.data());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+void BM_MemorySteadyState(benchmark::State& state) {
+  const std::size_t clients = static_cast<std::size_t>(state.range(0));
+  const bool mixed_seq = state.range(1) != 0;
+  const bool use_pool = state.range(2) != 0;
+
+  serve::ServeConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_wait = 500us;
+  cfg.threads = 0;  // hardware_concurrency
+  cfg.use_pool = use_pool;
+
+  // Fixed request streams: the mixed sweep alternates seq buckets 32/64 so
+  // the workspace reshapes between size classes every flush; the single
+  // sweep stays in one bucket.
+  std::vector<std::vector<BatchInput>> streams(clients);
+  for (std::size_t c = 0; c < clients; ++c)
+    for (int k = 0; k < kRequestsPerClient; ++k) {
+      const std::size_t seq = mixed_seq && (k % 2 == 1) ? kMaxSeq / 2 : kMaxSeq;
+      streams[c].push_back(
+          request_for(c * 1001 + static_cast<std::uint64_t>(k), seq));
+    }
+
+  serve::Server server(fixture().model, *fixture().lut, cfg);
+
+  // Warm every seq bucket: pool free lists and workspace slots reach their
+  // high-water sizes, so the measured window below is pure steady state.
+  for (int r = 0; r < kWarmRounds; ++r) run_wave(server, streams);
+
+  const serve::ServerStats warm = server.stats();
+  const benchutil::MemorySnapshot rss0 = benchutil::MemorySnapshot::take();
+
+  for (auto _ : state) run_wave(server, streams);
+
+  const serve::ServerStats done = server.stats();
+  const benchutil::MemorySnapshot rss1 = benchutil::MemorySnapshot::take();
+  server.shutdown();
+
+  const auto total_requests =
+      static_cast<std::size_t>(state.iterations()) * clients *
+      static_cast<std::size_t>(kRequestsPerClient);
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_requests));
+  state.counters["req_per_s"] = benchmark::Counter(
+      static_cast<double>(total_requests), benchmark::Counter::kIsRate);
+  // Pool heap misses over the warmed window — zero with pools on.
+  state.counters["alloc_delta_warm"] =
+      static_cast<double>(done.pool_alloc_count - warm.pool_alloc_count);
+  state.counters["reuse_delta"] =
+      static_cast<double>(done.pool_reuse_count - warm.pool_reuse_count);
+  state.counters["pool_bytes_peak"] =
+      static_cast<double>(done.pool_bytes_peak);
+  state.counters["rss_delta_bytes"] =
+      rss1.supported ? static_cast<double>(rss1.rss_bytes) -
+                           static_cast<double>(rss0.rss_bytes)
+                     : 0.0;
+  nnlut::runtime::set_runtime_config({});
+}
+
+BENCHMARK(BM_MemorySteadyState)
+    ->ArgsProduct({{1, 4}, {0, 1}, {0, 1}})
+    ->ArgNames({"clients", "mixed_seq", "use_pool"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+// Custom main: default to writing machine-readable JSON next to the working
+// directory unless the caller already chose an output file.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  static std::string out = "--benchmark_out=BENCH_memory_steady_state.json";
+  static std::string fmt = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out.data());
+    args.push_back(fmt.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

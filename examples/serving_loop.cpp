@@ -129,6 +129,21 @@ int main() {
                 s.mean_batch_occupancy,
                 static_cast<unsigned long long>(s.rejected_overload),
                 s.p50_latency_us, s.p95_latency_us);
+    // Memory path, after the drain: alloc = slabs the slot's buffer pool
+    // had to take from the heap (its working set), reuse = acquisitions
+    // recycled from the free lists. Sustained serving grows reuse, not
+    // alloc; the outstanding slabs are the slot's persistent workspace.
+    std::printf("\n[%s] pool: %llu slabs allocated, %llu reused "
+                "(%.1f reuses/alloc), peak %zu KiB, %llu outstanding.",
+                kv.first.c_str(),
+                static_cast<unsigned long long>(s.pool_alloc_count),
+                static_cast<unsigned long long>(s.pool_reuse_count),
+                s.pool_alloc_count > 0
+                    ? static_cast<double>(s.pool_reuse_count) /
+                          static_cast<double>(s.pool_alloc_count)
+                    : 0.0,
+                s.pool_bytes_peak / 1024,
+                static_cast<unsigned long long>(s.pool_outstanding));
   }
   std::printf("\n\nServed %llu requests total; %d shed by admission "
               "control.\n",

@@ -37,6 +37,16 @@ void affine_row(const float* x, float* y, std::size_t n, float mean, float inv,
   }
 }
 
+// Per-thread block scratch. The rows_block kernels run either on the caller
+// or on pool worker threads, both long-lived, so once a thread has seen the
+// largest block of a warmed serving slot these never reallocate. Every
+// element is (re)written before it is read, so recycled contents cannot
+// leak into results.
+thread_local std::vector<float> t_softmax_inv;
+thread_local std::vector<float> t_ln_mean;
+thread_local std::vector<float> t_ln_vs;
+thread_local std::vector<unsigned char> t_ln_scaled;
+
 }  // namespace
 
 void SoftmaxApprox::operator()(std::span<float> row) const {
@@ -79,7 +89,8 @@ void SoftmaxApprox::rows_block(float* data, std::size_t nrows,
   }
   // One EXP LUT pass over every shifted logit of every row in the block.
   exp_fn_->eval_inplace(std::span<float>(data, nrows * ncols));
-  std::vector<float> inv(nrows);
+  std::vector<float>& inv = t_softmax_inv;
+  inv.resize(nrows);
   for (std::size_t r = 0; r < nrows; ++r) {
     const float* row = data + r * ncols;
     float sum = 0.0f;
@@ -139,9 +150,12 @@ void LayerNormApprox::rows_block(const float* x, float* y, std::size_t nrows,
                                  std::size_t ncols,
                                  std::span<const float> gamma,
                                  std::span<const float> beta) const {
-  std::vector<float> mean(nrows);
-  std::vector<float> vs(nrows);
-  std::vector<unsigned char> scaled(nrows, 0);
+  std::vector<float>& mean = t_ln_mean;
+  std::vector<float>& vs = t_ln_vs;
+  std::vector<unsigned char>& scaled = t_ln_scaled;
+  mean.resize(nrows);
+  vs.resize(nrows);
+  scaled.assign(nrows, 0);  // assign, not resize: stale 1s must clear
   for (std::size_t r = 0; r < nrows; ++r) {
     float m = 0.0f, v = 0.0f;
     row_moments(x + r * ncols, ncols, m, v);

@@ -199,9 +199,17 @@ void softmax_span(std::span<float> row, std::vector<std::int64_t>& qe,
 }
 }  // namespace
 
+namespace {
+// Integer scratch rows, one per thread. Pool workers persist across calls,
+// so after the first request of a seq bucket the resize inside the span
+// kernels never reallocates — the row kernels go allocation-free at steady
+// state. Each thread owns its vector outright (no sharing, TSan-clean).
+thread_local std::vector<std::int64_t> t_softmax_scratch;
+thread_local std::vector<std::int64_t> t_layernorm_scratch;
+}  // namespace
+
 void softmax_row(std::span<float> row, int input_bits, int out_bits) {
-  std::vector<std::int64_t> qe;
-  softmax_span(row, qe, input_bits, out_bits);
+  softmax_span(row, t_softmax_scratch, input_bits, out_bits);
 }
 
 void softmax_rows(std::span<float> data, std::size_t nrows, std::size_t ncols,
@@ -209,13 +217,13 @@ void softmax_rows(std::span<float> data, std::size_t nrows, std::size_t ncols,
   assert(data.size() == nrows * ncols);
   if (nrows == 0 || ncols == 0) return;
   // Per-row scales make rows fully independent: shard row blocks across the
-  // pool, one scratch buffer per shard.
+  // pool, each shard on its own thread's scratch row.
   runtime::parallel_for(0, nrows, runtime::grain_for(8 * ncols),
                         [&](std::size_t r0, std::size_t r1) {
-                          std::vector<std::int64_t> qe;
                           for (std::size_t r = r0; r < r1; ++r)
-                            softmax_span(data.subspan(r * ncols, ncols), qe,
-                                         input_bits, out_bits);
+                            softmax_span(data.subspan(r * ncols, ncols),
+                                         t_softmax_scratch, input_bits,
+                                         out_bits);
                         });
 }
 
@@ -300,8 +308,7 @@ void layernorm_span(std::span<const float> x, std::span<float> y,
 void layernorm_row(std::span<const float> x, std::span<float> y,
                    std::span<const float> gamma, std::span<const float> beta,
                    int input_bits) {
-  std::vector<std::int64_t> q;
-  layernorm_span(x, y, gamma, beta, q, input_bits);
+  layernorm_span(x, y, gamma, beta, t_layernorm_scratch, input_bits);
 }
 
 void layernorm_rows(std::span<const float> x, std::span<float> y,
@@ -312,11 +319,11 @@ void layernorm_rows(std::span<const float> x, std::span<float> y,
   if (nrows == 0 || ncols == 0) return;
   runtime::parallel_for(0, nrows, runtime::grain_for(6 * ncols),
                         [&](std::size_t r0, std::size_t r1) {
-                          std::vector<std::int64_t> q;
                           for (std::size_t r = r0; r < r1; ++r)
                             layernorm_span(x.subspan(r * ncols, ncols),
                                            y.subspan(r * ncols, ncols), gamma,
-                                           beta, q, input_bits);
+                                           beta, t_layernorm_scratch,
+                                           input_bits);
                         });
 }
 

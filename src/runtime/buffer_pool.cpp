@@ -1,0 +1,148 @@
+#include "runtime/buffer_pool.h"
+
+#include <algorithm>
+#include <mutex>
+#include <new>
+#include <vector>
+
+namespace nnlut::runtime {
+
+namespace detail {
+
+namespace {
+constexpr std::size_t kMinClassBytes = 64;  // one cache line
+constexpr std::size_t kAlign = 64;
+// log2 of the largest supported class (2^48 bytes dwarfs any real tensor;
+// larger requests throw bad_alloc from the aligned allocator anyway).
+constexpr std::size_t kNumClasses = 48;
+
+std::size_t class_index(std::size_t klass) {
+  std::size_t idx = 0;
+  while ((kMinClassBytes << idx) < klass) ++idx;
+  return idx;
+}
+}  // namespace
+
+/// Free lists + counters, shared between the BufferPool and every
+/// PooledBuffer it handed out. `closed` flips when the BufferPool dies:
+/// releases then free directly instead of caching on a list nobody will
+/// ever drain again.
+class PoolCore {
+ public:
+  ~PoolCore() { drop_cached(); }
+
+  PooledBuffer acquire(const std::shared_ptr<PoolCore>& self,
+                       std::size_t bytes) {
+    if (bytes == 0) return {};
+    const std::size_t klass = BufferPool::size_class(bytes);
+    const std::size_t idx = class_index(klass);
+    void* slab = nullptr;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      std::vector<void*>& list = free_[idx];
+      if (!list.empty()) {
+        slab = list.back();  // strict LIFO: last released, first reused
+        list.pop_back();
+        ++stats_.reuse_count;
+        stats_.bytes_cached -= klass;
+      } else {
+        ++stats_.alloc_count;
+        stats_.bytes_live += klass;
+        stats_.bytes_peak = std::max(stats_.bytes_peak, stats_.bytes_live);
+      }
+      ++stats_.outstanding;
+      stats_.bytes_outstanding += klass;
+    }
+    // The heap allocation itself happens outside the lock; counters were
+    // already updated, so a concurrent stats() is at worst momentarily
+    // ahead of the allocator, never behind.
+    if (slab == nullptr)
+      slab = ::operator new(klass, std::align_val_t{kAlign});
+    return PooledBuffer(self, slab, klass);
+  }
+
+  void release(void* slab, std::size_t klass) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --stats_.outstanding;
+      stats_.bytes_outstanding -= klass;
+      if (!closed_) {
+        free_[class_index(klass)].push_back(slab);
+        stats_.bytes_cached += klass;
+        return;
+      }
+      stats_.bytes_live -= klass;
+    }
+    ::operator delete(slab, std::align_val_t{kAlign});
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+
+  void drop_cached() {
+    std::vector<void*> doomed;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (std::size_t i = 0; i < kNumClasses; ++i) {
+        for (void* p : free_[i]) {
+          doomed.push_back(p);
+          stats_.bytes_live -= kMinClassBytes << i;
+        }
+        free_[i].clear();
+      }
+      stats_.bytes_cached = 0;
+    }
+    for (void* p : doomed) ::operator delete(p, std::align_val_t{kAlign});
+  }
+
+  PoolStats stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<void*> free_[kNumClasses];
+  PoolStats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace detail
+
+void PooledBuffer::release() {
+  if (data_ == nullptr) return;
+  core_->release(data_, capacity_);
+  core_.reset();
+  data_ = nullptr;
+  capacity_ = 0;
+}
+
+PooledBuffer PooledBuffer::acquire_sibling(std::size_t bytes) const {
+  if (!core_) return {};
+  return core_->acquire(core_, bytes);
+}
+
+BufferPool::BufferPool() : core_(std::make_shared<detail::PoolCore>()) {}
+
+BufferPool::~BufferPool() {
+  core_->close();
+  core_->drop_cached();
+}
+
+PooledBuffer BufferPool::acquire(std::size_t bytes) {
+  return core_->acquire(core_, bytes);
+}
+
+PoolStats BufferPool::stats() const { return core_->stats(); }
+
+void BufferPool::trim() { core_->drop_cached(); }
+
+std::size_t BufferPool::size_class(std::size_t bytes) {
+  std::size_t klass = detail::kMinClassBytes;
+  while (klass < bytes) klass <<= 1;
+  return klass;
+}
+
+}  // namespace nnlut::runtime

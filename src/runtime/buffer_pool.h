@@ -1,0 +1,141 @@
+// Size-classed slab pool for the serving hot path.
+//
+// Every served request used to allocate its activation / attention-score /
+// quantization-scratch tensors fresh; at sustained QPS the allocator — not
+// the SIMD kernels — becomes the bottleneck and fragmentation the failure
+// mode. A BufferPool keeps retired slabs on per-size-class free lists so a
+// warmed serving slot reaches a zero-allocation steady state: every
+// acquisition is served by recycling a previously allocated slab.
+//
+// Design:
+//   - Size classes are power-of-two byte buckets (minimum 64 B), so two
+//     tensors whose element counts differ but round to the same bucket share
+//     slabs — the batcher's same-seq merging maps 1:1 onto pool classes.
+//   - Slabs are 64-byte aligned (same contract as core/aligned_alloc.h) so
+//     pooled tensors feed the AVX2/AVX-512 kernel tiers with aligned loads.
+//   - Free lists are strict LIFO (the most recently released slab is handed
+//     out first): reuse is deterministic and cache-warm, and — because
+//     consumers zero or fully overwrite acquired memory — results never
+//     depend on recycled contents. Pools change WHERE bytes live, never
+//     which bits come out; logits are bit-identical pools-on vs pools-off.
+//   - One mutex guards the free lists and counters. Acquisition happens on
+//     a slot's scheduler thread; release can happen on any thread (a client
+//     destroying a pooled result tensor returns its slab cross-thread).
+//   - PooledBuffer is the RAII handle. It shares ownership of the pool's
+//     core, so a slab released after the BufferPool itself was destroyed is
+//     freed directly instead of touching a dead free list — results handed
+//     to clients stay valid across engine shutdown.
+//
+// Stats are exact and mutex-consistent: alloc_count counts heap
+// allocations (pool misses), reuse_count counts free-list hits, and a
+// warmed steady-state window shows alloc_count deltas of ZERO — the
+// counter the serving StatsLedger surfaces and CI asserts on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace nnlut::runtime {
+
+/// Counters of one BufferPool since construction. bytes_live covers both
+/// outstanding (held by PooledBuffers) and cached (free-listed) slabs;
+/// bytes_peak is its high-water mark.
+struct PoolStats {
+  std::uint64_t alloc_count = 0;  // heap allocations (pool misses)
+  std::uint64_t reuse_count = 0;  // acquisitions served from a free list
+  std::size_t outstanding = 0;    // slabs currently held by PooledBuffers
+  std::size_t bytes_outstanding = 0;
+  std::size_t bytes_cached = 0;  // free-listed, ready for reuse
+  std::size_t bytes_live = 0;    // bytes_outstanding + bytes_cached
+  std::size_t bytes_peak = 0;    // high-water mark of bytes_live
+};
+
+namespace detail {
+class PoolCore;
+}  // namespace detail
+
+/// Movable RAII handle on one slab. Destruction returns the slab to its
+/// pool's free list (LIFO), or frees it directly when the pool is gone.
+/// The handle keeps the pool core alive, so it is always safe to destroy —
+/// on any thread, before or after the owning BufferPool.
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  ~PooledBuffer() { release(); }
+
+  PooledBuffer(PooledBuffer&& o) noexcept
+      : core_(std::move(o.core_)), data_(o.data_), capacity_(o.capacity_) {
+    o.data_ = nullptr;
+    o.capacity_ = 0;
+  }
+  PooledBuffer& operator=(PooledBuffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      core_ = std::move(o.core_);
+      data_ = o.data_;
+      capacity_ = o.capacity_;
+      o.data_ = nullptr;
+      o.capacity_ = 0;
+    }
+    return *this;
+  }
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+
+  void* data() const { return data_; }
+  /// Usable bytes: the slab's size class, >= the requested size.
+  std::size_t capacity() const { return capacity_; }
+  explicit operator bool() const { return data_ != nullptr; }
+
+  /// Return the slab to the pool now (idempotent).
+  void release();
+
+  /// Acquire a fresh slab from the same pool this buffer came from; null
+  /// when this buffer is null. Lets a holder grow without a BufferPool*.
+  PooledBuffer acquire_sibling(std::size_t bytes) const;
+
+ private:
+  friend class BufferPool;
+  friend class detail::PoolCore;
+  PooledBuffer(std::shared_ptr<detail::PoolCore> core, void* data,
+               std::size_t capacity)
+      : core_(std::move(core)), data_(data), capacity_(capacity) {}
+
+  std::shared_ptr<detail::PoolCore> core_;
+  void* data_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+class BufferPool {
+ public:
+  BufferPool();
+  /// Frees every cached slab. Outstanding PooledBuffers stay valid: they
+  /// share the core and free their slab directly on release.
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// A slab of at least `bytes` (rounded up to the size class), 64-byte
+  /// aligned, LIFO-recycled when the class has a cached slab. Contents are
+  /// unspecified — callers zero or overwrite. bytes == 0 yields a null
+  /// buffer.
+  PooledBuffer acquire(std::size_t bytes);
+
+  /// Exact counter snapshot (one mutex, consistent).
+  PoolStats stats() const;
+
+  /// Drop every cached slab (outstanding ones are unaffected). Shrinks
+  /// bytes_cached to 0; bytes_peak is retained.
+  void trim();
+
+  /// The power-of-two byte bucket `bytes` lands in: the smallest power of
+  /// two >= max(bytes, 64).
+  static std::size_t size_class(std::size_t bytes);
+
+ private:
+  std::shared_ptr<detail::PoolCore> core_;
+};
+
+}  // namespace nnlut::runtime

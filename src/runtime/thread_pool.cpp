@@ -100,18 +100,18 @@ void ThreadPool::worker_loop(std::size_t lane) {
     cv_start_.wait(lk, [&] { return stop_ || epoch_ != seen; });
     if (stop_) return;
     seen = epoch_;
-    const auto* job = job_;
+    const FunctionRef<void(std::size_t)> job = job_;
     const std::size_t shards = job_shards_;
     // Only participating lanes report completion, so run() never waits on a
     // lane the job does not use. A straggler that slept through a whole
-    // epoch sees job == nullptr (run() clears it before returning) and just
+    // epoch sees a cleared job (run() resets it before returning) and just
     // rearms; it owed that epoch nothing.
-    if (job == nullptr || lane >= shards) continue;
+    if (!job || lane >= shards) continue;
     lk.unlock();
     std::exception_ptr err;
     t_in_shard = true;
     try {
-      (*job)(lane);
+      job(lane);
     } catch (...) {
       err = std::current_exception();
     }
@@ -122,8 +122,7 @@ void ThreadPool::worker_loop(std::size_t lane) {
   }
 }
 
-void ThreadPool::run(std::size_t nshards,
-                     const std::function<void(std::size_t)>& fn) {
+void ThreadPool::run(std::size_t nshards, FunctionRef<void(std::size_t)> fn) {
   if (nshards == 0) return;
   // Inline when the pool cannot host every shard on its own lane (single
   // lane, a nested call from inside a shard, or a pool rebuilt smaller
@@ -146,7 +145,7 @@ void ThreadPool::run(std::size_t nshards,
   (void)ticket;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    job_ = &fn;
+    job_ = fn;
     job_shards_ = nshards;
     done_ = 0;
     ++epoch_;
@@ -165,7 +164,7 @@ void ThreadPool::run(std::size_t nshards,
   t_in_shard = false;
   std::unique_lock<std::mutex> lk(mu_);
   cv_done_.wait(lk, [&] { return done_ == job_shards_ - 1; });
-  job_ = nullptr;
+  job_ = {};
   if (!err) err = error_;
   error_ = nullptr;
   lk.unlock();
@@ -179,7 +178,7 @@ void ThreadPool::run(std::size_t nshards,
 }
 
 void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
-                  const std::function<void(std::size_t, std::size_t)>& fn) {
+                  FunctionRef<void(std::size_t, std::size_t)> fn) {
   if (end <= begin) return;
   const std::size_t n = end - begin;
   if (grain == 0) grain = 1;

@@ -17,16 +17,55 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/lut_kernel_simd.h"
 
 namespace nnlut::runtime {
+
+/// Non-owning callable reference, the zero-allocation replacement for
+/// `const std::function&` on the kernel dispatch path: constructing a
+/// std::function from a capturing lambda heap-allocates once its captures
+/// outgrow the small-buffer slot, which put one hidden allocation on EVERY
+/// parallel_for call — exactly the steady-state churn the buffer-pool work
+/// eliminates elsewhere. A FunctionRef is two words (object pointer +
+/// trampoline) and never allocates. The referenced callable must outlive
+/// the call, which parallel_for/ThreadPool::run guarantee by blocking until
+/// every shard drains.
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT: implicit by design, mirrors std::function
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+  explicit operator bool() const { return call_ != nullptr; }
+
+ private:
+  void* obj_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
 
 /// Process-wide runtime knobs. `threads` is the total number of execution
 /// lanes (the calling thread counts as lane 0); 0 means
@@ -81,7 +120,9 @@ class ThreadPool {
 
   std::size_t lanes() const { return workers_.size() + 1; }
 
-  void run(std::size_t nshards, const std::function<void(std::size_t)>& fn);
+  /// `fn` is borrowed for the duration of the call only (run() blocks until
+  /// every shard drains), so passing a stack lambda is safe and free.
+  void run(std::size_t nshards, FunctionRef<void(std::size_t)> fn);
 
  private:
   void worker_loop(std::size_t lane);
@@ -90,7 +131,7 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
+  FunctionRef<void(std::size_t)> job_;
   std::size_t job_shards_ = 0;
   std::uint64_t epoch_ = 0;
   std::size_t done_ = 0;
@@ -115,9 +156,10 @@ std::shared_ptr<ThreadPool> acquire_pool();
 /// Shard [begin, end) into at most `lanes` contiguous blocks of at least
 /// `grain` items each and run fn(block_begin, block_end) on each block.
 /// Blocks are disjoint, cover the range exactly, and are assigned to fixed
-/// lanes; when one block suffices it runs inline on the caller.
+/// lanes; when one block suffices it runs inline on the caller. Takes a
+/// FunctionRef, so calling with a capturing lambda never allocates.
 void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
-                  const std::function<void(std::size_t, std::size_t)>& fn);
+                  FunctionRef<void(std::size_t, std::size_t)> fn);
 
 /// Minimum per-shard workload (in scalar ops) under which forking a shard
 /// costs more than it saves.

@@ -37,10 +37,10 @@ void Batcher::loop() {
       const auto d = kv.second.items.front().enqueued + cfg_.max_wait;
       if (!deadline || d < *deadline) deadline = d;
     }
-    std::vector<Submission> drained = queue_->wait_drain(deadline);
+    queue_->wait_drain(deadline, drained_);
     const bool closed = queue_->closed();
 
-    for (Submission& sub : drained) {
+    for (Submission& sub : drained_) {
       Bucket& b = buckets_[sub.input.seq];
       b.sequences += sub.input.batch;
       b.items.push_back(std::move(sub));
@@ -73,21 +73,21 @@ void Batcher::flush_chunk(Bucket& bucket) {
   // Requests never split across batches: take whole requests from the front
   // until max_batch sequences are aboard. The first request always goes, so
   // one larger than max_batch still runs (alone).
-  std::vector<Submission> batch;
+  chunk_.clear();
   std::size_t seqs = 0;
   std::size_t taken = 0;
   while (taken < bucket.items.size()) {
     const std::size_t b = bucket.items[taken].input.batch;
-    if (!batch.empty() && seqs + b > cfg_.max_batch) break;
+    if (!chunk_.empty() && seqs + b > cfg_.max_batch) break;
     seqs += b;
-    batch.push_back(std::move(bucket.items[taken]));
+    chunk_.push_back(std::move(bucket.items[taken]));
     ++taken;
     if (seqs >= cfg_.max_batch) break;
   }
   bucket.items.erase(bucket.items.begin(),
                      bucket.items.begin() + static_cast<std::ptrdiff_t>(taken));
   bucket.sequences -= seqs;
-  execute(std::move(batch));
+  execute();
 }
 
 // Stats records run BEFORE the result is released to the waiting client, so
@@ -99,17 +99,19 @@ void Batcher::finish(const Submission& sub, bool ok) {
   ledger_->record_done(latency, ok);
 }
 
-void Batcher::execute(std::vector<Submission> batch) {
+void Batcher::execute() {
   // Claim each member; requests cancelled while queued drop out here.
-  std::vector<Submission> live;
-  live.reserve(batch.size());
-  for (Submission& sub : batch) {
+  std::vector<Submission>& live = live_;
+  live.clear();
+  live.reserve(chunk_.size());
+  for (Submission& sub : chunk_) {
     if (sub.state->claim()) {
       live.push_back(std::move(sub));
     } else if (ledger_) {
       ledger_->record_cancelled();
     }
   }
+  chunk_.clear();
   if (live.empty()) return;
 
   const std::size_t seq = live.front().input.seq;
@@ -122,9 +124,13 @@ void Batcher::execute(std::vector<Submission> batch) {
 
   // Merge: row-wise concatenation. encode() reads an empty type_ids as
   // all-zero segment ids, so zero-filling a member's missing type_ids keeps
-  // its rows bit-identical when another member supplies real ones.
+  // its rows bit-identical when another member supplies real ones. merged_
+  // is a long-lived staging buffer: clear() keeps the vectors' capacity, so
+  // a warmed scheduler merges without allocating.
   const transformer::BatchInput* input;
-  transformer::BatchInput merged;
+  transformer::BatchInput& merged = merged_;
+  merged.token_ids.clear();
+  merged.type_ids.clear();
   if (live.size() == 1) {
     input = &live.front().input;
   } else {
@@ -174,7 +180,7 @@ void Batcher::execute(std::vector<Submission> batch) {
       std::size_t row = 0;
       for (Submission& s : live) {
         const std::size_t item_rows = s.input.batch * rows_per_seq;
-        Tensor piece({item_rows, cols});
+        Tensor piece = Tensor::pooled({item_rows, cols}, cfg_.pool);
         std::copy(out.data() + row * cols, out.data() + (row + item_rows) * cols,
                   piece.data());
         row += item_rows;
@@ -201,6 +207,9 @@ void Batcher::execute(std::vector<Submission> batch) {
       }
     }
   }
+  // Release the resolved states now (clients may be the last owners);
+  // clear() keeps the vector's capacity for the next chunk.
+  live.clear();
 }
 
 }  // namespace nnlut::serve

@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/buffer_pool.h"
 #include "serve/request_queue.h"
 #include "serve/stats.h"
 
@@ -45,6 +46,11 @@ struct BatcherConfig {
   /// when the 15-char limit would truncate the model id away. Empty =
   /// "nnlut-sched".
   std::string thread_name = {};
+  /// When set (must outlive the batcher), result slices of merged batches
+  /// draw their storage from this pool instead of the heap, so each piece's
+  /// slab returns for reuse when the client destroys the tensor. nullptr =
+  /// plain heap tensors (identical bits either way).
+  runtime::BufferPool* pool = nullptr;
 };
 
 class Batcher {
@@ -78,7 +84,8 @@ class Batcher {
   void loop();
   /// Execute up to max_batch sequences from the front of `bucket`.
   void flush_chunk(Bucket& bucket);
-  void execute(std::vector<Submission> batch);
+  /// Runs the submissions in chunk_ (cleared on return).
+  void execute();
   void finish(const Submission& sub, bool ok);
 
   RequestQueue* queue_;
@@ -86,6 +93,13 @@ class Batcher {
   BatcherConfig cfg_;
   StatsLedger* ledger_;  // may be null (no stats)
   std::map<std::size_t, Bucket> buckets_;  // keyed by seq; scheduler-only
+  // Scheduler-thread staging, recycled across cycles so the drain -> bucket
+  // -> flush -> merge path reuses its vector capacity instead of
+  // reallocating per batch. All scheduler-only state.
+  std::vector<Submission> drained_;        // wait_drain target
+  std::vector<Submission> chunk_;          // flush_chunk -> execute handoff
+  std::vector<Submission> live_;           // claim() survivors
+  transformer::BatchInput merged_;         // row-wise concatenation buffer
   std::thread scheduler_;
   std::atomic<bool> stopped_{false};  // first stop() wins; later calls no-op
 };

@@ -25,21 +25,28 @@ Engine::ModelSlot::ModelSlot(std::string id_,
     : id(std::move(id_)),
       cfg(normalized(cfg_)),
       model(model_in, nl, cfg_.matmul),
-      queue(cfg_.admission, &ledger) {
+      queue(cfg_.admission, &ledger),
+      pool(cfg.use_pool ? std::make_unique<runtime::BufferPool>() : nullptr),
+      ws(pool.get()) {
   BatcherConfig bcfg;
   bcfg.max_batch = cfg.max_batch;
   bcfg.max_wait = cfg.max_wait;
+  bcfg.pool = pool.get();
   // Linux truncates thread names at 15 chars; when the canonical
   // "nnlut-sched-<model>" would lose the model id to truncation, fall back
   // to the compact "ns-<model>" so concurrent slots stay distinguishable
   // in profiles and TSan reports.
   bcfg.thread_name = "nnlut-sched-" + id;
   if (bcfg.thread_name.size() > 15) bcfg.thread_name = "ns-" + id;
-  // The slot's scheduler thread is the only caller of its model; N slots
-  // mean N orchestrators, admitted FIFO-fairly by the process pool.
+  // The slot's scheduler thread is the only caller of its model (and of the
+  // slot's workspace); N slots mean N orchestrators, admitted FIFO-fairly
+  // by the process pool.
+  const bool pooled = cfg.use_pool;
   batcher = std::make_unique<Batcher>(
       queue,
-      [this](const transformer::BatchInput& in) { return model.logits(in); },
+      [this, pooled](const transformer::BatchInput& in) {
+        return pooled ? model.logits(in, ws) : model.logits(in);
+      },
       std::move(bcfg), &ledger);
 }
 
@@ -120,6 +127,11 @@ SlotStats Engine::model_stats(std::string_view model_id) const {
   if (slot == nullptr)
     throw std::out_of_range("Engine::model_stats: unknown model '" +
                             std::string(model_id) + "'");
+  if (slot->pool) {
+    const runtime::PoolStats ps = slot->pool->stats();
+    return slot->ledger.snapshot(slot->queue.depth(), slot->queue.peak_depth(),
+                                 &ps);
+  }
   return slot->ledger.snapshot(slot->queue.depth(), slot->queue.peak_depth());
 }
 
@@ -134,8 +146,14 @@ EngineStats Engine::stats() const {
   }
   EngineStats out;
   for (ModelSlot* slot : slots) {
-    SlotStats s =
-        slot->ledger.snapshot(slot->queue.depth(), slot->queue.peak_depth());
+    SlotStats s;
+    if (slot->pool) {
+      const runtime::PoolStats ps = slot->pool->stats();
+      s = slot->ledger.snapshot(slot->queue.depth(), slot->queue.peak_depth(),
+                                &ps);
+    } else {
+      s = slot->ledger.snapshot(slot->queue.depth(), slot->queue.peak_depth());
+    }
     out.total.submitted += s.submitted;
     out.total.rejected += s.rejected;
     out.total.rejected_validation += s.rejected_validation;
@@ -145,6 +163,14 @@ EngineStats Engine::stats() const {
     out.total.failed += s.failed;
     out.total.cancelled += s.cancelled;
     out.total.batches += s.batches;
+    out.total.pool_alloc_count += s.pool_alloc_count;
+    out.total.pool_reuse_count += s.pool_reuse_count;
+    out.total.pool_outstanding += s.pool_outstanding;
+    out.total.pool_bytes_live += s.pool_bytes_live;
+    // Like peak_queue_depth: per-slot peaks need not coincide in time, so
+    // report the worst single slot rather than a fictitious sum.
+    out.total.pool_bytes_peak =
+        std::max(out.total.pool_bytes_peak, s.pool_bytes_peak);
     out.total.queue_depth += s.queue_depth;
     // A high-water mark is not summable across slots (their peaks need not
     // coincide in time): report the worst single-slot peak, like latency.

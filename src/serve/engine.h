@@ -58,6 +58,12 @@ struct SlotConfig {
   transformer::MatmulMode matmul = transformer::MatmulMode::kFp32;
   /// Bounded queue depth + shed policy; default unbounded.
   AdmissionConfig admission = {};
+  /// Size-classed buffer pools through the slot's memory path: the forward
+  /// pass runs in a persistent Workspace, and result tensors draw pool
+  /// slabs that return when clients destroy them. false takes the original
+  /// allocate-per-call path (the baseline the determinism suite compares
+  /// against). Logits are bit-identical either way.
+  bool use_pool = true;
 };
 
 /// Process-wide knobs, applied to the RuntimeConfig at Engine construction.
@@ -126,6 +132,13 @@ class Engine {
     transformer::InferenceModel model;
     StatsLedger ledger;  // before queue: the queue records evictions to it
     RequestQueue queue;
+    // Memory path (use_pool only; null/empty otherwise). Declared before
+    // the batcher so the scheduler thread stops before they go away, and
+    // the pool before the workspace that draws from it. The pool itself
+    // outlives even that teardown wherever clients still hold result
+    // tensors — slabs released after pool destruction free directly.
+    std::unique_ptr<runtime::BufferPool> pool;
+    transformer::Workspace ws;
     std::unique_ptr<Batcher> batcher;  // last member: stops before the rest
   };
 

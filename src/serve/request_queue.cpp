@@ -213,6 +213,15 @@ std::size_t RequestQueue::peak_depth() const {
 
 std::vector<Submission> RequestQueue::wait_drain(
     std::optional<std::chrono::steady_clock::time_point> deadline) {
+  std::vector<Submission> out;
+  wait_drain(deadline, out);
+  return out;
+}
+
+void RequestQueue::wait_drain(
+    std::optional<std::chrono::steady_clock::time_point> deadline,
+    std::vector<Submission>& out) {
+  out.clear();
   std::unique_lock<std::mutex> lk(mu_);
   const auto ready = [&] { return closed_ || !items_.empty(); };
   if (deadline) {
@@ -220,13 +229,11 @@ std::vector<Submission> RequestQueue::wait_drain(
   } else {
     cv_.wait(lk, ready);
   }
-  std::vector<Submission> out;
   out.reserve(items_.size());
   while (!items_.empty()) {
     out.push_back(std::move(items_.front()));
     items_.pop_front();
   }
-  return out;
 }
 
 }  // namespace nnlut::serve

@@ -217,6 +217,13 @@ class RequestQueue {
   std::vector<Submission> wait_drain(
       std::optional<std::chrono::steady_clock::time_point> deadline);
 
+  /// Allocation-recycling variant: clears `out` and moves everything queued
+  /// into it, reusing its capacity. The batcher drains into one long-lived
+  /// vector so the steady-state scheduler cycle performs no heap allocation
+  /// of its own (the queue's deque nodes are submit-side and out of scope).
+  void wait_drain(std::optional<std::chrono::steady_clock::time_point> deadline,
+                  std::vector<Submission>& out);
+
  private:
   const AdmissionConfig admission_;
   StatsLedger* ledger_;  // eviction accounting only; may be null

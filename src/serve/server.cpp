@@ -17,6 +17,7 @@ Server::Server(const transformer::TaskModel& model,
   slot.max_wait = cfg_.max_wait;
   slot.matmul = cfg_.matmul;
   slot.admission = cfg_.admission;
+  slot.use_pool = cfg_.use_pool;
   engine_.register_model(model_id(), model, nl, slot);
 }
 

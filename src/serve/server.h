@@ -51,6 +51,10 @@ struct ServeConfig {
   /// unbounded). At the bound, submit() resolves with ServerOverloaded per
   /// the policy.
   AdmissionConfig admission = {};
+  /// Size-classed buffer pools through the slot's memory path (see
+  /// SlotConfig::use_pool). false restores the allocate-per-call baseline;
+  /// served logits are bit-identical either way.
+  bool use_pool = true;
 };
 
 /// Snapshot of serving counters since construction (SlotStats of the one

@@ -74,7 +74,8 @@ void StatsLedger::record_cancelled() {
 }
 
 SlotStats StatsLedger::snapshot(std::size_t queue_depth,
-                                std::size_t peak_queue_depth) const {
+                                std::size_t peak_queue_depth,
+                                const runtime::PoolStats* pool) const {
   std::lock_guard<std::mutex> lk(mu_);
   SlotStats s;
   s.submitted = submitted_;
@@ -96,6 +97,13 @@ SlotStats StatsLedger::snapshot(std::size_t queue_depth,
   s.p95_latency_us = latency_.quantile_us(0.95);
   s.queue_depth = queue_depth;
   s.peak_queue_depth = peak_queue_depth;
+  if (pool != nullptr) {
+    s.pool_alloc_count = pool->alloc_count;
+    s.pool_reuse_count = pool->reuse_count;
+    s.pool_outstanding = pool->outstanding;
+    s.pool_bytes_live = pool->bytes_live;
+    s.pool_bytes_peak = pool->bytes_peak;
+  }
   return s;
 }
 

@@ -25,6 +25,8 @@
 #include <mutex>
 #include <string>
 
+#include "runtime/buffer_pool.h"
+
 namespace nnlut::serve {
 
 /// Fixed-bucket log2 latency histogram: bucket i counts completions with
@@ -63,6 +65,18 @@ struct SlotStats {
   double p95_latency_us = 0.0;
   std::size_t queue_depth = 0;  // requests queued at snapshot time
   std::size_t peak_queue_depth = 0;
+
+  // Buffer-pool counters of the slot's memory path (all zero when the slot
+  // runs pools-off). pool_alloc_count is the heap-miss count: acquisitions
+  // the pool had to serve with a fresh allocation. A warmed slot serves
+  // every acquisition from its free lists, so over a steady-state window
+  // the DELTA of pool_alloc_count is zero — the property the memory bench
+  // and CI assert.
+  std::uint64_t pool_alloc_count = 0;  // pool acquisitions that hit the heap
+  std::uint64_t pool_reuse_count = 0;  // acquisitions served from free lists
+  std::uint64_t pool_outstanding = 0;  // slabs currently out of the pool
+  std::size_t pool_bytes_live = 0;     // outstanding + cached bytes
+  std::size_t pool_bytes_peak = 0;     // high-water mark of bytes_live
 };
 
 /// Thread-safe serving counters + latency histogram for one model slot.
@@ -93,9 +107,11 @@ class StatsLedger {
   void record_cancelled();
 
   /// Consistent snapshot; queue depths are passed in by the owner (the
-  /// queue keeps its own high-water mark).
+  /// queue keeps its own high-water mark), as are the buffer-pool counters
+  /// (`pool` may be null — pools-off slots report zeros).
   SlotStats snapshot(std::size_t queue_depth = 0,
-                     std::size_t peak_queue_depth = 0) const;
+                     std::size_t peak_queue_depth = 0,
+                     const runtime::PoolStats* pool = nullptr) const;
 
  private:
   mutable std::mutex mu_;

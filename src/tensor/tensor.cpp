@@ -12,7 +12,9 @@ std::size_t shape_numel(std::span<const std::size_t> shape) {
 }
 
 Tensor::Tensor(std::vector<std::size_t> shape)
-    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+    : shape_(std::move(shape)),
+      size_(shape_numel(shape_)),
+      heap_(size_, 0.0f) {}
 
 Tensor Tensor::full(std::initializer_list<std::size_t> shape, float value) {
   Tensor t(shape);
@@ -20,15 +22,58 @@ Tensor Tensor::full(std::initializer_list<std::size_t> shape, float value) {
   return t;
 }
 
+Tensor Tensor::pooled(std::vector<std::size_t> shape,
+                      runtime::BufferPool* pool) {
+  if (pool == nullptr) return Tensor(std::move(shape));
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.size_ = shape_numel(t.shape_);
+  t.pooled_ = pool->acquire(t.size_ * sizeof(float));
+  t.fill(0.0f);  // pool slabs carry recycled contents
+  return t;
+}
+
+Tensor::Tensor(const Tensor& o)
+    : shape_(o.shape_), size_(o.size_), heap_(o.data(), o.data() + o.size_) {}
+
+Tensor& Tensor::operator=(const Tensor& o) {
+  if (this != &o) {
+    shape_ = o.shape_;
+    size_ = o.size_;
+    heap_.assign(o.data(), o.data() + o.size_);
+    pooled_.release();
+  }
+  return *this;
+}
+
+void Tensor::reset(std::span<const std::size_t> shape) {
+  shape_.assign(shape.begin(), shape.end());
+  size_ = shape_numel(shape_);
+  if (pooled_) {
+    if (pooled_.capacity() < size_ * sizeof(float)) {
+      // Grow from the same pool this tensor came from; if the pool is gone
+      // the sibling is null and the tensor falls back to heap storage.
+      runtime::PooledBuffer grown =
+          pooled_.acquire_sibling(size_ * sizeof(float));
+      pooled_ = std::move(grown);
+      if (!pooled_) heap_.resize(size_);
+    }
+  } else {
+    heap_.resize(size_);
+  }
+  fill(0.0f);
+}
+
 Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
   assert(shape_numel(new_shape) == size());
   Tensor t;
   t.shape_ = std::move(new_shape);
-  t.data_ = data_;
+  t.size_ = size_;
+  t.heap_.assign(data(), data() + size_);
   return t;
 }
 
-void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+void Tensor::fill(float v) { std::fill(data(), data() + size_, v); }
 
 std::string Tensor::shape_string() const {
   std::ostringstream os;

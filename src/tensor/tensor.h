@@ -2,6 +2,21 @@
 // from-scratch transformer (src/nn, src/transformer); it intentionally keeps
 // a small surface: shapes, element access, views as spans, and a handful of
 // structural helpers. Math lives in tensor/ops.h.
+//
+// Storage comes from one of two sources:
+//   - heap (std::vector<float>): the default, used everywhere outside the
+//     serving hot path; construction/copy semantics are plain value
+//     semantics.
+//   - a runtime::BufferPool slab (Tensor::pooled): 64-byte-aligned storage
+//     recycled through the pool's size-classed free lists, used by the
+//     serving Workspace and for result tensors that escape to clients (the
+//     slab returns to the pool when the client destroys the tensor, from
+//     any thread). The storage source is invisible to every consumer —
+//     data()/flat()/at() behave identically and all math is bit-identical
+//     either way.
+// reset() reshapes in place, reusing the current storage whenever its
+// capacity covers the new element count — the primitive the serving
+// Workspace uses to reach a zero-allocation steady state.
 #pragma once
 
 #include <cassert>
@@ -9,7 +24,10 @@
 #include <initializer_list>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "runtime/buffer_pool.h"
 
 namespace nnlut {
 
@@ -27,57 +45,116 @@ class Tensor {
   }
   static Tensor full(std::initializer_list<std::size_t> shape, float value);
 
+  /// Zero-filled tensor whose storage is a slab acquired from `pool`
+  /// (64-byte aligned, size-class recycled). nullptr pool falls back to a
+  /// plain heap tensor, so call sites keep a single code path for the
+  /// pools-on / pools-off configurations.
+  static Tensor pooled(std::vector<std::size_t> shape,
+                       runtime::BufferPool* pool);
+  static Tensor pooled(std::initializer_list<std::size_t> shape,
+                       runtime::BufferPool* pool) {
+    return pooled(std::vector<std::size_t>(shape), pool);
+  }
+
+  /// Copies deep-copy the elements into heap storage (pool slabs are not
+  /// multiplied behind the pool's back); moves transfer the slab and leave
+  /// the source empty.
+  Tensor(const Tensor& o);
+  Tensor& operator=(const Tensor& o);
+  Tensor(Tensor&& o) noexcept
+      : shape_(std::move(o.shape_)),
+        size_(o.size_),
+        heap_(std::move(o.heap_)),
+        pooled_(std::move(o.pooled_)) {
+    o.size_ = 0;
+    o.shape_.clear();
+  }
+  Tensor& operator=(Tensor&& o) noexcept {
+    if (this != &o) {
+      shape_ = std::move(o.shape_);
+      size_ = o.size_;
+      heap_ = std::move(o.heap_);
+      pooled_ = std::move(o.pooled_);
+      o.size_ = 0;
+      o.shape_.clear();
+    }
+    return *this;
+  }
+
   const std::vector<std::size_t>& shape() const { return shape_; }
   std::size_t rank() const { return shape_.size(); }
   std::size_t dim(std::size_t i) const {
     assert(i < shape_.size());
     return shape_[i];
   }
-  std::size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  std::span<float> flat() { return {data_.data(), data_.size()}; }
-  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+  /// True when the storage is a pool slab (see Tensor::pooled).
+  bool pool_backed() const { return static_cast<bool>(pooled_); }
+
+  /// Elements the current storage can hold without reallocating; reset() to
+  /// any shape within this is allocation-free.
+  std::size_t capacity() const {
+    return pooled_ ? pooled_.capacity() / sizeof(float) : heap_.capacity();
+  }
+
+  /// Reshape to `shape` and zero-fill. Reuses the current storage when its
+  /// capacity covers the new element count; otherwise reallocates from the
+  /// original source (the pool for pool-backed tensors — or the heap if the
+  /// pool is gone — and the heap otherwise). This is the Workspace reuse
+  /// primitive: at steady state every reset is allocation-free.
+  void reset(std::span<const std::size_t> shape);
+  void reset(std::initializer_list<std::size_t> shape) {
+    reset(std::span<const std::size_t>(shape.begin(), shape.size()));
+  }
+
+  float* data() {
+    return pooled_ ? static_cast<float*>(pooled_.data()) : heap_.data();
+  }
+  const float* data() const {
+    return pooled_ ? static_cast<const float*>(pooled_.data()) : heap_.data();
+  }
+  std::span<float> flat() { return {data(), size_}; }
+  std::span<const float> flat() const { return {data(), size_}; }
 
   float& operator[](std::size_t i) {
-    assert(i < data_.size());
-    return data_[i];
+    assert(i < size_);
+    return data()[i];
   }
   float operator[](std::size_t i) const {
-    assert(i < data_.size());
-    return data_[i];
+    assert(i < size_);
+    return data()[i];
   }
 
   /// 2-D accessors (most of the transformer works on [rows, cols] views).
   float& at(std::size_t r, std::size_t c) {
     assert(rank() == 2 && r < shape_[0] && c < shape_[1]);
-    return data_[r * shape_[1] + c];
+    return data()[r * shape_[1] + c];
   }
   float at(std::size_t r, std::size_t c) const {
     assert(rank() == 2 && r < shape_[0] && c < shape_[1]);
-    return data_[r * shape_[1] + c];
+    return data()[r * shape_[1] + c];
   }
 
   /// 3-D accessor for [batch, rows, cols] tensors.
   float& at(std::size_t b, std::size_t r, std::size_t c) {
     assert(rank() == 3);
-    return data_[(b * shape_[1] + r) * shape_[2] + c];
+    return data()[(b * shape_[1] + r) * shape_[2] + c];
   }
   float at(std::size_t b, std::size_t r, std::size_t c) const {
     assert(rank() == 3);
-    return data_[(b * shape_[1] + r) * shape_[2] + c];
+    return data()[(b * shape_[1] + r) * shape_[2] + c];
   }
 
   /// Mutable view of row r of a 2-D tensor.
   std::span<float> row(std::size_t r) {
     assert(rank() == 2 && r < shape_[0]);
-    return {data_.data() + r * shape_[1], shape_[1]};
+    return {data() + r * shape_[1], shape_[1]};
   }
   std::span<const float> row(std::size_t r) const {
     assert(rank() == 2 && r < shape_[0]);
-    return {data_.data() + r * shape_[1], shape_[1]};
+    return {data() + r * shape_[1], shape_[1]};
   }
 
   /// Reinterpret with a new shape of identical element count.
@@ -93,7 +170,9 @@ class Tensor {
 
  private:
   std::vector<std::size_t> shape_;
-  std::vector<float> data_;
+  std::size_t size_ = 0;
+  std::vector<float> heap_;         // default storage
+  runtime::PooledBuffer pooled_;    // engaged for pool-backed tensors
 };
 
 /// Total element count implied by a shape.

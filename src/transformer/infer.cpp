@@ -2,8 +2,10 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "ibert/quantization.h"
 #include "runtime/thread_pool.h"
@@ -35,15 +37,20 @@ Tensor prepared_weight(const Tensor& w, MatmulMode mode) {
 
 }  // namespace
 
-Tensor InferenceModel::PreparedLinear::apply(const Tensor& x,
-                                             MatmulMode mode) const {
-  Tensor xin = x;
-  project(xin, mode);
-  Tensor y({x.dim(0), w.dim(1)});
-  matmul(xin, w, y);
+void InferenceModel::PreparedLinear::apply_into(const Tensor& x,
+                                                MatmulMode mode, Workspace& ws,
+                                                Tensor& y) const {
+  assert(y.rank() == 2 && y.dim(0) == x.dim(0) && y.dim(1) == w.dim(1));
+  const Tensor* operand = &x;
+  if (mode != MatmulMode::kFp32) {
+    ws.prepare(ws.proj, {x.dim(0), x.dim(1)});
+    std::memcpy(ws.proj.data(), x.data(), x.size() * sizeof(float));
+    project(ws.proj, mode);
+    operand = &ws.proj;
+  }
+  matmul(*operand, w, y);  // matmul zero-fills y before accumulating
   add_row_bias(y, b.flat());
   if (mode == MatmulMode::kFp16) ibert::fake_quantize_fp16(y.flat());
-  return y;
 }
 
 InferenceModel::InferenceModel(const TaskModel& model, NonlinearitySet& nl,
@@ -125,7 +132,8 @@ void InferenceModel::validate(const BatchInput& in) const {
   }
 }
 
-Tensor InferenceModel::encode(const BatchInput& in) {
+const Tensor& InferenceModel::encode_into(const BatchInput& in,
+                                          Workspace& ws) {
   const Encoder& enc = model_->encoder;
   const ModelConfig& cfg = enc.config();
   validate(in);
@@ -134,7 +142,7 @@ Tensor InferenceModel::encode(const BatchInput& in) {
   const std::size_t hidden = cfg.hidden;
 
   // Embeddings (kept FP32; they are table reads, not matmuls).
-  Tensor x({rows, hidden});
+  ws.prepare(ws.x, {rows, hidden});
   runtime::parallel_for(
       0, rows, runtime::grain_for(3 * hidden),
       [&](std::size_t r0, std::size_t r1) {
@@ -148,30 +156,34 @@ Tensor InferenceModel::encode(const BatchInput& in) {
               enc.pos_emb.table.value.row(static_cast<std::size_t>(pos));
           const auto ye =
               enc.type_emb.table.value.row(static_cast<std::size_t>(typ));
-          auto dst = x.row(r);
+          auto dst = ws.x.row(r);
           for (std::size_t j = 0; j < hidden; ++j) dst[j] = te[j] + pe[j] + ye[j];
         }
       });
 
-  Tensor xn({rows, hidden});
-  norm_rows(x, xn, enc.emb_norm, embedding_norm_site());
-  x = std::move(xn);
+  ws.prepare(ws.xn, {rows, hidden});
+  norm_rows(ws.x, ws.xn, enc.emb_norm, embedding_norm_site());
+  std::swap(ws.x, ws.xn);  // bytes move, values don't: x now holds the norm
 
   const std::size_t heads = cfg.heads;
   const std::size_t hd = hidden / heads;
   const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
 
-  // One [batch*heads*seq, seq] score buffer reused by every layer.
+  // One [batch*heads*seq, seq] score slot reused by every layer.
   const std::size_t score_rows = in.batch * heads * in.seq;
-  Tensor scores({score_rows, in.seq});
+  ws.prepare(ws.scores, {score_rows, in.seq});
 
   for (std::size_t li = 0; li < enc.layers.size(); ++li) {
     const LayerWeights& lw = layers_[li];
     const int site = static_cast<int>(li);
+    Tensor& x = ws.x;
 
-    Tensor q = lw.wq.apply(x, mode_);
-    Tensor k = lw.wk.apply(x, mode_);
-    Tensor v = lw.wv.apply(x, mode_);
+    Tensor& q = ws.prepare(ws.q, {rows, hidden});
+    lw.wq.apply_into(x, mode_, ws, q);
+    Tensor& k = ws.prepare(ws.k, {rows, hidden});
+    lw.wk.apply_into(x, mode_, ws, k);
+    Tensor& v = ws.prepare(ws.v, {rows, hidden});
+    lw.wv.apply_into(x, mode_, ws, v);
     // Attention-score matmuls run at the same precision as the projections.
     project(q, mode_);
     project(k, mode_);
@@ -180,6 +192,7 @@ Tensor InferenceModel::encode(const BatchInput& in) {
     // Score every (batch, head, query) row first, then run softmax over ALL
     // attention rows of the layer in one backend call. Score rows are
     // independent: shard the flattened (batch, head, query) index space.
+    Tensor& scores = ws.scores;
     runtime::parallel_for(
         0, score_rows, runtime::grain_for(in.seq * hd),
         [&](std::size_t f0, std::size_t f1) {
@@ -202,7 +215,7 @@ Tensor InferenceModel::encode(const BatchInput& in) {
 
     // Context (scores · V): each flattened (batch, head, query) row writes a
     // disjoint hd-slice of `context`, so the same sharding applies.
-    Tensor context({rows, hidden});
+    Tensor& context = ws.prepare(ws.context, {rows, hidden});
     runtime::parallel_for(
         0, score_rows, runtime::grain_for(in.seq * hd),
         [&](std::size_t f0, std::size_t f1) {
@@ -221,37 +234,64 @@ Tensor InferenceModel::encode(const BatchInput& in) {
           }
         });
 
-    Tensor attn_out = lw.wo.apply(context, mode_);
+    Tensor& attn_out = ws.prepare(ws.attn_out, {rows, hidden});
+    lw.wo.apply_into(context, mode_, ws, attn_out);
     add_inplace(attn_out, x);  // residual
-    Tensor x1({rows, hidden});
+    Tensor& x1 = ws.prepare(ws.x1, {rows, hidden});
     norm_rows(attn_out, x1, enc.layers[li].norm1, 2 * site);
 
-    Tensor hmid = lw.ff1.apply(x1, mode_);
+    Tensor& hmid = ws.prepare(ws.hmid, {rows, lw.ff1.w.dim(1)});
+    lw.ff1.apply_into(x1, mode_, ws, hmid);
     // Activation over the whole [tokens x d_ff] tensor in one backend call;
     // the row-granular entry point keeps backends with grouped quantization
     // scales (I-BERT) independent of how requests were packed into the batch.
     nl_->activation_rows(hmid.flat(), hmid.dim(0), hmid.dim(1), site);
-    Tensor f = lw.ff2.apply(hmid, mode_);
+    Tensor& f = ws.prepare(ws.f, {rows, hidden});
+    lw.ff2.apply_into(hmid, mode_, ws, f);
     add_inplace(f, x1);  // residual
-    Tensor x2({rows, hidden});
+    Tensor& x2 = ws.prepare(ws.x2, {rows, hidden});
     norm_rows(f, x2, enc.layers[li].norm2, 2 * site + 1);
-    x = std::move(x2);
+    std::swap(ws.x, ws.x2);
   }
-  return x;
+  return ws.x;
+}
+
+Tensor InferenceModel::encode(const BatchInput& in) {
+  Workspace ws;  // pool-less: slots are heap tensors local to this call
+  encode_into(in, ws);
+  return std::move(ws.x);
+}
+
+Tensor InferenceModel::encode(const BatchInput& in, Workspace& ws) {
+  const Tensor& hidden = encode_into(in, ws);
+  // The result escapes the workspace: give it its own slab so ws.x stays
+  // recyclable and the copy returns to the pool with the caller.
+  Tensor out = Tensor::pooled({hidden.dim(0), hidden.dim(1)}, ws.pool());
+  std::memcpy(out.data(), hidden.data(), hidden.size() * sizeof(float));
+  return out;
 }
 
 Tensor InferenceModel::logits(const BatchInput& in) {
-  const Tensor hidden = encode(in);
+  Workspace ws;
+  return logits(in, ws);
+}
+
+Tensor InferenceModel::logits(const BatchInput& in, Workspace& ws) {
+  const Tensor& hidden = encode_into(in, ws);
   if (model_->head() == HeadKind::kSpan) {
-    return head_.apply(hidden, MatmulMode::kFp32);
+    Tensor out = Tensor::pooled({hidden.dim(0), head_.w.dim(1)}, ws.pool());
+    head_.apply_into(hidden, MatmulMode::kFp32, ws, out);
+    return out;
   }
-  Tensor cls({in.batch, model_->config().hidden});
+  Tensor& cls = ws.prepare(ws.cls, {in.batch, model_->config().hidden});
   for (std::size_t b = 0; b < in.batch; ++b) {
     const auto src = hidden.row(b * in.seq);
     auto dst = cls.row(b);
     for (std::size_t j = 0; j < dst.size(); ++j) dst[j] = src[j];
   }
-  return head_.apply(cls, MatmulMode::kFp32);
+  Tensor out = Tensor::pooled({in.batch, head_.w.dim(1)}, ws.pool());
+  head_.apply_into(cls, MatmulMode::kFp32, ws, out);
+  return out;
 }
 
 }  // namespace nnlut::transformer

@@ -14,6 +14,7 @@
 
 #include "transformer/backends.h"
 #include "transformer/model.h"
+#include "transformer/workspace.h"
 
 namespace nnlut::transformer {
 
@@ -37,6 +38,16 @@ class InferenceModel {
   /// Task logits with the same shapes as TaskModel::forward.
   Tensor logits(const BatchInput& in);
 
+  /// Workspace-backed variants: every intermediate lives in `ws`, recycled
+  /// across calls (zero allocations once the workspace is warm for the
+  /// request's seq bucket), and the returned logits draw their storage from
+  /// ws.pool() so the slab returns to the pool when the caller destroys the
+  /// result. Bit-identical to the plain overloads — the workspace moves
+  /// bytes, never values. `ws` is single-caller state: use one workspace
+  /// per serving thread (each Engine slot's scheduler owns one).
+  Tensor logits(const BatchInput& in, Workspace& ws);
+  Tensor encode(const BatchInput& in, Workspace& ws);
+
   /// All input checks encode() performs, without running the model: throws
   /// std::invalid_argument on shape mismatches and std::out_of_range on
   /// token/type ids outside the embedding tables or seq beyond the position
@@ -54,8 +65,17 @@ class InferenceModel {
   struct PreparedLinear {
     Tensor w;  // weight copy, projected to the matmul precision
     Tensor b;
-    Tensor apply(const Tensor& x, MatmulMode mode) const;
+    /// y = project(x) * w + b at `mode`. `y` must be preshaped to
+    /// [x.rows, w.cols] (matmul's contract; it is overwritten). The operand
+    /// projection (a precision-rounded copy of x) stages in ws.proj; in
+    /// kFp32 mode x feeds the matmul directly and ws.proj is untouched, so
+    /// apply carries no allocations of its own.
+    void apply_into(const Tensor& x, MatmulMode mode, Workspace& ws,
+                    Tensor& y) const;
   };
+
+  /// Encoder stack with every intermediate in `ws`; the result is ws.x.
+  const Tensor& encode_into(const BatchInput& in, Workspace& ws);
 
   void norm_rows(const Tensor& x, Tensor& y, const NormSlot& slot, int site);
 

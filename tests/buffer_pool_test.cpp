@@ -1,0 +1,282 @@
+// BufferPool unit tests: size-class rounding, strict-LIFO reuse,
+// exhaustion growth, cross-thread release, exact stats reconciliation,
+// pool-death safety, and the Tensor / Workspace integration on top. These
+// are the allocator-level guarantees behind the serving memory path; the
+// end-to-end bit-identity of pooled serving lives in
+// serving_determinism_test.cpp. Run under ASan/TSan — the cross-thread and
+// pool-death cases exist precisely for those tools.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "runtime/buffer_pool.h"
+#include "tensor/tensor.h"
+#include "transformer/workspace.h"
+
+namespace nnlut::runtime {
+namespace {
+
+bool is_aligned_64(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % 64 == 0;
+}
+
+TEST(BufferPoolSizeClass, RoundsUpToPowerOfTwoWithFloor) {
+  EXPECT_EQ(BufferPool::size_class(1), 64u);
+  EXPECT_EQ(BufferPool::size_class(63), 64u);
+  EXPECT_EQ(BufferPool::size_class(64), 64u);
+  EXPECT_EQ(BufferPool::size_class(65), 128u);
+  EXPECT_EQ(BufferPool::size_class(128), 128u);
+  EXPECT_EQ(BufferPool::size_class(1000), 1024u);
+  EXPECT_EQ(BufferPool::size_class(4096), 4096u);
+  EXPECT_EQ(BufferPool::size_class(4097), 8192u);
+  EXPECT_EQ(BufferPool::size_class(1u << 20), 1u << 20);
+  EXPECT_EQ(BufferPool::size_class((1u << 20) + 1), 1u << 21);
+}
+
+TEST(BufferPool, AcquireAlignedAtClassCapacity) {
+  BufferPool pool;
+  PooledBuffer b = pool.acquire(100);
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b.capacity(), 128u);
+  EXPECT_TRUE(is_aligned_64(b.data()));
+  // The slab is writable through its full class capacity.
+  std::memset(b.data(), 0xab, b.capacity());
+}
+
+TEST(BufferPool, ZeroBytesYieldsNullBuffer) {
+  BufferPool pool;
+  PooledBuffer b = pool.acquire(0);
+  EXPECT_FALSE(b);
+  EXPECT_EQ(b.data(), nullptr);
+  EXPECT_EQ(pool.stats().alloc_count, 0u);
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+}
+
+TEST(BufferPool, StrictLifoReuseWithinClass) {
+  BufferPool pool;
+  PooledBuffer a = pool.acquire(256);
+  PooledBuffer b = pool.acquire(256);
+  void* pa = a.data();
+  void* pb = b.data();
+  ASSERT_NE(pa, pb);
+
+  a.release();          // free list: [a]
+  b.release();          // free list: [b, a] — b on top
+  PooledBuffer first = pool.acquire(256);
+  PooledBuffer second = pool.acquire(256);
+  EXPECT_EQ(first.data(), pb) << "most recently released slab must come first";
+  EXPECT_EQ(second.data(), pa);
+
+  const PoolStats s = pool.stats();
+  EXPECT_EQ(s.alloc_count, 2u);
+  EXPECT_EQ(s.reuse_count, 2u);
+}
+
+TEST(BufferPool, DistinctClassesDoNotShareSlabs) {
+  BufferPool pool;
+  PooledBuffer small = pool.acquire(64);
+  void* ps = small.data();
+  small.release();
+  // A different class must not be served from the 64 B free list.
+  PooledBuffer big = pool.acquire(65);
+  EXPECT_NE(big.data(), ps);
+  EXPECT_EQ(big.capacity(), 128u);
+  EXPECT_EQ(pool.stats().alloc_count, 2u);
+  EXPECT_EQ(pool.stats().reuse_count, 0u);
+}
+
+TEST(BufferPool, ExhaustionGrowsWithFreshSlabs) {
+  // Holding N slabs of one class forces N distinct heap allocations; the
+  // pool grows instead of blocking or handing out a live slab twice.
+  BufferPool pool;
+  constexpr std::size_t kN = 16;
+  std::vector<PooledBuffer> held;
+  held.reserve(kN);
+  for (std::size_t i = 0; i < kN; ++i) held.push_back(pool.acquire(512));
+  for (std::size_t i = 0; i < kN; ++i)
+    for (std::size_t j = i + 1; j < kN; ++j)
+      ASSERT_NE(held[i].data(), held[j].data()) << i << " vs " << j;
+
+  PoolStats s = pool.stats();
+  EXPECT_EQ(s.alloc_count, kN);
+  EXPECT_EQ(s.reuse_count, 0u);
+  EXPECT_EQ(s.outstanding, kN);
+  EXPECT_EQ(s.bytes_outstanding, kN * 512u);
+
+  held.clear();  // all back on the free list
+  s = pool.stats();
+  EXPECT_EQ(s.outstanding, 0u);
+  EXPECT_EQ(s.bytes_cached, kN * 512u);
+  // Re-acquiring the whole set is pure reuse.
+  for (std::size_t i = 0; i < kN; ++i) held.push_back(pool.acquire(512));
+  s = pool.stats();
+  EXPECT_EQ(s.alloc_count, kN);
+  EXPECT_EQ(s.reuse_count, kN);
+}
+
+TEST(BufferPool, CrossThreadReleaseRecycles) {
+  // A client thread destroying a pooled result returns the slab to the
+  // scheduler's pool; the next acquisition on this thread reuses it.
+  BufferPool pool;
+  PooledBuffer b = pool.acquire(1024);
+  void* pb = b.data();
+  std::thread t([moved = std::move(b)]() mutable { moved.release(); });
+  t.join();
+
+  PooledBuffer again = pool.acquire(1024);
+  EXPECT_EQ(again.data(), pb);
+  const PoolStats s = pool.stats();
+  EXPECT_EQ(s.alloc_count, 1u);
+  EXPECT_EQ(s.reuse_count, 1u);
+  EXPECT_EQ(s.outstanding, 1u);
+}
+
+TEST(BufferPool, StatsReconcileExactly) {
+  BufferPool pool;
+  {
+    PooledBuffer a = pool.acquire(100);   // class 128
+    PooledBuffer b = pool.acquire(300);   // class 512
+    PooledBuffer c = pool.acquire(3000);  // class 4096
+    const PoolStats s = pool.stats();
+    EXPECT_EQ(s.alloc_count, 3u);
+    EXPECT_EQ(s.outstanding, 3u);
+    EXPECT_EQ(s.bytes_outstanding, 128u + 512u + 4096u);
+    EXPECT_EQ(s.bytes_cached, 0u);
+    EXPECT_EQ(s.bytes_live, s.bytes_outstanding);
+    EXPECT_EQ(s.bytes_peak, s.bytes_live);
+  }
+  PoolStats s = pool.stats();
+  EXPECT_EQ(s.outstanding, 0u);
+  EXPECT_EQ(s.bytes_outstanding, 0u);
+  EXPECT_EQ(s.bytes_cached, 128u + 512u + 4096u);
+  EXPECT_EQ(s.bytes_live, s.bytes_cached);
+  EXPECT_EQ(s.bytes_peak, 128u + 512u + 4096u);
+
+  pool.trim();
+  s = pool.stats();
+  EXPECT_EQ(s.bytes_cached, 0u);
+  EXPECT_EQ(s.bytes_live, 0u);
+  EXPECT_EQ(s.bytes_peak, 128u + 512u + 4096u) << "trim keeps the peak";
+}
+
+TEST(BufferPool, ReleaseIsIdempotent) {
+  BufferPool pool;
+  PooledBuffer b = pool.acquire(64);
+  b.release();
+  b.release();  // no double-return
+  EXPECT_FALSE(b);
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+  EXPECT_EQ(pool.stats().bytes_cached, 64u);
+}
+
+TEST(BufferPool, BufferOutlivesPool) {
+  // The exact shutdown-ordering case: a client still holds a pooled result
+  // when the engine (and its pools) are destroyed. The slab must stay
+  // readable and free cleanly afterwards — ASan verifies the latter.
+  PooledBuffer survivor;
+  {
+    BufferPool pool;
+    survivor = pool.acquire(256);
+    std::memset(survivor.data(), 0x5a, survivor.capacity());
+  }
+  ASSERT_TRUE(survivor);
+  const auto* bytes = static_cast<const unsigned char*>(survivor.data());
+  for (std::size_t i = 0; i < survivor.capacity(); ++i)
+    ASSERT_EQ(bytes[i], 0x5a) << i;
+  survivor.release();  // frees directly: the free lists are gone
+  EXPECT_FALSE(survivor);
+}
+
+TEST(BufferPool, AcquireSiblingComesFromSamePool) {
+  BufferPool pool;
+  PooledBuffer a = pool.acquire(64);
+  PooledBuffer grown = a.acquire_sibling(200);  // class 256
+  ASSERT_TRUE(grown);
+  EXPECT_EQ(grown.capacity(), 256u);
+  EXPECT_EQ(pool.stats().alloc_count, 2u);
+  EXPECT_EQ(pool.stats().outstanding, 2u);
+
+  PooledBuffer null_buf;
+  EXPECT_FALSE(null_buf.acquire_sibling(64));
+}
+
+// ------------------------------------------------ Tensor / Workspace ---
+
+TEST(PooledTensor, ZeroFilledAndAligned) {
+  BufferPool pool;
+  Tensor t = Tensor::pooled({4, 8}, &pool);
+  EXPECT_TRUE(t.pool_backed());
+  EXPECT_TRUE(is_aligned_64(t.data()));
+  for (std::size_t i = 0; i < t.size(); ++i) ASSERT_EQ(t[i], 0.0f);
+
+  // Null pool degrades to plain heap storage.
+  Tensor h = Tensor::pooled({4, 8}, nullptr);
+  EXPECT_FALSE(h.pool_backed());
+}
+
+TEST(PooledTensor, ResetReusesSlabWhenItFits) {
+  BufferPool pool;
+  Tensor t = Tensor::pooled({4, 8}, &pool);  // 128 B -> class 128
+  const void* slab = t.data();
+  t.fill(7.0f);
+  t.reset({2, 8});  // smaller: same slab, zeroed
+  EXPECT_EQ(t.data(), slab);
+  for (std::size_t i = 0; i < t.size(); ++i) ASSERT_EQ(t[i], 0.0f);
+
+  t.reset({16, 16});  // larger: sibling slab from the same pool
+  EXPECT_TRUE(t.pool_backed());
+  EXPECT_EQ(pool.stats().alloc_count, 2u);
+  for (std::size_t i = 0; i < t.size(); ++i) ASSERT_EQ(t[i], 0.0f);
+}
+
+TEST(PooledTensor, CopyDeepCopiesToHeap) {
+  // Copies escape the pool: results handed across ownership boundaries
+  // never alias a recycled slab.
+  BufferPool pool;
+  Tensor t = Tensor::pooled({2, 4}, &pool);
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = static_cast<float>(i);
+  Tensor copy = t;
+  EXPECT_FALSE(copy.pool_backed());
+  EXPECT_NE(copy.data(), t.data());
+  for (std::size_t i = 0; i < t.size(); ++i) ASSERT_EQ(copy[i], t[i]);
+}
+
+TEST(Workspace, PrepareReachesSteadyStateReuse) {
+  BufferPool pool;
+  transformer::Workspace ws(&pool);
+
+  // First prepare allocates; repeats of the same (or smaller) shape reuse
+  // the slab in place — the serving steady state.
+  ws.prepare(ws.x, {8, 16});
+  const void* slab = ws.x.data();
+  const std::uint64_t allocs = pool.stats().alloc_count;
+  for (int round = 0; round < 4; ++round) {
+    ws.prepare(ws.x, {8, 16});
+    EXPECT_EQ(ws.x.data(), slab);
+    ws.prepare(ws.x, {4, 16});
+    EXPECT_EQ(ws.x.data(), slab);
+  }
+  EXPECT_EQ(pool.stats().alloc_count, allocs) << "steady state reallocated";
+
+  // Growth past capacity takes a new slab; the old one returns for reuse.
+  ws.prepare(ws.x, {64, 64});
+  EXPECT_TRUE(ws.x.pool_backed());
+  EXPECT_GT(pool.stats().alloc_count, allocs);
+}
+
+TEST(Workspace, PoollessPrepareStaysOnHeap) {
+  transformer::Workspace ws(nullptr);
+  ws.prepare(ws.x, {8, 16});
+  EXPECT_FALSE(ws.x.pool_backed());
+  const void* p = ws.x.data();
+  ws.prepare(ws.x, {8, 16});  // vector-capacity reuse, no reallocation
+  EXPECT_EQ(ws.x.data(), p);
+  for (std::size_t i = 0; i < ws.x.size(); ++i) ASSERT_EQ(ws.x[i], 0.0f);
+}
+
+}  // namespace
+}  // namespace nnlut::runtime

@@ -67,6 +67,9 @@ BatchInput random_request(const ModelConfig& cfg, std::size_t batch,
 
 /// Submit `requests` from `clients` threads (round-robin), await all
 /// results, and compare bitwise against direct single-orchestrator logits.
+/// Runs the served side twice — buffer pools on and off — so the memory
+/// path's bit-identity contract (pools move bytes, never values) is checked
+/// for every backend this helper covers.
 void expect_served_bits_match_direct(const TaskModel& model,
                                      NonlinearitySet& nl,
                                      const std::vector<BatchInput>& requests,
@@ -79,40 +82,56 @@ void expect_served_bits_match_direct(const TaskModel& model,
     for (const BatchInput& in : requests) direct.push_back(infer.logits(in));
   }
 
-  // Served: concurrent clients against a batching server.
-  std::vector<Tensor> served(requests.size());
-  {
-    ServeConfig cfg;
-    cfg.max_batch = 4;
-    cfg.max_wait = 3ms;
-    cfg.threads = 2;
-    Server server(model, nl, cfg);
-    std::vector<std::thread> threads;
-    for (std::size_t c = 0; c < clients; ++c) {
-      threads.emplace_back([&, c] {
-        for (std::size_t i = c; i < requests.size(); i += clients) {
-          PendingResult r = server.submit(requests[i]);
-          served[i] = r.get();  // disjoint slot per request: no locking
-        }
-      });
+  for (const bool use_pool : {true, false}) {
+    // Served: concurrent clients against a batching server.
+    std::vector<Tensor> served(requests.size());
+    {
+      ServeConfig cfg;
+      cfg.max_batch = 4;
+      cfg.max_wait = 3ms;
+      cfg.threads = 2;
+      cfg.use_pool = use_pool;
+      Server server(model, nl, cfg);
+      std::vector<std::thread> threads;
+      for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          for (std::size_t i = c; i < requests.size(); i += clients) {
+            PendingResult r = server.submit(requests[i]);
+            served[i] = r.get();  // disjoint slot per request: no locking
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+
+      const ServerStats stats = server.stats();
+      EXPECT_EQ(stats.submitted, requests.size());
+      EXPECT_EQ(stats.completed, requests.size());
+      EXPECT_EQ(stats.rejected, 0u);
+      EXPECT_EQ(stats.failed, 0u);
+      EXPECT_GE(stats.batches, 1u);
+      if (use_pool) {
+        // The forward passes ran in the slot's workspace: the pool must
+        // have seen traffic, and nothing beyond what PooledBuffers hold
+        // may be counted outstanding.
+        EXPECT_GT(stats.pool_alloc_count, 0u);
+        EXPECT_GE(stats.pool_bytes_peak, stats.pool_bytes_live);
+      } else {
+        EXPECT_EQ(stats.pool_alloc_count, 0u);
+        EXPECT_EQ(stats.pool_reuse_count, 0u);
+        EXPECT_EQ(stats.pool_bytes_peak, 0u);
+      }
     }
-    for (auto& t : threads) t.join();
+    runtime::set_runtime_config({});
 
-    const ServerStats stats = server.stats();
-    EXPECT_EQ(stats.submitted, requests.size());
-    EXPECT_EQ(stats.completed, requests.size());
-    EXPECT_EQ(stats.rejected, 0u);
-    EXPECT_EQ(stats.failed, 0u);
-    EXPECT_GE(stats.batches, 1u);
-  }
-  runtime::set_runtime_config({});
-
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    ASSERT_EQ(served[i].size(), direct[i].size()) << "request " << i;
-    ASSERT_EQ(served[i].shape(), direct[i].shape()) << "request " << i;
-    for (std::size_t j = 0; j < served[i].size(); ++j)
-      ASSERT_EQ(served[i][j], direct[i][j])
-          << "request " << i << " element " << j;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      ASSERT_EQ(served[i].size(), direct[i].size())
+          << "request " << i << " use_pool " << use_pool;
+      ASSERT_EQ(served[i].shape(), direct[i].shape())
+          << "request " << i << " use_pool " << use_pool;
+      for (std::size_t j = 0; j < served[i].size(); ++j)
+        ASSERT_EQ(served[i][j], direct[i][j])
+            << "request " << i << " element " << j << " use_pool " << use_pool;
+    }
   }
 }
 
@@ -557,6 +576,82 @@ TEST(ServingStats, CancelledAndRejectedReconcileWithSubmitted) {
   EXPECT_EQ(stats.failed, 0u);
   EXPECT_EQ(stats.rejected, 1u);  // the post-shutdown submit
   EXPECT_EQ(stats.submitted, stats.completed + stats.failed + stats.cancelled);
+  runtime::set_runtime_config({});
+}
+
+// ------------------------------------------------------- memory path ---
+
+/// One client serving `requests` sequentially: each result tensor is
+/// destroyed before the next submit, so the number of slabs simultaneously
+/// outstanding is deterministic and a warmed pool can serve every
+/// acquisition from its free lists.
+void serve_sequentially(Server& server, const std::vector<BatchInput>& requests) {
+  for (const BatchInput& in : requests) {
+    Tensor logits = server.submit(in).get();
+    ASSERT_GT(logits.size(), 0u);
+  }
+}
+
+TEST(ServingMemoryPath, WarmWindowServesWithoutPoolAllocs) {
+  // The tentpole property, counter-asserted: once every seq bucket has been
+  // served, a sustained window performs ZERO pool heap allocations — every
+  // workspace reshape and result slab comes off a free list.
+  Rng rng(71);
+  TaskModel m(tiny(), HeadKind::kClassify, 2, rng);
+  ExactNonlinearities nl(m.config().act);
+  const std::vector<BatchInput> requests = request_mix(m.config(), rng);
+
+  ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait = 1ms;
+  cfg.threads = 2;
+  Server server(m, nl, cfg);
+
+  // Warm: every size class the mix touches gets allocated and free-listed.
+  serve_sequentially(server, requests);
+  serve_sequentially(server, requests);
+  const ServerStats warm = server.stats();
+  EXPECT_GT(warm.pool_alloc_count, 0u);
+
+  // Measured window: repeats of the same mix must be pure reuse.
+  serve_sequentially(server, requests);
+  serve_sequentially(server, requests);
+  const ServerStats done = server.stats();
+
+  EXPECT_EQ(done.pool_alloc_count, warm.pool_alloc_count)
+      << "warmed window performed pool heap allocations";
+  EXPECT_GT(done.pool_reuse_count, warm.pool_reuse_count);
+  EXPECT_EQ(done.pool_bytes_peak, warm.pool_bytes_peak);
+  runtime::set_runtime_config({});
+}
+
+TEST(ServingMemoryPath, OutstandingStableAfterDrain) {
+  // With every result tensor destroyed and the queue drained, the slabs
+  // still outstanding are exactly the slot's persistent workspace — the
+  // count must not creep across serving windows (that would be a leak of
+  // pooled slabs).
+  Rng rng(72);
+  TaskModel m(tiny(), HeadKind::kClassify, 2, rng);
+  ExactNonlinearities nl(m.config().act);
+  const std::vector<BatchInput> requests = request_mix(m.config(), rng);
+
+  ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait = 1ms;
+  cfg.threads = 2;
+  Server server(m, nl, cfg);
+
+  serve_sequentially(server, requests);
+  const ServerStats s1 = server.stats();
+  serve_sequentially(server, requests);
+  const ServerStats s2 = server.stats();
+  serve_sequentially(server, requests);
+  const ServerStats s3 = server.stats();
+
+  EXPECT_GT(s1.pool_outstanding, 0u);  // the workspace holds its slots
+  EXPECT_EQ(s2.pool_outstanding, s1.pool_outstanding);
+  EXPECT_EQ(s3.pool_outstanding, s2.pool_outstanding);
+  EXPECT_EQ(s3.pool_bytes_live, s2.pool_bytes_live);
   runtime::set_runtime_config({});
 }
 
