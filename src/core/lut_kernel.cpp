@@ -4,12 +4,12 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
-#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "core/lut_kernel_simd.h"
 #include "core/lut_kernel_simd_detail.h"
+#include "core/thread_annotations.h"
 #include "numerics/half.h"
 
 namespace nnlut {
@@ -255,15 +255,19 @@ bool same_table(const LutKernel& plan, std::size_t entries,
 constexpr std::size_t kSweepPeriod = 64;
 
 struct PlanCache {
-  std::mutex mu;
+  Mutex mu;
   // Hash buckets of weak refs; collisions resolved by content comparison.
   std::unordered_map<std::uint64_t, std::vector<std::weak_ptr<const LutKernel>>>
-      plans;
-  std::size_t hits = 0;
-  std::size_t misses = 0;
-  std::size_t sweep_countdown = kSweepPeriod;
+      plans NNLUT_GUARDED_BY(mu);
+  std::size_t hits NNLUT_GUARDED_BY(mu) = 0;
+  std::size_t misses NNLUT_GUARDED_BY(mu) = 0;
+  std::size_t sweep_countdown NNLUT_GUARDED_BY(mu) = kSweepPeriod;
 
-  void sweep() {
+  void sweep() NNLUT_REQUIRES(mu) {
+    // Unordered iteration is safe here: the sweep only drops expired weak
+    // refs, so visit order changes which entry is erased first but never
+    // what survives — nothing here feeds an output path.
+    // lint:allow unordered-iter
     for (auto it = plans.begin(); it != plans.end();) {
       auto& bucket = it->second;
       std::erase_if(bucket, [](const std::weak_ptr<const LutKernel>& w) {
@@ -286,7 +290,7 @@ std::shared_ptr<const LutKernel> compile_plan_cached(
     std::span<const float> intercepts) {
   PlanCache& cache = plan_cache();
   const std::uint64_t h = table_hash(breakpoints, slopes, intercepts);
-  std::lock_guard<std::mutex> lk(cache.mu);
+  MutexLock lk(cache.mu);
   if (--cache.sweep_countdown == 0) {
     cache.sweep_countdown = kSweepPeriod;
     cache.sweep();
@@ -311,10 +315,12 @@ std::shared_ptr<const LutKernel> compile_plan_cached(
 
 PlanCacheStats plan_cache_stats() {
   PlanCache& cache = plan_cache();
-  std::lock_guard<std::mutex> lk(cache.mu);
+  MutexLock lk(cache.mu);
   PlanCacheStats s;
   s.hits = cache.hits;
   s.misses = cache.misses;
+  // Order-independent sums over the buckets; diagnostics only.
+  // lint:allow unordered-iter
   for (const auto& kv : cache.plans) {
     s.cached += kv.second.size();
     for (const auto& weak : kv.second)

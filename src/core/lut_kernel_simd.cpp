@@ -7,7 +7,6 @@
 
 #include <atomic>
 #include <cstdlib>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 

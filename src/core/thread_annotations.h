@@ -1,0 +1,220 @@
+// Compile-time concurrency contract: Clang thread-safety annotations plus
+// the project's annotated synchronization vocabulary.
+//
+// The determinism contract (docs/ARCHITECTURE.md) leans on lock discipline:
+// every shared field of the serving stack is owned by exactly one mutex,
+// and a field touched outside its guard is a latent race that can turn
+// bit-identical logits into timing-dependent ones. Clang's -Wthread-safety
+// analysis proves that discipline at compile time — IF it can see the
+// locks. libstdc++'s std::mutex / std::lock_guard carry no annotations and
+// are invisible to the analysis, so this header provides zero-cost
+// annotated wrappers (Mutex, SharedMutex, MutexLock, UniqueLock,
+// ReaderLock, WriterLock, CondVar) that all of src/ uses instead of the
+// raw primitives; tools/nnlut_lint.py (rule raw-sync-primitive) enforces
+// the substitution. On GCC every macro expands to nothing and every
+// wrapper inlines to the std type it holds.
+//
+// Conventions (docs/STATIC_ANALYSIS.md has the full guide):
+//   - Every shared field is declared NNLUT_GUARDED_BY(its mutex).
+//   - Private helpers called under a lock are NNLUT_REQUIRES(mu).
+//   - Condition-variable predicates are explicit `while (!pred) cv.wait(lk)`
+//     loops, never predicate lambdas: the analysis treats a lambda body as
+//     a separate function that cannot see the enclosing scope's held
+//     capability, so `cv.wait(lk, [&]{ return guarded_; })` is a false
+//     positive by construction. CondVar therefore offers no predicate
+//     overloads at all.
+//   - NNLUT_NO_THREAD_SAFETY_ANALYSIS is a last resort and needs a comment
+//     explaining why the analysis cannot express the invariant.
+//
+// Verified by the `clang-thread-safety` CI job:
+//   clang++ -Wthread-safety -Werror=thread-safety (NNLUT_WERROR_THREAD_SAFETY).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__)
+#define NNLUT_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define NNLUT_THREAD_ANNOTATION__(x)  // no-op: GCC has no -Wthread-safety
+#endif
+
+// A type that acts as a lock (capability) / a scoped lock object.
+#define NNLUT_CAPABILITY(x) NNLUT_THREAD_ANNOTATION__(capability(x))
+#define NNLUT_SCOPED_CAPABILITY NNLUT_THREAD_ANNOTATION__(scoped_lockable)
+
+// Data members: which mutex protects them (pointer variant guards the
+// pointee, not the pointer).
+#define NNLUT_GUARDED_BY(x) NNLUT_THREAD_ANNOTATION__(guarded_by(x))
+#define NNLUT_PT_GUARDED_BY(x) NNLUT_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+// Functions: capabilities they need held / acquire / release.
+#define NNLUT_REQUIRES(...) \
+  NNLUT_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define NNLUT_REQUIRES_SHARED(...) \
+  NNLUT_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+#define NNLUT_ACQUIRE(...) \
+  NNLUT_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define NNLUT_ACQUIRE_SHARED(...) \
+  NNLUT_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define NNLUT_RELEASE(...) \
+  NNLUT_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define NNLUT_RELEASE_SHARED(...) \
+  NNLUT_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define NNLUT_RELEASE_GENERIC(...) \
+  NNLUT_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+#define NNLUT_TRY_ACQUIRE(...) \
+  NNLUT_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define NNLUT_EXCLUDES(...) NNLUT_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#define NNLUT_ASSERT_CAPABILITY(x) \
+  NNLUT_THREAD_ANNOTATION__(assert_capability(x))
+#define NNLUT_RETURN_CAPABILITY(x) NNLUT_THREAD_ANNOTATION__(lock_returned(x))
+#define NNLUT_NO_THREAD_SAFETY_ANALYSIS \
+  NNLUT_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace nnlut {
+
+/// Annotated std::mutex. Methods carry the acquire/release annotations the
+/// std type lacks; the bodies touch only the raw primitive, so the analysis
+/// sees exactly one acquisition per lock() (never a double-count from an
+/// annotated callee).
+class NNLUT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() NNLUT_ACQUIRE() { mu_.lock(); }
+  void unlock() NNLUT_RELEASE() { mu_.unlock(); }
+  bool try_lock() NNLUT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped primitive, for the scoped lock types and CondVar only.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Annotated std::shared_mutex (reader/writer lock).
+class NNLUT_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() NNLUT_ACQUIRE() { mu_.lock(); }
+  void unlock() NNLUT_RELEASE() { mu_.unlock(); }
+  void lock_shared() NNLUT_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() NNLUT_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  std::shared_mutex& native() { return mu_; }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// std::lock_guard analogue: holds the mutex for the full scope.
+class NNLUT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) NNLUT_ACQUIRE(mu) : mu_(mu.native()) {
+    mu_.lock();
+  }
+  ~MutexLock() NNLUT_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  std::mutex& mu_;
+};
+
+/// Relockable scoped lock for condition-variable waits and mid-scope
+/// unlock/relock (the thread-pool worker loop). The analysis tracks the
+/// lock()/unlock() state machine; the destructor releases only if held.
+class NNLUT_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) NNLUT_ACQUIRE(mu) : lk_(mu.native()) {}
+  ~UniqueLock() NNLUT_RELEASE() {}  // lk_ releases only if currently held
+
+  void lock() NNLUT_ACQUIRE() { lk_.lock(); }
+  void unlock() NNLUT_RELEASE() { lk_.unlock(); }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  /// For CondVar only — waits atomically release/reacquire through this.
+  std::unique_lock<std::mutex>& native() { return lk_; }
+
+ private:
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// std::unique_lock<std::shared_mutex> analogue, exclusive (writer) side.
+class NNLUT_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) NNLUT_ACQUIRE(mu) : mu_(mu.native()) {
+    mu_.lock();
+  }
+  ~WriterLock() NNLUT_RELEASE() { mu_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  std::shared_mutex& mu_;
+};
+
+/// std::shared_lock analogue (reader side). The destructor's generic
+/// release matches however the scope acquired, per the scoped-capability
+/// model.
+class NNLUT_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) NNLUT_ACQUIRE_SHARED(mu)
+      : mu_(mu.native()) {
+    mu_.lock_shared();
+  }
+  ~ReaderLock() NNLUT_RELEASE_GENERIC() { mu_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  std::shared_mutex& mu_;
+};
+
+/// Condition variable over a UniqueLock. Deliberately predicate-free:
+/// call sites spell the wait as `while (!pred) cv.wait(lk);` so the
+/// guarded predicate reads stay inside the annotated scope (a predicate
+/// lambda would be analyzed as a lockless separate function). The
+/// release-while-blocked / reacquire-on-return transition inside wait is
+/// invisible to the analysis, which is sound: the capability is held at
+/// both edges of the call.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(UniqueLock& lk) { cv_.wait(lk.native()); }
+
+  std::cv_status wait_until(UniqueLock& lk,
+                            std::chrono::steady_clock::time_point deadline) {
+    return cv_.wait_until(lk.native(), deadline);
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(UniqueLock& lk,
+                          std::chrono::duration<Rep, Period> timeout) {
+    return cv_.wait_for(lk.native(), timeout);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace nnlut

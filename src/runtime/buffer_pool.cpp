@@ -1,9 +1,10 @@
 #include "runtime/buffer_pool.h"
 
 #include <algorithm>
-#include <mutex>
 #include <new>
 #include <vector>
+
+#include "core/thread_annotations.h"
 
 namespace nnlut::runtime {
 
@@ -12,9 +13,11 @@ namespace detail {
 namespace {
 constexpr std::size_t kMinClassBytes = 64;  // one cache line
 constexpr std::size_t kAlign = 64;
-// log2 of the largest supported class (2^48 bytes dwarfs any real tensor;
-// larger requests throw bad_alloc from the aligned allocator anyway).
+// Classes cover [64, kMaxClassBytes] in power-of-two steps; size_class
+// rejects anything larger before a class index is ever computed.
 constexpr std::size_t kNumClasses = 48;
+static_assert(kMinClassBytes << (kNumClasses - 1) == BufferPool::kMaxClassBytes,
+              "class table must end exactly at kMaxClassBytes");
 
 std::size_t class_index(std::size_t klass) {
   std::size_t idx = 0;
@@ -34,36 +37,39 @@ class PoolCore {
   PooledBuffer acquire(const std::shared_ptr<PoolCore>& self,
                        std::size_t bytes) {
     if (bytes == 0) return {};
-    const std::size_t klass = BufferPool::size_class(bytes);
+    const std::size_t klass = BufferPool::size_class(bytes);  // may throw
     const std::size_t idx = class_index(klass);
     void* slab = nullptr;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       std::vector<void*>& list = free_[idx];
       if (!list.empty()) {
         slab = list.back();  // strict LIFO: last released, first reused
         list.pop_back();
         ++stats_.reuse_count;
         stats_.bytes_cached -= klass;
-      } else {
-        ++stats_.alloc_count;
-        stats_.bytes_live += klass;
-        stats_.bytes_peak = std::max(stats_.bytes_peak, stats_.bytes_live);
+        ++stats_.outstanding;
+        stats_.bytes_outstanding += klass;
       }
+    }
+    if (slab == nullptr) {
+      // Miss: allocate outside the lock, and only count the slab once the
+      // allocator succeeded — a throwing ::operator new must leave every
+      // counter exactly as it found them (no phantom outstanding slab).
+      slab = ::operator new(klass, std::align_val_t{kAlign});
+      MutexLock lk(mu_);
+      ++stats_.alloc_count;
+      stats_.bytes_live += klass;
+      stats_.bytes_peak = std::max(stats_.bytes_peak, stats_.bytes_live);
       ++stats_.outstanding;
       stats_.bytes_outstanding += klass;
     }
-    // The heap allocation itself happens outside the lock; counters were
-    // already updated, so a concurrent stats() is at worst momentarily
-    // ahead of the allocator, never behind.
-    if (slab == nullptr)
-      slab = ::operator new(klass, std::align_val_t{kAlign});
     return PooledBuffer(self, slab, klass);
   }
 
   void release(void* slab, std::size_t klass) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       --stats_.outstanding;
       stats_.bytes_outstanding -= klass;
       if (!closed_) {
@@ -77,14 +83,14 @@ class PoolCore {
   }
 
   void close() {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     closed_ = true;
   }
 
   void drop_cached() {
     std::vector<void*> doomed;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       for (std::size_t i = 0; i < kNumClasses; ++i) {
         for (void* p : free_[i]) {
           doomed.push_back(p);
@@ -98,15 +104,15 @@ class PoolCore {
   }
 
   PoolStats stats() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return stats_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<void*> free_[kNumClasses];
-  PoolStats stats_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  std::vector<void*> free_[kNumClasses] NNLUT_GUARDED_BY(mu_);
+  PoolStats stats_ NNLUT_GUARDED_BY(mu_);
+  bool closed_ NNLUT_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace detail
@@ -140,6 +146,10 @@ PoolStats BufferPool::stats() const { return core_->stats(); }
 void BufferPool::trim() { core_->drop_cached(); }
 
 std::size_t BufferPool::size_class(std::size_t bytes) {
+  // Reject before rounding: past kMaxClassBytes the round-up loop would
+  // shift klass to zero (and spin), and class_index would run off the end
+  // of the free-list table.
+  if (bytes > kMaxClassBytes) throw std::bad_alloc();
   std::size_t klass = detail::kMinClassBytes;
   while (klass < bytes) klass <<= 1;
   return klass;

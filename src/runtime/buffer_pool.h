@@ -130,8 +130,14 @@ class BufferPool {
   /// bytes_cached to 0; bytes_peak is retained.
   void trim();
 
+  /// Largest supported size class (2^53 bytes, dwarfing any real tensor).
+  /// acquire() and size_class() throw std::bad_alloc beyond it — before
+  /// touching any free list or counter — instead of walking off the class
+  /// table or overflowing the power-of-two round-up.
+  static constexpr std::size_t kMaxClassBytes = std::size_t{1} << 53;
+
   /// The power-of-two byte bucket `bytes` lands in: the smallest power of
-  /// two >= max(bytes, 64).
+  /// two >= max(bytes, 64). Throws std::bad_alloc above kMaxClassBytes.
   static std::size_t size_class(std::size_t bytes);
 
  private:

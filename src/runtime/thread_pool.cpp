@@ -26,9 +26,9 @@ void set_current_thread_name(const char* name) {
 
 namespace {
 
-std::mutex g_config_mu;
-RuntimeConfig g_config;
-std::shared_ptr<ThreadPool> g_pool;
+Mutex g_config_mu;
+RuntimeConfig g_config NNLUT_GUARDED_BY(g_config_mu);
+std::shared_ptr<ThreadPool> g_pool NNLUT_GUARDED_BY(g_config_mu);
 
 // Set while a lane executes a shard; nested parallel regions (a sharded
 // kernel calling another sharded kernel) run inline instead of deadlocking
@@ -47,14 +47,14 @@ void set_runtime_config(const RuntimeConfig& cfg) {
   // on the retired pool hold their own shared_ptr and finish undisturbed.
   std::shared_ptr<ThreadPool> retired;
   {
-    std::lock_guard<std::mutex> lk(g_config_mu);
+    MutexLock lk(g_config_mu);
     if (cfg.threads != g_config.threads) retired = std::move(g_pool);
     g_config = cfg;
   }
 }
 
 RuntimeConfig runtime_config() {
-  std::lock_guard<std::mutex> lk(g_config_mu);
+  MutexLock lk(g_config_mu);
   return g_config;
 }
 
@@ -68,7 +68,7 @@ std::size_t lanes_for_config(const RuntimeConfig& cfg) {
 }  // namespace
 
 std::shared_ptr<ThreadPool> acquire_pool() {
-  std::lock_guard<std::mutex> lk(g_config_mu);
+  MutexLock lk(g_config_mu);
   if (!g_pool) g_pool = std::make_shared<ThreadPool>(lanes_for_config(g_config));
   return g_pool;
 }
@@ -86,7 +86,7 @@ ThreadPool::ThreadPool(std::size_t lanes) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   cv_start_.notify_all();
@@ -95,9 +95,9 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop(std::size_t lane) {
   std::uint64_t seen = 0;
-  std::unique_lock<std::mutex> lk(mu_);
+  UniqueLock lk(mu_);
   for (;;) {
-    cv_start_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+    while (!stop_ && epoch_ == seen) cv_start_.wait(lk);
     if (stop_) return;
     seen = epoch_;
     const FunctionRef<void(std::size_t)> job = job_;
@@ -136,15 +136,13 @@ void ThreadPool::run(std::size_t nshards, FunctionRef<void(std::size_t)> fn) {
   // caller racing a server) must not touch job_/epoch_ while a job is in
   // flight; each takes a ticket and is admitted in arrival order, so every
   // orchestrator gets the full pool for its job and none can starve.
-  const std::uint64_t ticket = [&] {
-    std::unique_lock<std::mutex> lk(orch_mu_);
-    const std::uint64_t t = orch_next_ticket_++;
-    cv_orch_.wait(lk, [&] { return orch_serving_ == t; });
-    return t;
-  }();
-  (void)ticket;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    UniqueLock lk(orch_mu_);
+    const std::uint64_t ticket = orch_next_ticket_++;
+    while (orch_serving_ != ticket) cv_orch_.wait(lk);
+  }
+  {
+    MutexLock lk(mu_);
     job_ = fn;
     job_shards_ = nshards;
     done_ = 0;
@@ -162,15 +160,16 @@ void ThreadPool::run(std::size_t nshards, FunctionRef<void(std::size_t)> fn) {
     err = std::current_exception();
   }
   t_in_shard = false;
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_done_.wait(lk, [&] { return done_ == job_shards_ - 1; });
-  job_ = {};
-  if (!err) err = error_;
-  error_ = nullptr;
-  lk.unlock();
+  {
+    UniqueLock lk(mu_);
+    while (done_ != job_shards_ - 1) cv_done_.wait(lk);
+    job_ = {};
+    if (!err) err = error_;
+    error_ = nullptr;
+  }
   // Pass the workers to the next ticket holder — on the error path too.
   {
-    std::lock_guard<std::mutex> olk(orch_mu_);
+    MutexLock olk(orch_mu_);
     ++orch_serving_;
   }
   cv_orch_.notify_all();
@@ -185,7 +184,7 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
   // Decide the shard count from the config alone so sub-grain work runs
   // inline without ever instantiating the worker pool.
   const std::size_t lanes = [] {
-    std::lock_guard<std::mutex> lk(g_config_mu);
+    MutexLock lk(g_config_mu);
     return lanes_for_config(g_config);
   }();
   const std::size_t max_shards = (n + grain - 1) / grain;

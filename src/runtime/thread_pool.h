@@ -13,12 +13,10 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <type_traits>
@@ -26,6 +24,7 @@
 #include <vector>
 
 #include "core/lut_kernel_simd.h"
+#include "core/thread_annotations.h"
 
 namespace nnlut::runtime {
 
@@ -127,24 +126,26 @@ class ThreadPool {
  private:
   void worker_loop(std::size_t lane);
 
-  std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  FunctionRef<void(std::size_t)> job_;
-  std::size_t job_shards_ = 0;
-  std::uint64_t epoch_ = 0;
-  std::size_t done_ = 0;
-  std::exception_ptr error_;  // first shard failure, rethrown by run()
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  // immutable after construction
+  Mutex mu_;
+  CondVar cv_start_;
+  CondVar cv_done_;
+  FunctionRef<void(std::size_t)> job_ NNLUT_GUARDED_BY(mu_);
+  std::size_t job_shards_ NNLUT_GUARDED_BY(mu_) = 0;
+  std::uint64_t epoch_ NNLUT_GUARDED_BY(mu_) = 0;
+  std::size_t done_ NNLUT_GUARDED_BY(mu_) = 0;
+  // First shard failure, rethrown by run().
+  std::exception_ptr error_ NNLUT_GUARDED_BY(mu_);
+  bool stop_ NNLUT_GUARDED_BY(mu_) = false;
 
   // FIFO ticket lock admitting one orchestrator at a time, in arrival
   // order. Kept separate from mu_ (the job mutex) so a waiting orchestrator
-  // never contends with workers synchronizing shard completion.
-  std::mutex orch_mu_;
-  std::condition_variable cv_orch_;
-  std::uint64_t orch_next_ticket_ = 0;
-  std::uint64_t orch_serving_ = 0;
+  // never contends with workers synchronizing shard completion; the two
+  // mutexes are never held together.
+  Mutex orch_mu_;
+  CondVar cv_orch_;
+  std::uint64_t orch_next_ticket_ NNLUT_GUARDED_BY(orch_mu_) = 0;
+  std::uint64_t orch_serving_ NNLUT_GUARDED_BY(orch_mu_) = 0;
 };
 
 /// Acquire the process-wide pool, created lazily from the current

@@ -15,6 +15,14 @@
 // running each member solo, so an error rejects only the request that owns
 // it while the rest still complete (with identical bits, per the contract
 // above). The scheduler thread survives any request error.
+//
+// Concurrency story (why this class carries no GUARDED_BY annotations,
+// unlike every other serve/ type — see core/thread_annotations.h): the
+// batcher owns NO mutex. All staging state below is confined to the
+// scheduler thread; the only cross-thread members are the RequestQueue
+// (internally annotated) and `stopped_`, an atomic flag whose exchange()
+// makes stop() idempotent; the scheduler join() provides the happens-after
+// edge for everything the final drain wrote.
 #pragma once
 
 #include <atomic>

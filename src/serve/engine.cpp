@@ -1,7 +1,6 @@
 #include "serve/engine.h"
 
 #include <algorithm>
-#include <shared_mutex>
 #include <stdexcept>
 #include <string_view>
 #include <utility>
@@ -61,7 +60,7 @@ void Engine::register_model(const std::string& model_id,
                             transformer::NonlinearitySet& nl, SlotConfig cfg) {
   if (model_id.empty())
     throw std::invalid_argument("Engine::register_model: empty model id");
-  std::unique_lock<std::shared_mutex> lk(mu_);
+  WriterLock lk(mu_);
   if (shut_down_)
     throw std::logic_error("Engine::register_model: engine is shut down");
   if (slots_.count(model_id) != 0)
@@ -73,7 +72,7 @@ void Engine::register_model(const std::string& model_id,
 }
 
 Engine::ModelSlot* Engine::find_slot(std::string_view model_id) const {
-  std::shared_lock<std::shared_mutex> lk(mu_);
+  ReaderLock lk(mu_);
   auto it = slots_.find(model_id);
   return it == slots_.end() ? nullptr : it->second.get();
 }
@@ -83,7 +82,7 @@ PendingResult Engine::submit(std::string_view model_id,
   ModelSlot* slot = find_slot(model_id);
   if (slot == nullptr) {
     {
-      std::lock_guard<std::mutex> lk(unknown_mu_);
+      MutexLock lk(unknown_mu_);
       ++rejected_unknown_model_;
     }
     return RequestQueue::rejected(std::make_exception_ptr(std::out_of_range(
@@ -110,7 +109,7 @@ bool Engine::has_model(std::string_view model_id) const {
 }
 
 std::vector<std::string> Engine::model_ids() const {
-  std::shared_lock<std::shared_mutex> lk(mu_);
+  ReaderLock lk(mu_);
   return order_;
 }
 
@@ -127,12 +126,15 @@ SlotStats Engine::model_stats(std::string_view model_id) const {
   if (slot == nullptr)
     throw std::out_of_range("Engine::model_stats: unknown model '" +
                             std::string(model_id) + "'");
+  // depths() reads {depth, peak} under one lock: two separate depth() /
+  // peak_depth() calls can interleave with a submit and snapshot an
+  // impossible depth > peak.
+  const RequestQueue::Depths d = slot->queue.depths();
   if (slot->pool) {
     const runtime::PoolStats ps = slot->pool->stats();
-    return slot->ledger.snapshot(slot->queue.depth(), slot->queue.peak_depth(),
-                                 &ps);
+    return slot->ledger.snapshot(d.depth, d.peak, &ps);
   }
-  return slot->ledger.snapshot(slot->queue.depth(), slot->queue.peak_depth());
+  return slot->ledger.snapshot(d.depth, d.peak);
 }
 
 EngineStats Engine::stats() const {
@@ -140,19 +142,19 @@ EngineStats Engine::stats() const {
   // per-slot snapshots are exact, the cross-slot view is a near-instant.
   std::vector<ModelSlot*> slots;
   {
-    std::shared_lock<std::shared_mutex> lk(mu_);
+    ReaderLock lk(mu_);
     slots.reserve(order_.size());
     for (const std::string& id : order_) slots.push_back(slots_.at(id).get());
   }
   EngineStats out;
   for (ModelSlot* slot : slots) {
     SlotStats s;
+    const RequestQueue::Depths d = slot->queue.depths();
     if (slot->pool) {
       const runtime::PoolStats ps = slot->pool->stats();
-      s = slot->ledger.snapshot(slot->queue.depth(), slot->queue.peak_depth(),
-                                &ps);
+      s = slot->ledger.snapshot(d.depth, d.peak, &ps);
     } else {
-      s = slot->ledger.snapshot(slot->queue.depth(), slot->queue.peak_depth());
+      s = slot->ledger.snapshot(d.depth, d.peak);
     }
     out.total.submitted += s.submitted;
     out.total.rejected += s.rejected;
@@ -197,7 +199,7 @@ EngineStats Engine::stats() const {
         sequences / static_cast<double>(out.total.batches);
   }
   {
-    std::lock_guard<std::mutex> lk(unknown_mu_);
+    MutexLock lk(unknown_mu_);
     out.rejected_unknown_model = rejected_unknown_model_;
   }
   return out;
@@ -209,7 +211,7 @@ void Engine::shutdown() {
   // look up slots (and get queue-closed rejections) meanwhile.
   std::vector<ModelSlot*> slots;
   {
-    std::unique_lock<std::shared_mutex> lk(mu_);
+    WriterLock lk(mu_);
     shut_down_ = true;
     for (const std::string& id : order_) slots.push_back(slots_.at(id).get());
   }

@@ -33,14 +33,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/lut_kernel_simd.h"
+#include "core/thread_annotations.h"
 #include "serve/batcher.h"
 #include "serve/request_queue.h"
 #include "serve/stats.h"
@@ -149,14 +148,16 @@ class Engine {
   EngineConfig cfg_;
   // Reader/writer lock over the registry: submits (every request, all
   // models) take it shared, so the hot path never serializes across slots;
-  // register_model/shutdown take it exclusive.
-  mutable std::shared_mutex mu_;
-  bool shut_down_ = false;
+  // register_model/shutdown take it exclusive. Slots themselves are never
+  // erased, so a ModelSlot* read under a ReaderLock stays valid afterwards.
+  mutable SharedMutex mu_;
+  bool shut_down_ NNLUT_GUARDED_BY(mu_) = false;
   // std::less<> enables heterogeneous (string_view) lookup.
-  std::map<std::string, std::unique_ptr<ModelSlot>, std::less<>> slots_;
-  std::vector<std::string> order_;  // registration order
-  mutable std::mutex unknown_mu_;
-  std::uint64_t rejected_unknown_model_ = 0;
+  std::map<std::string, std::unique_ptr<ModelSlot>, std::less<>> slots_
+      NNLUT_GUARDED_BY(mu_);
+  std::vector<std::string> order_ NNLUT_GUARDED_BY(mu_);  // registration order
+  mutable Mutex unknown_mu_;
+  std::uint64_t rejected_unknown_model_ NNLUT_GUARDED_BY(unknown_mu_) = 0;
 };
 
 }  // namespace nnlut::serve

@@ -9,7 +9,7 @@ namespace nnlut::serve {
 namespace detail {
 
 bool ResultState::claim() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (phase_ != Phase::kQueued) return false;  // cancelled while queued
   phase_ = Phase::kRunning;
   return true;
@@ -17,7 +17,7 @@ bool ResultState::claim() {
 
 void ResultState::set_value(Tensor logits) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (phase_ == Phase::kDone) return;
     value_ = std::move(logits);
     phase_ = Phase::kDone;
@@ -27,7 +27,7 @@ void ResultState::set_value(Tensor logits) {
 
 void ResultState::set_error(std::exception_ptr err) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (phase_ == Phase::kDone) return;
     error_ = std::move(err);
     phase_ = Phase::kDone;
@@ -37,7 +37,7 @@ void ResultState::set_error(std::exception_ptr err) {
 
 bool ResultState::reject_if_queued(std::exception_ptr err) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (phase_ != Phase::kQueued) return false;  // already cancelled
     error_ = std::move(err);
     phase_ = Phase::kDone;
@@ -48,7 +48,7 @@ bool ResultState::reject_if_queued(std::exception_ptr err) {
 
 bool ResultState::cancel() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (phase_ != Phase::kQueued) return false;
     error_ = std::make_exception_ptr(
         RequestCancelled("serve: request cancelled before execution"));
@@ -59,23 +59,28 @@ bool ResultState::cancel() {
 }
 
 void ResultState::wait() const {
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_.wait(lk, [&] { return phase_ == Phase::kDone; });
+  UniqueLock lk(mu_);
+  while (phase_ != Phase::kDone) cv_.wait(lk);
 }
 
 bool ResultState::wait_for(std::chrono::microseconds timeout) const {
-  std::unique_lock<std::mutex> lk(mu_);
-  return cv_.wait_for(lk, timeout, [&] { return phase_ == Phase::kDone; });
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  UniqueLock lk(mu_);
+  while (phase_ != Phase::kDone) {
+    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout)
+      return phase_ == Phase::kDone;
+  }
+  return true;
 }
 
 bool ResultState::done() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return phase_ == Phase::kDone;
 }
 
 Tensor ResultState::take() {
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_.wait(lk, [&] { return phase_ == Phase::kDone; });
+  UniqueLock lk(mu_);
+  while (phase_ != Phase::kDone) cv_.wait(lk);
   if (error_) std::rethrow_exception(error_);
   if (taken_)
     throw std::logic_error(
@@ -118,7 +123,7 @@ PendingResult RequestQueue::submit(transformer::BatchInput in,
   // a client that may immediately re-submit (and take the same mutex).
   std::vector<std::shared_ptr<detail::ResultState>> evicted;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (!closed_) {
       if (admission_.max_queue_depth > 0 &&
           items_.size() >= admission_.max_queue_depth) {
@@ -190,25 +195,30 @@ PendingResult RequestQueue::rejected(std::exception_ptr err) {
 
 void RequestQueue::close() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 bool RequestQueue::closed() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return closed_;
 }
 
 std::size_t RequestQueue::depth() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return items_.size();
 }
 
 std::size_t RequestQueue::peak_depth() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return peak_depth_;
+}
+
+RequestQueue::Depths RequestQueue::depths() const {
+  MutexLock lk(mu_);
+  return Depths{items_.size(), peak_depth_};
 }
 
 std::vector<Submission> RequestQueue::wait_drain(
@@ -222,12 +232,13 @@ void RequestQueue::wait_drain(
     std::optional<std::chrono::steady_clock::time_point> deadline,
     std::vector<Submission>& out) {
   out.clear();
-  std::unique_lock<std::mutex> lk(mu_);
-  const auto ready = [&] { return closed_ || !items_.empty(); };
-  if (deadline) {
-    cv_.wait_until(lk, *deadline, ready);
-  } else {
-    cv_.wait(lk, ready);
+  UniqueLock lk(mu_);
+  while (!closed_ && items_.empty()) {
+    if (deadline) {
+      if (cv_.wait_until(lk, *deadline) == std::cv_status::timeout) break;
+    } else {
+      cv_.wait(lk);
+    }
   }
   out.reserve(items_.size());
   while (!items_.empty()) {

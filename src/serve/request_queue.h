@@ -21,17 +21,16 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "serve/stats.h"
 #include "tensor/tensor.h"
 #include "transformer/encoder.h"
@@ -73,12 +72,12 @@ class ResultState {
   Tensor take();
 
  private:
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  Phase phase_ = Phase::kQueued;
-  bool taken_ = false;  // value already moved out by take()
-  Tensor value_;
-  std::exception_ptr error_;
+  mutable Mutex mu_;
+  mutable CondVar cv_;
+  Phase phase_ NNLUT_GUARDED_BY(mu_) = Phase::kQueued;
+  bool taken_ NNLUT_GUARDED_BY(mu_) = false;  // value moved out by take()
+  Tensor value_ NNLUT_GUARDED_BY(mu_);
+  std::exception_ptr error_ NNLUT_GUARDED_BY(mu_);
 };
 
 }  // namespace detail
@@ -209,6 +208,16 @@ class RequestQueue {
   /// High-water mark of depth() over the queue's lifetime.
   std::size_t peak_depth() const;
 
+  /// Consistent {depth, peak} pair taken under ONE lock acquisition.
+  /// Separate depth() + peak_depth() calls can interleave with a submit and
+  /// report depth > peak — an impossible state no monitoring math should
+  /// ever see. Snapshot consumers (Engine::model_stats/stats) use this.
+  struct Depths {
+    std::size_t depth = 0;
+    std::size_t peak = 0;
+  };
+  Depths depths() const;
+
   const AdmissionConfig& admission() const { return admission_; }
 
   /// Consumer side: block until the queue is non-empty, `deadline` passes,
@@ -226,13 +235,13 @@ class RequestQueue {
 
  private:
   const AdmissionConfig admission_;
-  StatsLedger* ledger_;  // eviction accounting only; may be null
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Submission> items_;
-  bool closed_ = false;
-  std::uint64_t next_id_ = 0;
-  std::size_t peak_depth_ = 0;
+  StatsLedger* const ledger_;  // eviction accounting only; may be null
+  mutable Mutex mu_;
+  mutable CondVar cv_;
+  std::deque<Submission> items_ NNLUT_GUARDED_BY(mu_);
+  bool closed_ NNLUT_GUARDED_BY(mu_) = false;
+  std::uint64_t next_id_ NNLUT_GUARDED_BY(mu_) = 0;
+  std::size_t peak_depth_ NNLUT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace nnlut::serve

@@ -24,12 +24,12 @@ double LatencyHistogram::quantile_us(double q) const {
 }
 
 void StatsLedger::record_admitted() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   ++submitted_;
 }
 
 void StatsLedger::record_shed_oldest() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   // The victim was counted submitted when it was admitted; it resolves as
   // ServerOverloaded now.
   --submitted_;
@@ -37,29 +37,29 @@ void StatsLedger::record_shed_oldest() {
 }
 
 void StatsLedger::record_rejected_validation() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   ++rejected_validation_;
 }
 
 void StatsLedger::record_rejected_overload() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   ++rejected_overload_;
 }
 
 void StatsLedger::record_rejected_shutdown() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   ++rejected_shutdown_;
 }
 
 void StatsLedger::record_batch(std::size_t requests, std::size_t sequences) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   ++batches_;
   batch_requests_ += requests;
   batch_sequences_ += sequences;
 }
 
 void StatsLedger::record_done(std::chrono::microseconds latency, bool ok) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (ok) {
     ++completed_;
   } else {
@@ -69,14 +69,14 @@ void StatsLedger::record_done(std::chrono::microseconds latency, bool ok) {
 }
 
 void StatsLedger::record_cancelled() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   ++cancelled_;
 }
 
 SlotStats StatsLedger::snapshot(std::size_t queue_depth,
                                 std::size_t peak_queue_depth,
                                 const runtime::PoolStats* pool) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   SlotStats s;
   s.submitted = submitted_;
   s.rejected_validation = rejected_validation_;

@@ -22,9 +22,9 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "core/thread_annotations.h"
 #include "runtime/buffer_pool.h"
 
 namespace nnlut::serve {
@@ -114,14 +114,18 @@ class StatsLedger {
                      const runtime::PoolStats* pool = nullptr) const;
 
  private:
-  mutable std::mutex mu_;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t rejected_validation_ = 0;
-  std::uint64_t rejected_overload_ = 0;
-  std::uint64_t rejected_shutdown_ = 0;
-  std::uint64_t completed_ = 0, failed_ = 0, cancelled_ = 0;
-  std::uint64_t batches_ = 0, batch_requests_ = 0, batch_sequences_ = 0;
-  LatencyHistogram latency_;
+  mutable Mutex mu_;
+  std::uint64_t submitted_ NNLUT_GUARDED_BY(mu_) = 0;
+  std::uint64_t rejected_validation_ NNLUT_GUARDED_BY(mu_) = 0;
+  std::uint64_t rejected_overload_ NNLUT_GUARDED_BY(mu_) = 0;
+  std::uint64_t rejected_shutdown_ NNLUT_GUARDED_BY(mu_) = 0;
+  std::uint64_t completed_ NNLUT_GUARDED_BY(mu_) = 0;
+  std::uint64_t failed_ NNLUT_GUARDED_BY(mu_) = 0;
+  std::uint64_t cancelled_ NNLUT_GUARDED_BY(mu_) = 0;
+  std::uint64_t batches_ NNLUT_GUARDED_BY(mu_) = 0;
+  std::uint64_t batch_requests_ NNLUT_GUARDED_BY(mu_) = 0;
+  std::uint64_t batch_sequences_ NNLUT_GUARDED_BY(mu_) = 0;
+  LatencyHistogram latency_ NNLUT_GUARDED_BY(mu_);
 };
 
 /// Engine-wide view: per-model slot snapshots plus an aggregate in which

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <new>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -35,6 +36,42 @@ TEST(BufferPoolSizeClass, RoundsUpToPowerOfTwoWithFloor) {
   EXPECT_EQ(BufferPool::size_class(4097), 8192u);
   EXPECT_EQ(BufferPool::size_class(1u << 20), 1u << 20);
   EXPECT_EQ(BufferPool::size_class((1u << 20) + 1), 1u << 21);
+}
+
+TEST(BufferPoolSizeClass, MaxClassBytesIsRepresentableCeiling) {
+  // The largest size class must round-trip exactly; one byte past it has
+  // no class and must refuse (not loop forever in the round-up shift or
+  // index past the class table — both latent before the bound existed).
+  EXPECT_EQ(BufferPool::size_class(BufferPool::kMaxClassBytes),
+            BufferPool::kMaxClassBytes);
+  EXPECT_THROW(BufferPool::size_class(BufferPool::kMaxClassBytes + 1),
+               std::bad_alloc);
+  EXPECT_THROW(BufferPool::size_class(~std::size_t{0}), std::bad_alloc);
+}
+
+TEST(BufferPool, OversizeAcquireThrowsWithoutTouchingStats) {
+  // A request beyond kMaxClassBytes must fail before any counter or free
+  // list is touched: the pool's books stay exactly as they were and the
+  // pool remains fully usable afterwards.
+  BufferPool pool;
+  PooledBuffer warm = pool.acquire(256);
+  const PoolStats before = pool.stats();
+
+  EXPECT_THROW(pool.acquire(BufferPool::kMaxClassBytes + 1), std::bad_alloc);
+
+  const PoolStats after = pool.stats();
+  EXPECT_EQ(after.alloc_count, before.alloc_count);
+  EXPECT_EQ(after.reuse_count, before.reuse_count);
+  EXPECT_EQ(after.bytes_cached, before.bytes_cached);
+  EXPECT_EQ(after.bytes_live, before.bytes_live);
+  EXPECT_EQ(after.bytes_peak, before.bytes_peak);
+  EXPECT_EQ(after.outstanding, before.outstanding);
+  EXPECT_EQ(after.bytes_outstanding, before.bytes_outstanding);
+
+  warm = PooledBuffer{};
+  PooledBuffer again = pool.acquire(256);
+  ASSERT_TRUE(again);
+  EXPECT_EQ(pool.stats().reuse_count, before.reuse_count + 1);
 }
 
 TEST(BufferPool, AcquireAlignedAtClassCapacity) {

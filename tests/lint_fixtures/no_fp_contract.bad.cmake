@@ -1,0 +1,4 @@
+# Fixture: fast-math flags re-associate and fuse FP ops — bit-identity across
+# tiers is gone. Must fire no-fp-contract (and the missing -ffp-contract=off
+# is a second count of the same rule).
+add_compile_options(-O3 -ffast-math)

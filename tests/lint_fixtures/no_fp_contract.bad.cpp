@@ -1,0 +1,5 @@
+// Fixture: locally re-enabling FP contraction lets the compiler fuse a*b+c
+// into an FMA, changing bits between SIMD tiers. Must fire no-fp-contract.
+#pragma STDC FP_CONTRACT ON
+
+float mac(float a, float b, float c) { return a * b + c; }

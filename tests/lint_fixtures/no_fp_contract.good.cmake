@@ -1,0 +1,2 @@
+# Fixture: the required project-wide contraction setting is present.
+add_compile_options(-O2 -ffp-contract=off)

@@ -1,0 +1,3 @@
+// Fixture: plain arithmetic with no contraction pragma; the project-wide
+// -ffp-contract=off (CMakeLists.txt) governs.
+float mac(float a, float b, float c) { return a * b + c; }

@@ -1,0 +1,13 @@
+// Fixture: heap traffic in a file the manifest tags hot_path. Must fire
+// no-hot-alloc.
+#include <vector>
+
+float sum_rows(const float* rows, int n) {
+  std::vector<float> copy;
+  for (int i = 0; i < n; ++i) copy.push_back(rows[i]);
+  float* scratch = new float[16];
+  float s = 0.0f;
+  for (float v : copy) s += v;
+  delete[] scratch;
+  return s;
+}

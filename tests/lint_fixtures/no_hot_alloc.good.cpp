@@ -1,0 +1,11 @@
+// Fixture: hot-path code stages through fixed stack blocks (the
+// lut_kernel_simd_detail.h idiom) — no heap traffic to flag.
+float sum_rows(const float* rows, int n) {
+  float block[512];
+  float s = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    block[i & 511] = rows[i];
+    s += block[i & 511];
+  }
+  return s;
+}

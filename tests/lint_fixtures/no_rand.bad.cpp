@@ -1,0 +1,10 @@
+// Fixture: nondeterministic randomness sources. Each line below must fire
+// rule no-rand.
+#include <cstdlib>
+#include <random>
+
+int noisy() {
+  std::random_device rd;          // entropy differs per run
+  std::srand(42);                 // hidden global state
+  return rd() + rand();           // sequence depends on call order
+}

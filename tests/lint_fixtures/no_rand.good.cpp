@@ -1,0 +1,9 @@
+// Fixture: the project way — a fixed-seed generator (numerics/rng.h style)
+// is deterministic and lint-clean.
+#include <random>
+
+int reproducible() {
+  std::mt19937_64 rng{0x5eedc0de12345678ull};
+  std::uniform_int_distribution<int> dist(0, 9);
+  return dist(rng);
+}

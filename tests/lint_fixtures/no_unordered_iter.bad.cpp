@@ -1,0 +1,13 @@
+// Fixture: iterating a std::unordered_* container. Visit order is
+// implementation-defined; must fire rule no-unordered-iter.
+#include <unordered_map>
+#include <vector>
+
+std::vector<int> keys(const std::unordered_map<int, int>& unused) {
+  std::unordered_map<int, int> histogram;
+  histogram[1] = 2;
+  std::vector<int> out;
+  for (const auto& kv : histogram) out.push_back(kv.first);
+  for (auto it = histogram.begin(); it != histogram.end(); ++it) (void)it;
+  return out;
+}

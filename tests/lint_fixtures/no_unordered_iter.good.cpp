@@ -1,0 +1,16 @@
+// Fixture: ordered iteration is fine, and a proven-order-independent sweep
+// can opt out with an allow marker.
+#include <map>
+#include <unordered_map>
+
+int total() {
+  std::map<int, int> ordered{{1, 2}, {3, 4}};
+  int sum = 0;
+  for (const auto& kv : ordered) sum += kv.second;  // deterministic order
+
+  std::unordered_map<int, int> counters{{1, 2}};
+  // Sum is commutative — order cannot leak into the result.
+  // lint:allow unordered-iter
+  for (const auto& kv : counters) sum += kv.second;
+  return sum;
+}

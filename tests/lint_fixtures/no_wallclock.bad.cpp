@@ -1,0 +1,11 @@
+// Fixture: wall-clock reads outside the serving/stats layer. Must fire
+// rule no-wallclock.
+#include <chrono>
+#include <ctime>
+
+long stamp() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto wall = std::chrono::system_clock::now();
+  (void)wall;
+  return t0.time_since_epoch().count() + time(nullptr);
+}

@@ -1,0 +1,10 @@
+// Fixture: durations and time_point types are fine — only reading a clock
+// introduces nondeterminism.
+#include <chrono>
+
+std::chrono::microseconds budget() {
+  using namespace std::chrono_literals;
+  const std::chrono::steady_clock::time_point epoch{};  // type use, no read
+  (void)epoch;
+  return 2000us;
+}

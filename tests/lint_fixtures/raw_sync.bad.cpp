@@ -1,0 +1,15 @@
+// Fixture: raw std synchronization primitives are invisible to clang's
+// -Wthread-safety analysis. Must fire raw-sync-primitive.
+#include <mutex>
+
+class Counter {
+ public:
+  void bump() {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++n_;
+  }
+
+ private:
+  std::mutex mu_;
+  long n_ = 0;
+};

@@ -1,0 +1,16 @@
+// Fixture: the annotated wrappers from core/thread_annotations.h carry the
+// capability attributes the analysis needs. (Include path is illustrative —
+// the lint is textual.)
+#include "core/thread_annotations.h"
+
+class Counter {
+ public:
+  void bump() {
+    nnlut::MutexLock lk(mu_);
+    ++n_;
+  }
+
+ private:
+  nnlut::Mutex mu_;
+  long n_ NNLUT_GUARDED_BY(mu_) = 0;
+};

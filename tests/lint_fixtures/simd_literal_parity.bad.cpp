@@ -1,0 +1,6 @@
+// Fixture: a float literal private to one SIMD-tier TU (2.75f is neither in
+// simd_literal_parity_detail.h nor allowlisted). Must fire
+// simd-literal-parity.
+#include "simd_literal_parity_detail.h"
+
+float tier_eval(float x) { return x * 2.75f + kSharedClamp; }

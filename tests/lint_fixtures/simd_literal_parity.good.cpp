@@ -1,0 +1,5 @@
+// Fixture: every literal comes from the shared header (1.5f) or the
+// manifest allowlist (0.5f) — both tiers necessarily agree.
+#include "simd_literal_parity_detail.h"
+
+float tier_eval(float x) { return x * 0.5f + kSharedClamp * 1.5f; }

@@ -1,0 +1,5 @@
+// Support header for the simd_literal_parity fixtures: the "shared detail
+// blocks" both tier TUs must draw their constants from.
+#pragma once
+
+constexpr float kSharedClamp = 1.5f;

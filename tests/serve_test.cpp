@@ -261,6 +261,55 @@ TEST(RequestQueueAdmission, DepthAccountingUnderConcurrentSubmitDrain) {
     for (auto& r : rs) EXPECT_NO_THROW(r.get());
 }
 
+TEST(RequestQueueAdmission, DepthsSnapshotIsInternallyConsistent) {
+  // Regression for the stats-snapshot race: reading depth() and
+  // peak_depth() as two lock acquisitions lets a submit land in between,
+  // yielding an impossible depth > peak pair. depths() takes both under
+  // one lock, so depth <= peak must hold in EVERY snapshot — hammer it
+  // while producers and a consumer churn the queue.
+  RequestQueue q;
+  constexpr int kProducers = 3, kPerProducer = 60;
+  std::atomic<std::size_t> drained_total{0};
+  std::atomic<bool> stop_sampling{false};
+
+  std::thread consumer([&] {
+    while (drained_total.load() < kProducers * kPerProducer) {
+      auto batch = q.wait_drain(std::chrono::steady_clock::now() + 1ms);
+      for (auto& sub : batch) {
+        ASSERT_TRUE(sub.state->claim());
+        sub.state->set_value(toy_model(sub.input));
+      }
+      drained_total.fetch_add(batch.size());
+    }
+  });
+  std::thread sampler([&] {
+    while (!stop_sampling.load()) {
+      const RequestQueue::Depths d = q.depths();
+      ASSERT_LE(d.depth, d.peak);
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> producers;
+  std::vector<std::vector<PendingResult>> results(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        results[static_cast<std::size_t>(p)].push_back(
+            q.submit(make_request(1, 4, p * 100 + i)));
+    });
+  }
+  for (auto& t : producers) t.join();
+  consumer.join();
+  stop_sampling.store(true);
+  sampler.join();
+
+  const RequestQueue::Depths final_d = q.depths();
+  EXPECT_EQ(final_d.depth, 0u);
+  EXPECT_GE(final_d.peak, 1u);
+  for (auto& rs : results)
+    for (auto& r : rs) EXPECT_NO_THROW(r.get());
+}
+
 // ------------------------------------------------------------- batcher ---
 
 TEST(Batcher, MergesSameSeqUpToMaxBatch) {

@@ -1,23 +1,43 @@
 #!/usr/bin/env python3
-"""Fail on broken relative links in markdown files.
+"""Fail on broken relative links and stale code references in markdown.
 
 Usage: check_doc_links.py FILE.md [FILE.md ...]
 
-Checks every inline markdown link `[text](target)` whose target is not an
-absolute URL (scheme:// or mailto:) or a pure in-page anchor (#...).
-Relative targets are resolved against the containing file's directory;
-anchors and query strings are stripped before the existence check. Exits 1
-listing every broken link, 0 when all resolve.
+Two checks per file:
+
+1. Inline markdown links `[text](target)` whose target is not an absolute
+   URL (scheme:// or mailto:) or a pure in-page anchor (#...). Relative
+   targets are resolved against the containing file's directory; anchors
+   and query strings are stripped before the existence check.
+
+2. Backtick code spans that look like repo file references (`src/x/y.h`,
+   `tools/z.py`, ...): a path-shaped span with a file extension must name a
+   file that exists, resolved against the repo root, the repo's src/
+   directory (docs routinely write `core/lut_kernel.h` for src-relative
+   headers), or the markdown file's own directory. Spans with glob or
+   placeholder characters (*, <, {) and generated build/ artifacts are
+   skipped. This keeps prose like docs/STATIC_ANALYSIS.md from rotting as
+   files move.
+
+Exits 1 listing every broken reference, 0 when all resolve.
 """
 import re
 import sys
 from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 # Inline links only; reference-style links are not used in this repo.
 # [text](target "title") and [text](target) both match; nested parens are
 # not (markdown would need <...> for those anyway).
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 SKIP_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # scheme: (https:, mailto:)
+
+# `path/file.ext` code spans: at least one directory separator and a known
+# source/doc extension, nothing but path characters.
+CODE_REF_RE = re.compile(
+    r"`([A-Za-z0-9_.-]+(?:/[A-Za-z0-9_.-]+)+"
+    r"\.(?:h|hpp|cpp|cc|py|md|json|yml|yaml|txt|cmake))`")
 
 
 def check_file(path: Path) -> list[str]:
@@ -35,6 +55,15 @@ def check_file(path: Path) -> list[str]:
         resolved = (path.parent / rel).resolve()
         if not resolved.exists():
             errors.append(f"{path}: broken link '{target}' -> {resolved}")
+    for match in CODE_REF_RE.finditer(text):
+        ref = match.group(1)
+        if ref.startswith("build/"):  # generated artifacts, not sources
+            continue
+        roots = (REPO_ROOT, REPO_ROOT / "src", path.parent)
+        if not any((root / ref).exists() for root in roots):
+            errors.append(
+                f"{path}: stale code reference `{ref}` (not found under the "
+                "repo root, src/, or the file's directory)")
     return errors
 
 
