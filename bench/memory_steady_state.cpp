@@ -6,7 +6,9 @@
 // served enough times for the pool free lists and workspace slots to reach
 // their high-water sizes), snapshots the pool counters, then measures a
 // sustained window. The headline counter is alloc_delta_warm: buffer-pool
-// heap misses during the measured window. With pools on this is ZERO — the
+// heap misses during the measured window. Lifecycle tracing is ENABLED for
+// every configuration, so the contract covers the instrumented hot path,
+// not just the bare one. With pools on this is ZERO — the
 // property CI asserts from the emitted JSON — while reuse_delta counts the
 // recycled acquisitions that replaced those allocations. rss_delta_bytes
 // reports the resident-set movement over the window (control-plane
@@ -27,6 +29,7 @@
 #include "bench_util.h"
 #include "numerics/math.h"
 #include "numerics/rng.h"
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 #include "serve/server.h"
 #include "transformer/infer.h"
@@ -127,6 +130,12 @@ void BM_MemorySteadyState(benchmark::State& state) {
 
   serve::Server server(fixture().model, *fixture().lut, cfg);
 
+  // Trace the whole run: the per-thread rings are allocated once (at
+  // enable() / first event per thread, i.e. during warmup), so the
+  // alloc_delta_warm == 0 contract must hold with tracing ENABLED — the
+  // instrumented hot path records into preallocated rings only.
+  obs::TraceRecorder::instance().enable(/*events_per_thread=*/4096);
+
   // Warm every seq bucket: pool free lists and workspace slots reach their
   // high-water sizes, so the measured window below is pure steady state.
   for (int r = 0; r < kWarmRounds; ++r) run_wave(server, streams);
@@ -157,6 +166,11 @@ void BM_MemorySteadyState(benchmark::State& state) {
       rss1.supported ? static_cast<double>(rss1.rss_bytes) -
                            static_cast<double>(rss0.rss_bytes)
                      : 0.0;
+  // Events recorded during this configuration — proves the zero-alloc
+  // window above really exercised the tracing hot path.
+  state.counters["trace_events"] = static_cast<double>(
+      obs::TraceRecorder::instance().stats().recorded);
+  obs::TraceRecorder::instance().disable();
   nnlut::runtime::set_runtime_config({});
 }
 

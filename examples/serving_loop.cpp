@@ -13,6 +13,11 @@
 //      int32 queue actually overflows while batches execute; shed requests
 //      resolve with ServerOverloaded and are retried nowhere — exactly
 //      what a front-end sees under overload.
+//   5. The whole serving phase runs with lifecycle tracing enabled: after
+//      the drain the example prints the engine's Prometheus scrape and
+//      writes serving_trace.json — load it in Perfetto / chrome://tracing
+//      to see req.* lifecycle spans, batch.merge/batch.exec flushes and
+//      pool.shard worker spans on their named threads.
 //
 // Build & run:   ./example_serving_loop
 #include <atomic>
@@ -24,6 +29,7 @@
 #include "approx/linear_lut.h"
 #include "eval/pipeline.h"
 #include "numerics/math.h"
+#include "obs/trace.h"
 #include "serve/engine.h"
 #include "tasks/tasks.h"
 
@@ -66,6 +72,10 @@ int main() {
   lopt.select = ApproxSelection::all();
   auto fp32_backend = make_lut_backend(luts, LutPrecision::kFp32, lopt);
   auto int32_backend = make_lut_backend(luts, LutPrecision::kInt32, lopt);
+
+  // Trace the serving phase only (training stays untraced). Tracing never
+  // steers scheduling: results below are bit-identical with it disabled.
+  obs::TraceRecorder::instance().enable(/*events_per_thread=*/16384);
 
   serve::Engine engine;  // threads = 0: every hardware thread
 
@@ -115,8 +125,29 @@ int main() {
   }
   for (auto& t : clients) t.join();
 
+  // Drained: everything the clients submitted has resolved. Scrape the
+  // unified metrics registry while the engine is still live — this is the
+  // exact text a Prometheus endpoint would serve.
+  const std::string scrape = engine.scrape();
   const serve::EngineStats stats = engine.stats();
   engine.shutdown();
+
+  obs::TraceRecorder::instance().disable();
+  const obs::TraceRecorder::Stats tstats = obs::TraceRecorder::instance().stats();
+  const char* trace_path = "serving_trace.json";
+  if (!obs::TraceRecorder::instance().export_json_file(trace_path)) {
+    std::fprintf(stderr, "failed to write %s\n", trace_path);
+    return 1;
+  }
+
+  std::printf("\n--- Prometheus scrape (post-drain) ---\n%s"
+              "--- end scrape ---\n",
+              scrape.c_str());
+  std::printf("\nChrome trace written to %s (%llu events recorded on %zu "
+              "threads, %llu dropped) — open in Perfetto or "
+              "chrome://tracing.\n",
+              trace_path, static_cast<unsigned long long>(tstats.recorded),
+              tstats.threads, static_cast<unsigned long long>(tstats.dropped));
 
   for (const auto& kv : stats.models) {
     const serve::SlotStats& s = kv.second;

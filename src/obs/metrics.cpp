@@ -1,0 +1,196 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace nnlut::obs {
+
+namespace {
+
+void append_label_value(std::string& out, const std::string& v) {
+  for (const char c : v) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+}
+
+void append_labels(std::string& out, const MetricsRegistry::Labels& labels,
+                   const char* extra_name = nullptr,
+                   const std::string* extra_value = nullptr) {
+  if (labels.empty() && extra_name == nullptr) return;
+  out += '{';
+  bool first = true;
+  for (const auto& kv : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += kv.first;
+    out += "=\"";
+    append_label_value(out, kv.second);
+    out += '"';
+  }
+  if (extra_name != nullptr) {
+    if (!first) out += ',';
+    out += extra_name;
+    out += "=\"";
+    append_label_value(out, *extra_value);
+    out += '"';
+  }
+  out += '}';
+}
+
+/// Prometheus sample values: integral values print without an exponent or
+/// trailing ".000000" so counters and log2 bucket edges stay readable (and
+/// golden-testable); everything else falls back to shortest-ish %.9g.
+void append_value(std::string& out, double v) {
+  char buf[48];
+  if (std::nearbyint(v) == v && std::fabs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  out += buf;
+}
+
+void append_value(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+bool same_labels(const MetricsRegistry::Labels& a,
+                 const MetricsRegistry::Labels& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) return false;
+  return true;
+}
+
+}  // namespace
+
+MetricsRegistry::Family& MetricsRegistry::family(const std::string& name,
+                                                 const std::string& help,
+                                                 Kind kind) {
+  if (name.empty())
+    throw std::invalid_argument("MetricsRegistry: empty metric name");
+  for (Family& f : families_) {
+    if (f.name != name) continue;
+    if (f.kind != kind)
+      throw std::invalid_argument("MetricsRegistry: metric '" + name +
+                                  "' re-registered with a different kind");
+    return f;
+  }
+  families_.push_back(Family{name, help, kind, {}});
+  return families_.back();
+}
+
+void MetricsRegistry::add_counter(const std::string& name,
+                                  const std::string& help, Labels labels,
+                                  CounterFn fn) {
+  MutexLock lk(mu_);
+  Family& f = family(name, help, Kind::kCounter);
+  for (const Series& s : f.series)
+    if (same_labels(s.labels, labels))
+      throw std::invalid_argument("MetricsRegistry: duplicate series for '" +
+                                  name + "'");
+  f.series.push_back(Series{std::move(labels), std::move(fn), {}, {}});
+}
+
+void MetricsRegistry::add_gauge(const std::string& name,
+                                const std::string& help, Labels labels,
+                                GaugeFn fn) {
+  MutexLock lk(mu_);
+  Family& f = family(name, help, Kind::kGauge);
+  for (const Series& s : f.series)
+    if (same_labels(s.labels, labels))
+      throw std::invalid_argument("MetricsRegistry: duplicate series for '" +
+                                  name + "'");
+  f.series.push_back(Series{std::move(labels), {}, std::move(fn), {}});
+}
+
+void MetricsRegistry::add_histogram(const std::string& name,
+                                    const std::string& help, Labels labels,
+                                    HistogramFn fn) {
+  MutexLock lk(mu_);
+  Family& f = family(name, help, Kind::kHistogram);
+  for (const Series& s : f.series)
+    if (same_labels(s.labels, labels))
+      throw std::invalid_argument("MetricsRegistry: duplicate series for '" +
+                                  name + "'");
+  f.series.push_back(Series{std::move(labels), {}, {}, std::move(fn)});
+}
+
+std::string MetricsRegistry::scrape() const {
+  MutexLock lk(mu_);
+  std::string out;
+  for (const Family& f : families_) {
+    out += "# HELP " + f.name + " " + f.help + "\n";
+    out += "# TYPE " + f.name + " ";
+    out += f.kind == Kind::kCounter
+               ? "counter"
+               : (f.kind == Kind::kGauge ? "gauge" : "histogram");
+    out += "\n";
+    for (const Series& s : f.series) {
+      switch (f.kind) {
+        case Kind::kCounter: {
+          out += f.name;
+          append_labels(out, s.labels);
+          out += ' ';
+          append_value(out, s.counter());
+          out += '\n';
+          break;
+        }
+        case Kind::kGauge: {
+          out += f.name;
+          append_labels(out, s.labels);
+          out += ' ';
+          append_value(out, s.gauge());
+          out += '\n';
+          break;
+        }
+        case Kind::kHistogram: {
+          const HistogramSnapshot h = s.histogram();
+          std::uint64_t cumulative = 0;
+          for (std::size_t b = 0; b < h.upper_bounds.size(); ++b) {
+            cumulative += b < h.counts.size() ? h.counts[b] : 0;
+            std::string le;
+            append_value(le, h.upper_bounds[b]);
+            out += f.name + "_bucket";
+            append_labels(out, s.labels, "le", &le);
+            out += ' ';
+            append_value(out, cumulative);
+            out += '\n';
+          }
+          // The +Inf bucket must equal _count by construction.
+          const std::string inf = "+Inf";
+          out += f.name + "_bucket";
+          append_labels(out, s.labels, "le", &inf);
+          out += ' ';
+          append_value(out, h.count);
+          out += '\n';
+          out += f.name + "_sum";
+          append_labels(out, s.labels);
+          out += ' ';
+          append_value(out, h.sum);
+          out += '\n';
+          out += f.name + "_count";
+          append_labels(out, s.labels);
+          out += ' ';
+          append_value(out, h.count);
+          out += '\n';
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace nnlut::obs

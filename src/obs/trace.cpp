@@ -1,0 +1,196 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "core/thread_annotations.h"
+#include "obs/trace_ring.h"
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <pthread.h>
+#endif
+
+namespace nnlut::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// One thread's ring plus its export identity. The owning thread is the
+/// only writer; the exporter and stats() read under `mu`. The storage array
+/// is allocated exactly once, here — everything past construction is the
+/// allocation-free SpanRing path.
+struct ThreadRing {
+  ThreadRing(std::size_t capacity, std::uint32_t tid_in)
+      : storage(capacity == 0 ? nullptr : new TraceEvent[capacity]),
+        tid(tid_in) {
+    ring.reset(storage.get(), capacity);
+#if defined(__linux__) || defined(__APPLE__)
+    pthread_getname_np(pthread_self(), name, sizeof(name));
+#endif
+    if (name[0] == '\0')
+      std::snprintf(name, sizeof(name), "thread-%u", tid);
+  }
+
+  Mutex mu;
+  SpanRing ring NNLUT_GUARDED_BY(mu);
+  const std::unique_ptr<TraceEvent[]> storage;  // fixed at construction
+  const std::uint32_t tid;   // registration order within the session, from 1
+  char name[32] = {};        // OS thread name at first recorded event
+};
+
+Mutex g_mu;
+std::vector<std::shared_ptr<ThreadRing>> g_rings NNLUT_GUARDED_BY(g_mu);
+std::size_t g_capacity NNLUT_GUARDED_BY(g_mu) =
+    TraceRecorder::kDefaultRingCapacity;
+std::uint64_t g_epoch_ns NNLUT_GUARDED_BY(g_mu) = 0;
+// Bumped by every enable(); threads lazily re-register when their cached
+// session falls behind, so a new session starts from an empty ring set
+// without touching other threads.
+std::atomic<std::uint64_t> g_session{0};
+
+thread_local std::shared_ptr<ThreadRing> t_ring;
+thread_local std::uint64_t t_session = 0;
+
+/// The calling thread's ring for the current session, registering it on
+/// first use (the only allocation of the recording path, once per thread
+/// per session). Null when tracing is disabled.
+ThreadRing* local_ring() {
+  const std::uint64_t session = g_session.load(std::memory_order_relaxed);
+  if (t_session != session) {
+    t_session = session;
+    t_ring.reset();
+    MutexLock lk(g_mu);
+    if (trace_enabled()) {
+      auto ring = std::make_shared<ThreadRing>(
+          g_capacity, static_cast<std::uint32_t>(g_rings.size() + 1));
+      g_rings.push_back(ring);
+      t_ring = std::move(ring);
+    }
+  }
+  return t_ring.get();
+}
+
+void append_escaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      os << buf;
+    } else {
+      os << c;
+    }
+  }
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::instance() {
+  // Intentionally leaked: instrumented subsystems may record while their
+  // own statics tear down, so the recorder must outlive every other static.
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::enable(std::size_t events_per_thread) {
+  MutexLock lk(g_mu);
+  g_rings.clear();
+  g_capacity = events_per_thread;
+  g_epoch_ns = trace_now_ns();
+  g_session.fetch_add(1, std::memory_order_relaxed);
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::disable() {
+  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void TraceRecorder::record_complete(const char* name, std::uint64_t start_ns,
+                                    std::uint64_t dur_ns, std::uint64_t id) {
+  ThreadRing* ring = local_ring();
+  if (ring == nullptr) return;
+  const TraceEvent ev{name, start_ns, dur_ns, id, EventKind::kComplete};
+  MutexLock lk(ring->mu);
+  ring->ring.push(ev);
+}
+
+void TraceRecorder::record_instant(const char* name, std::uint64_t id) {
+  ThreadRing* ring = local_ring();
+  if (ring == nullptr) return;
+  const TraceEvent ev{name, trace_now_ns(), 0, id, EventKind::kInstant};
+  MutexLock lk(ring->mu);
+  ring->ring.push(ev);
+}
+
+TraceRecorder::Stats TraceRecorder::stats() const {
+  Stats out;
+  MutexLock lk(g_mu);
+  out.threads = g_rings.size();
+  for (const auto& ring : g_rings) {
+    MutexLock rlk(ring->mu);
+    out.recorded += ring->ring.pushed();
+    out.dropped += ring->ring.dropped();
+  }
+  return out;
+}
+
+void TraceRecorder::export_json(std::ostream& os) const {
+  MutexLock lk(g_mu);
+  const double epoch_us = static_cast<double>(g_epoch_ns) / 1000.0;
+  os << "{\"traceEvents\":[\n"
+     << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+        "\"args\":{\"name\":\"nnlut\"}}";
+  for (const auto& ring : g_rings) {
+    os << ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":" << ring->tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    append_escaped(os, ring->name);
+    os << "\"}}";
+  }
+  char buf[160];
+  for (const auto& ring : g_rings) {
+    MutexLock rlk(ring->mu);
+    for (std::size_t i = 0; i < ring->ring.size(); ++i) {
+      const TraceEvent& ev = ring->ring.at(i);
+      // Rebase onto the session epoch; an event that straddled enable()
+      // clamps to 0 rather than going negative.
+      double ts_us = static_cast<double>(ev.ts_ns) / 1000.0 - epoch_us;
+      if (ts_us < 0.0) ts_us = 0.0;
+      os << ",\n{\"ph\":\"";
+      if (ev.kind == EventKind::kComplete) {
+        std::snprintf(buf, sizeof(buf),
+                      "X\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f",
+                      ring->tid, ts_us,
+                      static_cast<double>(ev.dur_ns) / 1000.0);
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      "i\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"s\":\"t\"",
+                      ring->tid, ts_us);
+      }
+      os << buf << ",\"name\":\"";
+      append_escaped(os, ev.name == nullptr ? "" : ev.name);
+      std::snprintf(buf, sizeof(buf), "\",\"args\":{\"id\":%llu}}",
+                    static_cast<unsigned long long>(ev.id));
+      os << buf;
+    }
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool TraceRecorder::export_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  export_json(os);
+  return os.good();
+}
+
+}  // namespace nnlut::obs

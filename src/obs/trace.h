@@ -1,0 +1,163 @@
+// Request-lifecycle tracing for the serving stack.
+//
+// TraceRecorder is a process-wide recorder of begin/end spans and instant
+// events into PER-THREAD fixed-capacity ring buffers (src/obs/trace_ring.h):
+//
+//   - Disabled cost is ONE branch: every probe starts with a relaxed load of
+//     one atomic flag (trace_enabled()) and bails. No clock is read, no
+//     mutex touched, nothing written.
+//   - Enabled cost per span is two steady-clock reads plus one uncontended
+//     mutex-guarded ring write on the recording thread's own ring. After a
+//     thread's ring exists (allocated once, at that thread's first recorded
+//     event of a session), recording performs ZERO heap allocation — spans
+//     live in the preallocated rings and full rings overwrite their oldest
+//     events (dropped counts stay exact), so tracing composes with the
+//     zero-allocation steady state of the buffer-pool serving path.
+//   - export_json() writes Chrome trace-event JSON (the "traceEvents"
+//     format) loadable in Perfetto / chrome://tracing, with thread_name
+//     metadata matching the pool / scheduler thread names
+//     ("nnlut-worker-N", "ns-<model>", ...).
+//
+// Determinism contract: tracing observes, never steers. No result path
+// reads a clock or a ring; served logits are bit-identical with tracing on
+// vs. off (asserted by serving_determinism_test). All wall-clock reads of
+// the tracer live in src/obs/ — the no-wallclock lint allowlists exactly
+// this directory, so an instrumented file outside serve//obs/ never
+// contains a clock read itself; it constructs ScopedSpan/instant() probes
+// whose clock reads are here.
+//
+// See docs/OBSERVABILITY.md for the span taxonomy and how to open a trace.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace nnlut::obs {
+
+namespace detail {
+/// The single enabled flag behind trace_enabled(). Relaxed everywhere:
+/// probes may observe an enable/disable a little late, which only moves a
+/// handful of events across the boundary — never a data race (ring access
+/// is mutex-guarded past the flag).
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+/// The one-branch gate every probe starts with.
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Steady-clock nanoseconds (absolute; the exporter rebases onto the
+/// enable() epoch). Only meaningful while building trace events.
+inline std::uint64_t trace_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Convert an already-held steady_clock time_point (e.g. a Submission's
+/// enqueue stamp) into trace timestamp units. Pure arithmetic, no clock
+/// read.
+inline std::uint64_t trace_ns(std::chrono::steady_clock::time_point tp) {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      tp.time_since_epoch())
+                      .count();
+  return ns < 0 ? 0 : static_cast<std::uint64_t>(ns);
+}
+
+class TraceRecorder {
+ public:
+  /// Default per-thread ring capacity, in events.
+  static constexpr std::size_t kDefaultRingCapacity = 8192;
+
+  /// The process-wide recorder (construct-on-first-use, never destroyed
+  /// before any user: instrumented subsystems may record during static
+  /// teardown of their own objects).
+  static TraceRecorder& instance();
+
+  /// Start a recording session: fix the export epoch to "now", drop every
+  /// ring of a previous session, and arm trace_enabled(). Each thread's
+  /// ring (capacity `events_per_thread`) is allocated once, at that
+  /// thread's first recorded event of this session; recording after that
+  /// allocates nothing.
+  void enable(std::size_t events_per_thread = kDefaultRingCapacity);
+
+  /// Disarm trace_enabled(). Rings are RETAINED so a quiesced trace can be
+  /// exported after the traced workload (and its threads) finished.
+  void disable();
+
+  bool enabled() const { return trace_enabled(); }
+
+  /// Record a completed span [start_ns, start_ns + dur_ns). Probes normally
+  /// go through ScopedSpan / complete() below, which gate on
+  /// trace_enabled() first. `name` must have static storage duration.
+  void record_complete(const char* name, std::uint64_t start_ns,
+                       std::uint64_t dur_ns, std::uint64_t id);
+  /// Record a point event at "now".
+  void record_instant(const char* name, std::uint64_t id);
+
+  struct Stats {
+    std::uint64_t recorded = 0;  // events pushed (retained + overwritten)
+    std::uint64_t dropped = 0;   // overwritten by ring wraparound, exact
+    std::size_t threads = 0;     // rings registered this session
+  };
+  Stats stats() const;
+
+  /// Chrome trace-event JSON ("traceEvents" array object form):
+  /// thread_name/process_name metadata first, then every retained event,
+  /// timestamps in microseconds rebased onto the enable() epoch. Loadable
+  /// in Perfetto (ui.perfetto.dev) and chrome://tracing.
+  void export_json(std::ostream& os) const;
+  /// export_json() into `path`; false (with no partial file guarantee
+  /// beyond the OS's) when the file cannot be opened.
+  bool export_json_file(const std::string& path) const;
+
+ private:
+  TraceRecorder() = default;
+};
+
+/// RAII span: stamps begin on construction, records the complete span on
+/// destruction. When tracing is disabled at construction the whole object
+/// is a no-op (one relaxed-atomic branch, the name pointer stays null).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, std::uint64_t id = 0) {
+    if (!trace_enabled()) return;
+    name_ = name;
+    id_ = id;
+    start_ns_ = trace_now_ns();
+  }
+  ~ScopedSpan() {
+    if (name_ == nullptr) return;
+    TraceRecorder::instance().record_complete(
+        name_, start_ns_, trace_now_ns() - start_ns_, id_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t id_ = 0;
+};
+
+/// Record a completed span from two timestamps the caller already holds
+/// (e.g. a request's enqueue/dequeue stamps replayed at resolve time).
+inline void complete(const char* name, std::uint64_t start_ns,
+                     std::uint64_t end_ns, std::uint64_t id = 0) {
+  if (!trace_enabled()) return;
+  TraceRecorder::instance().record_complete(
+      name, start_ns, end_ns >= start_ns ? end_ns - start_ns : 0, id);
+}
+
+/// Record a point event at "now".
+inline void instant(const char* name, std::uint64_t id = 0) {
+  if (!trace_enabled()) return;
+  TraceRecorder::instance().record_instant(name, id);
+}
+
+}  // namespace nnlut::obs

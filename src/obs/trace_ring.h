@@ -1,0 +1,84 @@
+// Fixed-capacity span ring for the trace recorder (src/obs/trace.h).
+//
+// One SpanRing belongs to one recording thread; the recorder wraps it in a
+// mutex so the exporter can read a quiescent copy. The ring itself is the
+// HOT PATH of tracing — every span and instant event lands here — so this
+// file is tagged hot-path in tools/lint_manifest.json (no-hot-alloc): the
+// ring never allocates. Storage is a caller-owned array fixed at reset();
+// when the ring is full, push() overwrites the OLDEST event (a trace wants
+// the most recent activity) and the overwrite count is exact:
+// dropped() == pushed() - size() at all times.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nnlut::obs {
+
+enum class EventKind : std::uint8_t {
+  kComplete,  // begin/end pair collapsed into {ts, dur}
+  kInstant,   // point event, dur unused
+};
+
+/// One recorded event. `name` must be a string with static storage duration
+/// (the recorder never copies it — that is what keeps recording
+/// allocation-free); `id` correlates events across threads (request id) and
+/// is exported as an arg.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t ts_ns = 0;   // steady-clock nanoseconds (absolute)
+  std::uint64_t dur_ns = 0;  // kComplete only
+  std::uint64_t id = 0;      // correlation id; 0 = none
+  EventKind kind = EventKind::kInstant;
+};
+
+/// Overwrite-oldest ring over caller-owned storage. Not thread-safe on its
+/// own; the owning ThreadRing (trace.cpp) guards it with a mutex.
+class SpanRing {
+ public:
+  SpanRing() = default;
+
+  /// Point the ring at `storage[0..capacity)` and empty it. The storage must
+  /// outlive the ring (the recorder owns both with matching lifetime).
+  void reset(TraceEvent* storage, std::size_t capacity) {
+    events_ = storage;
+    capacity_ = capacity;
+    head_ = 0;
+    count_ = 0;
+    pushed_ = 0;
+  }
+
+  /// Record one event; overwrites the oldest when full. Never allocates.
+  void push(const TraceEvent& ev) {
+    ++pushed_;
+    if (capacity_ == 0) return;  // capacity 0: count-only ring, drops all
+    events_[head_] = ev;
+    head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+    if (count_ < capacity_) ++count_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  /// Events currently held: min(pushed, capacity).
+  std::size_t size() const { return count_; }
+  /// Total push() calls since reset().
+  std::uint64_t pushed() const { return pushed_; }
+  /// Events lost to overwriting, exactly: pushed() - size().
+  std::uint64_t dropped() const { return pushed_ - count_; }
+
+  /// i-th retained event, oldest first (i in [0, size())).
+  const TraceEvent& at(std::size_t i) const {
+    const std::size_t oldest = count_ < capacity_ ? 0 : head_;
+    std::size_t idx = oldest + i;
+    if (idx >= capacity_) idx -= capacity_;
+    return events_[idx];
+  }
+
+ private:
+  TraceEvent* events_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;   // next write position
+  std::size_t count_ = 0;  // retained events
+  std::uint64_t pushed_ = 0;
+};
+
+}  // namespace nnlut::obs

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/thread_annotations.h"
+#include "obs/trace.h"
 
 namespace nnlut::runtime {
 
@@ -56,6 +57,9 @@ class PoolCore {
       // Miss: allocate outside the lock, and only count the slab once the
       // allocator succeeded — a throwing ::operator new must leave every
       // counter exactly as it found them (no phantom outstanding slab).
+      // A pool.miss instant in a warmed steady-state window is exactly the
+      // anomaly the zero-alloc contract forbids, so make it visible.
+      obs::instant("pool.miss", klass);
       slab = ::operator new(klass, std::align_val_t{kAlign});
       MutexLock lk(mu_);
       ++stats_.alloc_count;

@@ -5,6 +5,8 @@
 #include <memory>
 #include <string>
 
+#include "obs/trace.h"
+
 #if defined(__linux__) || defined(__APPLE__)
 #include <pthread.h>
 #endif
@@ -34,6 +36,14 @@ std::shared_ptr<ThreadPool> g_pool NNLUT_GUARDED_BY(g_config_mu);
 // kernel calling another sharded kernel) run inline instead of deadlocking
 // on the pool.
 thread_local bool t_in_shard = false;
+
+// ThreadPoolStats counters — process-global (not per-pool) so they survive
+// set_runtime_config pool rebuilds. Relaxed: monitoring only, never
+// synchronization.
+std::atomic<std::uint64_t> g_jobs{0};
+std::atomic<std::uint64_t> g_inline_runs{0};
+std::atomic<std::uint64_t> g_shards_run{0};
+std::atomic<std::size_t> g_busy_lanes{0};
 
 }  // namespace
 
@@ -73,6 +83,19 @@ std::shared_ptr<ThreadPool> acquire_pool() {
   return g_pool;
 }
 
+ThreadPoolStats thread_pool_stats() {
+  ThreadPoolStats s;
+  s.jobs = g_jobs.load(std::memory_order_relaxed);
+  s.inline_runs = g_inline_runs.load(std::memory_order_relaxed);
+  s.shards = g_shards_run.load(std::memory_order_relaxed);
+  s.busy_lanes = g_busy_lanes.load(std::memory_order_relaxed);
+  {
+    MutexLock lk(g_config_mu);
+    s.lanes = g_pool ? g_pool->lanes() : lanes_for_config(g_config);
+  }
+  return s;
+}
+
 ThreadPool::ThreadPool(std::size_t lanes) {
   const std::size_t workers = lanes == 0 ? 0 : lanes - 1;
   workers_.reserve(workers);
@@ -110,11 +133,15 @@ void ThreadPool::worker_loop(std::size_t lane) {
     lk.unlock();
     std::exception_ptr err;
     t_in_shard = true;
+    g_busy_lanes.fetch_add(1, std::memory_order_relaxed);
+    g_shards_run.fetch_add(1, std::memory_order_relaxed);
     try {
+      obs::ScopedSpan span("pool.shard", lane);
       job(lane);
     } catch (...) {
       err = std::current_exception();
     }
+    g_busy_lanes.fetch_sub(1, std::memory_order_relaxed);
     t_in_shard = false;
     lk.lock();
     if (err && !error_) error_ = err;  // first failure wins
@@ -128,19 +155,26 @@ void ThreadPool::run(std::size_t nshards, FunctionRef<void(std::size_t)> fn) {
   // lane, a nested call from inside a shard, or a pool rebuilt smaller
   // between the caller's lane count read and this call).
   if (nshards == 1 || workers_.empty() || t_in_shard || nshards > lanes()) {
+    g_inline_runs.fetch_add(1, std::memory_order_relaxed);
+    g_shards_run.fetch_add(nshards, std::memory_order_relaxed);
     for (std::size_t s = 0; s < nshards; ++s) fn(s);
     return;
   }
+  g_jobs.fetch_add(1, std::memory_order_relaxed);
   // Claim the workers through the FIFO ticket lock. Concurrent
   // orchestrators (one scheduler thread per Engine model slot, or a direct
   // caller racing a server) must not touch job_/epoch_ while a job is in
   // flight; each takes a ticket and is admitted in arrival order, so every
   // orchestrator gets the full pool for its job and none can starve.
   {
+    obs::ScopedSpan wait_span("pool.wait_turn", nshards);
     UniqueLock lk(orch_mu_);
     const std::uint64_t ticket = orch_next_ticket_++;
     while (orch_serving_ != ticket) cv_orch_.wait(lk);
   }
+  // Covers job publication through worker drain and handoff — the
+  // orchestrator's whole turn on the workers.
+  obs::ScopedSpan turn_span("pool.turn", nshards);
   {
     MutexLock lk(mu_);
     job_ = fn;
@@ -154,11 +188,15 @@ void ThreadPool::run(std::size_t nshards, FunctionRef<void(std::size_t)> fn) {
   // scope; the first failure is then rethrown on the calling thread.
   std::exception_ptr err;
   t_in_shard = true;
+  g_busy_lanes.fetch_add(1, std::memory_order_relaxed);
+  g_shards_run.fetch_add(1, std::memory_order_relaxed);
   try {
+    obs::ScopedSpan span("pool.shard", 0);
     fn(0);
   } catch (...) {
     err = std::current_exception();
   }
+  g_busy_lanes.fetch_sub(1, std::memory_order_relaxed);
   t_in_shard = false;
   {
     UniqueLock lk(mu_);

@@ -154,6 +154,20 @@ class ThreadPool {
 /// its workers once the last in-flight holder releases it.
 std::shared_ptr<ThreadPool> acquire_pool();
 
+/// Process-wide pool execution counters, maintained with relaxed atomics
+/// (readers may observe slightly stale values; the counters survive pool
+/// rebuilds). `busy_lanes` is instantaneous occupancy — lanes executing a
+/// shard at the moment of the read — the value the metrics registry
+/// exposes as the occupancy gauge.
+struct ThreadPoolStats {
+  std::uint64_t jobs = 0;         // parallel jobs dispatched through run()
+  std::uint64_t inline_runs = 0;  // run() calls that executed inline
+  std::uint64_t shards = 0;       // shard executions, lane 0 included
+  std::size_t lanes = 0;          // execution lanes of the current config
+  std::size_t busy_lanes = 0;     // lanes inside a shard right now
+};
+ThreadPoolStats thread_pool_stats();
+
 /// Shard [begin, end) into at most `lanes` contiguous blocks of at least
 /// `grain` items each and run fn(block_begin, block_end) on each block.
 /// Blocks are disjoint, cover the range exactly, and are assigned to fixed

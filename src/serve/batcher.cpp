@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 
 namespace nnlut::serve {
@@ -39,6 +40,14 @@ void Batcher::loop() {
     }
     queue_->wait_drain(deadline, drained_);
     const bool closed = queue_->closed();
+
+    if (!drained_.empty()) {
+      // One stamp per drain cycle: every request drained together left the
+      // queue at the same scheduler instant.
+      obs::instant("batcher.drain", drained_.size());
+      const auto drained_at = std::chrono::steady_clock::now();
+      for (Submission& sub : drained_) sub.dequeued = drained_at;
+    }
 
     for (Submission& sub : drained_) {
       Bucket& b = buckets_[sub.input.seq];
@@ -92,11 +101,36 @@ void Batcher::flush_chunk(Bucket& bucket) {
 
 // Stats records run BEFORE the result is released to the waiting client, so
 // a stats() snapshot taken after get() returns always counts that request.
-void Batcher::finish(const Submission& sub, bool ok) {
+void Batcher::finish(const Submission& sub, bool ok,
+                     std::chrono::steady_clock::time_point exec_start,
+                     std::chrono::steady_clock::time_point exec_end) {
+  const auto now = std::chrono::steady_clock::now();
+  if (obs::trace_enabled()) {
+    // Replay the request's lifecycle as four adjacent complete spans, all
+    // carrying the process-global request id so a trace viewer can follow
+    // one request across threads (its req.submit instant lands on the
+    // client thread, these spans on the scheduler thread).
+    const std::uint64_t t0 = obs::trace_ns(sub.enqueued);
+    const std::uint64_t t1 = obs::trace_ns(sub.dequeued);
+    const std::uint64_t t2 = obs::trace_ns(exec_start);
+    const std::uint64_t t3 = obs::trace_ns(exec_end);
+    const std::uint64_t t4 = obs::trace_ns(now);
+    obs::complete("req.queue_wait", t0, t1, sub.id);
+    obs::complete("req.batch_wait", t1, t2, sub.id);
+    obs::complete("req.exec", t2, t3, sub.id);
+    obs::complete("req.resolve", t3, t4, sub.id);
+  }
   if (!ledger_) return;
-  const auto latency = std::chrono::duration_cast<std::chrono::microseconds>(
-      std::chrono::steady_clock::now() - sub.enqueued);
-  ledger_->record_done(latency, ok);
+  const auto us = [](std::chrono::steady_clock::duration d) {
+    return std::chrono::duration_cast<std::chrono::microseconds>(d);
+  };
+  StageLatency st;
+  st.queue_wait = us(sub.dequeued - sub.enqueued);
+  st.batch_wait = us(exec_start - sub.dequeued);
+  st.exec = us(exec_end - exec_start);
+  st.resolve = us(now - exec_end);
+  st.total = us(now - sub.enqueued);
+  ledger_->record_done(st, ok);
 }
 
 void Batcher::execute() {
@@ -107,8 +141,9 @@ void Batcher::execute() {
   for (Submission& sub : chunk_) {
     if (sub.state->claim()) {
       live.push_back(std::move(sub));
-    } else if (ledger_) {
-      ledger_->record_cancelled();
+    } else {
+      obs::instant("req.cancelled", sub.id);
+      if (ledger_) ledger_->record_cancelled();
     }
   }
   chunk_.clear();
@@ -134,6 +169,9 @@ void Batcher::execute() {
   if (live.size() == 1) {
     input = &live.front().input;
   } else {
+    // Span id = member request count; the merged row-concat is the part of
+    // batching that actually copies token data.
+    obs::ScopedSpan merge_span("batch.merge", live.size());
     merged.batch = total_batch;
     merged.seq = seq;
     merged.token_ids.reserve(total_batch * seq);
@@ -157,19 +195,25 @@ void Batcher::execute() {
 
   Tensor out;
   std::exception_ptr batch_err;
-  try {
-    out = run_(*input);
-    if (live.size() > 1 && (out.rank() != 2 || out.dim(0) % total_batch != 0))
-      throw std::logic_error("serve: model returned an unsplittable shape");
-  } catch (...) {
-    batch_err = std::current_exception();
+  const auto exec_start = std::chrono::steady_clock::now();
+  {
+    // Span id = merged sequence count (batch occupancy).
+    obs::ScopedSpan exec_span("batch.exec", total_batch);
+    try {
+      out = run_(*input);
+      if (live.size() > 1 && (out.rank() != 2 || out.dim(0) % total_batch != 0))
+        throw std::logic_error("serve: model returned an unsplittable shape");
+    } catch (...) {
+      batch_err = std::current_exception();
+    }
   }
+  const auto exec_end = std::chrono::steady_clock::now();
 
   if (!batch_err) {
     if (ledger_) ledger_->record_batch(live.size(), total_batch);
     if (live.size() == 1) {
       Submission& s = live.front();
-      finish(s, true);
+      finish(s, true, exec_start, exec_end);
       s.state->set_value(std::move(out));
     } else {
       // Slice each member's rows back out. Classification heads return one
@@ -184,25 +228,32 @@ void Batcher::execute() {
         std::copy(out.data() + row * cols, out.data() + (row + item_rows) * cols,
                   piece.data());
         row += item_rows;
-        finish(s, true);
+        finish(s, true, exec_start, exec_end);
         s.state->set_value(std::move(piece));
       }
     }
   } else if (live.size() == 1) {
     // Nothing to isolate: the request owns its error.
-    finish(live.front(), false);
+    finish(live.front(), false, exec_start, exec_end);
     live.front().state->set_error(batch_err);
   } else {
     // A member poisoned the batch (or the model rejected it whole): fall
     // back to solo execution so only the faulty request sees its error.
+    // Each solo run gets its own exec window so the stage histograms and
+    // req.exec spans reflect the run that actually served the request.
     for (Submission& s : live) {
+      const auto solo_start = std::chrono::steady_clock::now();
       try {
-        Tensor solo = run_(s.input);
+        Tensor solo;
+        {
+          obs::ScopedSpan solo_span("batch.exec", s.input.batch);
+          solo = run_(s.input);
+        }
         if (ledger_) ledger_->record_batch(1, s.input.batch);
-        finish(s, true);
+        finish(s, true, solo_start, std::chrono::steady_clock::now());
         s.state->set_value(std::move(solo));
       } catch (...) {
-        finish(s, false);
+        finish(s, false, solo_start, std::chrono::steady_clock::now());
         s.state->set_error(std::current_exception());
       }
     }

@@ -94,7 +94,13 @@ class Batcher {
   void flush_chunk(Bucket& bucket);
   /// Runs the submissions in chunk_ (cleared on return).
   void execute();
-  void finish(const Submission& sub, bool ok);
+  /// Resolve-side accounting for one request: stage-decomposed latency into
+  /// the ledger, plus the request's lifecycle trace spans (queue-wait /
+  /// batch-wait / exec / resolve, correlated by sub.id). `exec_start` /
+  /// `exec_end` bracket the model invocation that served this request.
+  void finish(const Submission& sub, bool ok,
+              std::chrono::steady_clock::time_point exec_start,
+              std::chrono::steady_clock::time_point exec_end);
 
   RequestQueue* queue_;
   RunFn run_;

@@ -5,6 +5,8 @@
 #include <string_view>
 #include <utility>
 
+#include "core/lut_kernel.h"
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 
 namespace nnlut::serve {
@@ -15,6 +17,21 @@ namespace {
 SlotConfig normalized(SlotConfig cfg) {
   if (cfg.max_batch == 0) cfg.max_batch = 1;
   return cfg;
+}
+
+// LatencyHistogram -> pull-time registry snapshot. 31 finite upper edges
+// (2 µs .. 2^31 µs); the last log2 bucket becomes the +Inf overflow entry.
+obs::HistogramSnapshot histogram_snapshot(const LatencyHistogram& h) {
+  obs::HistogramSnapshot out;
+  out.upper_bounds.reserve(LatencyHistogram::kBuckets - 1);
+  out.counts.reserve(LatencyHistogram::kBuckets);
+  for (std::size_t b = 0; b + 1 < LatencyHistogram::kBuckets; ++b)
+    out.upper_bounds.push_back(LatencyHistogram::bucket_upper_us(b));
+  for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b)
+    out.counts.push_back(h.bucket_count(b));
+  out.sum = static_cast<double>(h.sum_us());
+  out.count = h.count();
+  return out;
 }
 }  // namespace
 
@@ -51,6 +68,7 @@ Engine::ModelSlot::ModelSlot(std::string id_,
 
 Engine::Engine(EngineConfig cfg) : cfg_(cfg) {
   runtime::set_runtime_config({cfg_.threads, cfg_.simd});
+  register_process_metrics();
 }
 
 Engine::~Engine() { shutdown(); }
@@ -66,9 +84,182 @@ void Engine::register_model(const std::string& model_id,
   if (slots_.count(model_id) != 0)
     throw std::invalid_argument("Engine::register_model: duplicate model id '" +
                                 model_id + "'");
-  slots_.emplace(model_id,
-                 std::make_unique<ModelSlot>(model_id, model, nl, cfg));
+  auto [it, inserted] = slots_.emplace(
+      model_id, std::make_unique<ModelSlot>(model_id, model, nl, cfg));
   order_.push_back(model_id);
+  register_slot_metrics(it->second.get());
+}
+
+void Engine::register_slot_metrics(ModelSlot* slot) {
+  using Labels = obs::MetricsRegistry::Labels;
+  const std::string& id = slot->id;
+  const auto snap = [slot] {
+    const RequestQueue::Depths d = slot->queue.depths();
+    if (slot->pool) {
+      const runtime::PoolStats ps = slot->pool->stats();
+      return slot->ledger.snapshot(d.depth, d.peak, &ps);
+    }
+    return slot->ledger.snapshot(d.depth, d.peak);
+  };
+
+  struct CounterField {
+    const char* label;
+    std::uint64_t SlotStats::*field;
+  };
+  static const CounterField kOutcomes[] = {
+      {"completed", &SlotStats::completed},
+      {"failed", &SlotStats::failed},
+      {"cancelled", &SlotStats::cancelled},
+  };
+  for (const CounterField& o : kOutcomes)
+    metrics_.add_counter("nnlut_requests_total",
+                         "Requests resolved, by final outcome.",
+                         Labels{{"model", id}, {"outcome", o.label}},
+                         [snap, f = o.field] { return snap().*f; });
+  static const CounterField kReasons[] = {
+      {"validation", &SlotStats::rejected_validation},
+      {"overload", &SlotStats::rejected_overload},
+      {"shutdown", &SlotStats::rejected_shutdown},
+  };
+  for (const CounterField& r : kReasons)
+    metrics_.add_counter("nnlut_rejected_total",
+                         "Requests refused, by rejection reason.",
+                         Labels{{"model", id}, {"reason", r.label}},
+                         [snap, f = r.field] { return snap().*f; });
+  metrics_.add_counter("nnlut_submitted_total",
+                       "Requests admitted into the slot's queue.",
+                       Labels{{"model", id}},
+                       [snap] { return snap().submitted; });
+  metrics_.add_counter("nnlut_batches_total",
+                       "Model invocations (merged batches).",
+                       Labels{{"model", id}}, [snap] { return snap().batches; });
+  metrics_.add_gauge("nnlut_queue_depth",
+                     "Requests queued (admitted, not yet drained).",
+                     Labels{{"model", id}}, [slot] {
+                       return static_cast<double>(slot->queue.depths().depth);
+                     });
+  metrics_.add_gauge("nnlut_queue_peak_depth",
+                     "High-water mark of nnlut_queue_depth.",
+                     Labels{{"model", id}}, [slot] {
+                       return static_cast<double>(slot->queue.depths().peak);
+                     });
+
+  metrics_.add_counter("nnlut_pool_alloc_total",
+                       "Buffer-pool acquisitions that hit the heap (misses). "
+                       "Zero delta over a warmed window is the zero-alloc "
+                       "steady-state contract.",
+                       Labels{{"model", id}},
+                       [snap] { return snap().pool_alloc_count; });
+  metrics_.add_counter("nnlut_pool_reuse_total",
+                       "Buffer-pool acquisitions served from free lists.",
+                       Labels{{"model", id}},
+                       [snap] { return snap().pool_reuse_count; });
+  metrics_.add_gauge("nnlut_pool_outstanding",
+                     "Pool slabs currently checked out.", Labels{{"model", id}},
+                     [snap] {
+                       return static_cast<double>(snap().pool_outstanding);
+                     });
+  metrics_.add_gauge("nnlut_pool_bytes_live",
+                     "Outstanding + cached pool bytes.", Labels{{"model", id}},
+                     [snap] {
+                       return static_cast<double>(snap().pool_bytes_live);
+                     });
+  metrics_.add_gauge("nnlut_pool_bytes_peak",
+                     "High-water mark of nnlut_pool_bytes_live.",
+                     Labels{{"model", id}}, [snap] {
+                       return static_cast<double>(snap().pool_bytes_peak);
+                     });
+
+  struct Stage {
+    const char* name;
+    LatencyHistogram SlotStats::*hist;
+  };
+  static const Stage kStages[] = {
+      {"queue_wait", &SlotStats::hist_queue_wait},
+      {"batch_wait", &SlotStats::hist_batch_wait},
+      {"exec", &SlotStats::hist_exec},
+      {"resolve", &SlotStats::hist_resolve},
+  };
+  for (const Stage& stage : kStages)
+    metrics_.add_histogram(
+        "nnlut_stage_latency_us",
+        "Per-stage request latency (µs, log2 buckets): queue_wait = submit "
+        "to drain, batch_wait = drain to execution, exec = model "
+        "invocation, resolve = execution to client handoff.",
+        Labels{{"model", id}, {"stage", stage.name}},
+        [snap, hist = stage.hist] { return histogram_snapshot(snap().*hist); });
+  metrics_.add_histogram(
+      "nnlut_request_latency_us",
+      "End-to-end request latency (µs, log2 buckets), submit to resolve.",
+      Labels{{"model", id}},
+      [snap] { return histogram_snapshot(snap().hist_total); });
+}
+
+void Engine::register_process_metrics() {
+  using Labels = obs::MetricsRegistry::Labels;
+  metrics_.add_counter(
+      "nnlut_rejected_unknown_model_total",
+      "submit() calls naming a model id that was never registered.",
+      Labels{}, [this]() -> std::uint64_t {
+        MutexLock lk(unknown_mu_);
+        return rejected_unknown_model_;
+      });
+  metrics_.add_counter("nnlut_plan_cache_hits_total",
+                       "LUT plan-cache lookups that reused a live plan.",
+                       Labels{},
+                       [] { return std::uint64_t{plan_cache_stats().hits}; });
+  metrics_.add_counter("nnlut_plan_cache_misses_total",
+                       "LUT plan-cache lookups that compiled a new plan.",
+                       Labels{},
+                       [] { return std::uint64_t{plan_cache_stats().misses}; });
+  metrics_.add_gauge("nnlut_plan_cache_live", "Cached plans still referenced.",
+                     Labels{}, [] {
+                       return static_cast<double>(plan_cache_stats().live);
+                     });
+  metrics_.add_gauge("nnlut_plan_cache_entries",
+                     "Plan-cache entries held (incl. expired awaiting sweep).",
+                     Labels{}, [] {
+                       return static_cast<double>(plan_cache_stats().cached);
+                     });
+  metrics_.add_counter(
+      "nnlut_threadpool_jobs_total",
+      "Parallel jobs dispatched through the process thread pool.", Labels{},
+      [] { return runtime::thread_pool_stats().jobs; });
+  metrics_.add_counter("nnlut_threadpool_inline_runs_total",
+                       "Pool run() calls that executed inline on the caller.",
+                       Labels{},
+                       [] { return runtime::thread_pool_stats().inline_runs; });
+  metrics_.add_counter("nnlut_threadpool_shards_total",
+                       "Shard executions across all lanes (lane 0 included).",
+                       Labels{},
+                       [] { return runtime::thread_pool_stats().shards; });
+  metrics_.add_gauge("nnlut_threadpool_lanes",
+                     "Execution lanes of the current runtime config.",
+                     Labels{}, [] {
+                       return static_cast<double>(
+                           runtime::thread_pool_stats().lanes);
+                     });
+  metrics_.add_gauge("nnlut_threadpool_busy_lanes",
+                     "Lanes executing a shard at scrape time (occupancy).",
+                     Labels{}, [] {
+                       return static_cast<double>(
+                           runtime::thread_pool_stats().busy_lanes);
+                     });
+  metrics_.add_counter(
+      "nnlut_trace_events_recorded_total",
+      "Trace events pushed this tracing session (retained + overwritten).",
+      Labels{},
+      [] { return obs::TraceRecorder::instance().stats().recorded; });
+  metrics_.add_counter(
+      "nnlut_trace_events_dropped_total",
+      "Trace events overwritten by ring wraparound this session (exact).",
+      Labels{},
+      [] { return obs::TraceRecorder::instance().stats().dropped; });
+  metrics_.add_gauge("nnlut_trace_threads",
+                     "Threads with a trace ring this session.", Labels{}, [] {
+                       return static_cast<double>(
+                           obs::TraceRecorder::instance().stats().threads);
+                     });
 }
 
 Engine::ModelSlot* Engine::find_slot(std::string_view model_id) const {
@@ -182,8 +373,20 @@ EngineStats Engine::stats() const {
                                         s.p50_latency_us);
     out.total.p95_latency_us = std::max(out.total.p95_latency_us,
                                         s.p95_latency_us);
+    // Stage histograms aggregate exactly (bucket-wise sums), unlike the
+    // quantile fields above; the total's stage snapshots are recomputed
+    // from the merged histograms below.
+    out.total.hist_queue_wait.merge(s.hist_queue_wait);
+    out.total.hist_batch_wait.merge(s.hist_batch_wait);
+    out.total.hist_exec.merge(s.hist_exec);
+    out.total.hist_resolve.merge(s.hist_resolve);
+    out.total.hist_total.merge(s.hist_total);
     out.models.emplace(slot->id, std::move(s));
   }
+  out.total.stage_queue_wait = make_stage_snapshot(out.total.hist_queue_wait);
+  out.total.stage_batch_wait = make_stage_snapshot(out.total.hist_batch_wait);
+  out.total.stage_exec = make_stage_snapshot(out.total.hist_exec);
+  out.total.stage_resolve = make_stage_snapshot(out.total.hist_resolve);
   // Aggregate occupancy: batch-weighted mean across slots.
   if (out.total.batches > 0) {
     double requests = 0.0, sequences = 0.0;

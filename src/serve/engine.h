@@ -40,6 +40,7 @@
 
 #include "core/lut_kernel_simd.h"
 #include "core/thread_annotations.h"
+#include "obs/metrics.h"
 #include "serve/batcher.h"
 #include "serve/request_queue.h"
 #include "serve/stats.h"
@@ -111,8 +112,17 @@ class Engine {
   /// One slot's counters; throws std::out_of_range on unknown id.
   SlotStats model_stats(std::string_view model_id) const;
   /// Every slot plus the aggregate (counters summed, latency quantiles the
-  /// worst across slots).
+  /// worst across slots; stage histograms merged bucket-wise).
   EngineStats stats() const;
+
+  /// Prometheus text exposition of every registered instrument, evaluated
+  /// at call time: per-slot serving counters, queue depths, stage-latency
+  /// histograms and pool counters (model="<id>" labels), plus process-wide
+  /// plan-cache, thread-pool and tracer series. See docs/OBSERVABILITY.md.
+  std::string scrape() const { return metrics_.scrape(); }
+  /// The engine's registry, for embedders that want to hang extra
+  /// instruments onto the same scrape page.
+  obs::MetricsRegistry& metrics() { return metrics_; }
 
   /// Drain every slot's outstanding requests and stop all scheduler
   /// threads. Idempotent; the destructor calls it. submit() after shutdown
@@ -145,7 +155,18 @@ class Engine {
   /// engine is destroyed (slots are never erased, only shut down).
   ModelSlot* find_slot(std::string_view model_id) const;
 
+  /// Hang one slot's instruments onto metrics_ (called once per
+  /// register_model; callbacks capture the ModelSlot*, which stays valid
+  /// for the engine's lifetime since slots are never erased).
+  void register_slot_metrics(ModelSlot* slot);
+  /// Process-wide instruments (plan cache, thread pool, tracer, unknown-
+  /// model rejects), registered once at construction.
+  void register_process_metrics();
+
   EngineConfig cfg_;
+  // Declared before the slot registry: destroyed after it, and callbacks
+  // only run through scrape() on a live engine.
+  obs::MetricsRegistry metrics_;
   // Reader/writer lock over the registry: submits (every request, all
   // models) take it shared, so the hot path never serializes across slots;
   // register_model/shutdown take it exclusive. Slots themselves are never

@@ -1,10 +1,20 @@
 #include "serve/request_queue.h"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace nnlut::serve {
+
+namespace {
+// Process-global so request ids are unique across every queue (and so
+// across model slots); trace viewers can then correlate a request's spans
+// by id alone. Starts at 1: id 0 marks "no request" in span args.
+std::atomic<std::uint64_t> g_next_request_id{1};
+}  // namespace
 
 namespace detail {
 
@@ -153,11 +163,15 @@ PendingResult RequestQueue::submit(transformer::BatchInput in,
         }
       }
       if (out.status == Status::kAccepted) {
+        const std::uint64_t id =
+            g_next_request_id.fetch_add(1, std::memory_order_relaxed);
         items_.push_back(Submission{state, std::move(in),
                                     std::chrono::steady_clock::now(),
-                                    next_id_++});
+                                    std::chrono::steady_clock::time_point{},
+                                    id});
         peak_depth_ = std::max(peak_depth_, items_.size());
         if (ledger_) ledger_->record_admitted();
+        obs::instant("req.submit", id);
         cv_.notify_all();
       } else if (ledger_) {
         ledger_->record_rejected_overload();

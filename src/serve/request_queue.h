@@ -152,7 +152,13 @@ struct Submission {
   std::shared_ptr<detail::ResultState> state;
   transformer::BatchInput input;
   std::chrono::steady_clock::time_point enqueued;
-  std::uint64_t id = 0;  // submission order, for diagnostics
+  /// Stamped by the batcher when it drains this entry; epoch (i.e. unset)
+  /// until then. Feeds the queue-wait stage histogram and trace spans.
+  std::chrono::steady_clock::time_point dequeued{};
+  /// PROCESS-GLOBAL request id (atomic counter across every queue), so
+  /// trace spans from different threads — and different model slots —
+  /// correlate unambiguously by id.
+  std::uint64_t id = 0;
 };
 
 /// How one submit() resolved at the queue, for admission accounting.
@@ -240,7 +246,6 @@ class RequestQueue {
   mutable CondVar cv_;
   std::deque<Submission> items_ NNLUT_GUARDED_BY(mu_);
   bool closed_ NNLUT_GUARDED_BY(mu_) = false;
-  std::uint64_t next_id_ NNLUT_GUARDED_BY(mu_) = 0;
   std::size_t peak_depth_ NNLUT_GUARDED_BY(mu_) = 0;
 };
 

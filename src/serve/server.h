@@ -87,6 +87,9 @@ class Server {
   void shutdown();
 
   ServerStats stats() const;
+  /// Prometheus text exposition of the underlying engine's instruments
+  /// (the one slot carries model="default" labels).
+  std::string scrape() const { return engine_.scrape(); }
   const ServeConfig& config() const { return cfg_; }
 
   /// The underlying engine (one slot, model_id() = "default"), for callers

@@ -2,6 +2,16 @@
 
 namespace nnlut::serve {
 
+StageSnapshot make_stage_snapshot(const LatencyHistogram& h) {
+  StageSnapshot s;
+  s.count = h.count();
+  if (s.count == 0) return s;
+  s.p50_us = h.quantile(0.50);
+  s.p95_us = h.quantile(0.95);
+  s.mean_us = static_cast<double>(h.sum_us()) / static_cast<double>(s.count);
+  return s;
+}
+
 void LatencyHistogram::record(std::chrono::microseconds latency) {
   const std::uint64_t us =
       latency.count() < 0 ? 0 : static_cast<std::uint64_t>(latency.count());
@@ -9,6 +19,7 @@ void LatencyHistogram::record(std::chrono::microseconds latency) {
   while (bucket + 1 < kBuckets && (1ull << (bucket + 1)) <= us) ++bucket;
   ++counts_[bucket];
   ++total_;
+  sum_us_ += us;
 }
 
 double LatencyHistogram::quantile_us(double q) const {
@@ -21,6 +32,35 @@ double LatencyHistogram::quantile_us(double q) const {
       return static_cast<double>(1ull << (b + 1));  // upper bucket boundary
   }
   return static_cast<double>(1ull << kBuckets);
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  const double target = q * static_cast<double>(total_);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (counts_[b] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += counts_[b];
+    if (static_cast<double>(seen) < target) continue;
+    // The q-quantile lands in bucket b = [2^b, 2^(b+1)); place it by the
+    // fraction of the bucket's mass below the target, observations assumed
+    // uniform within the bucket. Bucket 0 spans [0, 2) so its lower edge is
+    // treated as 0.
+    const double lower = b == 0 ? 0.0 : static_cast<double>(1ull << b);
+    const double upper = static_cast<double>(1ull << (b + 1));
+    double frac = (target - before) / static_cast<double>(counts_[b]);
+    if (frac < 0.0) frac = 0.0;
+    if (frac > 1.0) frac = 1.0;
+    return lower + frac * (upper - lower);
+  }
+  return static_cast<double>(1ull << kBuckets);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+  total_ += other.total_;
+  sum_us_ += other.sum_us_;
 }
 
 void StatsLedger::record_admitted() {
@@ -58,14 +98,18 @@ void StatsLedger::record_batch(std::size_t requests, std::size_t sequences) {
   batch_sequences_ += sequences;
 }
 
-void StatsLedger::record_done(std::chrono::microseconds latency, bool ok) {
+void StatsLedger::record_done(const StageLatency& stages, bool ok) {
   MutexLock lk(mu_);
   if (ok) {
     ++completed_;
   } else {
     ++failed_;
   }
-  latency_.record(latency);
+  latency_.record(stages.total);
+  queue_wait_.record(stages.queue_wait);
+  batch_wait_.record(stages.batch_wait);
+  exec_.record(stages.exec);
+  resolve_.record(stages.resolve);
 }
 
 void StatsLedger::record_cancelled() {
@@ -97,6 +141,15 @@ SlotStats StatsLedger::snapshot(std::size_t queue_depth,
   s.p95_latency_us = latency_.quantile_us(0.95);
   s.queue_depth = queue_depth;
   s.peak_queue_depth = peak_queue_depth;
+  s.stage_queue_wait = make_stage_snapshot(queue_wait_);
+  s.stage_batch_wait = make_stage_snapshot(batch_wait_);
+  s.stage_exec = make_stage_snapshot(exec_);
+  s.stage_resolve = make_stage_snapshot(resolve_);
+  s.hist_queue_wait = queue_wait_;
+  s.hist_batch_wait = batch_wait_;
+  s.hist_exec = exec_;
+  s.hist_resolve = resolve_;
+  s.hist_total = latency_;
   if (pool != nullptr) {
     s.pool_alloc_count = pool->alloc_count;
     s.pool_reuse_count = pool->reuse_count;

@@ -30,22 +30,78 @@
 namespace nnlut::serve {
 
 /// Fixed-bucket log2 latency histogram: bucket i counts completions with
-/// latency in [2^i, 2^(i+1)) microseconds. Quantiles come from the bucket
-/// boundaries — coarse but allocation-free and O(1) to record. Not
-/// thread-safe on its own; StatsLedger guards it.
+/// latency in [2^i, 2^(i+1)) microseconds (bucket 0 also takes 0 µs, the
+/// last bucket everything above its lower edge). Allocation-free and O(1)
+/// to record. Not thread-safe on its own; StatsLedger guards it.
+///
+/// Two quantile readings:
+///   - quantile_us(q): the UPPER BOUNDARY of the bucket containing the
+///     q-quantile — a conservative bound ("p95 < 1024 µs"), never an
+///     estimate below the true value. SlotStats::p50/p95_latency_us keep
+///     this historical semantics.
+///   - quantile(q): within-bucket LINEAR INTERPOLATION — assumes
+///     observations spread uniformly inside the bucket and returns a point
+///     estimate. The per-stage snapshots (queue-wait / batch-wait / exec /
+///     resolve) use this.
 class LatencyHistogram {
  public:
   static constexpr std::size_t kBuckets = 32;
 
   void record(std::chrono::microseconds latency);
   std::uint64_t count() const { return total_; }
-  /// Upper bucket boundary (µs) at quantile q in [0, 1]; 0 when empty.
+  /// Sum of recorded latencies (µs) — the Prometheus histogram `_sum`.
+  std::uint64_t sum_us() const { return sum_us_; }
+  /// Upper boundary (µs) of the bucket holding quantile q in [0, 1]; 0 when
+  /// empty. See the class comment for the boundary-vs-interpolated split.
   double quantile_us(double q) const;
+  /// Point estimate (µs) at quantile q via within-bucket linear
+  /// interpolation; 0 when empty.
+  double quantile(double q) const;
+
+  /// Raw bucket count (i in [0, kBuckets)).
+  std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+  /// Upper edge (µs) of bucket i: 2^(i+1).
+  static double bucket_upper_us(std::size_t i) {
+    return static_cast<double>(1ull << (i + 1));
+  }
+
+  /// Add another histogram's observations into this one (bucket-wise).
+  /// EngineStats uses this to aggregate per-slot stage histograms.
+  void merge(const LatencyHistogram& other);
 
  private:
   std::uint64_t counts_[kBuckets] = {};
   std::uint64_t total_ = 0;
+  std::uint64_t sum_us_ = 0;
 };
+
+/// Stage decomposition of one served request's latency, measured by the
+/// batcher's scheduler thread (wall-clock lives only in serve//obs/):
+///   queue_wait  submit (enqueue) -> drained by the scheduler
+///   batch_wait  drained -> its batch starts executing (bucket residence)
+///   exec        model invocation (merged batch) wall time
+///   resolve     execution done -> result handed to the waiting client
+///   total       submit -> resolved (== the end-to-end latency histogram)
+struct StageLatency {
+  std::chrono::microseconds queue_wait{0};
+  std::chrono::microseconds batch_wait{0};
+  std::chrono::microseconds exec{0};
+  std::chrono::microseconds resolve{0};
+  std::chrono::microseconds total{0};
+};
+
+/// Summary of one stage histogram: count, interpolated p50/p95 and mean.
+/// Unlike SlotStats::p50/p95_latency_us (bucket upper boundaries), these
+/// quantiles use LatencyHistogram::quantile() interpolation.
+struct StageSnapshot {
+  std::uint64_t count = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double mean_us = 0.0;
+};
+
+/// Build a StageSnapshot (interpolated quantiles + mean) from a histogram.
+StageSnapshot make_stage_snapshot(const LatencyHistogram& h);
 
 /// Snapshot of one model slot's serving counters since construction. The
 /// single-model Server exposes this as ServerStats.
@@ -61,10 +117,30 @@ struct SlotStats {
   std::uint64_t batches = 0;    // model invocations
   double mean_batch_requests = 0.0;   // requests per model invocation
   double mean_batch_occupancy = 0.0;  // sequences per model invocation
-  double p50_latency_us = 0.0;  // submit -> resolve, histogram boundary
+  // End-to-end submit->resolve quantiles. These are log2-bucket UPPER
+  // BOUNDARIES (LatencyHistogram::quantile_us), i.e. conservative bounds
+  // like "p95 < 1024 µs" — not interpolated point estimates. The stage
+  // snapshots below carry interpolated quantiles.
+  double p50_latency_us = 0.0;
   double p95_latency_us = 0.0;
   std::size_t queue_depth = 0;  // requests queued at snapshot time
   std::size_t peak_queue_depth = 0;
+
+  // Per-stage latency decomposition (see StageLatency for stage meanings),
+  // with interpolated quantiles.
+  StageSnapshot stage_queue_wait;
+  StageSnapshot stage_batch_wait;
+  StageSnapshot stage_exec;
+  StageSnapshot stage_resolve;
+
+  // Raw histogram copies for exposition (MetricsRegistry histogram
+  // callbacks); hist_total is the end-to-end latency histogram behind
+  // p50/p95_latency_us.
+  LatencyHistogram hist_queue_wait;
+  LatencyHistogram hist_batch_wait;
+  LatencyHistogram hist_exec;
+  LatencyHistogram hist_resolve;
+  LatencyHistogram hist_total;
 
   // Buffer-pool counters of the slot's memory path (all zero when the slot
   // runs pools-off). pool_alloc_count is the heap-miss count: acquisitions
@@ -100,8 +176,9 @@ class StatsLedger {
   /// After each executed batch: member request count and merged sequence
   /// count (occupancy).
   void record_batch(std::size_t requests, std::size_t sequences);
-  /// After each request resolves: queue+execute latency and success flag.
-  void record_done(std::chrono::microseconds latency, bool ok);
+  /// After each request resolves: its stage-decomposed latency and success
+  /// flag. `stages.total` feeds the end-to-end histogram.
+  void record_done(const StageLatency& stages, bool ok);
   /// A drained request found cancelled (it never executes and never reaches
   /// record_done) — keeps completion counters reconcilable.
   void record_cancelled();
@@ -126,6 +203,10 @@ class StatsLedger {
   std::uint64_t batch_requests_ NNLUT_GUARDED_BY(mu_) = 0;
   std::uint64_t batch_sequences_ NNLUT_GUARDED_BY(mu_) = 0;
   LatencyHistogram latency_ NNLUT_GUARDED_BY(mu_);
+  LatencyHistogram queue_wait_ NNLUT_GUARDED_BY(mu_);
+  LatencyHistogram batch_wait_ NNLUT_GUARDED_BY(mu_);
+  LatencyHistogram exec_ NNLUT_GUARDED_BY(mu_);
+  LatencyHistogram resolve_ NNLUT_GUARDED_BY(mu_);
 };
 
 /// Engine-wide view: per-model slot snapshots plus an aggregate in which

@@ -1,0 +1,15 @@
+// Fixture: no-wallclock manifest scoping, BAD half. This file sits OUTSIDE
+// every `wallclock_allowed` prefix of the fixture manifest, so the clock
+// read below must fire. Its good twin (obs_allowed/no_wallclock_scope.good
+// .cpp) contains the same read inside an allowlisted directory and must be
+// clean — together they pin the prefix-allowlist semantics the real
+// manifest relies on for src/obs/.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t trace_now_ns_outside_obs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}

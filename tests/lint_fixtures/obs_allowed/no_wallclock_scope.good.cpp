@@ -1,0 +1,13 @@
+// Fixture: no-wallclock manifest scoping, GOOD half. Identical clock read
+// to no_wallclock_scope.bad.cpp, but this file lives under obs_allowed/ —
+// a `wallclock_allowed` prefix in the fixture manifest (standing in for
+// src/obs/ in the real one) — so the lint must stay silent.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t trace_now_ns_inside_obs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}

@@ -1,0 +1,226 @@
+// Unit tests for the observability layer (src/obs/): SpanRing wraparound
+// with exact dropped accounting, TraceRecorder session semantics and Chrome
+// trace-event JSON export, cross-thread span correlation by request id, and
+// the MetricsRegistry Prometheus exposition (golden-format test).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_ring.h"
+
+namespace nnlut::obs {
+namespace {
+
+std::size_t count_occurrences(const std::string& hay, const std::string& s) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(s); pos != std::string::npos;
+       pos = hay.find(s, pos + s.size()))
+    ++n;
+  return n;
+}
+
+// ------------------------------------------------------------- SpanRing ---
+
+TEST(SpanRing, WraparoundKeepsNewestAndCountsDroppedExactly) {
+  TraceEvent storage[8];
+  SpanRing ring;
+  ring.reset(storage, 8);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+
+  for (std::uint64_t i = 0; i < 20; ++i)
+    ring.push(TraceEvent{"e", i, 0, i, EventKind::kInstant});
+
+  EXPECT_EQ(ring.capacity(), 8u);
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_EQ(ring.pushed(), 20u);
+  EXPECT_EQ(ring.dropped(), 12u);  // exact: pushed - size
+  // Overwrite-oldest: the retained window is the NEWEST 8, oldest first.
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(ring.at(i).id, 12u + i);
+}
+
+TEST(SpanRing, BelowCapacityDropsNothing) {
+  TraceEvent storage[8];
+  SpanRing ring;
+  ring.reset(storage, 8);
+  for (std::uint64_t i = 0; i < 5; ++i)
+    ring.push(TraceEvent{"e", i, 0, i, EventKind::kInstant});
+  EXPECT_EQ(ring.size(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(ring.at(i).id, i);
+}
+
+TEST(SpanRing, ZeroCapacityCountsButRetainsNothing) {
+  SpanRing ring;
+  ring.reset(nullptr, 0);
+  ring.push(TraceEvent{"e", 0, 0, 0, EventKind::kInstant});
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.pushed(), 1u);
+  EXPECT_EQ(ring.dropped(), 1u);
+}
+
+// -------------------------------------------------------- TraceRecorder ---
+
+TEST(TraceRecorder, DisabledPathRecordsNothing) {
+  TraceRecorder& rec = TraceRecorder::instance();
+  rec.enable(16);
+  rec.disable();
+  EXPECT_FALSE(trace_enabled());
+  instant("never", 1);
+  { ScopedSpan span("never.span", 2); }
+  const TraceRecorder::Stats s = rec.stats();
+  EXPECT_EQ(s.recorded, 0u);
+  EXPECT_EQ(s.dropped, 0u);
+}
+
+TEST(TraceRecorder, DroppedCountIsExactAcrossRingOverflow) {
+  TraceRecorder& rec = TraceRecorder::instance();
+  rec.enable(/*events_per_thread=*/4);
+  for (std::uint64_t i = 0; i < 10; ++i) instant("overflow", i);
+  rec.disable();
+  const TraceRecorder::Stats s = rec.stats();
+  EXPECT_EQ(s.threads, 1u);
+  EXPECT_EQ(s.recorded, 10u);
+  EXPECT_EQ(s.dropped, 6u);  // 10 pushed, ring holds 4
+}
+
+TEST(TraceRecorder, ExportEmitsChromeTraceEventStructure) {
+  TraceRecorder& rec = TraceRecorder::instance();
+  rec.enable(64);
+  { ScopedSpan span("unit.span", 7); }
+  instant("unit.instant", 9);
+  rec.disable();
+
+  std::ostringstream os;
+  rec.export_json(os);
+  const std::string j = os.str();
+
+  // Object form of the trace-event format, with metadata first.
+  EXPECT_EQ(j.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(j.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"thread_name\""), std::string::npos);
+  // The complete span: ph X with ts/dur and its correlation id.
+  EXPECT_NE(j.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"unit.span\""), std::string::npos);
+  EXPECT_NE(j.find("\"args\":{\"id\":7}"), std::string::npos);
+  // The instant: ph i, thread-scoped.
+  EXPECT_NE(j.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"unit.instant\""), std::string::npos);
+  EXPECT_NE(j.find("\"s\":\"t\""), std::string::npos);
+  // Balanced braces/brackets — cheap structural sanity; CI json.load()s the
+  // serving example's trace for the real parse check.
+  EXPECT_EQ(count_occurrences(j, "{"), count_occurrences(j, "}"));
+  EXPECT_EQ(count_occurrences(j, "["), count_occurrences(j, "]"));
+}
+
+TEST(TraceRecorder, CrossThreadSpansCorrelateByRequestId) {
+  TraceRecorder& rec = TraceRecorder::instance();
+  rec.enable(64);
+  // "Client" thread announces the request...
+  instant("req.submit", 42);
+  // ...and a "scheduler" thread later replays its lifecycle span.
+  std::thread scheduler([] {
+    const std::uint64_t now = trace_now_ns();
+    complete("req.exec", now > 1000 ? now - 1000 : 0, now, 42);
+  });
+  scheduler.join();
+  rec.disable();
+
+  EXPECT_EQ(rec.stats().threads, 2u);
+  std::ostringstream os;
+  rec.export_json(os);
+  const std::string j = os.str();
+  EXPECT_NE(j.find("\"name\":\"req.submit\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"req.exec\""), std::string::npos);
+  // Both events carry the same correlation id, from two different rings.
+  EXPECT_EQ(count_occurrences(j, "\"args\":{\"id\":42}"), 2u);
+}
+
+TEST(TraceRecorder, EnableStartsAFreshSession) {
+  TraceRecorder& rec = TraceRecorder::instance();
+  rec.enable(16);
+  instant("old", 1);
+  rec.enable(16);  // drops the previous session's rings
+  instant("new", 2);
+  rec.disable();
+  const TraceRecorder::Stats s = rec.stats();
+  EXPECT_EQ(s.recorded, 1u);
+  std::ostringstream os;
+  rec.export_json(os);
+  EXPECT_EQ(os.str().find("\"name\":\"old\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"name\":\"new\""), std::string::npos);
+}
+
+// ------------------------------------------------------ MetricsRegistry ---
+
+// Golden-format test: pins the exact Prometheus text exposition — HELP/TYPE
+// lines, label rendering, cumulative histogram buckets with the +Inf bucket
+// equal to _count, and integral value formatting.
+TEST(MetricsRegistry, ScrapeGoldenFormat) {
+  MetricsRegistry reg;
+  reg.add_counter("test_requests_total", "Requests served.",
+                  {{"model", "m"}, {"outcome", "completed"}},
+                  [] { return std::uint64_t{42}; });
+  reg.add_gauge("test_queue_depth", "Requests queued.", {},
+                [] { return 3.0; });
+  reg.add_histogram("test_latency_us", "Latency (µs).", {{"model", "m"}},
+                    [] {
+                      HistogramSnapshot h;
+                      h.upper_bounds = {2.0, 4.0};
+                      h.counts = {1, 2, 3};  // last entry = +Inf overflow
+                      h.sum = 50.0;
+                      h.count = 6;
+                      return h;
+                    });
+
+  const std::string expected =
+      "# HELP test_requests_total Requests served.\n"
+      "# TYPE test_requests_total counter\n"
+      "test_requests_total{model=\"m\",outcome=\"completed\"} 42\n"
+      "# HELP test_queue_depth Requests queued.\n"
+      "# TYPE test_queue_depth gauge\n"
+      "test_queue_depth 3\n"
+      "# HELP test_latency_us Latency (µs).\n"
+      "# TYPE test_latency_us histogram\n"
+      "test_latency_us_bucket{model=\"m\",le=\"2\"} 1\n"
+      "test_latency_us_bucket{model=\"m\",le=\"4\"} 3\n"
+      "test_latency_us_bucket{model=\"m\",le=\"+Inf\"} 6\n"
+      "test_latency_us_sum{model=\"m\"} 50\n"
+      "test_latency_us_count{model=\"m\"} 6\n";
+  EXPECT_EQ(reg.scrape(), expected);
+}
+
+TEST(MetricsRegistry, SeriesShareAFamilyAndLabelValuesEscape) {
+  MetricsRegistry reg;
+  reg.add_counter("shared_total", "Shared family.", {{"k", "a"}},
+                  [] { return std::uint64_t{1}; });
+  reg.add_counter("shared_total", "ignored on re-registration", {{"k", "b\"c"}},
+                  [] { return std::uint64_t{2}; });
+  const std::string out = reg.scrape();
+  // One HELP/TYPE block, two series; the quote in the label value escapes.
+  EXPECT_EQ(count_occurrences(out, "# HELP shared_total"), 1u);
+  EXPECT_NE(out.find("shared_total{k=\"a\"} 1"), std::string::npos);
+  EXPECT_NE(out.find("shared_total{k=\"b\\\"c\"} 2"), std::string::npos);
+}
+
+TEST(MetricsRegistry, RejectsDuplicatesAndKindConflicts) {
+  MetricsRegistry reg;
+  reg.add_counter("c_total", "c", {{"k", "v"}}, [] { return std::uint64_t{0}; });
+  EXPECT_THROW(reg.add_counter("c_total", "c", {{"k", "v"}},
+                               [] { return std::uint64_t{0}; }),
+               std::invalid_argument);
+  EXPECT_THROW(reg.add_gauge("c_total", "c", {}, [] { return 0.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(reg.add_counter("", "empty", {}, [] { return std::uint64_t{0}; }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nnlut::obs

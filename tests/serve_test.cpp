@@ -454,6 +454,10 @@ TEST(Batcher, CancelledRequestSkippedByScheduler) {
 
 // ------------------------------------------------------------ histogram ---
 
+// Pins BOTH quantile semantics on the same data. quantile_us returns the
+// log2-bucket UPPER BOUNDARY holding the quantile (a conservative bound —
+// the documented meaning of SlotStats::p50/p95_latency_us); quantile()
+// linearly interpolates within the bucket.
 TEST(LatencyHistogram, QuantilesFromBuckets) {
   LatencyHistogram h;
   for (int i = 0; i < 90; ++i) h.record(3us);    // bucket [2,4)
@@ -461,6 +465,56 @@ TEST(LatencyHistogram, QuantilesFromBuckets) {
   EXPECT_EQ(h.count(), 100u);
   EXPECT_EQ(h.quantile_us(0.50), 4.0);
   EXPECT_EQ(h.quantile_us(0.95), 1024.0);
+
+  // Interpolated: the 50th of 90 observations in [2,4) sits 50/90 of the
+  // way through the bucket; the 95th lands halfway through [512,1024).
+  EXPECT_NEAR(h.quantile(0.50), 2.0 + 2.0 * (50.0 / 90.0), 1e-9);
+  EXPECT_NEAR(h.quantile(0.95), 512.0 + 0.5 * 512.0, 1e-9);
+  // The boundary reading never under-reports the interpolated one.
+  EXPECT_GE(h.quantile_us(0.50), h.quantile(0.50));
+  EXPECT_GE(h.quantile_us(0.95), h.quantile(0.95));
+}
+
+TEST(LatencyHistogram, SumMergeAndBuckets) {
+  LatencyHistogram a, b;
+  a.record(3us);
+  a.record(3us);
+  b.record(1000us);
+  EXPECT_EQ(a.sum_us(), 6u);
+  EXPECT_EQ(b.sum_us(), 1000u);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum_us(), 1006u);
+  EXPECT_EQ(a.bucket_count(1), 2u);  // [2,4)
+  EXPECT_EQ(a.bucket_count(9), 1u);  // [512,1024)
+  EXPECT_EQ(LatencyHistogram::bucket_upper_us(1), 4.0);
+  EXPECT_EQ(LatencyHistogram::bucket_upper_us(9), 1024.0);
+}
+
+// The ledger decomposes each request's latency into pipeline stages; the
+// snapshot exposes per-stage interpolated quantiles plus the raw histogram
+// copies the metrics registry scrapes.
+TEST(StatsLedger, StageDecomposition) {
+  StatsLedger ledger;
+  StageLatency st;
+  st.queue_wait = 3us;
+  st.batch_wait = 10us;
+  st.exec = 100us;
+  st.resolve = 5us;
+  st.total = 118us;
+  for (int i = 0; i < 4; ++i) ledger.record_done(st, /*ok=*/true);
+  const SlotStats s = ledger.snapshot();
+  EXPECT_EQ(s.completed, 4u);
+  EXPECT_EQ(s.stage_queue_wait.count, 4u);
+  EXPECT_EQ(s.stage_exec.count, 4u);
+  EXPECT_EQ(s.stage_exec.mean_us, 100.0);
+  EXPECT_EQ(s.hist_total.count(), 4u);
+  EXPECT_EQ(s.hist_total.sum_us(), 4u * 118u);
+  EXPECT_EQ(s.hist_queue_wait.bucket_count(1), 4u);   // 3us -> [2,4)
+  EXPECT_EQ(s.hist_exec.bucket_count(6), 4u);         // 100us -> [64,128)
+  // Interpolated stage quantiles stay inside their bucket.
+  EXPECT_GE(s.stage_exec.p50_us, 64.0);
+  EXPECT_LE(s.stage_exec.p50_us, 128.0);
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 
 #include "approx/linear_lut.h"
 #include "numerics/math.h"
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 #include "serve/engine.h"
 #include "serve/server.h"
@@ -653,6 +654,67 @@ TEST(ServingMemoryPath, OutstandingStableAfterDrain) {
   EXPECT_EQ(s3.pool_outstanding, s2.pool_outstanding);
   EXPECT_EQ(s3.pool_bytes_live, s2.pool_bytes_live);
   runtime::set_runtime_config({});
+}
+
+// ------------------------------------------------------ observability ---
+
+// Tracing observes, never steers: serving the same request set with the
+// trace recorder armed must return logits BIT-identical to serving it with
+// tracing off — the observability half of the determinism contract. Also
+// checks the traced run actually recorded lifecycle spans and that the
+// engine scrape exposes the per-stage histograms next to the ledger
+// counters.
+TEST(ServingObservability, TracingOnLogitsBitIdenticalToTracingOff) {
+  Rng rng(77);
+  TaskModel m(tiny(), HeadKind::kClassify, 2, rng);
+  ExactNonlinearities nl(m.config().act);
+  const std::vector<BatchInput> requests = request_mix(m.config(), rng);
+
+  auto serve_all = [&](bool tracing) {
+    if (tracing) obs::TraceRecorder::instance().enable(4096);
+    std::vector<Tensor> out(requests.size());
+    std::string scrape;
+    {
+      ServeConfig cfg;
+      cfg.max_batch = 4;
+      cfg.max_wait = 3ms;
+      cfg.threads = 2;
+      Server server(m, nl, cfg);
+      std::vector<std::thread> threads;
+      for (std::size_t c = 0; c < 4; ++c)
+        threads.emplace_back([&, c] {
+          for (std::size_t i = c; i < requests.size(); i += 4)
+            out[i] = server.submit(requests[i]).get();
+        });
+      for (auto& t : threads) t.join();
+      scrape = server.scrape();
+    }
+    runtime::set_runtime_config({});
+    if (tracing) {
+      obs::TraceRecorder::instance().disable();
+      EXPECT_GT(obs::TraceRecorder::instance().stats().recorded, 0u);
+    }
+    // The scrape carries the per-stage histograms and ledger counters
+    // whether or not tracing is armed (independent subsystems).
+    EXPECT_NE(scrape.find("nnlut_stage_latency_us_bucket"), std::string::npos);
+    EXPECT_NE(scrape.find("stage=\"exec\""), std::string::npos);
+    EXPECT_NE(scrape.find("nnlut_requests_total{model=\"default\","
+                          "outcome=\"completed\"} " +
+                          std::to_string(requests.size())),
+              std::string::npos);
+    return out;
+  };
+
+  const std::vector<Tensor> off = serve_all(false);
+  const std::vector<Tensor> on = serve_all(true);
+  ASSERT_EQ(on.size(), off.size());
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    ASSERT_EQ(on[i].shape(), off[i].shape()) << "request " << i;
+    for (std::size_t j = 0; j < off[i].size(); ++j)
+      ASSERT_EQ(on[i][j], off[i][j])
+          << "request " << i << " element " << j
+          << ": tracing changed served bits";
+  }
 }
 
 TEST(ServingShutdown, SubmitAfterShutdownRejects) {

@@ -368,16 +368,20 @@ def run_lint(paths: list[str], mf: Manifest) -> list[Finding]:
 
 # -------------------------------------------------------------- self-test
 
-# rule -> fixture basename stem (tests/lint_fixtures/<stem>.bad.* must fire
-# exactly this rule; every *.good.* file must be completely clean).
+# rule -> fixture basename stems (tests/lint_fixtures/<stem>.bad.* must fire
+# exactly this rule; every *.good.* file — top level or in a subdirectory
+# the fixture manifest scopes a rule to — must be completely clean).
 RULE_FIXTURES = {
-    "no-rand": "no_rand",
-    "no-wallclock": "no_wallclock",
-    "no-unordered-iter": "no_unordered_iter",
-    "no-fp-contract": "no_fp_contract",
-    "simd-literal-parity": "simd_literal_parity",
-    "no-hot-alloc": "no_hot_alloc",
-    "raw-sync-primitive": "raw_sync",
+    "no-rand": ["no_rand"],
+    # no_wallclock_scope proves the manifest prefix scoping: its bad twin
+    # reads a clock outside every `wallclock_allowed` prefix; its good twin
+    # is the same code inside the allowlisted obs_allowed/ directory.
+    "no-wallclock": ["no_wallclock", "no_wallclock_scope"],
+    "no-unordered-iter": ["no_unordered_iter"],
+    "no-fp-contract": ["no_fp_contract"],
+    "simd-literal-parity": ["simd_literal_parity"],
+    "no-hot-alloc": ["no_hot_alloc"],
+    "raw-sync-primitive": ["raw_sync"],
 }
 
 
@@ -386,10 +390,11 @@ def self_test() -> int:
     mf = Manifest.load(fixture_manifest)
     failures = []
 
-    for rule, stem in sorted(RULE_FIXTURES.items()):
-        bad = sorted(FIXTURE_DIR.glob(f"{stem}.bad.*"))
+    for rule, stems in sorted(RULE_FIXTURES.items()):
+        bad = [f for stem in stems
+               for f in sorted(FIXTURE_DIR.glob(f"{stem}.bad.*"))]
         if not bad:
-            failures.append(f"{rule}: no bad fixture {stem}.bad.*")
+            failures.append(f"{rule}: no bad fixture matching {stems}")
             continue
         for bad_file in bad:
             rel = bad_file.relative_to(mf.root).as_posix()
@@ -406,7 +411,7 @@ def self_test() -> int:
         status = "FAIL" if any(x.startswith(rule) for x in failures) else "ok"
         print(f"  {rule:20s} fires on {len(bad)} bad fixture(s): {status}")
 
-    for good in sorted(FIXTURE_DIR.glob("*.good.*")):
+    for good in sorted(FIXTURE_DIR.rglob("*.good.*")):
         rel = good.relative_to(mf.root).as_posix()
         found = run_lint([rel], mf)
         if found:
