@@ -1,0 +1,214 @@
+// BM_NetClosedLoop: closed-loop TCP serving throughput over loopback.
+//
+// `connections` client threads (one net::Client each — the protocol's
+// request-id scope is per-connection) drive a TcpServer over an Engine
+// with two LUT slots, sweeping connections {1, 4, 16} x admission
+// {unbounded, bounded}. Each client keeps 4 requests in flight. Counters
+// report client-observed p50/p95 (submit -> completion frame, i.e.
+// including the wire) and the shed rate, so the artifact shows both what
+// the socket layer costs over the in-process numbers of
+// BENCH_serving_throughput.json and what bounded admission trades under
+// fan-in: capped latency for shed work (kOverloaded completions +
+// pre-parse sheds).
+//
+// Unless --benchmark_out is given, results are also written as
+// machine-readable JSON to BENCH_net_throughput.json.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "approx/linear_lut.h"
+#include "net/client.h"
+#include "net/tcp_server.h"
+#include "numerics/math.h"
+#include "numerics/rng.h"
+#include "runtime/thread_pool.h"
+#include "serve/engine.h"
+#include "serve/stats.h"
+#include "transformer/infer.h"
+
+namespace {
+
+using namespace nnlut;
+using namespace nnlut::transformer;
+using namespace std::chrono_literals;
+
+constexpr std::size_t kSeq = 32;
+constexpr int kRequestsPerConn = 16;
+constexpr std::size_t kInflight = 4;
+
+ModelConfig bench_config() {
+  ModelConfig c = ModelConfig::roberta_like();
+  c.vocab = 128;
+  c.hidden = 32;
+  c.layers = 2;
+  c.heads = 2;
+  c.ffn = 128;
+  c.max_seq = kSeq;
+  return c;
+}
+
+struct Fixture {
+  TaskModel model;
+  std::unique_ptr<LutNonlinearities> lut_fp32;
+  std::unique_ptr<LutNonlinearities> lut_int32;
+
+  Fixture(const ModelConfig& cfg, Rng& rng)
+      : model(cfg, HeadKind::kClassify, 2, rng) {
+    LutSet luts{fit_linear_lut(gelu_exact, kGeluRange, 16),
+                fit_linear_lut(exp_exact, {-16.0f, 0.0f}, 16),
+                fit_fixed_breakpoint_lut(reciprocal_exact, {1.0f, 1024.0f}, 16,
+                                         BreakpointMode::kExponential),
+                fit_fixed_breakpoint_lut(rsqrt_exact, kRsqrtRange, 16,
+                                         BreakpointMode::kExponential)};
+    LutNonlinearities::Options opt;
+    opt.select = ApproxSelection::all();
+    lut_fp32 = make_lut_backend(luts, LutPrecision::kFp32, opt);
+    lut_int32 = make_lut_backend(luts, LutPrecision::kInt32, opt);
+  }
+};
+
+Fixture& fixture() {
+  static Rng rng(42);
+  static Fixture f(bench_config(), rng);
+  return f;
+}
+
+BatchInput request_for(std::uint64_t seed) {
+  Rng rng(static_cast<int>(3000 + seed));
+  BatchInput in;
+  in.batch = 1;
+  in.seq = kSeq;
+  in.token_ids.resize(kSeq);
+  for (int& t : in.token_ids)
+    t = rng.uniform_int(0, static_cast<int>(bench_config().vocab) - 1);
+  return in;
+}
+
+void BM_NetClosedLoop(benchmark::State& state) {
+  const std::size_t connections = static_cast<std::size_t>(state.range(0));
+  const bool bounded = state.range(1) != 0;
+
+  serve::SlotConfig scfg;
+  scfg.max_batch = 8;
+  scfg.max_wait = 500us;
+  if (bounded)
+    scfg.admission = {/*max_queue_depth=*/4, serve::ShedPolicy::kRejectNew};
+  const char* kModels[2] = {"lut-fp32", "lut-int32"};
+
+  std::vector<std::vector<BatchInput>> streams(connections);
+  for (std::size_t c = 0; c < connections; ++c)
+    for (int k = 0; k < kRequestsPerConn; ++k)
+      streams[c].push_back(
+          request_for(c * 4007 + static_cast<std::uint64_t>(k)));
+
+  serve::LatencyHistogram latency;
+  std::uint64_t ok = 0, shed = 0;
+  net::NetStats net{};
+  for (auto _ : state) {
+    serve::Engine engine(serve::EngineConfig{/*threads=*/0});
+    engine.register_model(kModels[0], fixture().model, *fixture().lut_fp32,
+                          scfg);
+    engine.register_model(kModels[1], fixture().model, *fixture().lut_int32,
+                          scfg);
+    net::TcpServer server(engine);
+
+    serve::LatencyHistogram iter_latency;
+    std::uint64_t iter_ok = 0, iter_shed = 0;
+    std::mutex agg_mu;
+    std::vector<std::thread> threads;
+    threads.reserve(connections);
+    for (std::size_t c = 0; c < connections; ++c) {
+      threads.emplace_back([&, c] {
+        net::Client client("127.0.0.1", server.port());
+        const char* model = kModels[c % 2];
+        serve::LatencyHistogram local;
+        std::uint64_t local_ok = 0, local_shed = 0;
+        std::vector<std::pair<std::uint64_t,
+                              std::chrono::steady_clock::time_point>> window;
+        std::size_t next = 0;
+        auto prime = [&] {
+          while (next < streams[c].size() && window.size() < kInflight) {
+            const auto t0 = std::chrono::steady_clock::now();
+            window.emplace_back(client.submit(model, streams[c][next]), t0);
+            ++next;
+          }
+        };
+        prime();
+        while (!window.empty()) {
+          const auto [id, t0] = window.front();
+          window.erase(window.begin());
+          const net::Completion done = client.await(id);
+          local.record(std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0));
+          if (done.ok) {
+            ++local_ok;
+            benchmark::DoNotOptimize(done.logits.data());
+          } else if (done.code == net::ErrorCode::kOverloaded) {
+            ++local_shed;
+          }
+          prime();
+        }
+        std::lock_guard<std::mutex> lk(agg_mu);
+        iter_latency.merge(local);
+        iter_ok += local_ok;
+        iter_shed += local_shed;
+      });
+    }
+    for (auto& t : threads) t.join();
+    net = server.stats();
+    server.stop();
+    engine.shutdown();
+    latency = iter_latency;
+    ok = iter_ok;
+    shed = iter_shed;
+  }
+
+  const auto total_requests =
+      static_cast<std::size_t>(state.iterations()) * connections *
+      static_cast<std::size_t>(kRequestsPerConn);
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_requests));
+  state.counters["req_per_s"] = benchmark::Counter(
+      static_cast<double>(total_requests), benchmark::Counter::kIsRate);
+  state.counters["p50_us"] = latency.quantile(0.50);
+  state.counters["p95_us"] = latency.quantile(0.95);
+  state.counters["shed_rate"] =
+      ok + shed > 0 ? static_cast<double>(shed) / static_cast<double>(ok + shed)
+                    : 0.0;
+  state.counters["sheds_preparse"] = static_cast<double>(net.sheds_preparse);
+  nnlut::runtime::set_runtime_config({});
+}
+
+BENCHMARK(BM_NetClosedLoop)
+    ->ArgsProduct({{1, 4, 16}, {0, 1}})
+    ->ArgNames({"connections", "bounded"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+// Custom main: default to writing machine-readable JSON next to the working
+// directory unless the caller already chose an output file.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  static std::string out = "--benchmark_out=BENCH_net_throughput.json";
+  static std::string fmt = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out.data());
+    args.push_back(fmt.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,177 @@
+#include "net/client.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <utility>
+
+#include "net/socket_io.h"
+
+namespace nnlut::net {
+
+namespace {
+
+/// Arm SO_RCVTIMEO for the time left until `deadline` (floor 1 ms so a
+/// nearly-expired deadline still makes one attempt rather than arming an
+/// infinite wait with a zero timeval).
+void arm_recv_timeout(int fd, std::chrono::steady_clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::microseconds>(
+      deadline - std::chrono::steady_clock::now());
+  if (left < std::chrono::milliseconds(1)) left = std::chrono::milliseconds(1);
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(left.count() / 1000000);
+  tv.tv_usec = static_cast<suseconds_t>(left.count() % 1000000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+}
+
+}  // namespace
+
+Client::Client(const std::string& address, std::uint16_t port) {
+  fd_ = connect_to(address, port);
+  set_nodelay(fd_);
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    shutdown_fd(fd_);
+    close_fd(fd_);
+    fd_ = -1;
+  }
+}
+
+std::uint64_t Client::submit(std::string_view model_id,
+                             const transformer::BatchInput& in) {
+  const std::uint64_t id = next_id_++;
+  submit_as(id, model_id, in);
+  return id;
+}
+
+void Client::submit_as(std::uint64_t request_id, std::string_view model_id,
+                       const transformer::BatchInput& in) {
+  SubmitFrame f;
+  f.model_id.assign(model_id);
+  f.input = in;
+  std::vector<std::uint8_t> payload;
+  encode_submit(f, payload);
+  const auto frame = make_frame(FrameType::kSubmit, request_id, payload);
+  send_raw(frame.data(), frame.size());
+}
+
+void Client::send_raw(const std::uint8_t* data, std::size_t len) {
+  if (fd_ < 0 || !send_all(fd_, data, len))
+    throw ConnectionClosed("net: client connection closed during send");
+}
+
+void Client::pump_one(std::chrono::steady_clock::time_point deadline,
+                      const char* waiting_for) {
+  if (fd_ < 0)
+    throw ConnectionClosed("net: client connection is closed");
+  if (std::chrono::steady_clock::now() >= deadline)
+    throw TimeoutError(std::string("net: timed out waiting for ") +
+                       waiting_for);
+  arm_recv_timeout(fd_, deadline);
+  std::uint8_t hdr[kHeaderSize];
+  switch (recv_all(fd_, hdr, kHeaderSize)) {
+    case RecvStatus::kOk:
+      break;
+    case RecvStatus::kTimeout:
+      throw TimeoutError(std::string("net: timed out waiting for ") +
+                         waiting_for);
+    default:
+      throw ConnectionClosed(
+          "net: server closed the connection (or read error)");
+  }
+  FrameHeader h;
+  if (decode_header(hdr, h) != HeaderStatus::kOk)
+    throw ProtocolError("net: malformed frame header from server");
+  if (h.payload_len > kDefaultMaxPayloadBytes)
+    throw ProtocolError("net: server frame over the payload bound");
+  std::vector<std::uint8_t> payload(h.payload_len);
+  if (h.payload_len > 0) {
+    switch (recv_all(fd_, payload.data(), payload.size())) {
+      case RecvStatus::kOk:
+        break;
+      case RecvStatus::kTimeout:
+        // A timeout INSIDE a frame loses sync; the connection is done.
+        throw TimeoutError(std::string("net: timed out mid-frame waiting "
+                                       "for ") +
+                           waiting_for);
+      default:
+        throw ConnectionClosed("net: connection lost mid-frame");
+    }
+  }
+  switch (h.type) {
+    case FrameType::kResult: {
+      Completion c;
+      c.request_id = h.request_id;
+      c.ok = true;
+      c.logits = decode_result(payload);
+      completions_[h.request_id] = std::move(c);
+      return;
+    }
+    case FrameType::kError: {
+      const ErrorFrame e = decode_error(payload);
+      Completion c;
+      c.request_id = h.request_id;
+      c.ok = false;
+      c.code = e.code;
+      c.message = e.message;
+      completions_[h.request_id] = std::move(c);
+      return;
+    }
+    case FrameType::kCancelAck:
+      cancel_acks_[h.request_id] = decode_cancel_ack(payload);
+      return;
+    case FrameType::kStatsResult:
+      stats_pages_.push_back(decode_text(payload));
+      return;
+    default:
+      throw ProtocolError("net: server sent a client-bound frame type");
+  }
+}
+
+Completion Client::await(std::uint64_t request_id,
+                         std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    auto it = completions_.find(request_id);
+    if (it != completions_.end()) {
+      Completion c = std::move(it->second);
+      completions_.erase(it);
+      return c;
+    }
+    pump_one(deadline, "completion");
+  }
+}
+
+bool Client::cancel(std::uint64_t request_id,
+                    std::chrono::milliseconds timeout) {
+  std::vector<std::uint8_t> empty;
+  const auto frame = make_frame(FrameType::kCancel, request_id, empty);
+  send_raw(frame.data(), frame.size());
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    auto it = cancel_acks_.find(request_id);
+    if (it != cancel_acks_.end()) {
+      const bool ack = it->second;
+      cancel_acks_.erase(it);
+      return ack;
+    }
+    pump_one(deadline, "cancel ack");
+  }
+}
+
+std::string Client::stats(std::chrono::milliseconds timeout) {
+  std::vector<std::uint8_t> empty;
+  const auto frame = make_frame(FrameType::kStats, next_id_++, empty);
+  send_raw(frame.data(), frame.size());
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (stats_pages_.empty()) pump_one(deadline, "stats page");
+  std::string page = std::move(stats_pages_.front());
+  stats_pages_.erase(stats_pages_.begin());
+  return page;
+}
+
+}  // namespace nnlut::net

@@ -1,0 +1,110 @@
+// Blocking client for the NN-LUT wire protocol: submit/cancel/stats with
+// out-of-order completion demultiplexing. One Client is one connection and
+// is NOT thread-safe — concurrency tests and the load generator run one
+// Client per thread, which also matches the per-connection request-id
+// scope of the protocol.
+//
+// Because the server completes requests in whatever order the batchers
+// resolve them, await(id) reads frames until id's completion arrives,
+// parking every other completion in a buffer for its own await. All waits
+// take an explicit timeout so a chaos scenario that kills the server can
+// never hang a test: expiry throws TimeoutError.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/protocol.h"
+#include "tensor/tensor.h"
+#include "transformer/encoder.h"
+
+namespace nnlut::net {
+
+/// await()/stats() deadline expired before the server answered.
+class TimeoutError : public std::runtime_error {
+ public:
+  explicit TimeoutError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The connection closed (or errored) under a read/write.
+class ConnectionClosed : public std::runtime_error {
+ public:
+  explicit ConnectionClosed(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// One submit's completion: kResult (logits) or kError (typed code).
+struct Completion {
+  std::uint64_t request_id = 0;
+  bool ok = false;          // true: logits valid; false: code/message valid
+  Tensor logits;
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+class Client {
+ public:
+  /// Connects immediately; throws std::system_error on refusal.
+  explicit Client(const std::string& address, std::uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send one submit frame under a fresh auto-assigned request id (returned;
+  /// ids count up from 1 per connection). Throws ConnectionClosed when the
+  /// socket is gone.
+  std::uint64_t submit(std::string_view model_id,
+                       const transformer::BatchInput& in);
+  /// Same, under a caller-chosen id (protocol tests exercise duplicate-id
+  /// handling through this).
+  void submit_as(std::uint64_t request_id, std::string_view model_id,
+                 const transformer::BatchInput& in);
+
+  /// Block until the completion for `request_id` arrives (other requests'
+  /// completions are buffered for their own await). Throws TimeoutError /
+  /// ConnectionClosed / ProtocolError.
+  Completion await(std::uint64_t request_id,
+                   std::chrono::milliseconds timeout =
+                       std::chrono::milliseconds(30000));
+
+  /// Send a cancel for `request_id` and block for the ack: true iff the
+  /// cancel landed while the request was still queued (its completion frame
+  /// — kError(kCancelled) on success — still arrives separately).
+  bool cancel(std::uint64_t request_id,
+              std::chrono::milliseconds timeout =
+                  std::chrono::milliseconds(30000));
+
+  /// Fetch the server's Prometheus scrape page.
+  std::string stats(std::chrono::milliseconds timeout =
+                        std::chrono::milliseconds(30000));
+
+  /// Raw escape hatches for the fault-injection suites: ship arbitrary
+  /// bytes down the socket / half-close it / the naked fd.
+  void send_raw(const std::uint8_t* data, std::size_t len);
+  int fd() const { return fd_; }
+
+  /// Completions received but not yet awaited (buffered by the demux).
+  std::size_t pending_completions() const { return completions_.size(); }
+
+  /// Close the socket now (the destructor also does).
+  void close();
+
+ private:
+  /// Read one frame within `deadline`, file it into the right buffer.
+  void pump_one(std::chrono::steady_clock::time_point deadline,
+                const char* waiting_for);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, Completion> completions_;
+  std::map<std::uint64_t, bool> cancel_acks_;
+  std::vector<std::string> stats_pages_;
+};
+
+}  // namespace nnlut::net

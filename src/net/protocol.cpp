@@ -1,0 +1,327 @@
+#include "net/protocol.h"
+
+#include <cstring>
+#include <limits>
+
+namespace nnlut::net {
+
+namespace {
+
+// Explicit little-endian field codecs: the wire format must not depend on
+// host byte order or struct layout.
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_f32(std::vector<std::uint8_t>& out, float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof bits);  // raw IEEE-754 pattern, no rounding
+  put_u32(out, bits);
+}
+
+void store_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void store_u64(std::uint8_t* p, std::uint64_t v) {
+  store_u32(p, static_cast<std::uint32_t>(v));
+  store_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t load_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t load_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(load_u32(p)) |
+         (static_cast<std::uint64_t>(load_u32(p + 4)) << 32);
+}
+
+/// Bounds-checked sequential reader over a payload span. Every read is
+/// range-checked BEFORE touching memory, so decoders are total functions of
+/// arbitrary bytes: the only outcomes are a value or ProtocolError.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8(const char* what) {
+    need(1, what);
+    return bytes_[pos_++];
+  }
+
+  std::uint16_t u16(const char* what) {
+    need(2, what);
+    const std::uint16_t v =
+        static_cast<std::uint16_t>(bytes_[pos_] |
+                                   (static_cast<std::uint16_t>(
+                                        bytes_[pos_ + 1])
+                                    << 8));
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32(const char* what) {
+    need(4, what);
+    const std::uint32_t v = load_u32(bytes_.data() + pos_);
+    pos_ += 4;
+    return v;
+  }
+
+  std::int32_t i32(const char* what) {
+    return static_cast<std::int32_t>(u32(what));
+  }
+
+  float f32(const char* what) {
+    const std::uint32_t bits = u32(what);
+    float v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  std::span<const std::uint8_t> bytes(std::size_t n, const char* what) {
+    need(n, what);
+    auto s = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+  /// Decoders call this last: trailing bytes mean the sender's and our idea
+  /// of the payload disagree — reject rather than silently ignore.
+  void expect_end(const char* what) const {
+    if (pos_ != bytes_.size())
+      throw ProtocolError(std::string("net: trailing bytes after ") + what);
+  }
+
+ private:
+  void need(std::size_t n, const char* what) const {
+    if (bytes_.size() - pos_ < n)
+      throw ProtocolError(std::string("net: truncated payload reading ") +
+                          what);
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool is_client_frame_type(std::uint8_t t) {
+  return t == static_cast<std::uint8_t>(FrameType::kSubmit) ||
+         t == static_cast<std::uint8_t>(FrameType::kCancel) ||
+         t == static_cast<std::uint8_t>(FrameType::kStats);
+}
+
+namespace {
+bool is_known_frame_type(std::uint8_t t) {
+  return is_client_frame_type(t) ||
+         t == static_cast<std::uint8_t>(FrameType::kResult) ||
+         t == static_cast<std::uint8_t>(FrameType::kError) ||
+         t == static_cast<std::uint8_t>(FrameType::kCancelAck) ||
+         t == static_cast<std::uint8_t>(FrameType::kStatsResult);
+}
+}  // namespace
+
+void encode_header(const FrameHeader& h, std::uint8_t* out) {
+  store_u32(out, kMagic);
+  out[4] = kProtocolVersion;
+  out[5] = static_cast<std::uint8_t>(h.type);
+  out[6] = 0;
+  out[7] = 0;
+  store_u32(out + 8, h.payload_len);
+  store_u64(out + 12, h.request_id);
+}
+
+HeaderStatus decode_header(const std::uint8_t* in, FrameHeader& out) {
+  if (load_u32(in) != kMagic) return HeaderStatus::kBadMagic;
+  if (in[4] != kProtocolVersion) return HeaderStatus::kBadVersion;
+  if (!is_known_frame_type(in[5])) return HeaderStatus::kBadType;
+  if (in[6] != 0 || in[7] != 0) return HeaderStatus::kBadReserved;
+  out.type = static_cast<FrameType>(in[5]);
+  out.payload_len = load_u32(in + 8);
+  out.request_id = load_u64(in + 12);
+  return HeaderStatus::kOk;
+}
+
+void encode_submit(const SubmitFrame& f, std::vector<std::uint8_t>& out) {
+  if (f.model_id.size() > kMaxModelIdLen)
+    throw ProtocolError("net: model id over kMaxModelIdLen");
+  if (f.input.token_ids.size() >
+          std::numeric_limits<std::uint32_t>::max() ||
+      f.input.type_ids.size() > std::numeric_limits<std::uint32_t>::max() ||
+      f.input.batch > std::numeric_limits<std::uint32_t>::max() ||
+      f.input.seq > std::numeric_limits<std::uint32_t>::max())
+    throw ProtocolError("net: request dimensions exceed u32 wire fields");
+  out.clear();
+  put_u16(out, static_cast<std::uint16_t>(f.model_id.size()));
+  out.insert(out.end(), f.model_id.begin(), f.model_id.end());
+  put_u32(out, static_cast<std::uint32_t>(f.input.batch));
+  put_u32(out, static_cast<std::uint32_t>(f.input.seq));
+  put_u32(out, static_cast<std::uint32_t>(f.input.token_ids.size()));
+  for (const int t : f.input.token_ids)
+    put_u32(out, static_cast<std::uint32_t>(t));
+  put_u32(out, static_cast<std::uint32_t>(f.input.type_ids.size()));
+  for (const int t : f.input.type_ids)
+    put_u32(out, static_cast<std::uint32_t>(t));
+}
+
+SubmitFrame decode_submit(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  SubmitFrame f;
+  const std::uint16_t id_len = r.u16("model id length");
+  if (id_len > kMaxModelIdLen)
+    throw ProtocolError("net: model id over kMaxModelIdLen");
+  const auto id = r.bytes(id_len, "model id");
+  f.model_id.assign(reinterpret_cast<const char*>(id.data()), id.size());
+  f.input.batch = r.u32("batch");
+  f.input.seq = r.u32("seq");
+  const std::uint32_t n_tokens = r.u32("token count");
+  // The remaining payload is the only budget the arrays may claim: a count
+  // larger than the bytes actually present is rejected BEFORE any reserve,
+  // so a 16-byte frame can never make the decoder allocate 4 GiB.
+  if (static_cast<std::size_t>(n_tokens) * 4 > r.remaining())
+    throw ProtocolError("net: token count exceeds payload");
+  if (n_tokens != f.input.batch * f.input.seq)
+    throw ProtocolError("net: token count != batch * seq");
+  f.input.token_ids.reserve(n_tokens);
+  for (std::uint32_t i = 0; i < n_tokens; ++i)
+    f.input.token_ids.push_back(r.i32("token id"));
+  const std::uint32_t n_types = r.u32("type count");
+  if (n_types != 0 && n_types != n_tokens)
+    throw ProtocolError("net: type count must be 0 or the token count");
+  if (static_cast<std::size_t>(n_types) * 4 > r.remaining())
+    throw ProtocolError("net: type count exceeds payload");
+  f.input.type_ids.reserve(n_types);
+  for (std::uint32_t i = 0; i < n_types; ++i)
+    f.input.type_ids.push_back(r.i32("type id"));
+  r.expect_end("submit payload");
+  return f;
+}
+
+std::string_view peek_submit_model(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  const std::uint16_t id_len = r.u16("model id length");
+  if (id_len > kMaxModelIdLen)
+    throw ProtocolError("net: model id over kMaxModelIdLen");
+  const auto id = r.bytes(id_len, "model id");
+  return std::string_view(reinterpret_cast<const char*>(id.data()), id.size());
+}
+
+void encode_result(const Tensor& logits, std::vector<std::uint8_t>& out) {
+  const auto& shape = logits.shape();
+  if (shape.size() > kMaxResultRank)
+    throw ProtocolError("net: result rank over kMaxResultRank");
+  out.clear();
+  put_u32(out, static_cast<std::uint32_t>(shape.size()));
+  for (const std::size_t d : shape) {
+    if (d > std::numeric_limits<std::uint32_t>::max())
+      throw ProtocolError("net: result dim exceeds u32 wire field");
+    put_u32(out, static_cast<std::uint32_t>(d));
+  }
+  for (const float v : logits.flat()) put_f32(out, v);
+}
+
+Tensor decode_result(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  const std::uint32_t rank = r.u32("result rank");
+  if (rank < 1 || rank > kMaxResultRank)
+    throw ProtocolError("net: result rank must be 1..kMaxResultRank");
+  std::vector<std::size_t> shape(rank);
+  // The element count is bounded by the bytes actually on the wire (4 per
+  // f32), checked as the product accumulates — a 12-byte frame claiming a
+  // 2^32-element tensor is rejected before any allocation, and the bound
+  // also keeps the product far from size_t overflow.
+  std::size_t n = 1;
+  const std::size_t max_elems = payload.size() / 4;
+  for (std::uint32_t i = 0; i < rank; ++i) {
+    shape[i] = r.u32("result dim");
+    if (shape[i] == 0)
+      throw ProtocolError("net: zero result dimension");
+    if (n > max_elems / shape[i])
+      throw ProtocolError("net: result element count exceeds payload");
+    n *= shape[i];
+  }
+  if (n * 4 != r.remaining())
+    throw ProtocolError("net: result data size mismatch");
+  Tensor t(shape);
+  auto flat = t.flat();
+  for (std::size_t i = 0; i < n; ++i) flat[i] = r.f32("result value");
+  r.expect_end("result payload");
+  return t;
+}
+
+void encode_error(const ErrorFrame& f, std::vector<std::uint8_t>& out) {
+  out.clear();
+  put_u16(out, static_cast<std::uint16_t>(f.code));
+  put_u32(out, static_cast<std::uint32_t>(f.message.size()));
+  out.insert(out.end(), f.message.begin(), f.message.end());
+}
+
+ErrorFrame decode_error(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  ErrorFrame f;
+  const std::uint16_t code = r.u16("error code");
+  if (code < 1 || code > static_cast<std::uint16_t>(ErrorCode::kInternal))
+    throw ProtocolError("net: unknown error code");
+  f.code = static_cast<ErrorCode>(code);
+  const std::uint32_t len = r.u32("error message length");
+  if (len > r.remaining())
+    throw ProtocolError("net: error message length exceeds payload");
+  const auto msg = r.bytes(len, "error message");
+  f.message.assign(reinterpret_cast<const char*>(msg.data()), msg.size());
+  r.expect_end("error payload");
+  return f;
+}
+
+void encode_cancel_ack(bool cancelled, std::vector<std::uint8_t>& out) {
+  out.assign(1, cancelled ? 1 : 0);
+}
+
+bool decode_cancel_ack(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  const std::uint8_t v = r.u8("cancel ack flag");
+  if (v > 1) throw ProtocolError("net: cancel ack flag must be 0 or 1");
+  r.expect_end("cancel ack payload");
+  return v == 1;
+}
+
+void encode_text(std::string_view text, std::vector<std::uint8_t>& out) {
+  out.assign(text.begin(), text.end());
+}
+
+std::string decode_text(std::span<const std::uint8_t> payload) {
+  return std::string(reinterpret_cast<const char*>(payload.data()),
+                     payload.size());
+}
+
+std::vector<std::uint8_t> make_frame(FrameType type, std::uint64_t request_id,
+                                     std::span<const std::uint8_t> payload) {
+  if (payload.size() > std::numeric_limits<std::uint32_t>::max())
+    throw ProtocolError("net: payload exceeds u32 length field");
+  std::vector<std::uint8_t> frame(kHeaderSize + payload.size());
+  FrameHeader h;
+  h.type = type;
+  h.payload_len = static_cast<std::uint32_t>(payload.size());
+  h.request_id = request_id;
+  encode_header(h, frame.data());
+  if (!payload.empty())  // empty frames: span.data() may be null
+    std::memcpy(frame.data() + kHeaderSize, payload.data(), payload.size());
+  return frame;
+}
+
+}  // namespace nnlut::net

@@ -1,0 +1,161 @@
+// Wire protocol of the NN-LUT network front-end: length-prefixed binary
+// frames over TCP, little-endian, versioned. One frame = one fixed 20-byte
+// header + `payload_len` payload bytes. See docs/NETWORKING.md for the
+// field-by-field tables.
+//
+//   header:  u32 magic "NLUT" | u8 version | u8 type | u16 reserved(0)
+//          | u32 payload_len  | u64 request_id
+//
+// Request ids are PER-CONNECTION and client-assigned: the client picks the
+// id on submit, the server echoes it on every frame it sends back, and
+// completions may arrive in any order (the batcher resolves whole batches
+// at once). Distinct connections reuse ids freely.
+//
+// Robustness contract (pinned by the fuzz suite in tests/net_test.cpp):
+// decoders NEVER crash, read out of bounds, or allocate proportionally to
+// an attacker-claimed length on arbitrary bytes — every structural
+// violation throws ProtocolError, which the server maps to a typed kError
+// frame (payload malformed, framing intact) or a disconnect (header
+// malformed, framing lost).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "transformer/encoder.h"
+
+namespace nnlut::net {
+
+/// "NLUT" in the first four wire bytes (encoded little-endian as a u32).
+inline constexpr std::uint32_t kMagic = 0x54554C4E;
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderSize = 20;
+/// Default cap a server enforces on payload_len before reading the payload:
+/// a claimed length above it is answered with kFrameTooLarge and the
+/// connection closes without ever allocating the claimed amount.
+inline constexpr std::size_t kDefaultMaxPayloadBytes = std::size_t{1} << 20;
+
+enum class FrameType : std::uint8_t {
+  // client -> server
+  kSubmit = 1,  // payload: SubmitFrame — run one request on a named model
+  kCancel = 2,  // empty payload; header id names the submit to cancel
+  kStats = 3,   // empty payload; id echoed on the reply
+  // server -> client
+  kResult = 16,      // payload: logits tensor (completion of a submit)
+  kError = 17,       // payload: ErrorFrame (completion of a submit, or
+                     // a protocol-level complaint with the offending id)
+  kCancelAck = 18,   // payload: u8 — 1 iff the cancel landed while queued
+  kStatsResult = 19, // payload: Prometheus text exposition (engine scrape)
+};
+
+/// True for the values a client may legally send.
+bool is_client_frame_type(std::uint8_t t);
+
+/// Typed error codes carried by kError frames. The mapping from the serve
+/// layer's exception taxonomy is fixed: every error a PendingResult can
+/// carry has exactly one code, so a remote client sees the same taxonomy an
+/// in-process caller does.
+enum class ErrorCode : std::uint16_t {
+  kInvalidArgument = 1,  // validation: std::invalid_argument (empty request)
+  kOutOfRange = 2,       // validation: std::out_of_range (bad token ids,
+                         // over-long seq) and unknown model ids
+  kOverloaded = 3,       // serve::ServerOverloaded — admission-control shed,
+                         // or the socket layer's shed-before-parse
+  kCancelled = 4,        // serve::RequestCancelled — cancel verb or shutdown
+  kMalformedFrame = 5,   // payload failed structural decode; framing intact
+  kFrameTooLarge = 6,    // payload_len over the server bound; server closes
+  kInternal = 7,         // anything else thrown during execution
+};
+
+struct FrameHeader {
+  FrameType type = FrameType::kSubmit;
+  std::uint32_t payload_len = 0;
+  std::uint64_t request_id = 0;
+};
+
+enum class HeaderStatus : std::uint8_t {
+  kOk,
+  kBadMagic,    // not talking our protocol: disconnect without replying
+  kBadVersion,  // version skew: error frame, then disconnect
+  kBadType,     // unknown frame type value
+  kBadReserved, // reserved bits set: reject now so v2 can use them
+};
+
+/// Encode `h` into exactly kHeaderSize bytes at `out`.
+void encode_header(const FrameHeader& h, std::uint8_t* out);
+
+/// Decode a header from exactly kHeaderSize bytes. Never throws: header
+/// bytes arrive from the wire before any trust is established.
+HeaderStatus decode_header(const std::uint8_t* in, FrameHeader& out);
+
+/// Structural violation inside a payload (truncation, trailing garbage,
+/// length fields disagreeing with the actual byte count, caps exceeded).
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// kSubmit payload:
+///   u16 model_id_len | model_id bytes
+/// | u32 batch | u32 seq
+/// | u32 n_tokens | i32 token_ids[n_tokens]
+/// | u32 n_types  | i32 type_ids[n_types]     (n_types is 0 or n_tokens)
+struct SubmitFrame {
+  std::string model_id;
+  transformer::BatchInput input;
+};
+
+/// Decoder caps, separate from the transport payload bound: a frame that
+/// passes the byte-length cap can still claim absurd logical shapes; these
+/// bound what decode_submit will materialize. Validation proper (vocab
+/// range, max_seq) stays the engine's job — the codec only guards memory.
+inline constexpr std::size_t kMaxModelIdLen = 256;
+
+/// Every encode_* below REPLACES `out` with the encoded payload (the
+/// out-param exists so send loops can reuse one buffer's capacity).
+void encode_submit(const SubmitFrame& f, std::vector<std::uint8_t>& out);
+SubmitFrame decode_submit(std::span<const std::uint8_t> payload);
+
+/// Read ONLY the model id prefix of a kSubmit payload — the shed-before-
+/// parse path: under overload the server classifies the frame for the cost
+/// of two fields and never touches the token arrays. The view aliases
+/// `payload`.
+std::string_view peek_submit_model(std::span<const std::uint8_t> payload);
+
+/// kResult payload: u32 rank | u32 dims[rank] | f32 data[prod(dims)].
+/// Floats cross the wire as raw IEEE-754 bit patterns, so served logits are
+/// bit-identical to the in-process tensor — the property the loopback
+/// parity suite pins.
+void encode_result(const Tensor& logits, std::vector<std::uint8_t>& out);
+Tensor decode_result(std::span<const std::uint8_t> payload);
+inline constexpr std::size_t kMaxResultRank = 8;
+
+/// kError payload: u16 code | u32 msg_len | msg bytes.
+struct ErrorFrame {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+void encode_error(const ErrorFrame& f, std::vector<std::uint8_t>& out);
+ErrorFrame decode_error(std::span<const std::uint8_t> payload);
+
+/// kCancelAck payload: u8 (0/1).
+void encode_cancel_ack(bool cancelled, std::vector<std::uint8_t>& out);
+bool decode_cancel_ack(std::span<const std::uint8_t> payload);
+
+/// kStatsResult payload: UTF-8 text, no structure to validate.
+void encode_text(std::string_view text, std::vector<std::uint8_t>& out);
+std::string decode_text(std::span<const std::uint8_t> payload);
+
+/// Assemble a complete frame (header + payload) for `type`/`request_id`
+/// around an already-encoded payload. The workhorse of both sides' send
+/// paths.
+std::vector<std::uint8_t> make_frame(FrameType type, std::uint64_t request_id,
+                                     std::span<const std::uint8_t> payload);
+
+}  // namespace nnlut::net

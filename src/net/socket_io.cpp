@@ -1,0 +1,123 @@
+#include "net/socket_io.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <system_error>
+#include <unistd.h>
+
+namespace nnlut::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+sockaddr_in make_addr(const std::string& address, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    throw_errno("net: invalid IPv4 address");
+  }
+  return addr;
+}
+
+}  // namespace
+
+int listen_on(const std::string& address, std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("net: socket");
+  // REUSEADDR so a restarted server rebinds its port without waiting out
+  // TIME_WAIT sockets from the previous instance's connections.
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  const sockaddr_in addr = make_addr(address, port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("net: bind");
+  }
+  if (::listen(fd, backlog) < 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("net: listen");
+  }
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    throw_errno("net: getsockname");
+  return ntohs(addr.sin_port);
+}
+
+int connect_to(const std::string& address, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("net: socket");
+  const sockaddr_in addr = make_addr(address, port);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0)
+      return fd;
+    if (errno == EINTR) continue;
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("net: connect");
+  }
+}
+
+bool send_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n =
+        ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // error or peer gone (EPIPE/ECONNRESET, never SIGPIPE)
+  }
+  return true;
+}
+
+RecvStatus recv_all(int fd, std::uint8_t* data, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return RecvStatus::kTimeout;  // SO_RCVTIMEO expired
+    if (n == 0)  // orderly EOF: clean between frames, truncation inside one
+      return got == 0 ? RecvStatus::kClosed : RecvStatus::kError;
+    return RecvStatus::kError;
+  }
+  return RecvStatus::kOk;
+}
+
+void shutdown_fd(int fd) { ::shutdown(fd, SHUT_RDWR); }
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace nnlut::net

@@ -1,0 +1,51 @@
+// Thin POSIX socket helpers shared by TcpServer, Client and the net test
+// suites: bind/listen, connect, and exact-count send/recv loops that handle
+// short transfers, EINTR, and peer resets without ever raising SIGPIPE
+// (every send uses MSG_NOSIGNAL — a mid-request disconnect must surface as
+// an error return, not kill the process).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace nnlut::net {
+
+/// Create a TCP listener bound to `address:port` (port 0 = kernel-assigned
+/// ephemeral; read it back with local_port). Returns the listening fd.
+/// Throws std::system_error on failure.
+int listen_on(const std::string& address, std::uint16_t port, int backlog);
+
+/// The locally bound port of a socket fd (how a port-0 server learns its
+/// ephemeral port). Throws std::system_error.
+std::uint16_t local_port(int fd);
+
+/// Blocking connect to a dotted-quad IPv4 `address`. Returns the connected
+/// fd; throws std::system_error.
+int connect_to(const std::string& address, std::uint16_t port);
+
+/// Write exactly `len` bytes. False on any error or peer close.
+bool send_all(int fd, const std::uint8_t* data, std::size_t len);
+
+enum class RecvStatus : std::uint8_t {
+  kOk,       // exactly `len` bytes read
+  kClosed,   // orderly EOF before (or at) the first byte of this read
+  kError,    // socket error, or EOF mid-buffer (a truncated frame)
+  kTimeout,  // SO_RCVTIMEO expired (only on sockets with one configured)
+};
+
+/// Read exactly `len` bytes.
+RecvStatus recv_all(int fd, std::uint8_t* data, std::size_t len);
+
+/// shutdown(2) both directions — wakes any thread blocked in send/recv on
+/// this fd. Safe on an already-shut-down fd; never throws.
+void shutdown_fd(int fd);
+
+/// close(2); never throws.
+void close_fd(int fd);
+
+/// Disable Nagle (TCP_NODELAY): the protocol is request/response with small
+/// frames, where 40 ms delayed-ACK stalls dominate latency. Best-effort.
+void set_nodelay(int fd);
+
+}  // namespace nnlut::net

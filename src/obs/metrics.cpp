@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <stdexcept>
 
@@ -125,6 +126,35 @@ void MetricsRegistry::add_histogram(const std::string& name,
       throw std::invalid_argument("MetricsRegistry: duplicate series for '" +
                                   name + "'");
   f.series.push_back(Series{std::move(labels), {}, {}, std::move(fn)});
+}
+
+std::size_t MetricsRegistry::remove_labeled(const std::string& name,
+                                            const std::string& value) {
+  MutexLock lk(mu_);
+  std::size_t removed = 0;
+  for (std::size_t fi = 0; fi < families_.size();) {
+    Family& f = families_[fi];
+    for (std::size_t si = 0; si < f.series.size();) {
+      const Labels& ls = f.series[si].labels;
+      bool match = false;
+      for (const auto& kv : ls)
+        if (kv.first == name && kv.second == value) {
+          match = true;
+          break;
+        }
+      if (match) {
+        f.series.erase(f.series.begin() + static_cast<std::ptrdiff_t>(si));
+        ++removed;
+      } else {
+        ++si;
+      }
+    }
+    if (f.series.empty())
+      families_.erase(families_.begin() + static_cast<std::ptrdiff_t>(fi));
+    else
+      ++fi;
+  }
+  return removed;
 }
 
 std::string MetricsRegistry::scrape() const {

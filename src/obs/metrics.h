@@ -69,6 +69,17 @@ class MetricsRegistry {
   void add_histogram(const std::string& name, const std::string& help,
                      Labels labels, HistogramFn fn);
 
+  /// Unregister every series whose label set contains the label
+  /// `name="value"`; families left with no series disappear from the
+  /// scrape. Returns how many series were removed. This exists for
+  /// DYNAMIC components that hang instruments onto a longer-lived
+  /// registry — a TcpServer on the engine's scrape page deregisters its
+  /// nnlut_net_* series (labeled with its listen port) on stop(), so its
+  /// callbacks never outlive it and a later server reusing the port can
+  /// register cleanly. Static components (model slots) never deregister:
+  /// family-then-registration scrape order stays deterministic either way.
+  std::size_t remove_labeled(const std::string& name, const std::string& value);
+
   /// Prometheus text exposition of every registered series, evaluated now.
   std::string scrape() const;
 

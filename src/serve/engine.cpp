@@ -299,6 +299,14 @@ bool Engine::has_model(std::string_view model_id) const {
   return find_slot(model_id) != nullptr;
 }
 
+bool Engine::overloaded(std::string_view model_id) const {
+  ModelSlot* slot = find_slot(model_id);
+  if (slot == nullptr) return false;
+  const AdmissionConfig& adm = slot->queue.admission();
+  return adm.max_queue_depth > 0 &&
+         slot->queue.depth() >= adm.max_queue_depth;
+}
+
 std::vector<std::string> Engine::model_ids() const {
   ReaderLock lk(mu_);
   return order_;

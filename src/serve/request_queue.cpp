@@ -26,46 +26,82 @@ bool ResultState::claim() {
 }
 
 void ResultState::set_value(Tensor logits) {
+  std::function<void()> cb;
   {
     MutexLock lk(mu_);
     if (phase_ == Phase::kDone) return;
     value_ = std::move(logits);
     phase_ = Phase::kDone;
+    cb = std::move(done_cb_);
+    done_cb_ = nullptr;
   }
   cv_.notify_all();
+  if (cb) cb();  // outside mu_, then destroyed: captures released here
 }
 
 void ResultState::set_error(std::exception_ptr err) {
+  std::function<void()> cb;
   {
     MutexLock lk(mu_);
     if (phase_ == Phase::kDone) return;
     error_ = std::move(err);
     phase_ = Phase::kDone;
+    cb = std::move(done_cb_);
+    done_cb_ = nullptr;
   }
   cv_.notify_all();
+  if (cb) cb();
 }
 
 bool ResultState::reject_if_queued(std::exception_ptr err) {
+  std::function<void()> cb;
   {
     MutexLock lk(mu_);
     if (phase_ != Phase::kQueued) return false;  // already cancelled
     error_ = std::move(err);
     phase_ = Phase::kDone;
+    cb = std::move(done_cb_);
+    done_cb_ = nullptr;
   }
   cv_.notify_all();
+  if (cb) cb();
   return true;
 }
 
 bool ResultState::cancel() {
+  std::function<void()> cb;
   {
     MutexLock lk(mu_);
     if (phase_ != Phase::kQueued) return false;
     error_ = std::make_exception_ptr(
         RequestCancelled("serve: request cancelled before execution"));
     phase_ = Phase::kDone;
+    cb = std::move(done_cb_);
+    done_cb_ = nullptr;
   }
   cv_.notify_all();
+  if (cb) cb();
   return true;
+}
+
+void ResultState::on_done(std::function<void()> cb) {
+  if (!cb)
+    throw std::invalid_argument("ResultState::on_done: null callback");
+  bool fire_now = false;
+  {
+    MutexLock lk(mu_);
+    if (done_cb_registered_)
+      throw std::logic_error(
+          "ResultState::on_done: a completion callback is already "
+          "registered (at most one per request)");
+    done_cb_registered_ = true;
+    if (phase_ == Phase::kDone) {
+      fire_now = true;  // run below, outside mu_
+    } else {
+      done_cb_ = std::move(cb);
+    }
+  }
+  if (fire_now) cb();
 }
 
 void ResultState::wait() const {
@@ -120,6 +156,12 @@ Tensor PendingResult::get() {
 }
 
 bool PendingResult::cancel() { return state_ && state_->cancel(); }
+
+void PendingResult::on_ready(std::function<void()> cb) {
+  if (!state_)
+    throw std::logic_error("PendingResult::on_ready: invalid handle");
+  state_->on_done(std::move(cb));
+}
 
 RequestQueue::RequestQueue(AdmissionConfig admission, StatsLedger* ledger)
     : admission_(admission), ledger_(ledger) {}

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <deque>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -65,6 +66,20 @@ class ResultState {
   void wait() const;
   bool wait_for(std::chrono::microseconds timeout) const;
   bool done() const;
+  /// Register `cb` to run EXACTLY ONCE when the request resolves — by
+  /// set_value, set_error, reject_if_queued (eviction / shutdown drain) or
+  /// cancel — on whichever thread performs the resolving transition. If the
+  /// request already resolved, `cb` runs immediately on the calling thread.
+  /// Invariants the network front-end leans on:
+  ///   - `cb` is invoked OUTSIDE the state's mutex, so it may take its own
+  ///     locks, call done()/take(), or re-enter the queue freely.
+  ///   - `cb` is destroyed right after it runs (its captures are released),
+  ///     so a callback holding a weak_ptr to its submitter neither keeps
+  ///     the submitter alive nor touches it after expiry — the resolved-
+  ///     after-submitter-gone contract pinned by serve_test.
+  /// At most one callback per request: a second registration throws
+  /// std::logic_error; a null callback throws std::invalid_argument.
+  void on_done(std::function<void()> cb);
   /// Blocks until done; throws the stored error if rejected. The logits
   /// move out exactly once: a second take() (from this handle or any copy
   /// sharing the state) throws std::logic_error instead of returning a
@@ -78,6 +93,10 @@ class ResultState {
   bool taken_ NNLUT_GUARDED_BY(mu_) = false;  // value moved out by take()
   Tensor value_ NNLUT_GUARDED_BY(mu_);
   std::exception_ptr error_ NNLUT_GUARDED_BY(mu_);
+  /// Pending completion hook; moved out (captures released) by the
+  /// resolving transition and invoked after mu_ is dropped.
+  std::function<void()> done_cb_ NNLUT_GUARDED_BY(mu_);
+  bool done_cb_registered_ NNLUT_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace detail
@@ -138,6 +157,13 @@ class PendingResult {
   /// is now rejected with RequestCancelled; false if it already ran (its
   /// result stays available) or already finished.
   bool cancel();
+  /// Async completion: run `cb` exactly once when the request resolves
+  /// (immediately, on this thread, if it already has). See
+  /// detail::ResultState::on_done for the invocation contract. The network
+  /// front-end uses this to route results back to the owning connection
+  /// without a blocked thread per request. Throws std::logic_error on an
+  /// invalid handle or a second registration.
+  void on_ready(std::function<void()> cb);
 
  private:
   friend class RequestQueue;

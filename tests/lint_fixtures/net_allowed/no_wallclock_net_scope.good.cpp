@@ -1,0 +1,14 @@
+// Fixture: no-wallclock net-layer scoping, GOOD half. Identical deadline
+// arithmetic to no_wallclock_net_scope.bad.cpp, but this file lives under
+// net_allowed/ — a `wallclock_allowed` prefix in the fixture manifest
+// (standing in for src/net/ in the real one, where socket timeouts are
+// inherently wall-clock) — so the lint must stay silent.
+#include <chrono>
+#include <cstdint>
+
+std::int64_t recv_deadline_us_inside_net(
+    std::chrono::steady_clock::time_point deadline) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             deadline - std::chrono::steady_clock::now())
+      .count();
+}

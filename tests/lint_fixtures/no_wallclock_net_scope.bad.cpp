@@ -1,0 +1,15 @@
+// Fixture: no-wallclock net-layer scoping, BAD half. Deadline arithmetic of
+// the kind the TCP client uses (SO_RCVTIMEO re-arming) read OUTSIDE every
+// `wallclock_allowed` prefix, so the clock read must fire. Its good twin
+// (net_allowed/no_wallclock_net_scope.good.cpp) holds the same code inside
+// the net_allowed/ prefix — standing in for src/net/ in the real manifest —
+// and must be clean.
+#include <chrono>
+#include <cstdint>
+
+std::int64_t recv_deadline_us_outside_net(
+    std::chrono::steady_clock::time_point deadline) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             deadline - std::chrono::steady_clock::now())
+      .count();
+}

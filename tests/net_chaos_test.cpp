@@ -1,0 +1,336 @@
+// Chaos / fault-injection suite for the network front-end. Every scenario
+// kills, wedges or races a connection at an inconvenient moment and then
+// demands EXACT reconciliation: no hung promise, no leaked request, no
+// touch of freed session state (the suite runs under TSan and ASan in CI).
+// The load-bearing identities, asserted after every scenario:
+//
+//   net:    submits_forwarded == completions_enqueued + responses_dropped
+//   ledger: submitted == completed + failed + cancelled   (after drain)
+//
+// Scenarios: client disconnect with requests in flight (results resolve
+// into an expired session and count dropped), slow-reader eviction at the
+// write-queue byte bound, half-written frames finished with FIN or RST,
+// cancel racing completion, duplicate in-flight request ids, and full
+// server stop under live traffic.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/tcp_server.h"
+#include "numerics/math.h"
+#include "runtime/thread_pool.h"
+#include "serve/engine.h"
+#include "transformer/infer.h"
+
+namespace nnlut::net {
+namespace {
+
+using namespace std::chrono_literals;
+using namespace nnlut::transformer;
+
+ModelConfig tiny() {
+  ModelConfig c = ModelConfig::roberta_like();
+  c.vocab = 32;
+  c.hidden = 16;
+  c.layers = 2;
+  c.heads = 2;
+  c.ffn = 32;
+  c.max_seq = 12;
+  return c;
+}
+
+BatchInput request_of(std::size_t batch, std::size_t seq, int fill = 1) {
+  BatchInput in;
+  in.batch = batch;
+  in.seq = seq;
+  in.token_ids.assign(batch * seq, fill);
+  return in;
+}
+
+/// Spin (politely) until `pred` holds; fail the test on expiry. Chaos
+/// scenarios synchronize on observable counters instead of sleeps so they
+/// are exact on fast machines and patient on drowning CI ones.
+bool poll_until(const std::function<bool()>& pred,
+                std::chrono::milliseconds budget = 10s) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(1ms);
+  }
+  return true;
+}
+
+void expect_net_identity(const NetStats& s) {
+  EXPECT_EQ(s.submits_forwarded,
+            s.completions_enqueued + s.responses_dropped);
+}
+
+void expect_ledger_drained(const serve::SlotStats& s) {
+  EXPECT_EQ(s.submitted, s.completed + s.failed + s.cancelled);
+}
+
+/// An engine with one slot whose scheduler hoards requests: a huge
+/// max_wait and batch bound keep everything parked in the batcher's bucket
+/// until shutdown() drains it — the window every disconnect race needs.
+struct SlowHarness {
+  Rng rng{811};
+  TaskModel model{tiny(), HeadKind::kClassify, 2, rng};
+  ExactNonlinearities nl{model.config().act};
+  serve::Engine engine{serve::EngineConfig{/*threads=*/2}};
+
+  explicit SlowHarness(const char* slot_id = "slow") {
+    serve::SlotConfig scfg;
+    scfg.max_batch = 64;
+    scfg.max_wait = 10min;
+    engine.register_model(slot_id, model, nl, scfg);
+  }
+  ~SlowHarness() { runtime::set_runtime_config({}); }
+};
+
+TEST(NetChaos, DisconnectWithRequestsInFlightDropsExactly) {
+  SlowHarness h;
+  TcpServer server(h.engine);
+
+  constexpr std::uint64_t kInFlight = 4;
+  {
+    Client client("127.0.0.1", server.port());
+    for (std::uint64_t i = 0; i < kInFlight; ++i)
+      client.submit("slow", request_of(1, 8, static_cast<int>(i)));
+    ASSERT_TRUE(poll_until(
+        [&] { return server.stats().submits_forwarded == kInFlight; }));
+    // Client vanishes with every request still parked in the batcher.
+  }
+  ASSERT_TRUE(poll_until(
+      [&] { return server.stats().connections_closed == 1; }));
+
+  // Drain: the scheduler still executes the orphaned requests; each
+  // resolution fires its on_ready callback into a session whose in-flight
+  // map was abandoned — counted dropped, never delivered, never leaked.
+  h.engine.shutdown();
+  ASSERT_TRUE(poll_until(
+      [&] { return server.stats().responses_dropped == kInFlight; }));
+
+  const NetStats net = server.stats();
+  EXPECT_EQ(net.submits_forwarded, kInFlight);
+  EXPECT_EQ(net.completions_enqueued, 0u);
+  EXPECT_EQ(net.responses_dropped, kInFlight);
+  expect_net_identity(net);
+
+  const serve::SlotStats slot = h.engine.model_stats("slow");
+  EXPECT_EQ(slot.submitted, kInFlight);
+  expect_ledger_drained(slot);
+
+  server.stop();
+  expect_net_identity(server.stats());
+  EXPECT_EQ(server.open_connections(), 0u);
+}
+
+TEST(NetChaos, SlowReaderEvictedAtWriteQueueBound) {
+  // The write-queue bound is set below the size of a single result frame,
+  // so the very first completion overflows it: deterministic eviction with
+  // no dependence on kernel socket buffering. The request itself completed
+  // fine in the engine — only its DELIVERY is refused and counted dropped.
+  SlowHarness h("fast");
+  // Re-register wants a fresh slot config; use a second engine-side slot
+  // with a prompt scheduler instead of the hoarding one.
+  serve::SlotConfig prompt;
+  prompt.max_batch = 4;
+  prompt.max_wait = 1ms;
+  h.engine.register_model("prompt", h.model, h.nl, prompt);
+
+  TcpServerConfig cfg;
+  cfg.max_write_queue_bytes = 32;  // smaller than any kResult frame
+  TcpServer server(h.engine, cfg);
+
+  Client client("127.0.0.1", server.port());
+  const auto id = client.submit("prompt", request_of(1, 8));
+  ASSERT_TRUE(poll_until(
+      [&] { return server.stats().slow_reader_evictions == 1; }));
+
+  // The eviction shut the socket down; the client observes a dead
+  // connection, not a result.
+  EXPECT_THROW(client.await(id, 5000ms), ConnectionClosed);
+  ASSERT_TRUE(poll_until(
+      [&] { return server.stats().connections_closed == 1; }));
+
+  const NetStats net = server.stats();
+  EXPECT_EQ(net.submits_forwarded, 1u);
+  EXPECT_EQ(net.completions_enqueued, 0u);
+  EXPECT_EQ(net.responses_dropped, 1u);
+  EXPECT_EQ(net.slow_reader_evictions, 1u);
+  expect_net_identity(net);
+
+  // The engine side is untouched by the delivery failure: the request ran
+  // to completion and reconciles as completed.
+  const serve::SlotStats slot = h.engine.model_stats("prompt");
+  EXPECT_EQ(slot.submitted, 1u);
+  EXPECT_EQ(slot.completed, 1u);
+  expect_ledger_drained(slot);
+  server.stop();
+}
+
+TEST(NetChaos, HalfWrittenFrameThenFinOrRst) {
+  SlowHarness h;
+  serve::SlotConfig prompt;
+  prompt.max_batch = 4;
+  prompt.max_wait = 1ms;
+  h.engine.register_model("prompt", h.model, h.nl, prompt);
+  TcpServer server(h.engine);
+
+  // Variant A: header promises 100 payload bytes, 40 arrive, then FIN.
+  {
+    Client client("127.0.0.1", server.port());
+    FrameHeader hd;
+    hd.type = FrameType::kSubmit;
+    hd.payload_len = 100;
+    hd.request_id = 1;
+    std::uint8_t hdr[kHeaderSize];
+    encode_header(hd, hdr);
+    client.send_raw(hdr, kHeaderSize);
+    const std::vector<std::uint8_t> partial(40, 0xAB);
+    client.send_raw(partial.data(), partial.size());
+  }
+  ASSERT_TRUE(poll_until(
+      [&] { return server.stats().connections_closed == 1; }));
+
+  // Variant B: same truncation, finished with a hard RST (SO_LINGER 0).
+  {
+    Client client("127.0.0.1", server.port());
+    FrameHeader hd;
+    hd.type = FrameType::kSubmit;
+    hd.payload_len = 100;
+    hd.request_id = 2;
+    std::uint8_t hdr[kHeaderSize];
+    encode_header(hd, hdr);
+    client.send_raw(hdr, kHeaderSize);
+    const std::vector<std::uint8_t> partial(40, 0xCD);
+    client.send_raw(partial.data(), partial.size());
+    const linger lg{1, 0};
+    ASSERT_EQ(::setsockopt(client.fd(), SOL_SOCKET, SO_LINGER, &lg,
+                           sizeof lg),
+              0);
+  }
+  ASSERT_TRUE(poll_until(
+      [&] { return server.stats().connections_closed == 2; }));
+
+  // Neither mutilated connection reached the engine, and the server still
+  // serves: a fresh client round-trips normally.
+  const NetStats net = server.stats();
+  EXPECT_EQ(net.submits_forwarded, 0u);
+  expect_net_identity(net);
+
+  Client fresh("127.0.0.1", server.port());
+  const Completion done =
+      fresh.await(fresh.submit("prompt", request_of(1, 8)));
+  EXPECT_TRUE(done.ok) << done.message;
+  server.stop();
+  expect_net_identity(server.stats());
+}
+
+TEST(NetChaos, CancelRacesAndDuplicateIds) {
+  SlowHarness h;  // "slow": requests park until cancelled or shutdown
+  serve::SlotConfig prompt;
+  prompt.max_batch = 4;
+  prompt.max_wait = 1ms;
+  h.engine.register_model("prompt", h.model, h.nl, prompt);
+  TcpServer server(h.engine);
+  Client client("127.0.0.1", server.port());
+
+  // Cancel-before-execution: the parked request is withdrawn. Ack true,
+  // AND the submit's own completion arrives as kError(kCancelled) — two
+  // frames, both mandatory.
+  const auto parked = client.submit("slow", request_of(1, 8));
+  EXPECT_TRUE(client.cancel(parked));
+  Completion done = client.await(parked);
+  EXPECT_FALSE(done.ok);
+  EXPECT_EQ(done.code, ErrorCode::kCancelled);
+
+  // Cancel-after-complete: by the time the cancel lands the request is
+  // resolved and gone from the in-flight map. Ack false, nothing breaks,
+  // the result was already delivered.
+  const auto fast = client.submit("prompt", request_of(1, 8));
+  done = client.await(fast);
+  EXPECT_TRUE(done.ok) << done.message;
+  EXPECT_FALSE(client.cancel(fast));
+
+  // Duplicate in-flight id: the second submit under a live id is a
+  // protocol error answered inline; the ORIGINAL request is untouched and
+  // still cancellable.
+  client.submit_as(777, "slow", request_of(1, 8));
+  ASSERT_TRUE(poll_until(
+      [&] { return server.stats().submits_forwarded == 3; }));
+  client.submit_as(777, "slow", request_of(1, 8));
+  done = client.await(777);
+  EXPECT_FALSE(done.ok);
+  EXPECT_EQ(done.code, ErrorCode::kMalformedFrame);
+  EXPECT_TRUE(client.cancel(777));
+  done = client.await(777);
+  EXPECT_FALSE(done.ok);
+  EXPECT_EQ(done.code, ErrorCode::kCancelled);
+
+  client.close();
+  ASSERT_TRUE(poll_until(
+      [&] { return server.stats().connections_closed == 1; }));
+  h.engine.shutdown();
+  server.stop();
+
+  const NetStats net = server.stats();
+  EXPECT_EQ(net.submits_forwarded, 3u);  // the duplicate never reached it
+  EXPECT_EQ(net.completions_enqueued, 3u);
+  EXPECT_EQ(net.cancels, 3u);
+  EXPECT_EQ(net.protocol_errors, 1u);
+  expect_net_identity(net);
+  const serve::SlotStats slow = h.engine.model_stats("slow");
+  EXPECT_EQ(slow.cancelled, 2u);
+  expect_ledger_drained(slow);
+  expect_ledger_drained(h.engine.model_stats("prompt"));
+}
+
+TEST(NetChaos, ServerStopUnderLiveTrafficReconciles) {
+  SlowHarness h;
+  TcpServer server(h.engine);
+
+  // Three clients park requests; stop() closes every session under them,
+  // THEN the engine drains. Every forwarded submit must reconcile as
+  // dropped (no session left to deliver to), every client must observe a
+  // dead connection rather than a hang.
+  constexpr std::size_t kClients = 3, kPerClient = 2;
+  std::vector<std::unique_ptr<Client>> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.push_back(
+        std::make_unique<Client>("127.0.0.1", server.port()));
+    for (std::size_t i = 0; i < kPerClient; ++i)
+      clients[c]->submit("slow", request_of(1, 8, static_cast<int>(i)));
+  }
+  ASSERT_TRUE(poll_until([&] {
+    return server.stats().submits_forwarded == kClients * kPerClient;
+  }));
+
+  server.stop();
+  EXPECT_EQ(server.open_connections(), 0u);
+  for (auto& c : clients)
+    EXPECT_THROW(c->await(1, 5000ms), ConnectionClosed);
+
+  h.engine.shutdown();
+  ASSERT_TRUE(poll_until([&] {
+    return server.stats().responses_dropped == kClients * kPerClient;
+  }));
+  const NetStats net = server.stats();
+  EXPECT_EQ(net.completions_enqueued, 0u);
+  expect_net_identity(net);
+  const serve::SlotStats slot = h.engine.model_stats("slow");
+  EXPECT_EQ(slot.submitted, kClients * kPerClient);
+  expect_ledger_drained(slot);
+}
+
+}  // namespace
+}  // namespace nnlut::net

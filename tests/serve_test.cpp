@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -147,6 +148,142 @@ TEST(RequestQueue, CancelAfterClaimFails) {
   EXPECT_FALSE(r.cancel());
   drained[0].state->set_value(Tensor({1, 2}));
   EXPECT_NO_THROW(r.get());
+}
+
+// ------------------------------------------ on_ready (async completion) ---
+// The network front-end routes results back to connections through
+// on_ready; these regressions pin the contract it leans on (exactly-once,
+// immediate-if-done, capture release, resolved-after-submitter-gone).
+
+TEST(PendingResultOnReady, FiresExactlyOnceOnEveryResolutionPath) {
+  // Value path.
+  {
+    RequestQueue q;
+    PendingResult r = q.submit(make_request(1, 4));
+    std::atomic<int> fired{0};
+    r.on_ready([&fired] { fired.fetch_add(1); });
+    auto drained = q.wait_drain(std::nullopt);
+    ASSERT_TRUE(drained[0].state->claim());
+    drained[0].state->set_value(toy_model(drained[0].input));
+    EXPECT_EQ(fired.load(), 1);
+    EXPECT_NO_THROW(r.get());
+    EXPECT_EQ(fired.load(), 1);  // get() must not re-fire it
+  }
+  // Error path.
+  {
+    RequestQueue q;
+    PendingResult r = q.submit(make_request(1, 4));
+    std::atomic<int> fired{0};
+    r.on_ready([&fired] { fired.fetch_add(1); });
+    auto drained = q.wait_drain(std::nullopt);
+    ASSERT_TRUE(drained[0].state->claim());
+    drained[0].state->set_error(
+        std::make_exception_ptr(std::runtime_error("boom")));
+    EXPECT_EQ(fired.load(), 1);
+    EXPECT_THROW(r.get(), std::runtime_error);
+    EXPECT_EQ(fired.load(), 1);
+  }
+  // Cancel path: the canceller's thread runs the callback.
+  {
+    RequestQueue q;
+    PendingResult r = q.submit(make_request(1, 4));
+    std::atomic<int> fired{0};
+    r.on_ready([&fired] { fired.fetch_add(1); });
+    EXPECT_TRUE(r.cancel());
+    EXPECT_EQ(fired.load(), 1);
+    EXPECT_FALSE(r.cancel());  // second cancel resolves nothing
+    EXPECT_EQ(fired.load(), 1);
+  }
+  // Eviction path (reject-oldest shed fires the victim's callback).
+  {
+    RequestQueue q({/*max_queue_depth=*/1, ShedPolicy::kRejectOldest});
+    PendingResult victim = q.submit(make_request(1, 4));
+    std::atomic<int> fired{0};
+    victim.on_ready([&fired] { fired.fetch_add(1); });
+    PendingResult usurper = q.submit(make_request(1, 4));
+    EXPECT_EQ(fired.load(), 1);
+    EXPECT_THROW(victim.get(), ServerOverloaded);
+    EXPECT_EQ(fired.load(), 1);
+  }
+  // Shutdown drain: the stopper rejects what is still queued.
+  {
+    RequestQueue q;
+    PendingResult r = q.submit(make_request(1, 4));
+    std::atomic<int> fired{0};
+    r.on_ready([&fired] { fired.fetch_add(1); });
+    q.close();
+    auto drained = q.wait_drain(std::nullopt);
+    ASSERT_EQ(drained.size(), 1u);
+    EXPECT_TRUE(drained[0].state->reject_if_queued(
+        std::make_exception_ptr(RequestCancelled("serve: shutting down"))));
+    EXPECT_EQ(fired.load(), 1);
+    EXPECT_THROW(r.get(), RequestCancelled);
+  }
+}
+
+TEST(PendingResultOnReady, RunsImmediatelyWhenAlreadyResolved) {
+  RequestQueue q;
+  PendingResult r = q.submit(make_request(1, 4));
+  EXPECT_TRUE(r.cancel());
+  std::atomic<int> fired{0};
+  r.on_ready([&fired] { fired.fetch_add(1); });
+  EXPECT_EQ(fired.load(), 1);  // on the registering thread, synchronously
+}
+
+TEST(PendingResultOnReady, RegistrationMisuseThrows) {
+  RequestQueue q;
+  PendingResult r = q.submit(make_request(1, 4));
+  EXPECT_THROW(r.on_ready(nullptr), std::invalid_argument);
+  r.on_ready([] {});
+  EXPECT_THROW(r.on_ready([] {}), std::logic_error);  // at most one callback
+  // Misuse must not have resolved or broken the request.
+  EXPECT_FALSE(r.ready());
+  EXPECT_TRUE(r.cancel());
+}
+
+TEST(PendingResultOnReady, CapturesReleasedRightAfterInvocation) {
+  // The callback's captures must be destroyed as soon as it has run — a
+  // callback pinning a resource (here: a shared_ptr) must not keep it alive
+  // until the queue or the handle dies.
+  RequestQueue q;
+  PendingResult r = q.submit(make_request(1, 4));
+  auto pinned = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = pinned;
+  r.on_ready([held = std::move(pinned)] { (void)*held; });
+  EXPECT_FALSE(watch.expired());  // held by the registered callback
+  EXPECT_TRUE(r.cancel());
+  EXPECT_TRUE(watch.expired());  // released the moment it fired
+}
+
+TEST(PendingResultOnReady, ResolveAfterSubmitterGoneNeverTouchesFreedState) {
+  // The network session registers callbacks holding a weak_ptr to itself; a
+  // request resolving after the session died must observe an expired
+  // weak_ptr and fall back to shared counters — never the freed session.
+  // Under ASan this regression pins the absence of use-after-free.
+  struct Submitter {
+    std::atomic<int>& delivered;
+    explicit Submitter(std::atomic<int>& d) : delivered(d) {}
+    void complete() { delivered.fetch_add(1); }
+  };
+  std::atomic<int> delivered{0};
+  auto dropped = std::make_shared<std::atomic<int>>(0);
+
+  RequestQueue q;
+  PendingResult r = q.submit(make_request(1, 4));
+  auto submitter = std::make_shared<Submitter>(delivered);
+  r.on_ready([weak = std::weak_ptr<Submitter>(submitter), dropped] {
+    if (auto s = weak.lock())
+      s->complete();
+    else
+      dropped->fetch_add(1);
+  });
+  submitter.reset();  // the owning connection dies with the request in flight
+
+  auto drained = q.wait_drain(std::nullopt);
+  ASSERT_TRUE(drained[0].state->claim());
+  drained[0].state->set_value(toy_model(drained[0].input));  // resolve late
+  EXPECT_EQ(delivered.load(), 0);
+  EXPECT_EQ(dropped->load(), 1);
 }
 
 // --------------------------------------------------- admission control ---

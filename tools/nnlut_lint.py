@@ -373,10 +373,12 @@ def run_lint(paths: list[str], mf: Manifest) -> list[Finding]:
 # the fixture manifest scopes a rule to — must be completely clean).
 RULE_FIXTURES = {
     "no-rand": ["no_rand"],
-    # no_wallclock_scope proves the manifest prefix scoping: its bad twin
-    # reads a clock outside every `wallclock_allowed` prefix; its good twin
-    # is the same code inside the allowlisted obs_allowed/ directory.
-    "no-wallclock": ["no_wallclock", "no_wallclock_scope"],
+    # no_wallclock_scope / no_wallclock_net_scope prove the manifest prefix
+    # scoping: each bad twin reads a clock outside every `wallclock_allowed`
+    # prefix; each good twin is the same code inside an allowlisted directory
+    # (obs_allowed/ and net_allowed/ respectively).
+    "no-wallclock": ["no_wallclock", "no_wallclock_scope",
+                     "no_wallclock_net_scope"],
     "no-unordered-iter": ["no_unordered_iter"],
     "no-fp-contract": ["no_fp_contract"],
     "simd-literal-parity": ["simd_literal_parity"],

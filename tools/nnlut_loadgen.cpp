@@ -1,0 +1,316 @@
+// nnlut_loadgen: closed-loop load generator for the TCP front-end.
+//
+// Drives N connections x M in-flight requests each against an NN-LUT
+// serving stack and reports client-observed throughput, latency quantiles
+// and the error/shed breakdown as a JSON summary on stdout.
+//
+// Two modes:
+//   self-serve (default): builds the serving example's engine shape in
+//     process — one random-weight encoder behind two LUT slots,
+//     "nnlut-fp32" (unbounded) and "nnlut-int32" (bounded admission,
+//     reject-oldest) — starts a TcpServer on an ephemeral port and loads
+//     it over loopback. Zero setup: `nnlut_loadgen` just runs.
+//   --connect HOST:PORT: loads an already-running server instead; model
+//     ids default to the same two slots (override with --models a,b,...).
+//
+// Closed loop means each connection keeps exactly M requests in flight:
+// it primes M submits, then await-oldest / submit-next until its quota is
+// spent. Work is deterministic per (--seed, connection index, request
+// index) so two runs of the same configuration serve identical streams.
+//
+// Every request is verified structurally (logits shape) but not
+// numerically — parity with the in-process engine is the loopback test
+// suite's job (tests/net_test.cpp), not the load generator's.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "approx/linear_lut.h"
+#include "net/client.h"
+#include "net/tcp_server.h"
+#include "numerics/math.h"
+#include "numerics/rng.h"
+#include "runtime/thread_pool.h"
+#include "serve/engine.h"
+#include "serve/stats.h"
+#include "transformer/infer.h"
+
+namespace {
+
+using namespace nnlut;
+using namespace nnlut::transformer;
+using namespace std::chrono_literals;
+
+struct Options {
+  std::size_t connections = 4;
+  std::size_t inflight = 4;
+  std::size_t requests = 64;  // per connection
+  std::uint64_t seed = 42;
+  std::size_t seq = 16;
+  std::string connect;  // empty: self-serve
+  std::vector<std::string> models = {"nnlut-fp32", "nnlut-int32"};
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--connections N] [--inflight M] [--requests K]\n"
+      "          [--seed S] [--seq L] [--connect HOST:PORT]\n"
+      "          [--models a,b,...]\n"
+      "Closed-loop load generator: N connections x M in-flight, K requests\n"
+      "per connection. Self-serves an in-process engine unless --connect.\n",
+      argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connections") o.connections = std::strtoull(value(i), nullptr, 10);
+    else if (arg == "--inflight") o.inflight = std::strtoull(value(i), nullptr, 10);
+    else if (arg == "--requests") o.requests = std::strtoull(value(i), nullptr, 10);
+    else if (arg == "--seed") o.seed = std::strtoull(value(i), nullptr, 10);
+    else if (arg == "--seq") o.seq = std::strtoull(value(i), nullptr, 10);
+    else if (arg == "--connect") o.connect = value(i);
+    else if (arg == "--models") {
+      o.models.clear();
+      std::string list = value(i);
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::size_t end = comma == std::string::npos ? list.size() : comma;
+        if (end > start) o.models.push_back(list.substr(start, end - start));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else usage(argv[0]);
+  }
+  if (o.connections == 0 || o.inflight == 0 || o.requests == 0 ||
+      o.models.empty() || o.seq == 0)
+    usage(argv[0]);
+  return o;
+}
+
+constexpr std::size_t kVocab = 64;
+
+ModelConfig loadgen_config(std::size_t seq) {
+  ModelConfig cfg = ModelConfig::roberta_like();
+  cfg.vocab = kVocab;
+  cfg.hidden = 32;
+  cfg.layers = 2;
+  cfg.heads = 2;
+  cfg.ffn = 64;
+  cfg.max_seq = seq;
+  return cfg;
+}
+
+/// The serving example's engine shape (examples/serving_loop.cpp) minus
+/// the training step: random weights serve the same code paths at the
+/// same cost per token.
+struct SelfServe {
+  Rng rng;
+  TaskModel model;
+  LutSet luts;
+  std::unique_ptr<LutNonlinearities> fp32_backend;
+  std::unique_ptr<LutNonlinearities> int32_backend;
+  serve::Engine engine;
+
+  explicit SelfServe(const Options& o)
+      : rng(static_cast<int>(o.seed)),
+        model(loadgen_config(o.seq), HeadKind::kClassify, 2, rng),
+        luts{fit_linear_lut(gelu_exact, kGeluRange, 16),
+             fit_linear_lut(exp_exact, {-16.0f, 0.0f}, 16),
+             fit_fixed_breakpoint_lut(reciprocal_exact, {1.0f, 1024.0f}, 16,
+                                      BreakpointMode::kExponential),
+             fit_fixed_breakpoint_lut(rsqrt_exact, kRsqrtRange, 16,
+                                      BreakpointMode::kExponential)} {
+    LutNonlinearities::Options lopt;
+    lopt.select = ApproxSelection::all();
+    fp32_backend = make_lut_backend(luts, LutPrecision::kFp32, lopt);
+    int32_backend = make_lut_backend(luts, LutPrecision::kInt32, lopt);
+
+    serve::SlotConfig fp32_slot;
+    fp32_slot.max_batch = 8;
+    fp32_slot.max_wait = 2000us;
+    engine.register_model("nnlut-fp32", model, *fp32_backend, fp32_slot);
+
+    serve::SlotConfig int32_slot = fp32_slot;
+    int32_slot.admission = {/*max_queue_depth=*/8,
+                            serve::ShedPolicy::kRejectOldest};
+    engine.register_model("nnlut-int32", model, *int32_backend, int32_slot);
+  }
+};
+
+BatchInput request_for(const Options& o, std::size_t conn,
+                                    std::size_t k) {
+  Rng rng(static_cast<int>(o.seed * 7919 + conn * 1009 + k));
+  BatchInput in;
+  in.batch = 1;
+  in.seq = o.seq;
+  in.token_ids.resize(o.seq);
+  for (int& t : in.token_ids)
+    t = rng.uniform_int(0, static_cast<int>(kVocab) - 1);
+  return in;
+}
+
+struct ConnResult {
+  std::uint64_t ok = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t other_errors = 0;
+  serve::LatencyHistogram latency;  // client-observed submit->completion
+};
+
+ConnResult run_connection(const Options& o, const std::string& host,
+                          std::uint16_t port, std::size_t conn) {
+  ConnResult res;
+  net::Client client(host, port);
+  const std::string& model = o.models[conn % o.models.size()];
+
+  std::vector<std::pair<std::uint64_t,
+                        std::chrono::steady_clock::time_point>> window;
+  std::size_t next = 0;
+  auto prime = [&] {
+    while (next < o.requests && window.size() < o.inflight) {
+      const auto t0 = std::chrono::steady_clock::now();
+      window.emplace_back(client.submit(model, request_for(o, conn, next)),
+                          t0);
+      ++next;
+    }
+  };
+  prime();
+  while (!window.empty()) {
+    const auto [id, t0] = window.front();
+    window.erase(window.begin());
+    const net::Completion done = client.await(id);
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - t0);
+    res.latency.record(us);
+    if (done.ok)
+      ++res.ok;
+    else if (done.code == net::ErrorCode::kOverloaded)
+      ++res.overloaded;
+    else
+      ++res.other_errors;
+    prime();
+  }
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+
+  std::unique_ptr<SelfServe> self;
+  std::unique_ptr<net::TcpServer> server;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  if (o.connect.empty()) {
+    self = std::make_unique<SelfServe>(o);
+    server = std::make_unique<net::TcpServer>(self->engine);
+    port = server->port();
+  } else {
+    const std::size_t colon = o.connect.rfind(':');
+    if (colon == std::string::npos) usage(argv[0]);
+    host = o.connect.substr(0, colon);
+    port = static_cast<std::uint16_t>(
+        std::strtoul(o.connect.c_str() + colon + 1, nullptr, 10));
+  }
+
+  std::vector<ConnResult> results(o.connections);
+  std::atomic<int> failures{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(o.connections);
+    for (std::size_t c = 0; c < o.connections; ++c) {
+      threads.emplace_back([&, c] {
+        try {
+          results[c] = run_connection(o, host, port, c);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "conn %zu: %s\n", c, e.what());
+          failures.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double elapsed_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  ConnResult total;
+  for (const ConnResult& r : results) {
+    total.ok += r.ok;
+    total.overloaded += r.overloaded;
+    total.other_errors += r.other_errors;
+    total.latency.merge(r.latency);
+  }
+  const std::uint64_t completed =
+      total.ok + total.overloaded + total.other_errors;
+
+  net::NetStats net{};
+  if (server) {
+    net = server->stats();
+    server->stop();
+    self->engine.shutdown();
+  }
+  runtime::set_runtime_config({});
+
+  std::printf(
+      "{\n"
+      "  \"mode\": \"%s\",\n"
+      "  \"connections\": %zu,\n"
+      "  \"inflight\": %zu,\n"
+      "  \"requests_per_connection\": %zu,\n"
+      "  \"seed\": %llu,\n"
+      "  \"completed\": %llu,\n"
+      "  \"ok\": %llu,\n"
+      "  \"overloaded\": %llu,\n"
+      "  \"other_errors\": %llu,\n"
+      "  \"connection_failures\": %d,\n"
+      "  \"elapsed_s\": %.4f,\n"
+      "  \"req_per_s\": %.1f,\n"
+      "  \"latency_us\": {\"p50\": %.0f, \"p95\": %.0f, \"p99\": %.0f},\n"
+      "  \"server\": {\"forwarded\": %llu, \"enqueued\": %llu,"
+      " \"dropped\": %llu, \"sheds_preparse\": %llu}\n"
+      "}\n",
+      o.connect.empty() ? "self-serve" : "connect", o.connections, o.inflight,
+      o.requests, static_cast<unsigned long long>(o.seed),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(total.ok),
+      static_cast<unsigned long long>(total.overloaded),
+      static_cast<unsigned long long>(total.other_errors), failures.load(),
+      elapsed_s, elapsed_s > 0.0 ? static_cast<double>(completed) / elapsed_s
+                                 : 0.0,
+      total.latency.quantile(0.50), total.latency.quantile(0.95),
+      total.latency.quantile(0.99),
+      static_cast<unsigned long long>(net.submits_forwarded),
+      static_cast<unsigned long long>(net.completions_enqueued),
+      static_cast<unsigned long long>(net.responses_dropped),
+      static_cast<unsigned long long>(net.sheds_preparse));
+
+  const bool reconciled =
+      !server || net.submits_forwarded ==
+                     net.completions_enqueued + net.responses_dropped;
+  if (!reconciled)
+    std::fprintf(stderr, "loadgen: server stats do not reconcile\n");
+  return (failures.load() == 0 && completed == o.connections * o.requests &&
+          reconciled)
+             ? 0
+             : 1;
+}
