@@ -287,6 +287,21 @@ void BM_LutTierPlanFp32(benchmark::State& state, SimdTier tier) {
   simd::set_simd_tier(std::nullopt);
 }
 
+void BM_LutTierPlanFp16(benchmark::State& state, SimdTier tier) {
+  simd::set_simd_tier(tier);
+  const LutFp16 fn(sized_lut(static_cast<int>(state.range(0))));
+  const auto xs = activation_stream(kRowLen, -5.0f, 5.0f);
+  std::vector<float> buf(xs.size());
+  for (auto _ : state) {
+    buf = xs;
+    fn.eval_inplace(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(kRowLen));
+  state.SetLabel(simd::simd_tier_name(tier));
+  simd::set_simd_tier(std::nullopt);
+}
+
 void BM_LutTierPlanInt32(benchmark::State& state, SimdTier tier) {
   simd::set_simd_tier(tier);
   const LutInt32 fn(sized_lut(static_cast<int>(state.range(0))), 5.0f);
@@ -308,6 +323,12 @@ void register_tier_benchmarks() {
     const std::string name(simd::simd_tier_name(tier));
     benchmark::RegisterBenchmark(("BM_LutTierPlan/" + name + "/fp32").c_str(),
                                  BM_LutTierPlanFp32, tier)
+        ->Arg(8)
+        ->Arg(16)
+        ->Arg(32)
+        ->Arg(128);
+    benchmark::RegisterBenchmark(("BM_LutTierPlan/" + name + "/fp16").c_str(),
+                                 BM_LutTierPlanFp16, tier)
         ->Arg(8)
         ->Arg(16)
         ->Arg(32)
@@ -355,6 +376,9 @@ int main(int argc, char** argv) {
                               simd::simd_tier_name(simd::detected_simd_tier()));
   benchmark::AddCustomContext("simd_auto",
                               simd::simd_tier_name(simd::auto_simd_tier()));
+  benchmark::AddCustomContext("simd_f16c", simd::has_f16c() ? "1" : "0");
+  benchmark::AddCustomContext("simd_vnni",
+                              simd::has_avx512vnni() ? "1" : "0");
   register_tier_benchmarks();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -16,9 +16,8 @@ namespace nnlut {
 namespace {
 
 using simd::detail::bisect_index;
-using simd::detail::fill_indices;
+using simd::detail::half_mac;
 using simd::detail::int_quantize;
-using simd::detail::kBlock;
 
 /// Next power of two >= entries.
 std::size_t pad_entries(std::size_t entries) {
@@ -32,12 +31,6 @@ std::size_t pad_entries(std::size_t entries) {
 constexpr std::size_t kLinearScanMax = 32;
 
 constexpr float kIntQMax = 32767.0f;  // +-2^15 - 1 budget for MAC operands
-
-/// FP16 MAC: every intermediate rounds through binary16. Operands must
-/// already be binary16 values (exact in FP32).
-inline float half_mac(float s, float xh, float t) {
-  return round_to_half(round_to_half(s * xh) + t);
-}
 
 }  // namespace
 
@@ -104,26 +97,13 @@ LutKernelFp16::LutKernelFp16(std::span<const float> breakpoints,
 
 void LutKernelFp16::eval(std::span<float> xs) const {
   if (entries_ == 0 || xs.empty()) return;
-  const std::size_t nb = breakpoints_.size();
-  const float* s = slopes_.data();
-  const float* t = intercepts_.data();
-  float* p = xs.data();
-  std::size_t n = xs.size();
-  float xh[kBlock];
-  std::uint32_t idx[kBlock];
-  while (n != 0) {
-    const std::size_t m = std::min(n, kBlock);
-    for (std::size_t i = 0; i < m; ++i) xh[i] = round_to_half(p[i]);
-    if (nb == 0) {
-      for (std::size_t i = 0; i < m; ++i) p[i] = half_mac(s[0], xh[i], t[0]);
-    } else {
-      fill_indices(breakpoints_.data(), nb, linear_scan_, xh, m, idx);
-      for (std::size_t i = 0; i < m; ++i)
-        p[i] = half_mac(s[idx[i]], xh[i], t[idx[i]]);
-    }
-    p += m;
-    n -= m;
-  }
+  // Same tier dispatch as the FP32 plan; the tier's fp16_eval entry rounds
+  // inputs and every MAC intermediate through binary16 (F16C / AVX-512
+  // vcvtps2ph round-trips on the wide tiers, numerics/half.h when scalar —
+  // bit-identical either way).
+  simd::active_simd_ops().fp16_eval(breakpoints_.data(), breakpoints_.size(),
+                                    linear_scan_, slopes_.data(),
+                                    intercepts_.data(), xs.data(), xs.size());
 }
 
 float LutKernelFp16::eval_scalar(float x) const {

@@ -19,13 +19,15 @@
 // tail, which replicates the last real segment) and +/-inf, so plan
 // evaluation is bit-identical to the per-element reference path.
 //
-// FP32 and INT32 plan evaluation dispatches through the runtime-selected
-// SIMD tier (core/lut_kernel_simd.h): scalar, AVX2, or AVX-512, chosen once
-// from CPUID and overridable via NNLUT_FORCE_SCALAR / set_simd_tier. Every
-// tier performs the identical IEEE operation sequence, so results are
-// bit-identical across tiers; plan arrays are allocated on 64-byte
-// boundaries (core/aligned_alloc.h) so a padded comparator bank is loaded
-// with aligned full-register table loads.
+// FP32, FP16 and INT32 plan evaluation all dispatch through the
+// runtime-selected SIMD tier (core/lut_kernel_simd.h): scalar, AVX2 (with
+// F16C for the FP16 rounding chain when the CPU has it), AVX-512, or
+// AVX-512+VNNI, chosen once from CPUID and overridable via
+// NNLUT_FORCE_SCALAR / NNLUT_SIMD_TIER / set_simd_tier. Every tier performs
+// the identical IEEE operation sequence, so results are bit-identical
+// across tiers; plan arrays are allocated on 64-byte boundaries
+// (core/aligned_alloc.h) so a padded comparator bank is loaded with aligned
+// full-register table loads.
 //
 // Three precision-specialized plans live here:
 //   LutKernel       FP32 multiply-add,
@@ -93,9 +95,14 @@ class LutKernelFp16 {
 
   std::size_t entries() const { return entries_; }
   std::size_t padded_entries() const { return slopes_.size(); }
+  bool linear_scan() const { return linear_scan_; }
 
   void eval(std::span<float> xs) const;
   float eval_scalar(float x) const;
+
+  std::span<const float> padded_breakpoints() const { return breakpoints_; }
+  std::span<const float> padded_slopes() const { return slopes_; }
+  std::span<const float> padded_intercepts() const { return intercepts_; }
 
  private:
   // Comparator constants as FP32 values of the half-rounded breakpoints
@@ -121,12 +128,21 @@ class LutKernelInt32 {
 
   std::size_t entries() const { return entries_; }
   std::size_t padded_entries() const { return slopes_.size(); }
+  bool linear_scan() const { return linear_scan_; }
 
   void eval(std::span<float> xs) const;
   float eval_scalar(float x) const;
 
   float input_scale() const { return sx_; }
   float output_scale() const { return ss_ * sx_; }
+
+  std::span<const std::int32_t> padded_breakpoints() const {
+    return breakpoints_;
+  }
+  std::span<const std::int32_t> padded_slopes() const { return slopes_; }
+  std::span<const std::int32_t> padded_intercepts() const {
+    return intercepts_;
+  }
 
  private:
   PlanVec<std::int32_t> breakpoints_;  // INT32_MAX padded

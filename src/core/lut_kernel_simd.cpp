@@ -1,11 +1,17 @@
 // Dispatch TU: resolves the ISA tier once (CPUID + environment caps) and
 // installs the matching kernel table behind an atomic pointer. The wide
 // tiers live in their own translation units (lut_kernel_simd_avx2.cpp,
-// lut_kernel_simd_avx512.cpp) compiled with the matching -m flags; this file
-// is compiled with the portable baseline so it can run anywhere.
+// lut_kernel_simd_f16c.cpp, lut_kernel_simd_avx512.cpp,
+// lut_kernel_simd_vnni.cpp) compiled with the matching -m flags; this file
+// is compiled with the portable baseline so it can run anywhere. Tier
+// tables are assembled here from the per-TU entry points: the avx2 tier's
+// FP16 slot picks the F16C kernel only when CPUID reports f16c, and the
+// avx512vnni tier shares the avx512 FP32/FP16 kernels, differing only in
+// the INT32 slot.
 #include "core/lut_kernel_simd.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
@@ -14,11 +20,31 @@
 
 namespace nnlut::simd {
 
+// Per-tier kernel entry points, each defined in its own -m flagged TU.
 #ifdef NNLUT_HAVE_AVX2
-const SimdKernelOps& avx2_kernel_ops();  // defined in lut_kernel_simd_avx2.cpp
+void avx2_fp32_eval(const float*, std::size_t, bool, const float*,
+                    const float*, float*, std::size_t);
+void avx2_int32_eval(const std::int32_t*, std::size_t, bool,
+                     const std::int32_t*, const std::int32_t*, float, float,
+                     float*, std::size_t);
+#endif
+#ifdef NNLUT_HAVE_F16C
+void f16c_fp16_eval(const float*, std::size_t, bool, const float*,
+                    const float*, float*, std::size_t);
 #endif
 #ifdef NNLUT_HAVE_AVX512
-const SimdKernelOps& avx512_kernel_ops();  // lut_kernel_simd_avx512.cpp
+void avx512_fp32_eval(const float*, std::size_t, bool, const float*,
+                      const float*, float*, std::size_t);
+void avx512_fp16_eval(const float*, std::size_t, bool, const float*,
+                      const float*, float*, std::size_t);
+void avx512_int32_eval(const std::int32_t*, std::size_t, bool,
+                       const std::int32_t*, const std::int32_t*, float, float,
+                       float*, std::size_t);
+#endif
+#ifdef NNLUT_HAVE_AVX512VNNI
+void avx512vnni_int32_eval(const std::int32_t*, std::size_t, bool,
+                           const std::int32_t*, const std::int32_t*, float,
+                           float, float*, std::size_t);
 #endif
 
 namespace {
@@ -28,6 +54,11 @@ void scalar_fp32(const float* bp, std::size_t nb, bool linear, const float* s,
   detail::scalar_fp32_eval(bp, nb, linear, s, t, xs, n);
 }
 
+void scalar_fp16(const float* bp, std::size_t nb, bool linear, const float* s,
+                 const float* t, float* xs, std::size_t n) {
+  detail::scalar_fp16_eval(bp, nb, linear, s, t, xs, n);
+}
+
 void scalar_int32(const std::int32_t* bp, std::size_t nb, bool linear,
                   const std::int32_t* s, const std::int32_t* t, float sx,
                   float so, float* xs, std::size_t n) {
@@ -35,17 +66,37 @@ void scalar_int32(const std::int32_t* bp, std::size_t nb, bool linear,
 }
 
 constexpr SimdKernelOps kScalarOps{SimdTier::kScalar, &scalar_fp32,
-                                   &scalar_int32};
+                                   &scalar_fp16, &scalar_int32};
 
 const SimdKernelOps& ops_for(SimdTier tier) {
   switch (tier) {
+#ifdef NNLUT_HAVE_AVX512VNNI
+    case SimdTier::kAvx512Vnni: {
+      static constexpr SimdKernelOps ops{SimdTier::kAvx512Vnni,
+                                         &avx512_fp32_eval, &avx512_fp16_eval,
+                                         &avx512vnni_int32_eval};
+      return ops;
+    }
+#endif
 #ifdef NNLUT_HAVE_AVX512
-    case SimdTier::kAvx512:
-      return avx512_kernel_ops();
+    case SimdTier::kAvx512: {
+      static constexpr SimdKernelOps ops{SimdTier::kAvx512, &avx512_fp32_eval,
+                                         &avx512_fp16_eval,
+                                         &avx512_int32_eval};
+      return ops;
+    }
 #endif
 #ifdef NNLUT_HAVE_AVX2
-    case SimdTier::kAvx2:
-      return avx2_kernel_ops();
+    case SimdTier::kAvx2: {
+      // FP16 runs wide on this tier only with the f16c conversion
+      // instructions (a separate CPUID bit from avx2); without them the
+      // FP16 slot stays scalar while FP32/INT32 run wide.
+      static const SimdKernelOps ops{SimdTier::kAvx2, &avx2_fp32_eval,
+                                     has_f16c() ? &f16c_fp16_eval
+                                                : &scalar_fp16,
+                                     &avx2_int32_eval};
+      return ops;
+    }
 #endif
     default:
       return kScalarOps;
@@ -58,6 +109,8 @@ std::atomic<const SimdKernelOps*> g_active{nullptr};
 
 const char* simd_tier_name(SimdTier tier) {
   switch (tier) {
+    case SimdTier::kAvx512Vnni:
+      return "avx512vnni";
     case SimdTier::kAvx512:
       return "avx512";
     case SimdTier::kAvx2:
@@ -67,15 +120,49 @@ const char* simd_tier_name(SimdTier tier) {
   }
 }
 
+std::string simd_tier_names() {
+  std::string names;
+  for (SimdTier t : available_simd_tiers()) {
+    if (!names.empty()) names += ", ";
+    names += simd_tier_name(t);
+  }
+  return names;
+}
+
 std::optional<SimdTier> parse_simd_tier(std::string_view name) {
   if (name == "scalar") return SimdTier::kScalar;
   if (name == "avx2") return SimdTier::kAvx2;
   if (name == "avx512") return SimdTier::kAvx512;
+  if (name == "avx512vnni") return SimdTier::kAvx512Vnni;
   return std::nullopt;
+}
+
+bool has_f16c() {
+#ifdef NNLUT_HAVE_F16C
+  static const bool have = __builtin_cpu_supports("f16c") != 0;
+  return have;
+#else
+  return false;
+#endif
+}
+
+bool has_avx512vnni() {
+#ifdef NNLUT_HAVE_AVX512VNNI
+  static const bool have = __builtin_cpu_supports("avx512f") != 0 &&
+                           __builtin_cpu_supports("avx512vnni") != 0;
+  return have;
+#else
+  return false;
+#endif
 }
 
 SimdTier detected_simd_tier() {
   static const SimdTier tier = [] {
+#ifdef NNLUT_HAVE_AVX512VNNI
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512vnni"))
+      return SimdTier::kAvx512Vnni;
+#endif
 #ifdef NNLUT_HAVE_AVX512
     if (__builtin_cpu_supports("avx512f")) return SimdTier::kAvx512;
 #endif
@@ -105,9 +192,32 @@ SimdTier auto_simd_tier() {
   // tier, not a zero-initialized placeholder. The environment is read once
   // here — dispatch must not change behind a running server's back because
   // the wall clock crossed a getenv call.
-  static const SimdTier tier =
-      env_capped_tier(std::getenv("NNLUT_FORCE_SCALAR"),
-                      std::getenv("NNLUT_SIMD_TIER"), detected_simd_tier());
+  static const SimdTier tier = [] {
+    const char* force_scalar = std::getenv("NNLUT_FORCE_SCALAR");
+    const char* tier_name = std::getenv("NNLUT_SIMD_TIER");
+    const SimdTier detected = detected_simd_tier();
+    const SimdTier capped =
+        env_capped_tier(force_scalar, tier_name, detected);
+    // The cap itself stays pure and silent (env_capped_tier is unit-tested
+    // as a function); the once-per-process resolution is where a surprising
+    // request gets a diagnostic naming what this machine can actually run.
+    if (tier_name != nullptr && capped != SimdTier::kScalar) {
+      const auto requested = parse_simd_tier(tier_name);
+      if (!requested) {
+        std::fprintf(stderr,
+                     "nnlut: ignoring unknown NNLUT_SIMD_TIER='%s' "
+                     "(available tiers: %s)\n",
+                     tier_name, simd_tier_names().c_str());
+      } else if (*requested > detected) {
+        std::fprintf(stderr,
+                     "nnlut: NNLUT_SIMD_TIER='%s' exceeds this machine; "
+                     "capping at detected tier '%s' (available tiers: %s)\n",
+                     tier_name, simd_tier_name(detected),
+                     simd_tier_names().c_str());
+      }
+    }
+    return capped;
+  }();
   return tier;
 }
 
@@ -116,6 +226,7 @@ std::vector<SimdTier> available_simd_tiers() {
   const SimdTier top = detected_simd_tier();
   if (top >= SimdTier::kAvx2) tiers.push_back(SimdTier::kAvx2);
   if (top >= SimdTier::kAvx512) tiers.push_back(SimdTier::kAvx512);
+  if (top >= SimdTier::kAvx512Vnni) tiers.push_back(SimdTier::kAvx512Vnni);
   return tiers;
 }
 
@@ -139,7 +250,8 @@ void set_simd_tier(std::optional<SimdTier> tier) {
     throw std::invalid_argument(
         std::string("set_simd_tier: tier '") + simd_tier_name(*tier) +
         "' exceeds the detected tier '" +
-        simd_tier_name(detected_simd_tier()) + "'");
+        simd_tier_name(detected_simd_tier()) + "' (available tiers: " +
+        simd_tier_names() + ")");
   g_active.store(&ops_for(tier.value_or(auto_simd_tier())),
                  std::memory_order_release);
 }

@@ -1,13 +1,13 @@
 // AVX2 tier of the LUT plan evaluators: 8 activations per register.
 //
-// The comparator bank of Eq. 4 maps to `_mm256_cmp_ps(x, d_j, _CMP_NLT_UQ)`
-// per breakpoint — one vector compare evaluates 8 comparators at once, and
-// the mask-accumulate reproduces the scalar index formula (count of
-// breakpoints with !(x < d), NaN landing in the padded tail) exactly.
-// (Slope, intercept) fetch is a `vpermps` register permute when the padded
-// bank fits one register (<= 8 entries) and a `_mm256_i32gather_ps` / `_epi32`
-// gather otherwise; tables past the 32-entry linear-scan cutoff use the same
-// branchless uniform bisection as the scalar plan, one gather per step.
+// The 8-lane primitives (comparator-bank scan, register-resident bisection,
+// exact quantizer, int64 MAC) live in lut_kernel_simd_avx2_common.h, shared
+// with the F16C FP16 TU. This TU provides the FP32 and INT32 entry points
+// the dispatch table installs for the avx2 tier. (Slope, intercept) fetch
+// is a vpermps register permute when the padded bank fits one register
+// (<= 8 entries) and a _mm256_i32gather_ps / _epi32 gather otherwise;
+// tables past the 32-entry linear-scan cutoff use branchless uniform
+// bisection with the first tree levels register-resident.
 //
 // ISA-invariance: the MAC is an explicit mul then add (never FMA — the
 // single-rounding contraction would break bit-identity with the scalar
@@ -28,122 +28,11 @@
 #ifndef __AVX2__
 #error "lut_kernel_simd_avx2.cpp must be compiled with -mavx2"
 #endif
-#include <immintrin.h>
+#include "core/lut_kernel_simd_avx2_common.h"
 
 namespace nnlut::simd {
-namespace {
 
-// Lane masks for _mm256_maskload_*: window of k leading -1 lanes starting
-// at kLaneMask + (8 - k).
-alignas(32) constexpr std::int32_t kLaneMask[16] = {-1, -1, -1, -1, -1, -1,
-                                                    -1, -1, 0,  0,  0,  0,
-                                                    0,  0,  0,  0};
-
-inline __m256i leading_lanes(std::size_t k) {
-  return _mm256_loadu_si256(
-      reinterpret_cast<const __m256i*>(kLaneMask + (8 - k)));
-}
-
-/// Segment indices for 8 FP32 lanes: comparator-bank scan (mask-accumulate,
-/// one broadcast compare per breakpoint) or branchless bisection (one
-/// gather + compare per step). _CMP_NLT_UQ is exactly !(x < d): true for
-/// x >= d and for NaN.
-inline __m256i fp32_indices(__m256 x, const float* bp, std::size_t nb,
-                            bool linear) {
-  if (linear) {
-    __m256i idx = _mm256_setzero_si256();
-    for (std::size_t j = 0; j < nb; ++j) {
-      const __m256 d = _mm256_broadcast_ss(bp + j);
-      const __m256i ge =
-          _mm256_castps_si256(_mm256_cmp_ps(x, d, _CMP_NLT_UQ));
-      idx = _mm256_sub_epi32(idx, ge);  // ge lanes are -1: subtract to count
-    }
-    return idx;
-  }
-  __m256i pos = _mm256_setzero_si256();
-  for (std::uint32_t step = static_cast<std::uint32_t>(nb + 1) >> 1; step != 0;
-       step >>= 1) {
-    const __m256i probe =
-        _mm256_add_epi32(pos, _mm256_set1_epi32(static_cast<int>(step) - 1));
-    const __m256 d = _mm256_i32gather_ps(bp, probe, 4);
-    const __m256i ge = _mm256_castps_si256(_mm256_cmp_ps(x, d, _CMP_NLT_UQ));
-    pos = _mm256_add_epi32(
-        pos, _mm256_and_si256(ge, _mm256_set1_epi32(static_cast<int>(step))));
-  }
-  return pos;
-}
-
-/// Segment indices for 8 quantized INT32 lanes (same selection semantics on
-/// the integer grid; padded INT32_MAX sentinels never fire because the
-/// quantizer saturates below them).
-inline __m256i int32_indices(__m256i qx, const std::int32_t* bp,
-                             std::size_t nb, bool linear) {
-  if (linear) {
-    __m256i acc = _mm256_setzero_si256();
-    for (std::size_t j = 0; j < nb; ++j) {
-      const __m256i d = _mm256_set1_epi32(bp[j]);
-      acc = _mm256_add_epi32(acc, _mm256_cmpgt_epi32(d, qx));  // -1 per x < d
-    }
-    return _mm256_add_epi32(_mm256_set1_epi32(static_cast<int>(nb)), acc);
-  }
-  __m256i pos = _mm256_setzero_si256();
-  for (std::uint32_t step = static_cast<std::uint32_t>(nb + 1) >> 1; step != 0;
-       step >>= 1) {
-    const __m256i probe =
-        _mm256_add_epi32(pos, _mm256_set1_epi32(static_cast<int>(step) - 1));
-    const __m256i d = _mm256_i32gather_epi32(bp, probe, 4);
-    const __m256i lt = _mm256_cmpgt_epi32(d, qx);
-    pos = _mm256_add_epi32(
-        pos,
-        _mm256_andnot_si256(lt, _mm256_set1_epi32(static_cast<int>(step))));
-  }
-  return pos;
-}
-
-/// The quantizer of detail::int_quantize on 8 lanes, step for step:
-/// q = x / sx (one correctly-rounded divide), round-half-away-from-zero
-/// (exact: r = q - trunc(q) is exact by Sterbenz, |r| >= 0.5 decides the
-/// away-step), NaN -> 0, clamp to +-kIntQClamp, truncating convert.
-inline __m256i int_quantize8(__m256 x, __m256 vsx) {
-  const __m256 q = _mm256_div_ps(x, vsx);
-  const __m256 tr =
-      _mm256_round_ps(q, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
-  const __m256 r = _mm256_sub_ps(q, tr);
-  const __m256 sign_bit = _mm256_set1_ps(-0.0f);
-  const __m256 away = _mm256_cmp_ps(_mm256_andnot_ps(sign_bit, r),
-                                    _mm256_set1_ps(0.5f), _CMP_GE_OQ);
-  const __m256 step = _mm256_or_ps(_mm256_and_ps(q, sign_bit),
-                                   _mm256_set1_ps(1.0f));  // copysign(1, q)
-  __m256 rounded = _mm256_add_ps(tr, _mm256_and_ps(away, step));
-  rounded = _mm256_and_ps(rounded, _mm256_cmp_ps(q, q, _CMP_ORD_Q));
-  rounded = _mm256_min_ps(rounded, _mm256_set1_ps(detail::kIntQClamp));
-  rounded = _mm256_max_ps(rounded, _mm256_set1_ps(-detail::kIntQClamp));
-  return _mm256_cvttps_epi32(rounded);
-}
-
-/// float(q_s * q_x + q_t) * so for 8 lanes. The product and sum run in
-/// int64 (vpmuldq on sign-extended halves); int64 -> float goes through the
-/// exact 2^52+2^51 bias trick into double, then one rounding cvtpd2ps.
-inline __m256 int_mac8(__m256i qs, __m256i qx, __m256i qt, __m256 vso) {
-  const __m256i bias_i = _mm256_set1_epi64x(0x4338000000000000LL);
-  const __m256d bias_d = _mm256_set1_pd(6755399441055744.0);  // 2^52 + 2^51
-  __m128 f[2];
-  for (int h = 0; h < 2; ++h) {
-    const __m128i s32 = h == 0 ? _mm256_castsi256_si128(qs)
-                               : _mm256_extracti128_si256(qs, 1);
-    const __m128i x32 = h == 0 ? _mm256_castsi256_si128(qx)
-                               : _mm256_extracti128_si256(qx, 1);
-    const __m128i t32 = h == 0 ? _mm256_castsi256_si128(qt)
-                               : _mm256_extracti128_si256(qt, 1);
-    const __m256i prod = _mm256_mul_epi32(_mm256_cvtepi32_epi64(s32),
-                                          _mm256_cvtepi32_epi64(x32));
-    const __m256i acc = _mm256_add_epi64(prod, _mm256_cvtepi32_epi64(t32));
-    const __m256d d = _mm256_sub_pd(
-        _mm256_castsi256_pd(_mm256_add_epi64(acc, bias_i)), bias_d);
-    f[h] = _mm256_cvtpd_ps(d);
-  }
-  return _mm256_mul_ps(_mm256_set_m128(f[1], f[0]), vso);
-}
+namespace a2 = avx2detail;
 
 void avx2_fp32_eval(const float* bp, std::size_t nb, bool linear,
                     const float* s, const float* t, float* p, std::size_t n) {
@@ -157,20 +46,29 @@ void avx2_fp32_eval(const float* bp, std::size_t nb, bool linear,
     }
   } else if (nb + 1 <= 8) {
     // The whole padded bank fits one register: fetch by permute.
-    const __m256i lanes = leading_lanes(nb + 1);
+    const __m256i lanes = a2::leading_lanes(nb + 1);
     const __m256 vs = _mm256_maskload_ps(s, lanes);
     const __m256 vt = _mm256_maskload_ps(t, lanes);
     for (; i + 8 <= n; i += 8) {
       const __m256 x = _mm256_loadu_ps(p + i);
-      const __m256i idx = fp32_indices(x, bp, nb, /*linear=*/true);
+      const __m256i idx = a2::fp32_scan8(x, bp, nb);
       const __m256 ss = _mm256_permutevar8x32_ps(vs, idx);
       const __m256 tt = _mm256_permutevar8x32_ps(vt, idx);
       _mm256_storeu_ps(p + i, _mm256_add_ps(_mm256_mul_ps(ss, x), tt));
     }
-  } else {
+  } else if (linear) {
     for (; i + 8 <= n; i += 8) {
       const __m256 x = _mm256_loadu_ps(p + i);
-      const __m256i idx = fp32_indices(x, bp, nb, linear);
+      const __m256i idx = a2::fp32_scan8(x, bp, nb);
+      const __m256 ss = _mm256_i32gather_ps(s, idx, 4);
+      const __m256 tt = _mm256_i32gather_ps(t, idx, 4);
+      _mm256_storeu_ps(p + i, _mm256_add_ps(_mm256_mul_ps(ss, x), tt));
+    }
+  } else {
+    const a2::ResidentTreePs rt = a2::load_resident_tree_ps(bp, nb);
+    for (; i + 8 <= n; i += 8) {
+      const __m256 x = _mm256_loadu_ps(p + i);
+      const __m256i idx = a2::fp32_bisect8(x, bp, nb, rt);
       const __m256 ss = _mm256_i32gather_ps(s, idx, 4);
       const __m256 tt = _mm256_i32gather_ps(t, idx, 4);
       _mm256_storeu_ps(p + i, _mm256_add_ps(_mm256_mul_ps(ss, x), tt));
@@ -186,38 +84,40 @@ void avx2_int32_eval(const std::int32_t* bp, std::size_t nb, bool linear,
   const __m256 vso = _mm256_set1_ps(so);
   std::size_t i = 0;
   if (nb + 1 <= 8 && nb != 0) {
-    const __m256i lanes = leading_lanes(nb + 1);
+    const __m256i lanes = a2::leading_lanes(nb + 1);
     const __m256i vs = _mm256_maskload_epi32(s, lanes);
     const __m256i vt = _mm256_maskload_epi32(t, lanes);
     for (; i + 8 <= n; i += 8) {
       const __m256 x = _mm256_loadu_ps(p + i);
-      const __m256i qx = int_quantize8(x, vsx);
-      const __m256i idx = int32_indices(qx, bp, nb, /*linear=*/true);
+      const __m256i qx = a2::int_quantize8(x, vsx);
+      const __m256i idx = a2::int32_scan8(qx, bp, nb);
       const __m256i qs = _mm256_permutevar8x32_epi32(vs, idx);
       const __m256i qt = _mm256_permutevar8x32_epi32(vt, idx);
-      _mm256_storeu_ps(p + i, int_mac8(qs, qx, qt, vso));
+      _mm256_storeu_ps(p + i, a2::int_mac8(qs, qx, qt, vso));
     }
-  } else {
+  } else if (nb == 0 || linear) {
     const __m256i zero = _mm256_setzero_si256();
     for (; i + 8 <= n; i += 8) {
       const __m256 x = _mm256_loadu_ps(p + i);
-      const __m256i qx = int_quantize8(x, vsx);
-      const __m256i idx = nb == 0 ? zero : int32_indices(qx, bp, nb, linear);
+      const __m256i qx = a2::int_quantize8(x, vsx);
+      const __m256i idx = nb == 0 ? zero : a2::int32_scan8(qx, bp, nb);
       const __m256i qs = _mm256_i32gather_epi32(s, idx, 4);
       const __m256i qt = _mm256_i32gather_epi32(t, idx, 4);
-      _mm256_storeu_ps(p + i, int_mac8(qs, qx, qt, vso));
+      _mm256_storeu_ps(p + i, a2::int_mac8(qs, qx, qt, vso));
+    }
+  } else {
+    const a2::ResidentTreeEpi32 rt = a2::load_resident_tree_epi32(bp, nb);
+    for (; i + 8 <= n; i += 8) {
+      const __m256 x = _mm256_loadu_ps(p + i);
+      const __m256i qx = a2::int_quantize8(x, vsx);
+      const __m256i idx = a2::int32_bisect8(qx, bp, nb, rt);
+      const __m256i qs = _mm256_i32gather_epi32(s, idx, 4);
+      const __m256i qt = _mm256_i32gather_epi32(t, idx, 4);
+      _mm256_storeu_ps(p + i, a2::int_mac8(qs, qx, qt, vso));
     }
   }
   if (i < n)
     detail::scalar_int32_eval(bp, nb, linear, s, t, sx, so, p + i, n - i);
-}
-
-}  // namespace
-
-const SimdKernelOps& avx2_kernel_ops() {
-  static constexpr SimdKernelOps ops{SimdTier::kAvx2, &avx2_fp32_eval,
-                                     &avx2_int32_eval};
-  return ops;
 }
 
 }  // namespace nnlut::simd

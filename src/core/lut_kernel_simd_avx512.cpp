@@ -1,13 +1,13 @@
 // AVX-512F tier of the LUT plan evaluators: 16 activations per register.
 //
 // Identical operation sequence to the AVX2 tier (and therefore to the
-// scalar reference), twice the width, with two upgrades the ISA makes
-// natural: comparator results live in mask registers (one k-reg per
-// compare, accumulated with mask_add), and the whole 32-entry linear-scan
-// class fetches (slope, intercept) with register permutes — vpermps for
-// banks of <= 16 padded entries, vpermt2ps across a register pair for the
-// full 32 — so the paper's comparator-bank-plus-one-MAC unit runs entirely
-// in registers. Bisection tables gather one probe per step as before.
+// scalar reference), twice the width. The 16-lane primitives live in
+// lut_kernel_simd_avx512_common.h, shared with the VNNI TU; this TU
+// provides the FP32, FP16 and INT32 entry points the dispatch table
+// installs for the avx512 tier. FP16 needs no extra ISA here: the 512-bit
+// vcvtps2ph/vcvtph2ps forms are AVX-512F, so the binary16 rounding chain
+// runs wide on every AVX-512 machine (bit-identical to numerics/half.h,
+// NaN payloads and denormals included).
 //
 // The same ISA-invariance rules apply: explicit mul then add (no FMA), the
 // exact round-half-away-from-zero quantizer, and int64 accumulators
@@ -25,108 +25,27 @@
 #ifndef __AVX512F__
 #error "lut_kernel_simd_avx512.cpp must be compiled with -mavx512f"
 #endif
-#include <immintrin.h>
+#include "core/lut_kernel_simd_avx512_common.h"
 
 namespace nnlut::simd {
 namespace {
 
-/// Segment indices for 16 FP32 lanes; _CMP_NLT_UQ is exactly !(x < d).
-inline __m512i fp32_indices(__m512 x, const float* bp, std::size_t nb,
-                            bool linear) {
-  if (linear) {
-    const __m512i one = _mm512_set1_epi32(1);
-    __m512i idx = _mm512_setzero_si512();
-    for (std::size_t j = 0; j < nb; ++j) {
-      const __m512 d = _mm512_set1_ps(bp[j]);
-      const __mmask16 ge = _mm512_cmp_ps_mask(x, d, _CMP_NLT_UQ);
-      idx = _mm512_mask_add_epi32(idx, ge, idx, one);
-    }
-    return idx;
-  }
-  __m512i pos = _mm512_setzero_si512();
-  for (std::uint32_t step = static_cast<std::uint32_t>(nb + 1) >> 1; step != 0;
-       step >>= 1) {
-    const __m512i vstep = _mm512_set1_epi32(static_cast<int>(step));
-    const __m512i probe =
-        _mm512_add_epi32(pos, _mm512_set1_epi32(static_cast<int>(step) - 1));
-    const __m512 d = _mm512_i32gather_ps(probe, bp, 4);
-    const __mmask16 ge = _mm512_cmp_ps_mask(x, d, _CMP_NLT_UQ);
-    pos = _mm512_mask_add_epi32(pos, ge, pos, vstep);
-  }
-  return pos;
+namespace a5 = avx512detail;
+
+/// round_to_half on 16 lanes: one vcvtps2ph (round-to-nearest-even) and the
+/// exact vcvtph2ps widen back. 512-bit forms are plain AVX-512F.
+inline __m512 round16_to_half(__m512 v) {
+  return _mm512_cvtph_ps(
+      _mm512_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
 }
 
-/// Segment indices for 16 quantized INT32 lanes.
-inline __m512i int32_indices(__m512i qx, const std::int32_t* bp,
-                             std::size_t nb, bool linear) {
-  if (linear) {
-    const __m512i one = _mm512_set1_epi32(1);
-    __m512i idx = _mm512_setzero_si512();
-    for (std::size_t j = 0; j < nb; ++j) {
-      const __m512i d = _mm512_set1_epi32(bp[j]);
-      const __mmask16 ge = _mm512_cmp_epi32_mask(qx, d, _MM_CMPINT_NLT);
-      idx = _mm512_mask_add_epi32(idx, ge, idx, one);
-    }
-    return idx;
-  }
-  __m512i pos = _mm512_setzero_si512();
-  for (std::uint32_t step = static_cast<std::uint32_t>(nb + 1) >> 1; step != 0;
-       step >>= 1) {
-    const __m512i vstep = _mm512_set1_epi32(static_cast<int>(step));
-    const __m512i probe =
-        _mm512_add_epi32(pos, _mm512_set1_epi32(static_cast<int>(step) - 1));
-    const __m512i d = _mm512_i32gather_epi32(probe, bp, 4);
-    const __mmask16 ge = _mm512_cmp_epi32_mask(qx, d, _MM_CMPINT_NLT);
-    pos = _mm512_mask_add_epi32(pos, ge, pos, vstep);
-  }
-  return pos;
+/// detail::half_mac on 16 lanes: every intermediate rounds through binary16.
+inline __m512 half_mac16(__m512 ss, __m512 xh, __m512 tt) {
+  const __m512 m = round16_to_half(_mm512_mul_ps(ss, xh));
+  return round16_to_half(_mm512_add_ps(m, tt));
 }
 
-/// detail::int_quantize on 16 lanes, step for step (see the AVX2 twin for
-/// the exactness argument).
-inline __m512i int_quantize16(__m512 x, __m512 vsx) {
-  const __m512 q = _mm512_div_ps(x, vsx);
-  const __m512 tr =
-      _mm512_roundscale_ps(q, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
-  const __m512 r = _mm512_sub_ps(q, tr);
-  const __mmask16 away =
-      _mm512_cmp_ps_mask(_mm512_abs_ps(r), _mm512_set1_ps(0.5f), _CMP_GE_OQ);
-  const __m512i sign_bit = _mm512_set1_epi32(INT32_MIN);
-  const __m512 step = _mm512_castsi512_ps(_mm512_or_epi32(
-      _mm512_and_epi32(_mm512_castps_si512(q), sign_bit),
-      _mm512_castps_si512(_mm512_set1_ps(1.0f))));  // copysign(1, q)
-  __m512 rounded = _mm512_mask_add_ps(tr, away, tr, step);
-  rounded =
-      _mm512_maskz_mov_ps(_mm512_cmp_ps_mask(q, q, _CMP_ORD_Q), rounded);
-  rounded = _mm512_min_ps(rounded, _mm512_set1_ps(detail::kIntQClamp));
-  rounded = _mm512_max_ps(rounded, _mm512_set1_ps(-detail::kIntQClamp));
-  return _mm512_cvttps_epi32(rounded);
-}
-
-/// float(q_s * q_x + q_t) * so for 16 lanes; int64 math on two 8-lane
-/// halves, exact bias-to-double conversion, one rounding cvtpd2ps each.
-inline __m512 int_mac16(__m512i qs, __m512i qx, __m512i qt, __m512 vso) {
-  const __m512i bias_i = _mm512_set1_epi64(0x4338000000000000LL);
-  const __m512d bias_d = _mm512_set1_pd(6755399441055744.0);  // 2^52 + 2^51
-  __m256 f[2];
-  for (int h = 0; h < 2; ++h) {
-    const __m256i s32 = h == 0 ? _mm512_castsi512_si256(qs)
-                               : _mm512_extracti64x4_epi64(qs, 1);
-    const __m256i x32 = h == 0 ? _mm512_castsi512_si256(qx)
-                               : _mm512_extracti64x4_epi64(qx, 1);
-    const __m256i t32 = h == 0 ? _mm512_castsi512_si256(qt)
-                               : _mm512_extracti64x4_epi64(qt, 1);
-    const __m512i prod = _mm512_mul_epi32(_mm512_cvtepi32_epi64(s32),
-                                          _mm512_cvtepi32_epi64(x32));
-    const __m512i acc = _mm512_add_epi64(prod, _mm512_cvtepi32_epi64(t32));
-    const __m512d d = _mm512_sub_pd(
-        _mm512_castsi512_pd(_mm512_add_epi64(acc, bias_i)), bias_d);
-    f[h] = _mm512_cvtpd_ps(d);
-  }
-  const __m512 lo = _mm512_castps256_ps512(f[0]);
-  const __m512 hi = _mm512_castps256_ps512(f[1]);
-  return _mm512_mul_ps(_mm512_shuffle_f32x4(lo, hi, 0x44), vso);
-}
+}  // namespace
 
 void avx512_fp32_eval(const float* bp, std::size_t nb, bool linear,
                       const float* s, const float* t, float* p,
@@ -140,13 +59,12 @@ void avx512_fp32_eval(const float* bp, std::size_t nb, bool linear,
       _mm512_storeu_ps(p + i, _mm512_add_ps(_mm512_mul_ps(vs, x), vt));
     }
   } else if (nb + 1 <= 16) {
-    const __mmask16 lanes =
-        static_cast<__mmask16>((1u << (nb + 1)) - 1u);
+    const __mmask16 lanes = static_cast<__mmask16>((1u << (nb + 1)) - 1u);
     const __m512 vs = _mm512_maskz_loadu_ps(lanes, s);
     const __m512 vt = _mm512_maskz_loadu_ps(lanes, t);
     for (; i + 16 <= n; i += 16) {
       const __m512 x = _mm512_loadu_ps(p + i);
-      const __m512i idx = fp32_indices(x, bp, nb, /*linear=*/true);
+      const __m512i idx = a5::fp32_scan16(x, bp, nb);
       const __m512 ss = _mm512_permutexvar_ps(idx, vs);
       const __m512 tt = _mm512_permutexvar_ps(idx, vt);
       _mm512_storeu_ps(p + i, _mm512_add_ps(_mm512_mul_ps(ss, x), tt));
@@ -160,15 +78,24 @@ void avx512_fp32_eval(const float* bp, std::size_t nb, bool linear,
     const __m512 vt_hi = _mm512_loadu_ps(t + 16);
     for (; i + 16 <= n; i += 16) {
       const __m512 x = _mm512_loadu_ps(p + i);
-      const __m512i idx = fp32_indices(x, bp, nb, /*linear=*/true);
+      const __m512i idx = a5::fp32_scan16(x, bp, nb);
       const __m512 ss = _mm512_permutex2var_ps(vs_lo, idx, vs_hi);
       const __m512 tt = _mm512_permutex2var_ps(vt_lo, idx, vt_hi);
       _mm512_storeu_ps(p + i, _mm512_add_ps(_mm512_mul_ps(ss, x), tt));
     }
-  } else {
+  } else if (linear) {
     for (; i + 16 <= n; i += 16) {
       const __m512 x = _mm512_loadu_ps(p + i);
-      const __m512i idx = fp32_indices(x, bp, nb, linear);
+      const __m512i idx = a5::fp32_scan16(x, bp, nb);
+      const __m512 ss = _mm512_i32gather_ps(idx, s, 4);
+      const __m512 tt = _mm512_i32gather_ps(idx, t, 4);
+      _mm512_storeu_ps(p + i, _mm512_add_ps(_mm512_mul_ps(ss, x), tt));
+    }
+  } else {
+    const a5::ResidentTreePs rt = a5::load_resident_tree_ps(bp, nb);
+    for (; i + 16 <= n; i += 16) {
+      const __m512 x = _mm512_loadu_ps(p + i);
+      const __m512i idx = a5::fp32_bisect16(x, bp, nb, rt);
       const __m512 ss = _mm512_i32gather_ps(idx, s, 4);
       const __m512 tt = _mm512_i32gather_ps(idx, t, 4);
       _mm512_storeu_ps(p + i, _mm512_add_ps(_mm512_mul_ps(ss, x), tt));
@@ -177,59 +104,65 @@ void avx512_fp32_eval(const float* bp, std::size_t nb, bool linear,
   if (i < n) detail::scalar_fp32_eval(bp, nb, linear, s, t, p + i, n - i);
 }
 
+void avx512_fp16_eval(const float* bp, std::size_t nb, bool linear,
+                      const float* s, const float* t, float* p,
+                      std::size_t n) {
+  std::size_t i = 0;
+  if (nb == 0) {
+    const __m512 vs = _mm512_set1_ps(s[0]);
+    const __m512 vt = _mm512_set1_ps(t[0]);
+    for (; i + 16 <= n; i += 16) {
+      const __m512 xh = round16_to_half(_mm512_loadu_ps(p + i));
+      _mm512_storeu_ps(p + i, half_mac16(vs, xh, vt));
+    }
+  } else if (nb + 1 <= 16) {
+    const __mmask16 lanes = static_cast<__mmask16>((1u << (nb + 1)) - 1u);
+    const __m512 vs = _mm512_maskz_loadu_ps(lanes, s);
+    const __m512 vt = _mm512_maskz_loadu_ps(lanes, t);
+    for (; i + 16 <= n; i += 16) {
+      const __m512 xh = round16_to_half(_mm512_loadu_ps(p + i));
+      const __m512i idx = a5::fp32_scan16(xh, bp, nb);
+      const __m512 ss = _mm512_permutexvar_ps(idx, vs);
+      const __m512 tt = _mm512_permutexvar_ps(idx, vt);
+      _mm512_storeu_ps(p + i, half_mac16(ss, xh, tt));
+    }
+  } else if (nb + 1 == 32) {
+    const __m512 vs_lo = _mm512_loadu_ps(s);
+    const __m512 vs_hi = _mm512_loadu_ps(s + 16);
+    const __m512 vt_lo = _mm512_loadu_ps(t);
+    const __m512 vt_hi = _mm512_loadu_ps(t + 16);
+    for (; i + 16 <= n; i += 16) {
+      const __m512 xh = round16_to_half(_mm512_loadu_ps(p + i));
+      const __m512i idx = a5::fp32_scan16(xh, bp, nb);
+      const __m512 ss = _mm512_permutex2var_ps(vs_lo, idx, vs_hi);
+      const __m512 tt = _mm512_permutex2var_ps(vt_lo, idx, vt_hi);
+      _mm512_storeu_ps(p + i, half_mac16(ss, xh, tt));
+    }
+  } else if (linear) {
+    for (; i + 16 <= n; i += 16) {
+      const __m512 xh = round16_to_half(_mm512_loadu_ps(p + i));
+      const __m512i idx = a5::fp32_scan16(xh, bp, nb);
+      const __m512 ss = _mm512_i32gather_ps(idx, s, 4);
+      const __m512 tt = _mm512_i32gather_ps(idx, t, 4);
+      _mm512_storeu_ps(p + i, half_mac16(ss, xh, tt));
+    }
+  } else {
+    const a5::ResidentTreePs rt = a5::load_resident_tree_ps(bp, nb);
+    for (; i + 16 <= n; i += 16) {
+      const __m512 xh = round16_to_half(_mm512_loadu_ps(p + i));
+      const __m512i idx = a5::fp32_bisect16(xh, bp, nb, rt);
+      const __m512 ss = _mm512_i32gather_ps(idx, s, 4);
+      const __m512 tt = _mm512_i32gather_ps(idx, t, 4);
+      _mm512_storeu_ps(p + i, half_mac16(ss, xh, tt));
+    }
+  }
+  if (i < n) detail::scalar_fp16_eval(bp, nb, linear, s, t, p + i, n - i);
+}
+
 void avx512_int32_eval(const std::int32_t* bp, std::size_t nb, bool linear,
                        const std::int32_t* s, const std::int32_t* t, float sx,
                        float so, float* p, std::size_t n) {
-  const __m512 vsx = _mm512_set1_ps(sx);
-  const __m512 vso = _mm512_set1_ps(so);
-  std::size_t i = 0;
-  if (nb != 0 && nb + 1 <= 16) {
-    const __mmask16 lanes =
-        static_cast<__mmask16>((1u << (nb + 1)) - 1u);
-    const __m512i vs = _mm512_maskz_loadu_epi32(lanes, s);
-    const __m512i vt = _mm512_maskz_loadu_epi32(lanes, t);
-    for (; i + 16 <= n; i += 16) {
-      const __m512 x = _mm512_loadu_ps(p + i);
-      const __m512i qx = int_quantize16(x, vsx);
-      const __m512i idx = int32_indices(qx, bp, nb, /*linear=*/true);
-      const __m512i qs = _mm512_permutexvar_epi32(idx, vs);
-      const __m512i qt = _mm512_permutexvar_epi32(idx, vt);
-      _mm512_storeu_ps(p + i, int_mac16(qs, qx, qt, vso));
-    }
-  } else if (nb + 1 == 32) {
-    const __m512i vs_lo = _mm512_loadu_si512(s);
-    const __m512i vs_hi = _mm512_loadu_si512(s + 16);
-    const __m512i vt_lo = _mm512_loadu_si512(t);
-    const __m512i vt_hi = _mm512_loadu_si512(t + 16);
-    for (; i + 16 <= n; i += 16) {
-      const __m512 x = _mm512_loadu_ps(p + i);
-      const __m512i qx = int_quantize16(x, vsx);
-      const __m512i idx = int32_indices(qx, bp, nb, /*linear=*/true);
-      const __m512i qs = _mm512_permutex2var_epi32(vs_lo, idx, vs_hi);
-      const __m512i qt = _mm512_permutex2var_epi32(vt_lo, idx, vt_hi);
-      _mm512_storeu_ps(p + i, int_mac16(qs, qx, qt, vso));
-    }
-  } else {
-    const __m512i zero = _mm512_setzero_si512();
-    for (; i + 16 <= n; i += 16) {
-      const __m512 x = _mm512_loadu_ps(p + i);
-      const __m512i qx = int_quantize16(x, vsx);
-      const __m512i idx = nb == 0 ? zero : int32_indices(qx, bp, nb, linear);
-      const __m512i qs = _mm512_i32gather_epi32(idx, s, 4);
-      const __m512i qt = _mm512_i32gather_epi32(idx, t, 4);
-      _mm512_storeu_ps(p + i, int_mac16(qs, qx, qt, vso));
-    }
-  }
-  if (i < n)
-    detail::scalar_int32_eval(bp, nb, linear, s, t, sx, so, p + i, n - i);
-}
-
-}  // namespace
-
-const SimdKernelOps& avx512_kernel_ops() {
-  static constexpr SimdKernelOps ops{SimdTier::kAvx512, &avx512_fp32_eval,
-                                     &avx512_int32_eval};
-  return ops;
+  a5::int32_eval16(bp, nb, linear, s, t, sx, so, p, n, a5::Int64Mac{});
 }
 
 }  // namespace nnlut::simd

@@ -1,0 +1,264 @@
+// 16-lane (AVX-512F) building blocks shared by the AVX-512 tier TUs:
+// lut_kernel_simd_avx512.cpp (-mavx512f) and lut_kernel_simd_vnni.cpp
+// (-mavx512f -mavx512vnni). `static` internal linkage for the same reason
+// as lut_kernel_simd_detail.h: each TU compiles its own copy under its own
+// -m flags, so the linker can never hand a wide copy to a generic TU. Both
+// including TUs target the identical 16-lane ISA subset for everything
+// here, and with -ffp-contract=off the copies are bit-identical.
+//
+// Comparator results live in mask registers (one k-reg per compare,
+// accumulated with mask_add), and the whole 32-entry linear-scan class
+// fetches (slope, intercept) with register permutes — vpermps for banks of
+// <= 16 padded entries, vpermt2ps across a register pair for the full 32.
+// Bisection keeps the first (up to) 5 tree levels register-resident: 31
+// heap nodes in a register pair probed by vpermt2ps/vpermt2d, so each lane
+// narrows to a 32-entry window before the first gather; remaining levels
+// gather one probe per step.
+//
+// The INT32 evaluation loop is a template over the MAC so the VNNI TU can
+// swap in its vpdpwssd MAC while keeping byte-for-byte the same quantize /
+// index / fetch sequence — the eligibility fallback then provably changes
+// nothing but the MAC instruction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/lut_kernel_simd_detail.h"
+
+#ifndef __AVX512F__
+#error "lut_kernel_simd_avx512_common.h requires -mavx512f"
+#endif
+#include <immintrin.h>
+
+namespace nnlut::simd::avx512detail {
+
+/// The register-resident top of a bisection tree: heap nodes 1..2^levels-1
+/// (levels <= 5, so up to 31 nodes) spread over a register pair, probed by
+/// a two-source permute on the heap index.
+struct ResidentTreePs {
+  __m512 lo, hi;
+  int levels;
+};
+
+struct ResidentTreeEpi32 {
+  __m512i lo, hi;
+  int levels;
+};
+
+static inline ResidentTreePs load_resident_tree_ps(const float* bp,
+                                                   std::size_t nb) {
+  alignas(64) float a[32] = {};
+  const int levels = detail::fill_bisect_nodes(bp, nb, 5, a);
+  return {_mm512_load_ps(a), _mm512_load_ps(a + 16), levels};
+}
+
+static inline ResidentTreeEpi32 load_resident_tree_epi32(
+    const std::int32_t* bp, std::size_t nb) {
+  alignas(64) std::int32_t a[32] = {};
+  const int levels = detail::fill_bisect_nodes(bp, nb, 5, a);
+  return {_mm512_load_si512(a), _mm512_load_si512(a + 16), levels};
+}
+
+/// Comparator-bank scan for 16 FP32 lanes; _CMP_NLT_UQ is exactly !(x < d):
+/// true for x >= d and for NaN.
+static inline __m512i fp32_scan16(__m512 x, const float* bp, std::size_t nb) {
+  const __m512i one = _mm512_set1_epi32(1);
+  __m512i idx = _mm512_setzero_si512();
+  for (std::size_t j = 0; j < nb; ++j) {
+    const __m512 d = _mm512_set1_ps(bp[j]);
+    const __mmask16 ge = _mm512_cmp_ps_mask(x, d, _CMP_NLT_UQ);
+    idx = _mm512_mask_add_epi32(idx, ge, idx, one);
+  }
+  return idx;
+}
+
+/// Branchless bisection for 16 FP32 lanes: the first rt.levels probes come
+/// from the resident register pair (vpermt2ps on the heap index), the rest
+/// gather. Step for step this visits the same breakpoints as the scalar
+/// bisect_index.
+static inline __m512i fp32_bisect16(__m512 x, const float* bp, std::size_t nb,
+                                    const ResidentTreePs& rt) {
+  const __m512i one = _mm512_set1_epi32(1);
+  __m512i pos = _mm512_setzero_si512();
+  __m512i node = one;  // heap index of the next resident probe
+  std::uint32_t step = static_cast<std::uint32_t>(nb + 1) >> 1;
+  for (int l = 0; l < rt.levels; ++l, step >>= 1) {
+    const __m512 d =
+        _mm512_permutex2var_ps(rt.lo, _mm512_sub_epi32(node, one), rt.hi);
+    const __mmask16 ge = _mm512_cmp_ps_mask(x, d, _CMP_NLT_UQ);
+    const __m512i vstep = _mm512_set1_epi32(static_cast<int>(step));
+    pos = _mm512_mask_add_epi32(pos, ge, pos, vstep);
+    const __m512i node2 = _mm512_add_epi32(node, node);
+    node = _mm512_mask_add_epi32(node2, ge, node2, one);  // 2t + (ge ? 1 : 0)
+  }
+  for (; step != 0; step >>= 1) {
+    const __m512i vstep = _mm512_set1_epi32(static_cast<int>(step));
+    const __m512i probe =
+        _mm512_add_epi32(pos, _mm512_set1_epi32(static_cast<int>(step) - 1));
+    const __m512 d = _mm512_i32gather_ps(probe, bp, 4);
+    const __mmask16 ge = _mm512_cmp_ps_mask(x, d, _CMP_NLT_UQ);
+    pos = _mm512_mask_add_epi32(pos, ge, pos, vstep);
+  }
+  return pos;
+}
+
+/// Comparator-bank scan for 16 quantized INT32 lanes.
+static inline __m512i int32_scan16(__m512i qx, const std::int32_t* bp,
+                                   std::size_t nb) {
+  const __m512i one = _mm512_set1_epi32(1);
+  __m512i idx = _mm512_setzero_si512();
+  for (std::size_t j = 0; j < nb; ++j) {
+    const __m512i d = _mm512_set1_epi32(bp[j]);
+    const __mmask16 ge = _mm512_cmp_epi32_mask(qx, d, _MM_CMPINT_NLT);
+    idx = _mm512_mask_add_epi32(idx, ge, idx, one);
+  }
+  return idx;
+}
+
+/// Branchless bisection for 16 quantized INT32 lanes, resident top levels
+/// then gathers, mirroring fp32_bisect16.
+static inline __m512i int32_bisect16(__m512i qx, const std::int32_t* bp,
+                                     std::size_t nb,
+                                     const ResidentTreeEpi32& rt) {
+  const __m512i one = _mm512_set1_epi32(1);
+  __m512i pos = _mm512_setzero_si512();
+  __m512i node = one;
+  std::uint32_t step = static_cast<std::uint32_t>(nb + 1) >> 1;
+  for (int l = 0; l < rt.levels; ++l, step >>= 1) {
+    const __m512i d =
+        _mm512_permutex2var_epi32(rt.lo, _mm512_sub_epi32(node, one), rt.hi);
+    const __mmask16 ge = _mm512_cmp_epi32_mask(qx, d, _MM_CMPINT_NLT);
+    const __m512i vstep = _mm512_set1_epi32(static_cast<int>(step));
+    pos = _mm512_mask_add_epi32(pos, ge, pos, vstep);
+    const __m512i node2 = _mm512_add_epi32(node, node);
+    node = _mm512_mask_add_epi32(node2, ge, node2, one);
+  }
+  for (; step != 0; step >>= 1) {
+    const __m512i vstep = _mm512_set1_epi32(static_cast<int>(step));
+    const __m512i probe =
+        _mm512_add_epi32(pos, _mm512_set1_epi32(static_cast<int>(step) - 1));
+    const __m512i d = _mm512_i32gather_epi32(probe, bp, 4);
+    const __mmask16 ge = _mm512_cmp_epi32_mask(qx, d, _MM_CMPINT_NLT);
+    pos = _mm512_mask_add_epi32(pos, ge, pos, vstep);
+  }
+  return pos;
+}
+
+/// detail::int_quantize on 16 lanes, step for step (see the AVX2 twin for
+/// the exactness argument).
+static inline __m512i int_quantize16(__m512 x, __m512 vsx) {
+  const __m512 q = _mm512_div_ps(x, vsx);
+  const __m512 tr =
+      _mm512_roundscale_ps(q, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+  const __m512 r = _mm512_sub_ps(q, tr);
+  const __mmask16 away =
+      _mm512_cmp_ps_mask(_mm512_abs_ps(r), _mm512_set1_ps(0.5f), _CMP_GE_OQ);
+  const __m512i sign_bit = _mm512_set1_epi32(INT32_MIN);
+  const __m512 step = _mm512_castsi512_ps(_mm512_or_epi32(
+      _mm512_and_epi32(_mm512_castps_si512(q), sign_bit),
+      _mm512_castps_si512(_mm512_set1_ps(1.0f))));  // copysign(1, q)
+  __m512 rounded = _mm512_mask_add_ps(tr, away, tr, step);
+  rounded = _mm512_maskz_mov_ps(_mm512_cmp_ps_mask(q, q, _CMP_ORD_Q), rounded);
+  rounded = _mm512_min_ps(rounded, _mm512_set1_ps(detail::kIntQClamp));
+  rounded = _mm512_max_ps(rounded, _mm512_set1_ps(-detail::kIntQClamp));
+  return _mm512_cvttps_epi32(rounded);
+}
+
+/// float(q_s * q_x + q_t) * so for 16 lanes; int64 math on two 8-lane
+/// halves, exact bias-to-double conversion, one rounding cvtpd2ps each.
+static inline __m512 int_mac16(__m512i qs, __m512i qx, __m512i qt,
+                               __m512 vso) {
+  const __m512i bias_i = _mm512_set1_epi64(0x4338000000000000LL);
+  const __m512d bias_d = _mm512_set1_pd(6755399441055744.0);  // 2^52 + 2^51
+  __m256 f[2];
+  for (int h = 0; h < 2; ++h) {
+    const __m256i s32 = h == 0 ? _mm512_castsi512_si256(qs)
+                               : _mm512_extracti64x4_epi64(qs, 1);
+    const __m256i x32 = h == 0 ? _mm512_castsi512_si256(qx)
+                               : _mm512_extracti64x4_epi64(qx, 1);
+    const __m256i t32 = h == 0 ? _mm512_castsi512_si256(qt)
+                               : _mm512_extracti64x4_epi64(qt, 1);
+    const __m512i prod = _mm512_mul_epi32(_mm512_cvtepi32_epi64(s32),
+                                          _mm512_cvtepi32_epi64(x32));
+    const __m512i acc = _mm512_add_epi64(prod, _mm512_cvtepi32_epi64(t32));
+    const __m512d d = _mm512_sub_pd(
+        _mm512_castsi512_pd(_mm512_add_epi64(acc, bias_i)), bias_d);
+    f[h] = _mm512_cvtpd_ps(d);
+  }
+  const __m512 lo = _mm512_castps256_ps512(f[0]);
+  const __m512 hi = _mm512_castps256_ps512(f[1]);
+  return _mm512_mul_ps(_mm512_shuffle_f32x4(lo, hi, 0x44), vso);
+}
+
+/// Functor form of int_mac16 for the templated eval below.
+struct Int64Mac {
+  __m512 operator()(__m512i qs, __m512i qx, __m512i qt, __m512 vso) const {
+    return int_mac16(qs, qx, qt, vso);
+  }
+};
+
+/// The complete 16-lane INT32 evaluation loop, parameterized on the MAC:
+/// the avx512 tier instantiates it with Int64Mac, the avx512vnni tier with
+/// its vpdpwssd MAC. Everything before the MAC (quantize, index, fetch) is
+/// the same instantiation-for-instantiation, so two tiers can only differ
+/// where the VNNI contract proves they do not.
+template <typename MacFn>
+static inline void int32_eval16(const std::int32_t* bp, std::size_t nb,
+                                bool linear, const std::int32_t* s,
+                                const std::int32_t* t, float sx, float so,
+                                float* p, std::size_t n, MacFn mac) {
+  const __m512 vsx = _mm512_set1_ps(sx);
+  const __m512 vso = _mm512_set1_ps(so);
+  std::size_t i = 0;
+  if (nb != 0 && nb + 1 <= 16) {
+    const __mmask16 lanes = static_cast<__mmask16>((1u << (nb + 1)) - 1u);
+    const __m512i vs = _mm512_maskz_loadu_epi32(lanes, s);
+    const __m512i vt = _mm512_maskz_loadu_epi32(lanes, t);
+    for (; i + 16 <= n; i += 16) {
+      const __m512 x = _mm512_loadu_ps(p + i);
+      const __m512i qx = int_quantize16(x, vsx);
+      const __m512i idx = int32_scan16(qx, bp, nb);
+      const __m512i qs = _mm512_permutexvar_epi32(idx, vs);
+      const __m512i qt = _mm512_permutexvar_epi32(idx, vt);
+      _mm512_storeu_ps(p + i, mac(qs, qx, qt, vso));
+    }
+  } else if (nb + 1 == 32) {
+    const __m512i vs_lo = _mm512_loadu_si512(s);
+    const __m512i vs_hi = _mm512_loadu_si512(s + 16);
+    const __m512i vt_lo = _mm512_loadu_si512(t);
+    const __m512i vt_hi = _mm512_loadu_si512(t + 16);
+    for (; i + 16 <= n; i += 16) {
+      const __m512 x = _mm512_loadu_ps(p + i);
+      const __m512i qx = int_quantize16(x, vsx);
+      const __m512i idx = int32_scan16(qx, bp, nb);
+      const __m512i qs = _mm512_permutex2var_epi32(vs_lo, idx, vs_hi);
+      const __m512i qt = _mm512_permutex2var_epi32(vt_lo, idx, vt_hi);
+      _mm512_storeu_ps(p + i, mac(qs, qx, qt, vso));
+    }
+  } else if (nb == 0 || linear) {
+    const __m512i zero = _mm512_setzero_si512();
+    for (; i + 16 <= n; i += 16) {
+      const __m512 x = _mm512_loadu_ps(p + i);
+      const __m512i qx = int_quantize16(x, vsx);
+      const __m512i idx = nb == 0 ? zero : int32_scan16(qx, bp, nb);
+      const __m512i qs = _mm512_i32gather_epi32(idx, s, 4);
+      const __m512i qt = _mm512_i32gather_epi32(idx, t, 4);
+      _mm512_storeu_ps(p + i, mac(qs, qx, qt, vso));
+    }
+  } else {
+    const ResidentTreeEpi32 rt = load_resident_tree_epi32(bp, nb);
+    for (; i + 16 <= n; i += 16) {
+      const __m512 x = _mm512_loadu_ps(p + i);
+      const __m512i qx = int_quantize16(x, vsx);
+      const __m512i idx = int32_bisect16(qx, bp, nb, rt);
+      const __m512i qs = _mm512_i32gather_epi32(idx, s, 4);
+      const __m512i qt = _mm512_i32gather_epi32(idx, t, 4);
+      _mm512_storeu_ps(p + i, mac(qs, qx, qt, vso));
+    }
+  }
+  if (i < n)
+    detail::scalar_int32_eval(bp, nb, linear, s, t, sx, so, p + i, n - i);
+}
+
+}  // namespace nnlut::simd::avx512detail

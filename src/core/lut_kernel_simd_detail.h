@@ -17,6 +17,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "numerics/half.h"
+
 namespace nnlut::simd::detail {
 
 // Elements per indexing block: the element block plus the scratch index
@@ -69,6 +71,51 @@ static inline void fill_indices(const T* bp, std::size_t nb, bool linear,
   }
 }
 
+/// Breakpoints of the first `max_levels` bisection-tree levels in
+/// binary-heap order (slot t-1 holds heap node t): the register-resident
+/// window the wide tiers probe with vpermps/vpermt2ps before the first
+/// gather. Walking level l (1-based) from heap node t, the probed
+/// breakpoint is bp[(2u+1)*step - 1] with u = t - 2^(l-1) and
+/// step = (nb+1) >> l — the same sequence the scalar bisect_index visits.
+/// Returns the number of levels filled (min of max_levels and the tree
+/// depth); `out` slots past 2^levels - 1 are left untouched.
+template <typename T>
+static inline int fill_bisect_nodes(const T* bp, std::size_t nb,
+                                    int max_levels, T* out) {
+  int depth = 0;
+  for (std::size_t p = nb + 1; p > 1; p >>= 1) ++depth;
+  const int levels = depth < max_levels ? depth : max_levels;
+  std::size_t t = 1;
+  for (int l = 1; l <= levels; ++l) {
+    const std::size_t step = (nb + 1) >> l;
+    for (std::size_t u = 0; u < (std::size_t{1} << (l - 1)); ++u, ++t)
+      out[t - 1] = bp[(2 * u + 1) * step - 1];
+  }
+  return levels;
+}
+
+/// FP16 MAC: every intermediate rounds through binary16. Operands must
+/// already be binary16 values (exact in FP32).
+[[maybe_unused]] static inline float half_mac(float s, float xh, float t) {
+  return round_to_half(round_to_half(s * xh) + t);
+}
+
+/// True when the INT32 MAC of this padded table provably fits the VNNI
+/// int16-pair contract for every representable quantized input: every
+/// slope fits int16 and |q_s| * 2^15 + |q_t| stays within int32 (the
+/// quantized input is range-checked per vector at run time — it must
+/// itself fit int16, giving |q_x| <= 2^15). Tables failing this keep the
+/// exact int64 MAC.
+[[maybe_unused]] static inline bool int32_mac_fits_int16_pairs(
+    const std::int32_t* s, const std::int32_t* t, std::size_t padded) {
+  for (std::size_t e = 0; e < padded; ++e) {
+    const std::int64_t as = s[e] < 0 ? -static_cast<std::int64_t>(s[e]) : s[e];
+    const std::int64_t at = t[e] < 0 ? -static_cast<std::int64_t>(t[e]) : t[e];
+    if (as > 32767 || as * 32768 + at > 2147483647) return false;
+  }
+  return true;
+}
+
 /// FP32 plan evaluation, scalar reference shape: blockwise index fill, then
 /// a mul+add MAC per element. This IS the portable tier; the wide tiers
 /// call it on tails shorter than one vector.
@@ -85,6 +132,31 @@ static inline void fill_indices(const T* bp, std::size_t nb, bool linear,
     const std::size_t m = std::min(n, kBlock);
     fill_indices(bp, nb, linear, p, m, idx);
     for (std::size_t i = 0; i < m; ++i) p[i] = s[idx[i]] * p[i] + t[idx[i]];
+    p += m;
+    n -= m;
+  }
+}
+
+/// FP16 plan evaluation, scalar reference shape: round inputs through
+/// binary16, index on the half-rounded images, then the binary16 MAC. The
+/// wide tiers replace the software rounding chain with vcvtps2ph/vcvtph2ps
+/// round-trips (bit-identical — numerics/half.h matches the hardware
+/// conversions exactly, NaN payloads included) and call this on tails.
+[[maybe_unused]] static inline void scalar_fp16_eval(
+    const float* bp, std::size_t nb, bool linear, const float* s,
+    const float* t, float* p, std::size_t n) {
+  float xh[kBlock];
+  std::uint32_t idx[kBlock];
+  while (n != 0) {
+    const std::size_t m = std::min(n, kBlock);
+    for (std::size_t i = 0; i < m; ++i) xh[i] = round_to_half(p[i]);
+    if (nb == 0) {
+      for (std::size_t i = 0; i < m; ++i) p[i] = half_mac(s[0], xh[i], t[0]);
+    } else {
+      fill_indices(bp, nb, linear, xh, m, idx);
+      for (std::size_t i = 0; i < m; ++i)
+        p[i] = half_mac(s[idx[i]], xh[i], t[idx[i]]);
+    }
     p += m;
     n -= m;
   }

@@ -17,8 +17,13 @@ std::uint16_t float_to_half_bits(float f) {
   const std::uint32_t abs = x & 0x7fff'ffffu;
 
   if (abs >= 0x7f80'0000u) {
-    // Inf or NaN. Preserve NaN-ness with a quiet NaN payload.
-    if (abs > 0x7f80'0000u) return static_cast<std::uint16_t>(sign | 0x7e00u);
+    // Inf or NaN. NaN keeps the top 10 payload bits and gains the quiet
+    // bit — exactly what x86 vcvtps2ph produces, so the SIMD FP16 tier is
+    // bit-identical to this software path (verified exhaustively over all
+    // 2^32 float patterns against F16C hardware).
+    if (abs > 0x7f80'0000u)
+      return static_cast<std::uint16_t>(sign | 0x7e00u |
+                                        ((abs & 0x007f'ffffu) >> 13));
     return static_cast<std::uint16_t>(sign | 0x7c00u);
   }
 
@@ -75,7 +80,12 @@ float half_bits_to_float(std::uint16_t h) {
       out = sign | (exp32 << 23) | ((m & 0x3ffu) << 13);
     }
   } else if (exp16 == 0x1f) {
-    out = sign | 0x7f80'0000u | (mant16 << 13);  // Inf / NaN.
+    // Inf / NaN. A NaN payload widens left-aligned and the quiet bit is
+    // forced on (signaling NaNs come out quieted) — exactly what x86
+    // vcvtph2ps produces, so the SIMD FP16 tier matches bit for bit
+    // (verified exhaustively over all 2^16 half patterns).
+    out = sign | 0x7f80'0000u |
+          (mant16 != 0 ? (0x0040'0000u | (mant16 << 13)) : 0u);
   } else {
     const std::uint32_t exp32 =
         static_cast<std::uint32_t>(exp16 - kF16ExpBias + kF32ExpBias);

@@ -4,6 +4,12 @@
 // has no native half type, so we provide bit-exact conversion with
 // round-to-nearest-even, plus a small value type that models "compute in
 // FP16": every arithmetic result is rounded back through binary16.
+//
+// NaN semantics match the x86 F16C conversion instructions exactly
+// (float->half keeps the top payload bits and sets the quiet bit;
+// half->float widens the payload and quiets signaling NaNs), so the
+// SIMD FP16 tier's vcvtps2ph/vcvtph2ps round-trips are bit-identical to
+// these functions for every input — the tier parity suite asserts it.
 #pragma once
 
 #include <cstdint>

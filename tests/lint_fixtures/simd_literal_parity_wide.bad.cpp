@@ -1,0 +1,8 @@
+// Fixture: a wide-tier TU whose float literal (3.25f) matches its
+// width-specific common header but is absent from the paired scalar detail
+// header and the allowlist — the scalar tier cannot agree on it, so
+// simd-literal-parity must fire.
+#include "simd_literal_parity_detail.h"
+#include "simd_literal_parity_wide_common.h"
+
+float wide_tier_eval(float x) { return x * 3.25f + kSharedClamp; }

@@ -1,0 +1,7 @@
+// Fixture: a wide-tier TU layered over a width-specific common header whose
+// own literals all come from the paired scalar detail header (1.5f) or the
+// manifest allowlist (0.5f) — both tiers necessarily agree.
+#include "simd_literal_parity_detail.h"
+#include "simd_literal_parity_wide_common.h"
+
+float wide_tier_eval(float x) { return x * 0.5f + kSharedClamp * 1.5f; }

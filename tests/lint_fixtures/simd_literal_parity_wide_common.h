@@ -1,0 +1,8 @@
+// Support header for the simd_literal_parity_wide fixtures: models the
+// width-specific *_common.h headers (avx2/avx512) that sit between a wide
+// tier TU and the scalar detail header — constants here are NOT the shared
+// scalar reference, so drawing a literal from this file alone must still
+// fire the rule on a TU paired with the scalar detail header.
+#pragma once
+
+constexpr float kWideOnlyBias = 3.25f;

@@ -10,6 +10,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <limits>
 #include <optional>
@@ -19,6 +20,7 @@
 
 #include "core/lut_kernel.h"
 #include "core/lut_kernel_simd.h"
+#include "core/lut_kernel_simd_detail.h"
 #include "core/piecewise_linear.h"
 #include "core/quantized_lut.h"
 #include "core/scalar_fn.h"
@@ -64,6 +66,19 @@ std::vector<float> parity_inputs(const PiecewiseLinear& lut, Rng& rng) {
   xs.push_back(kInf);
   xs.push_back(-kInf);
   xs.push_back(kNan);
+  // binary16 edges (exercised by the FP16 plans, harmless elsewhere):
+  // smallest/largest half denormal, smallest half normal, largest finite
+  // half, the first float that rounds to half +inf, and NaN payload
+  // variants including a signaling pattern.
+  xs.push_back(5.9604645e-8f);
+  xs.push_back(6.0975552e-5f);
+  xs.push_back(6.1035156e-5f);
+  xs.push_back(65504.0f);
+  xs.push_back(-65504.0f);
+  xs.push_back(65520.0f);
+  xs.push_back(std::bit_cast<float>(0x7fc12345u));
+  xs.push_back(std::bit_cast<float>(0xffc54321u));
+  xs.push_back(std::bit_cast<float>(0x7f800001u));
   return xs;
 }
 
@@ -246,11 +261,25 @@ class ScopedTier {
 };
 
 TEST(SimdDispatch, TierNamesRoundTrip) {
-  for (SimdTier t :
-       {SimdTier::kScalar, SimdTier::kAvx2, SimdTier::kAvx512})
+  for (SimdTier t : {SimdTier::kScalar, SimdTier::kAvx2, SimdTier::kAvx512,
+                     SimdTier::kAvx512Vnni})
     EXPECT_EQ(simd::parse_simd_tier(simd::simd_tier_name(t)), t);
   EXPECT_EQ(simd::parse_simd_tier("neon"), std::nullopt);
   EXPECT_EQ(simd::parse_simd_tier(""), std::nullopt);
+}
+
+TEST(SimdDispatch, DetectionReport) {
+  // Assertion-light on purpose: prints this machine's detection result so
+  // CI logs record which tiers the parity suites actually exercised.
+  std::printf("detected=%s auto=%s available=[%s] f16c=%d avx512vnni=%d\n",
+              simd::simd_tier_name(simd::detected_simd_tier()),
+              simd::simd_tier_name(simd::auto_simd_tier()),
+              simd::simd_tier_names().c_str(), simd::has_f16c() ? 1 : 0,
+              simd::has_avx512vnni() ? 1 : 0);
+  // The available list is a chain from scalar up to exactly the detection.
+  EXPECT_FALSE(simd::simd_tier_names().empty());
+  EXPECT_EQ(simd::available_simd_tiers().front(), SimdTier::kScalar);
+  EXPECT_EQ(simd::available_simd_tiers().back(), simd::detected_simd_tier());
 }
 
 TEST(SimdDispatch, EnvironmentPolicyOnlyLowersTheTier) {
@@ -346,14 +375,19 @@ INSTANTIATE_TEST_SUITE_P(Entries, SimdTierParity,
 TEST(SimdTierParity, UnalignedAndShortSpansMatchScalar) {
   // Sub-vector spans, every misalignment of a 64-byte line, and lengths
   // around the 8/16-lane vector widths: the wide kernels must agree with
-  // scalar on their tail handling and unaligned loads.
+  // scalar on their tail handling and unaligned loads, at all three
+  // precisions (the FP16 span rides at offset + 32 so the three evals never
+  // need the buffer grown per precision).
   Rng rng(99);
   const PiecewiseLinear lut = random_lut(16, rng);
+  const LutFp16 half_fn(lut);
   const LutInt32 int_fn(lut, 24.0f);
-  std::vector<float> base(96);
+  std::vector<float> base(128);
   for (float& x : base) x = rng.uniform(-20.0f, 20.0f);
   base[40] = std::numeric_limits<float>::quiet_NaN();
   base[41] = kInf;
+  base[42] = 65520.0f;        // rounds to +inf in binary16
+  base[43] = 5.9604645e-8f;   // half denormal min
 
   for (std::size_t offset : {0u, 1u, 3u, 5u, 7u, 9u}) {
     for (std::size_t len : {1u, 2u, 7u, 8u, 9u, 15u, 16u, 17u, 33u, 64u}) {
@@ -365,18 +399,122 @@ TEST(SimdTierParity, UnalignedAndShortSpansMatchScalar) {
           lut.eval_inplace(std::span<float>(ref).subspan(offset, len));
           int_fn.eval_inplace(
               std::span<float>(ref).subspan(offset + 16, len));
+          half_fn.eval_inplace(
+              std::span<float>(ref).subspan(offset + 32, len));
         }
         {
           ScopedTier forced(tier);
           lut.eval_inplace(std::span<float>(got).subspan(offset, len));
           int_fn.eval_inplace(
               std::span<float>(got).subspan(offset + 16, len));
+          half_fn.eval_inplace(
+              std::span<float>(got).subspan(offset + 32, len));
         }
         for (std::size_t i = 0; i < base.size(); ++i)
           expect_bitwise(ref[i], got[i], base[i]);
         ASSERT_FALSE(::testing::Test::HasFailure())
             << "tier=" << simd::simd_tier_name(tier) << " offset=" << offset
             << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST(SimdTierParity, Fp16NaNPayloadBitsExactAcrossTiers) {
+  // Payload-strict variant of the FP16 parity check: raw output bits, no
+  // NaN-equals-NaN tolerance. The software rounding chain (numerics/half.h)
+  // and the F16C / AVX-512 vcvtps2ph round-trips must narrow, quiet and
+  // widen NaN payloads identically, so even NaN outputs are bit-equal.
+  Rng rng(131);
+  for (int entries : {8, 64}) {
+    const PiecewiseLinear lut = random_lut(entries, rng);
+    const LutFp16 fn(lut);
+    std::vector<float> xs;
+    for (std::uint32_t bits : {0x7fc00000u, 0x7fc12345u, 0xffc54321u,
+                               0x7f800001u, 0xff923456u, 0x7fffffffu})
+      xs.push_back(std::bit_cast<float>(bits));
+    for (int i = 0; i < 32; ++i) xs.push_back(rng.uniform(-20.0f, 20.0f));
+    std::vector<float> ref = xs;
+    {
+      ScopedTier scalar(SimdTier::kScalar);
+      fn.eval_inplace(ref);
+    }
+    for (SimdTier tier : simd::available_simd_tiers()) {
+      ScopedTier forced(tier);
+      std::vector<float> got = xs;
+      fn.eval_inplace(got);
+      for (std::size_t i = 0; i < xs.size(); ++i)
+        EXPECT_EQ(std::bit_cast<std::uint32_t>(ref[i]),
+                  std::bit_cast<std::uint32_t>(got[i]))
+            << "tier=" << simd::simd_tier_name(tier)
+            << " entries=" << entries << " i=" << i;
+    }
+  }
+}
+
+TEST(SimdTierParity, Int32MacInt16PairBoundarySweep) {
+  // The avx512vnni tier's vpdpwssd MAC is exact only under the int16-pair
+  // contract, enforced at two levels: a per-table precheck
+  // (detail::int32_mac_fits_int16_pairs) and a per-vector guard on the
+  // quantized inputs. Sweep both sides of every boundary and require
+  // bitwise equality with forced scalar on every available tier — on VNNI
+  // machines this drives the fast path, the per-vector fallback and the
+  // whole-table fallback; elsewhere it still pins the int64 MAC on these
+  // extremes.
+  const float input_max_abs = 24.0f;
+  const float sx = input_max_abs / 32767.0f;
+
+  // Table A: the max-magnitude slope quantizes to ±32767 and intercepts
+  // are small, so |q_s|·2^15 + |q_t| stays within INT32_MAX.
+  const PiecewiseLinear small_t({-4.0f, 0.0f, 4.0f},
+                                {1.0f, -0.25f, 0.5f, -1.0f},
+                                {0.5f, -0.5f, 0.25f, 1.5f});
+  // Table B: intercept 50000 on the tiny product scale Ss·Sx clamps q_t at
+  // ~2.147e9, blowing the int32 accumulator budget.
+  const PiecewiseLinear big_t({-4.0f, 0.0f, 4.0f},
+                              {1.0f, -0.25f, 0.5f, -1.0f},
+                              {0.5f, 50000.0f, 0.25f, 1.5f});
+  const LutInt32 fits(small_t, input_max_abs);
+  const LutInt32 spills(big_t, input_max_abs);
+  EXPECT_TRUE(simd::detail::int32_mac_fits_int16_pairs(
+      fits.kernel().padded_slopes().data(),
+      fits.kernel().padded_intercepts().data(),
+      fits.kernel().padded_entries()));
+  EXPECT_FALSE(simd::detail::int32_mac_fits_int16_pairs(
+      spills.kernel().padded_slopes().data(),
+      spills.kernel().padded_intercepts().data(),
+      spills.kernel().padded_entries()));
+
+  // Inputs straddling the q_x int16 boundary: q = ±32768…±32766 are the
+  // extremes a legal input can quantize to; |x| > input_max_abs quantizes
+  // past the int16 range and must trip the per-vector guard lane-wise.
+  std::vector<float> edges;
+  for (std::int32_t q : {-32768, -32767, -32766, -1, 0, 1, 32766, 32767})
+    edges.push_back(static_cast<float>(q) * sx);
+  for (float wide : {-40.0f, 25.0f, 40.0f, 1000.0f}) edges.push_back(wide);
+  std::vector<float> mixed;  // some 16-lane vectors trip the guard
+  for (int rep = 0; rep < 6; ++rep)
+    for (float x : edges) mixed.push_back(x);
+  std::vector<float> inrange(48);  // no lane trips the guard
+  for (std::size_t i = 0; i < inrange.size(); ++i)
+    inrange[i] = static_cast<float>(static_cast<int>(i) * 683 - 16384) * sx;
+
+  for (const LutInt32* fn : {&fits, &spills}) {
+    for (const std::vector<float>* batch : {&mixed, &inrange}) {
+      std::vector<float> ref = *batch;
+      {
+        ScopedTier scalar(SimdTier::kScalar);
+        fn->eval_inplace(ref);
+      }
+      for (SimdTier tier : simd::available_simd_tiers()) {
+        ScopedTier forced(tier);
+        std::vector<float> got = *batch;
+        fn->eval_inplace(got);
+        for (std::size_t i = 0; i < batch->size(); ++i)
+          expect_bitwise(ref[i], got[i], (*batch)[i]);
+        ASSERT_FALSE(::testing::Test::HasFailure())
+            << "tier=" << simd::simd_tier_name(tier)
+            << (fn == &fits ? " table=fits" : " table=spills");
       }
     }
   }

@@ -381,7 +381,10 @@ RULE_FIXTURES = {
                      "no_wallclock_net_scope"],
     "no-unordered-iter": ["no_unordered_iter"],
     "no-fp-contract": ["no_fp_contract"],
-    "simd-literal-parity": ["simd_literal_parity"],
+    # The _wide twin models the layered TU -> width-common-header -> scalar
+    # detail arrangement of the F16C/VNNI TUs: a literal shared only with
+    # the width-specific common header must still fire.
+    "simd-literal-parity": ["simd_literal_parity", "simd_literal_parity_wide"],
     "no-hot-alloc": ["no_hot_alloc"],
     "raw-sync-primitive": ["raw_sync"],
 }
